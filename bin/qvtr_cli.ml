@@ -1,0 +1,313 @@
+(* Command-line front end: check / enforce / fmt / demo.
+
+   File conventions:
+   - transformation: QVT-R concrete syntax (Qvtr.Parser);
+   - metamodels: one file with several `metamodel ... { }` blocks;
+   - models: one file with several `model <param> : <MM> { }` blocks,
+     one per transformation parameter, named after the parameter. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let ( let* ) = Result.bind
+
+let load_inputs ~trans_file ~mm_file ~models_file =
+  let* trans = Qvtr.Parser.parse (read_file trans_file) in
+  let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
+  let* models = Mdl.Serialize.parse_models mms (read_file models_file) in
+  let metamodels = List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms in
+  let bound =
+    List.map (fun m -> (Mdl.Model.name m, m)) models
+  in
+  Ok (trans, metamodels, bound)
+
+let mode_of_standard standard =
+  if standard then Qvtr.Semantics.Standard else Qvtr.Semantics.Extended
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let run_check trans_file mm_file models_file standard =
+  match
+    let* trans, metamodels, models =
+      load_inputs ~trans_file ~mm_file ~models_file
+    in
+    let* report =
+      Qvtr.Check.run ~mode:(mode_of_standard standard) trans ~metamodels ~models
+    in
+    Ok report
+  with
+  | Ok report ->
+    Format.printf "%a@." Qvtr.Check.pp_report report;
+    if report.Qvtr.Check.consistent then 0 else 1
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* enforce                                                             *)
+
+let run_enforce_all trans_file mm_file models_file targets standard slack =
+  match
+    let* trans, metamodels, models =
+      load_inputs ~trans_file ~mm_file ~models_file
+    in
+    Echo.Engine.enforce_all ~mode:(mode_of_standard standard)
+      ~slack_objects:slack trans ~metamodels ~models
+      ~targets:(Echo.Target.of_list targets)
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+  | Ok outcomes ->
+    let repairs =
+      List.filter_map
+        (function Echo.Engine.Enforced r -> Some r | _ -> None)
+        outcomes
+    in
+    if repairs = [] then begin
+      List.iter (fun o -> Format.printf "%a@." Echo.Engine.pp_outcome o) outcomes;
+      match outcomes with [ Echo.Engine.Already_consistent ] -> 0 | _ -> 1
+    end
+    else begin
+      Format.printf "%d minimal repair(s):@." (List.length repairs);
+      List.iteri
+        (fun i r ->
+          Format.printf "@.--- repair %d: %a ---@." (i + 1) Echo.Engine.pp_outcome
+            (Echo.Engine.Enforced r);
+          List.iter
+            (fun (p, m) ->
+              if List.mem (Mdl.Ident.name p) targets then
+                Format.printf "%s@." (Mdl.Serialize.model_to_string m))
+            r.Echo.Engine.repaired)
+        repairs;
+      0
+    end
+
+let run_enforce trans_file mm_file models_file targets standard backend
+    slack all out_file =
+  if all then run_enforce_all trans_file mm_file models_file targets standard slack
+  else
+  match
+    let* trans, metamodels, models =
+      load_inputs ~trans_file ~mm_file ~models_file
+    in
+    let backend =
+      match backend with
+      | "maxsat" -> Echo.Engine.Maxsat
+      | _ -> Echo.Engine.Iterative
+    in
+    let* outcome =
+      Echo.Engine.enforce ~backend ~mode:(mode_of_standard standard)
+        ~slack_objects:slack trans ~metamodels ~models
+        ~targets:(Echo.Target.of_list targets)
+    in
+    Ok outcome
+  with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "%a@." Echo.Engine.pp_outcome (Echo.Engine.Enforced r);
+    let rendered =
+      String.concat "\n\n"
+        (List.map (fun (_, m) -> Mdl.Serialize.model_to_string m) r.Echo.Engine.repaired)
+    in
+    (match out_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (rendered ^ "\n");
+      close_out oc;
+      Format.printf "repaired models written to %s@." path
+    | None -> Format.printf "%s@." rendered);
+    0
+  | Ok Echo.Engine.Cannot_restore ->
+    Format.printf "%a@." Echo.Engine.pp_outcome Echo.Engine.Cannot_restore;
+    (* explain which directional checks obstruct the target set *)
+    (match
+       let* trans, metamodels, models =
+         load_inputs ~trans_file ~mm_file ~models_file
+       in
+       Echo.Engine.diagnose ~mode:(mode_of_standard standard)
+         ~slack_objects:slack trans ~metamodels ~models
+         ~targets:(Echo.Target.of_list targets)
+     with
+    | Ok ds ->
+      List.iter
+        (fun d ->
+          if not d.Echo.Engine.d_satisfiable then
+            Format.printf "  obstruction: %a@." Echo.Engine.pp_diagnosis d)
+        ds
+    | Error _ -> ());
+    1
+  | Ok outcome ->
+    Format.printf "%a@." Echo.Engine.pp_outcome outcome;
+    (match outcome with Echo.Engine.Already_consistent -> 0 | _ -> 1)
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* traces                                                              *)
+
+let run_traces trans_file mm_file models_file standard =
+  match
+    let* trans, metamodels, models =
+      load_inputs ~trans_file ~mm_file ~models_file
+    in
+    Qvtr.Check.traces ~mode:(mode_of_standard standard) trans ~metamodels ~models
+  with
+  | Ok [] ->
+    Format.printf "no relation matches@.";
+    0
+  | Ok traces ->
+    List.iter (fun t -> Format.printf "%a@." Qvtr.Check.pp_trace t) traces;
+    0
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* fmt: parse and pretty-print a transformation                        *)
+
+let run_fmt trans_file =
+  match Qvtr.Parser.parse (read_file trans_file) with
+  | Ok t ->
+    print_endline (Qvtr.Parser.to_string t);
+    0
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* demo: generate the paper's example inputs into a directory          *)
+
+let run_demo dir =
+  let () = try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> () in
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "featureconfig.qvtr" (Featuremodel.Fm.source ~k:2);
+  write "metamodels.mdl"
+    (Mdl.Serialize.metamodel_to_string Featuremodel.Fm.cf_metamodel
+    ^ "\n\n"
+    ^ Mdl.Serialize.metamodel_to_string Featuremodel.Fm.fm_metamodel
+    ^ "\n");
+  let s = Featuremodel.Scenarios.new_mandatory_feature in
+  let models =
+    Featuremodel.Fm.bind ~cfs:s.Featuremodel.Scenarios.cfs
+      ~fm:s.Featuremodel.Scenarios.fm
+  in
+  write "models.mdl"
+    (String.concat "\n\n"
+       (List.map (fun (_, m) -> Mdl.Serialize.model_to_string m) models)
+    ^ "\n");
+  Format.printf
+    "wrote %s/{featureconfig.qvtr, metamodels.mdl, models.mdl}@.try:@.  qvtr check -t \
+     %s/featureconfig.qvtr -M %s/metamodels.mdl -m %s/models.mdl@.  qvtr enforce -t \
+     %s/featureconfig.qvtr -M %s/metamodels.mdl -m %s/models.mdl --target cf1 \
+     --target cf2@."
+    dir dir dir dir dir dir dir;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+
+open Cmdliner
+
+let trans_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "t"; "transformation" ] ~docv:"FILE" ~doc:"QVT-R transformation file.")
+
+let mm_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "M"; "metamodels" ] ~docv:"FILE" ~doc:"Metamodels file.")
+
+let models_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "m"; "models" ] ~docv:"FILE" ~doc:"Models file.")
+
+let standard_arg =
+  Arg.(
+    value & flag
+    & info [ "standard" ]
+        ~doc:
+          "Use the standard OMG checking semantics (ignore dependencies blocks).")
+
+let check_cmd =
+  let doc = "check consistency of models under a QVT-R transformation" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run_check $ trans_arg $ mm_arg $ models_arg $ standard_arg)
+
+let targets_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "target" ] ~docv:"PARAM"
+        ~doc:"Model parameter to repair (repeatable — the paper's multidirectional \
+              target sets).")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("iterative", "iterative"); ("maxsat", "maxsat") ]) "iterative"
+    & info [ "backend" ] ~doc:"Repair backend: iterative (Echo) or maxsat.")
+
+let slack_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "slack" ] ~doc:"Fresh objects available per target model.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write repaired models to FILE.")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Enumerate every minimal repair instead of returning one.")
+
+let enforce_cmd =
+  let doc = "repair the target models to restore consistency (least change)" in
+  Cmd.v
+    (Cmd.info "enforce" ~doc)
+    Term.(
+      const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
+      $ standard_arg $ backend_arg $ slack_arg $ all_arg $ out_arg)
+
+let fmt_cmd =
+  let doc = "parse and pretty-print a QVT-R transformation" in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const run_fmt $ trans_arg)
+
+let traces_cmd =
+  let doc = "list relation matches (QVT trace links) on the models" in
+  Cmd.v
+    (Cmd.info "traces" ~doc)
+    Term.(const run_traces $ trans_arg $ mm_arg $ models_arg $ standard_arg)
+
+let demo_dir_arg =
+  Arg.(value & pos 0 string "demo" & info [] ~docv:"DIR" ~doc:"Output directory.")
+
+let demo_cmd =
+  let doc = "write the paper's running example (metamodels, models, QVT-R)" in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run_demo $ demo_dir_arg)
+
+let main =
+  let doc = "multidirectional QVT-R transformations (EDBT'14 reproduction)" in
+  Cmd.group
+    (Cmd.info "qvtr" ~version:"1.0.0" ~doc)
+    [ check_cmd; enforce_cmd; traces_cmd; fmt_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,215 @@
+(* Tridirectional synchronisation of a UML class model, a relational
+   schema and a documentation index — the kind of "more realistic
+   example" the paper's future work calls for.
+
+   Three metamodels, nested domain patterns through containment
+   references, a non-top relation invoked from a where clause (§2.3:
+   the call directions are statically checked against the callee's
+   dependency set), and a genuinely multidirectional constraint: an
+   index entry must exist exactly for entities present in BOTH the
+   class model and the schema (the same shape as the paper's MF).
+
+   Run with: dune exec examples/class_db_sync.exe *)
+
+let metamodels_src =
+  {|
+metamodel UML {
+  class Class {
+    attr name : string key;
+    ref attrs : Attribute [0..*] containment;
+  }
+  class Attribute {
+    attr name : string;
+  }
+}
+
+metamodel RDB {
+  class Table {
+    attr name : string key;
+    ref cols : Column [0..*] containment;
+  }
+  class Column {
+    attr name : string;
+  }
+}
+
+metamodel IDX {
+  class Entry {
+    attr name : string key;
+  }
+}
+|}
+
+let transformation_src =
+  {|
+transformation ClassDb(uml : UML, rdb : RDB, idx : IDX) {
+  // classes and tables correspond by name, attributes and columns too
+  top relation ClassTable {
+    n : String;
+    domain uml c : Class { name = n };
+    domain rdb t : Table { name = n };
+    where { AttrColumn(c, t); }
+    dependencies { uml -> rdb; rdb -> uml; }
+  }
+
+  // invoked per class/table pair; its own dependencies make it
+  // runnable in both directions the caller needs
+  relation AttrColumn {
+    an : String;
+    domain uml c : Class { attrs = a : Attribute { name = an } };
+    domain rdb t : Table { cols = col : Column { name = an } };
+    dependencies { uml -> rdb; rdb -> uml; }
+  }
+
+  // an index entry exists exactly for entities in BOTH models —
+  // the paper's MF shape, inexpressible in standard QVT-R
+  top relation Documented {
+    n : String;
+    domain uml k : Class { name = n };
+    domain rdb u : Table { name = n };
+    domain idx e : Entry { name = n };
+    dependencies { uml rdb -> idx; idx -> uml; idx -> rdb; }
+  }
+}
+|}
+
+module I = Mdl.Ident
+
+let parse_mms () =
+  match Mdl.Serialize.parse_metamodels metamodels_src with
+  | Ok mms -> List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms
+  | Error e -> failwith e
+
+let find_mm mms n = List.assoc (I.make n) mms
+
+(* Builders *)
+let uml_model mms ~name classes =
+  let mm = find_mm mms "UML" in
+  List.fold_left
+    (fun m (cname, attrs) ->
+      let m, cid = Mdl.Model.add_object m ~cls:(I.make "Class") in
+      let m = Mdl.Model.set_attr1 m cid (I.make "name") (Mdl.Value.Str cname) in
+      List.fold_left
+        (fun m aname ->
+          let m, aid = Mdl.Model.add_object m ~cls:(I.make "Attribute") in
+          let m = Mdl.Model.set_attr1 m aid (I.make "name") (Mdl.Value.Str aname) in
+          Mdl.Model.add_ref m ~src:cid ~ref_:(I.make "attrs") ~dst:aid)
+        m attrs)
+    (Mdl.Model.empty ~name mm)
+    classes
+
+let rdb_model mms ~name tables =
+  let mm = find_mm mms "RDB" in
+  List.fold_left
+    (fun m (tname, cols) ->
+      let m, tid = Mdl.Model.add_object m ~cls:(I.make "Table") in
+      let m = Mdl.Model.set_attr1 m tid (I.make "name") (Mdl.Value.Str tname) in
+      List.fold_left
+        (fun m cname ->
+          let m, cid = Mdl.Model.add_object m ~cls:(I.make "Column") in
+          let m = Mdl.Model.set_attr1 m cid (I.make "name") (Mdl.Value.Str cname) in
+          Mdl.Model.add_ref m ~src:tid ~ref_:(I.make "cols") ~dst:cid)
+        m cols)
+    (Mdl.Model.empty ~name mm)
+    tables
+
+let idx_model mms ~name entries =
+  let mm = find_mm mms "IDX" in
+  List.fold_left
+    (fun m e ->
+      let m, id = Mdl.Model.add_object m ~cls:(I.make "Entry") in
+      Mdl.Model.set_attr1 m id (I.make "name") (Mdl.Value.Str e))
+    (Mdl.Model.empty ~name mm)
+    entries
+
+(* Rendering *)
+let describe_rdb m =
+  Mdl.Model.instances_of m (I.make "Table")
+  |> List.map (fun tid ->
+         let tname =
+           match Mdl.Model.get_attr1 m tid (I.make "name") with
+           | Some (Mdl.Value.Str s) -> s
+           | _ -> "?"
+         in
+         let cols =
+           Mdl.Model.get_refs m tid (I.make "cols")
+           |> List.filter_map (fun cid ->
+                  match Mdl.Model.get_attr1 m cid (I.make "name") with
+                  | Some (Mdl.Value.Str s) -> Some s
+                  | _ -> None)
+         in
+         Printf.sprintf "%s(%s)" tname (String.concat ", " cols))
+  |> String.concat "  "
+
+let describe_idx m =
+  Mdl.Model.instances_of m (I.make "Entry")
+  |> List.filter_map (fun id ->
+         match Mdl.Model.get_attr1 m id (I.make "name") with
+         | Some (Mdl.Value.Str s) -> Some s
+         | _ -> None)
+  |> String.concat ", "
+
+let () =
+  let metamodels = parse_mms () in
+  let trans = Qvtr.Parser.parse_exn transformation_src in
+  (* A consistent state... *)
+  let uml =
+    uml_model metamodels ~name:"uml" [ ("Customer", [ "id"; "email" ]) ]
+  in
+  let rdb = rdb_model metamodels ~name:"rdb" [ ("Customer", [ "id"; "email" ]) ] in
+  let idx = idx_model metamodels ~name:"idx" [ "Customer" ] in
+  let models = [ (I.make "uml", uml); (I.make "rdb", rdb); (I.make "idx", idx) ] in
+  let report = Qvtr.Check.run_exn trans ~metamodels ~models in
+  Format.printf "initial state consistent: %b@." report.Qvtr.Check.consistent;
+
+  (* ... the architect adds a class: Order with an "id" attribute. *)
+  let uml' =
+    uml_model metamodels ~name:"uml"
+      [ ("Customer", [ "id"; "email" ]); ("Order", [ "id" ]) ]
+  in
+  let models =
+    [ (I.make "uml", uml'); (I.make "rdb", rdb); (I.make "idx", idx) ]
+  in
+  let report = Qvtr.Check.run_exn trans ~metamodels ~models in
+  Format.printf "after adding class Order: consistent: %b@."
+    report.Qvtr.Check.consistent;
+
+  (* Propagate to BOTH the schema and the index in one repair — the
+     multidirectional target set {rdb, idx}. *)
+  (match
+     Echo.Engine.enforce trans ~metamodels ~models ~slack_objects:2
+       ~targets:(Echo.Target.of_list [ "rdb"; "idx" ])
+   with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "repair (rdb, idx): %a@." Echo.Engine.pp_outcome
+      (Echo.Engine.Enforced r);
+    List.iter
+      (fun (p, m) ->
+        match I.name p with
+        | "rdb" -> Format.printf "  schema: %s@." (describe_rdb m)
+        | "idx" -> Format.printf "  index:  %s@." (describe_idx m)
+        | _ -> ())
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "repair (rdb, idx): %a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e);
+
+  (* Alternatively, reject the change: repair the UML model back. *)
+  match
+    Echo.Engine.enforce trans ~metamodels ~models ~targets:(Echo.Target.single "uml")
+  with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "repair (uml): %a@." Echo.Engine.pp_outcome
+      (Echo.Engine.Enforced r);
+    List.iter
+      (fun (p, m) ->
+        if I.name p = "uml" then
+          Format.printf "  classes: %s@."
+            (String.concat ", "
+               (Mdl.Model.instances_of m (I.make "Class")
+               |> List.filter_map (fun id ->
+                      match Mdl.Model.get_attr1 m id (I.make "name") with
+                      | Some (Mdl.Value.Str s) -> Some s
+                      | _ -> None))))
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "repair (uml): %a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e

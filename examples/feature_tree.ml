@@ -1,0 +1,157 @@
+(* Feature TREES: the "more realistic examples of feature model
+   synchronization" the paper's future work (§4) calls for.
+
+   The feature model now carries a parent hierarchy (child features
+   require their parent). Besides MF and OF, a third top relation per
+   configuration enforces the hierarchy across models:
+
+     if a configuration selects a feature whose FM parent is p,
+     it must also select p
+
+   expressed with a when-guard using allInstances ("n in
+   Feature@cf1.name") and the dependency {fm -> cf1}. Violations have
+   two natural minimal repairs — select the parent or drop the child —
+   and enforce_all surfaces both.
+
+   Run with: dune exec examples/feature_tree.exe *)
+
+module I = Mdl.Ident
+
+let metamodels_src =
+  {|
+metamodel FMT {
+  class Feature {
+    attr name : string key;
+    attr mandatory : bool;
+    ref parent : Feature [0..1];
+  }
+}
+
+metamodel CF {
+  class Feature {
+    attr name : string key;
+  }
+}
+|}
+
+let transformation_src =
+  {|
+transformation TreeConfig(cf1 : CF, cf2 : CF, fm : FMT) {
+  top relation MF {
+    n : String;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm f : Feature { name = n, mandatory = true };
+    dependencies { cf1 cf2 -> fm; fm -> cf1; fm -> cf2; }
+  }
+  top relation OF {
+    n : String;
+    domain cf1 t1 : Feature { name = n };
+    domain cf2 t2 : Feature { name = n };
+    domain fm g : Feature { name = n };
+    dependencies { cf1 -> fm; cf2 -> fm; }
+  }
+  // hierarchy: a selected child requires its parent (per configuration)
+  top relation Parent1 {
+    n : String;
+    pn : String;
+    domain fm c : Feature { name = n, parent = p : Feature { name = pn } };
+    domain cf1 q : Feature { name = pn };
+    when { n in Feature@cf1.name }
+    dependencies { fm -> cf1; }
+  }
+  top relation Parent2 {
+    n : String;
+    pn : String;
+    domain fm c : Feature { name = n, parent = p : Feature { name = pn } };
+    domain cf2 q : Feature { name = pn };
+    when { n in Feature@cf2.name }
+    dependencies { fm -> cf2; }
+  }
+}
+|}
+
+let mms =
+  match Mdl.Serialize.parse_metamodels metamodels_src with
+  | Ok l -> List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) l
+  | Error e -> failwith e
+
+let fmt_mm = List.assoc (I.make "FMT") mms
+let cf_mm = List.assoc (I.make "CF") mms
+
+(* features: (name, mandatory, parent name option) *)
+let feature_tree ~name features =
+  let m, ids =
+    List.fold_left
+      (fun (m, ids) (n, mand, _) ->
+        let m, id = Mdl.Model.add_object m ~cls:(I.make "Feature") in
+        let m = Mdl.Model.set_attr1 m id (I.make "name") (Mdl.Value.Str n) in
+        let m = Mdl.Model.set_attr1 m id (I.make "mandatory") (Mdl.Value.Bool mand) in
+        (m, (n, id) :: ids))
+      (Mdl.Model.empty ~name fmt_mm, [])
+      features
+  in
+  List.fold_left
+    (fun m (n, _, parent) ->
+      match parent with
+      | None -> m
+      | Some p ->
+        Mdl.Model.add_ref m ~src:(List.assoc n ids) ~ref_:(I.make "parent")
+          ~dst:(List.assoc p ids))
+    m features
+
+let configuration ~name selected =
+  List.fold_left
+    (fun m n ->
+      let m, id = Mdl.Model.add_object m ~cls:(I.make "Feature") in
+      Mdl.Model.set_attr1 m id (I.make "name") (Mdl.Value.Str n))
+    (Mdl.Model.empty ~name cf_mm)
+    selected
+
+let show_cf m =
+  Mdl.Model.objects m
+  |> List.filter_map (fun id ->
+         match Mdl.Model.get_attr1 m id (I.make "name") with
+         | Some (Mdl.Value.Str s) -> Some s
+         | _ -> None)
+  |> List.sort compare |> String.concat ","
+
+let () =
+  let trans = Qvtr.Parser.parse_exn transformation_src in
+  (* base! ── net ── wifi   (wifi requires net requires base) *)
+  let fm =
+    feature_tree ~name:"fm"
+      [ ("base", true, None); ("net", false, Some "base"); ("wifi", false, Some "net") ]
+  in
+  (* cf1 skipped "net" although it selected "wifi" *)
+  let cf1 = configuration ~name:"cf1" [ "base"; "wifi" ] in
+  let cf2 = configuration ~name:"cf2" [ "base" ] in
+  let models = [ (I.make "cf1", cf1); (I.make "cf2", cf2); (I.make "fm", fm) ] in
+  let report = Qvtr.Check.run_exn trans ~metamodels:mms ~models in
+  Format.printf "== check ==@.%a@.@." Qvtr.Check.pp_report report;
+  (* repair cf1: both minimal repairs are legitimate product decisions *)
+  match
+    Echo.Engine.enforce_all trans ~metamodels:mms ~models
+      ~targets:(Echo.Target.single "cf1")
+  with
+  | Error e -> Format.printf "error: %s@." e
+  | Ok outcomes ->
+    let repairs =
+      List.filter_map
+        (function Echo.Engine.Enforced r -> Some r | _ -> None)
+        outcomes
+    in
+    Format.printf "== %d minimal repairs of cf1 ==@." (List.length repairs);
+    List.iteri
+      (fun i r ->
+        Format.printf "  %d) cf1 = {%s}  (Δ=%d)@." (i + 1)
+          (show_cf (List.assoc (I.make "cf1") r.Echo.Engine.repaired))
+          r.Echo.Engine.relational_distance)
+      repairs;
+    (* sanity: each repaired state is consistent *)
+    List.iter
+      (fun r ->
+        let rep = Qvtr.Check.run_exn trans ~metamodels:mms ~models:r.Echo.Engine.repaired in
+        assert rep.Qvtr.Check.consistent)
+      repairs;
+    Format.printf "all repaired states re-check consistent@."

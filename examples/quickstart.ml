@@ -1,0 +1,93 @@
+(* Quickstart: the paper's running example end to end.
+
+   Build the Figure 1 metamodels and models, write the MF/OF
+   transformation in QVT-R concrete syntax (with the paper's checking
+   dependencies), check consistency, and repair in two different
+   directions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let transformation_src =
+  {|
+transformation FeatureConfig(cf1 : CF, cf2 : CF, fm : FM) {
+  // MF: mandatory features are exactly those selected in every configuration
+  top relation MF {
+    n : String;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm f : Feature { name = n, mandatory = true };
+    dependencies { cf1 cf2 -> fm; fm -> cf1; fm -> cf2; }
+  }
+  // OF: every selected feature exists in the feature model
+  top relation OF {
+    n : String;
+    domain cf1 t1 : Feature { name = n };
+    domain cf2 t2 : Feature { name = n };
+    domain fm g : Feature { name = n };
+    dependencies { cf1 -> fm; cf2 -> fm; }
+  }
+}
+|}
+
+let () =
+  (* 1. Parse the transformation. *)
+  let trans = Qvtr.Parser.parse_exn transformation_src in
+  Format.printf "== transformation ==@.%s@.@." (Qvtr.Parser.to_string trans);
+
+  (* 2. Models: two configurations and a feature model that disagree —
+     the FM has a new mandatory feature "N" nobody selected yet. *)
+  let cf1 = Featuremodel.Fm.configuration ~name:"cf1" [ "A" ] in
+  let cf2 = Featuremodel.Fm.configuration ~name:"cf2" [ "A" ] in
+  let fm = Featuremodel.Fm.feature_model ~name:"fm" [ ("A", true); ("N", true) ] in
+  let models = Featuremodel.Fm.bind ~cfs:[ cf1; cf2 ] ~fm in
+  let metamodels = Featuremodel.Fm.metamodels in
+
+  (* 3. Checkonly. *)
+  let report = Qvtr.Check.run_exn trans ~metamodels ~models in
+  Format.printf "== check ==@.%a@.@." Qvtr.Check.pp_report report;
+
+  (* 4. Enforce towards the configurations (the ->F_CF^k shape): both
+     configurations gain "N". *)
+  (match
+     Echo.Engine.enforce trans ~metamodels ~models
+       ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ])
+   with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "== enforce cf1,cf2 == %a@." Echo.Engine.pp_outcome
+      (Echo.Engine.Enforced r);
+    List.iter
+      (fun (p, m) ->
+        if Mdl.Ident.name p <> "fm" then
+          Format.printf "  %s selects {%s}@." (Mdl.Ident.name p)
+            (String.concat ", " (Featuremodel.Fm.cf_features m)))
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "== enforce cf1,cf2 == %a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e);
+
+  (* 5. Enforce towards a single configuration: impossible, as the
+     paper warns (cf2 would still miss "N"). *)
+  (match
+     Echo.Engine.enforce trans ~metamodels ~models
+       ~targets:(Echo.Target.single "cf1")
+   with
+  | Ok o -> Format.printf "== enforce cf1 only == %a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e);
+
+  (* 6. Enforce towards the feature model (the ->F_FM shape). *)
+  match
+    Echo.Engine.enforce trans ~metamodels ~models ~targets:(Echo.Target.single "fm")
+  with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "== enforce fm == %a@." Echo.Engine.pp_outcome
+      (Echo.Engine.Enforced r);
+    List.iter
+      (fun (p, m) ->
+        if Mdl.Ident.name p = "fm" then
+          Format.printf "  fm declares {%s}@."
+            (String.concat ", "
+               (List.map
+                  (fun (n, mand) -> if mand then n ^ "!" else n)
+                  (Featuremodel.Fm.fm_features m))))
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "== enforce fm == %a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e

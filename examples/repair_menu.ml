@@ -1,0 +1,79 @@
+(* The §4 workflow of the paper's planned multidirectional Echo:
+   "users write multidirectional relations between models and, when
+   inconsistencies are found, select which models are to be updated".
+
+   This example runs that loop on a state with several equally-minimal
+   repairs: the checker reports each violated directional check with a
+   witness (which objects/values break it), and the engine enumerates
+   every least-change repair so a user — here, stdout — can pick.
+
+   Run with: dune exec examples/repair_menu.exe *)
+
+module F = Featuremodel.Fm
+module I = Mdl.Ident
+
+let show_fm m =
+  String.concat ","
+    (List.map (fun (n, b) -> if b then n ^ "!" else n) (F.fm_features m))
+
+let show_cf m = String.concat "," (F.cf_features m)
+
+let () =
+  let trans = F.transformation ~k:2 in
+  let metamodels = F.metamodels in
+  (* Both configurations selected optional feature "dark-mode": MF now
+     demands it become mandatory — or stop being selected somewhere. *)
+  let cfs =
+    [
+      F.configuration ~name:"cf1" [ "core"; "dark-mode" ];
+      F.configuration ~name:"cf2" [ "core"; "dark-mode" ];
+    ]
+  in
+  let fm =
+    F.feature_model ~name:"fm" [ ("core", true); ("dark-mode", false) ]
+  in
+  let models = F.bind ~cfs ~fm in
+
+  (* 1. Check: the report carries witnesses for the violations. *)
+  let report = Qvtr.Check.run_exn trans ~metamodels ~models in
+  Format.printf "== check ==@.%a@.@." Qvtr.Check.pp_report report;
+
+  (* 2. Enumerate every minimal repair over the full target set. *)
+  match
+    Echo.Engine.enforce_all trans ~metamodels ~models
+      ~targets:(Echo.Target.of_list [ "cf1"; "cf2"; "fm" ])
+  with
+  | Error e -> Format.printf "error: %s@." e
+  | Ok outcomes ->
+    let repairs =
+      List.filter_map
+        (function Echo.Engine.Enforced r -> Some r | _ -> None)
+        outcomes
+    in
+    Format.printf "== %d minimal repairs (Δ = %d each) ==@." (List.length repairs)
+      (match repairs with
+      | r :: _ -> r.Echo.Engine.relational_distance
+      | [] -> 0);
+    List.iteri
+      (fun i r ->
+        let get p = List.assoc (I.make p) r.Echo.Engine.repaired in
+        Format.printf "  %d) cf1={%s}  cf2={%s}  fm={%s}@." (i + 1)
+          (show_cf (get "cf1")) (show_cf (get "cf2")) (show_fm (get "fm")))
+      repairs;
+    (* 3. "The user selects": pick the promotion repair, re-check. *)
+    let promoted =
+      List.find_opt
+        (fun r ->
+          List.exists
+            (fun (n, b) -> n = "dark-mode" && b)
+            (F.fm_features (List.assoc (I.make "fm") r.Echo.Engine.repaired)))
+        repairs
+    in
+    match promoted with
+    | None -> Format.printf "no promotion repair found@."
+    | Some r ->
+      let report =
+        Qvtr.Check.run_exn trans ~metamodels ~models:r.Echo.Engine.repaired
+      in
+      Format.printf "@.selected the promotion repair; consistent afterwards: %b@."
+        report.Qvtr.Check.consistent

@@ -1,0 +1,107 @@
+(* Bidirectional subset: the paper's §2.2 remark that checking
+   dependencies improve expressiveness already for k = 2 models.
+
+   "How to express a plain subset relationship?" — under the standard
+   semantics one cannot: the two directional checks force mutual
+   inclusion wherever patterns fire. With one dependency [src -> dst]
+   the relation means exactly "every task in src appears in dst"
+   (e.g. a personal todo list must be included in the team backlog,
+   but the backlog may contain more).
+
+   Run with: dune exec examples/subset_bx.exe *)
+
+let mm_src =
+  {|
+metamodel Todo {
+  class Task {
+    attr title : string key;
+  }
+}
+|}
+
+let transformation_src =
+  {|
+transformation Sync(mine : Todo, team : Todo) {
+  top relation Included {
+    t : String;
+    domain mine a : Task { title = t };
+    domain team b : Task { title = t };
+    dependencies { mine -> team; }
+  }
+}
+|}
+
+let task_list name titles =
+  let mm =
+    match Mdl.Serialize.parse_metamodel mm_src with
+    | Ok mm -> mm
+    | Error e -> failwith e
+  in
+  List.fold_left
+    (fun m t ->
+      let m, id = Mdl.Model.add_object m ~cls:(Mdl.Ident.make "Task") in
+      Mdl.Model.set_attr1 m id (Mdl.Ident.make "title") (Mdl.Value.Str t))
+    (Mdl.Model.empty ~name mm)
+    titles
+
+let titles m =
+  Mdl.Model.objects m
+  |> List.filter_map (fun id ->
+         match Mdl.Model.get_attr1 m id (Mdl.Ident.make "title") with
+         | Some (Mdl.Value.Str s) -> Some s
+         | _ -> None)
+  |> List.sort compare
+
+let () =
+  let trans = Qvtr.Parser.parse_exn transformation_src in
+  let mm =
+    match Mdl.Serialize.parse_metamodel mm_src with Ok mm -> mm | Error e -> failwith e
+  in
+  let metamodels = [ (Mdl.Ident.make "Todo", mm) ] in
+  let run mine team =
+    let models =
+      [ (Mdl.Ident.make "mine", task_list "mine" mine);
+        (Mdl.Ident.make "team", task_list "team" team) ]
+    in
+    let report = Qvtr.Check.run_exn trans ~metamodels ~models in
+    let standard =
+      Qvtr.Check.run_exn ~mode:Qvtr.Semantics.Standard trans ~metamodels ~models
+    in
+    Format.printf "mine={%s} team={%s}: subset-check %b, standard-QVT-R %b@."
+      (String.concat "," mine) (String.concat "," team)
+      report.Qvtr.Check.consistent standard.Qvtr.Check.consistent;
+    models
+  in
+  (* A proper subset: intended = consistent; the standard semantics
+     wrongly demands equality and rejects it. *)
+  let _ = run [ "write-report" ] [ "write-report"; "review-budget" ] in
+  (* Violation: a private task missing from the backlog. *)
+  let models = run [ "write-report"; "buy-milk" ] [ "write-report" ] in
+  (* Repair towards the team backlog: least change adds the task. *)
+  (match
+     Echo.Engine.enforce trans ~metamodels ~models ~targets:(Echo.Target.single "team")
+   with
+  | Ok (Echo.Engine.Enforced r) ->
+    List.iter
+      (fun (p, m) ->
+        if Mdl.Ident.name p = "team" then
+          Format.printf "repaired team backlog: {%s} (Δ=%d)@."
+            (String.concat "," (titles m))
+            r.Echo.Engine.relational_distance)
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "%a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e);
+  (* Repair towards my list: least change drops the private task. *)
+  match
+    Echo.Engine.enforce trans ~metamodels ~models ~targets:(Echo.Target.single "mine")
+  with
+  | Ok (Echo.Engine.Enforced r) ->
+    List.iter
+      (fun (p, m) ->
+        if Mdl.Ident.name p = "mine" then
+          Format.printf "repaired my list: {%s} (Δ=%d)@."
+            (String.concat "," (titles m))
+            r.Echo.Engine.relational_distance)
+      r.Echo.Engine.repaired
+  | Ok o -> Format.printf "%a@." Echo.Engine.pp_outcome o
+  | Error e -> Format.printf "error: %s@." e

@@ -1,0 +1,115 @@
+type backend =
+  | Iterative
+  | Maxsat
+
+type enforce_result = {
+  repaired : (Mdl.Ident.t * Mdl.Model.t) list;
+  relational_distance : int;
+  edit_distance : int;
+  iterations : int;
+  backend : backend;
+}
+
+type enforce_outcome =
+  | Enforced of enforce_result
+  | Already_consistent
+  | Cannot_restore
+
+let check = Qvtr.Check.run
+
+let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
+    ?model_weights ?max_distance transformation ~metamodels ~models ~targets =
+  let ( let* ) = Result.bind in
+  let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
+  if report.Qvtr.Check.consistent then Ok Already_consistent
+  else
+    let* space =
+      Space.build ?mode ?slack_objects ?extra_values ?model_weights
+        ~transformation ~metamodels ~models ~targets ()
+    in
+    let* outcome =
+      match backend with
+      | Iterative -> Repair.run ?max_distance space
+      | Maxsat -> Maxsat_repair.run space
+    in
+    match outcome with
+    | Repair.Cannot_restore -> Ok Cannot_restore
+    | Repair.Repaired r ->
+      Ok
+        (Enforced
+           {
+             repaired = r.Repair.repaired;
+             relational_distance = r.Repair.relational_distance;
+             edit_distance = r.Repair.edit_distance;
+             iterations = r.Repair.iterations;
+             backend;
+           })
+
+let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
+    ?max_distance transformation ~metamodels ~models ~targets =
+  let ( let* ) = Result.bind in
+  let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
+  if report.Qvtr.Check.consistent then Ok [ Already_consistent ]
+  else
+    let* space =
+      Space.build ?mode ?slack_objects ?extra_values ?model_weights
+        ~transformation ~metamodels ~models ~targets ()
+    in
+    let* repairs = Repair.run_all ?max_distance ~limit space in
+    match repairs with
+    | [] -> Ok [ Cannot_restore ]
+    | rs ->
+      Ok
+        (List.map
+           (fun (r : Repair.success) ->
+             Enforced
+               {
+                 repaired = r.Repair.repaired;
+                 relational_distance = r.Repair.relational_distance;
+                 edit_distance = r.Repair.edit_distance;
+                 iterations = r.Repair.iterations;
+                 backend = Iterative;
+               })
+           rs)
+
+type diagnosis = {
+  d_relation : Mdl.Ident.t;
+  d_direction : Qvtr.Ast.dependency;
+  d_satisfiable : bool;
+}
+
+let diagnose ?mode ?slack_objects ?extra_values transformation ~metamodels
+    ~models ~targets =
+  let ( let* ) = Result.bind in
+  let* space =
+    Space.build ?mode ?slack_objects ?extra_values ~transformation ~metamodels
+      ~models ~targets ()
+  in
+  let structural = Space.structural space in
+  Ok
+    (List.map
+       (fun (rel, dep, formula) ->
+         let finder =
+           Relog.Finder.prepare (Space.bounds space) (formula :: structural)
+         in
+         let satisfiable =
+           match Relog.Finder.solve finder with
+           | Relog.Finder.Sat _ -> true
+           | Relog.Finder.Unsat -> false
+         in
+         { d_relation = rel; d_direction = dep; d_satisfiable = satisfiable })
+       (Space.directional_formulas space))
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "%a [%a]: %s" Mdl.Ident.pp d.d_relation Qvtr.Ast.pp_dependency
+    d.d_direction
+    (if d.d_satisfiable then "satisfiable by the targets"
+     else "UNSATISFIABLE by the targets")
+
+let pp_outcome ppf = function
+  | Already_consistent -> Format.pp_print_string ppf "already consistent"
+  | Cannot_restore ->
+    Format.pp_print_string ppf "cannot restore consistency with this target set"
+  | Enforced r ->
+    Format.fprintf ppf "repaired at relational distance %d (edit distance %d, %d solver iterations)"
+      r.relational_distance r.edit_distance r.iterations

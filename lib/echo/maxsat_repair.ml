@@ -1,0 +1,54 @@
+type outcome = Repair.outcome
+
+let run space =
+  try
+    let maxsat = Sat.Maxsat.create () in
+    let trans =
+      Relog.Translate.create ~solver:(Sat.Maxsat.solver maxsat) (Space.bounds space)
+    in
+    List.iter
+      (Relog.Translate.materialize trans)
+      (Relog.Bounds.relations (Space.bounds space));
+    List.iter (Relog.Translate.assert_formula trans) (Space.formulas space);
+    (* Soft clauses: keep every optional tuple at its original value. *)
+    List.iter
+      (fun (change_lit, w) ->
+        Sat.Maxsat.add_soft maxsat ~weight:w [ Sat.Lit.neg change_lit ])
+      (Space.change_literals space trans);
+    let iterations = ref 0 in
+    let rec solve () =
+      incr iterations;
+      match Sat.Maxsat.solve maxsat with
+      | Sat.Maxsat.Hard_unsat -> Ok Repair.Cannot_restore
+      | Sat.Maxsat.Optimum _ -> (
+        let inst = Relog.Translate.decode_with trans (Sat.Maxsat.value maxsat) in
+        match Space.decode_targets space inst with
+        | Ok repaired ->
+          Ok
+            (Repair.Repaired
+               {
+                 Repair.repaired;
+                 relational_distance = Space.relational_distance space inst;
+                 edit_distance = Space.edit_distance space repaired;
+                 iterations = !iterations;
+               })
+        | Error _ ->
+          (* Conformance approximation: exclude this instance (as a
+             hard clause) and re-optimize. *)
+          let clause =
+            Relog.Translate.fold_primaries trans
+              (fun _ _ v acc ->
+                let l =
+                  if Sat.Maxsat.value maxsat v then Sat.Lit.neg_of v
+                  else Sat.Lit.pos v
+                in
+                l :: acc)
+              []
+          in
+          Sat.Maxsat.add_hard maxsat clause;
+          solve ())
+    in
+    solve ()
+  with
+  | Relog.Translate.Unsupported msg -> Error msg
+  | Invalid_argument msg -> Error msg

@@ -1,0 +1,131 @@
+type success = {
+  repaired : (Mdl.Ident.t * Mdl.Model.t) list;
+  relational_distance : int;
+  edit_distance : int;
+  iterations : int;
+}
+
+type outcome =
+  | Repaired of success
+  | Cannot_restore
+
+let run ?max_distance space =
+  try
+    let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
+    let trans = Relog.Finder.translation finder in
+    let changes = Space.change_literals space trans in
+    let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
+    let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
+    let total = List.length inputs in
+    let cap = Option.value ~default:total max_distance in
+    let iterations = ref 0 in
+    let rec at_distance k =
+      if k > cap then Ok Cannot_restore
+      else begin
+        incr iterations;
+        match
+          Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most card k) finder
+        with
+        | Relog.Finder.Unsat -> at_distance (k + 1)
+        | Relog.Finder.Sat inst -> (
+          match Space.decode_targets space inst with
+          | Ok repaired ->
+            Ok
+              (Repaired
+                 {
+                   repaired;
+                   relational_distance = Space.relational_distance space inst;
+                   edit_distance = Space.edit_distance space repaired;
+                   iterations = !iterations;
+                 })
+          | Error _ ->
+            (* The relational instance passed the encoded constraints
+               but the decoded model fails full conformance (the
+               encoding approximates multiplicity lower bounds > 1):
+               exclude it and keep searching at the same distance. *)
+            Relog.Finder.block finder;
+            at_distance k)
+      end
+    in
+    at_distance 0
+  with
+  | Relog.Translate.Unsupported msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let run_all ?max_distance ?(limit = 16) space =
+  try
+    let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
+    let trans = Relog.Finder.translation finder in
+    let changes = Space.change_literals space trans in
+    let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
+    let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
+    let total = List.length inputs in
+    let cap = Option.value ~default:total max_distance in
+    let iterations = ref 0 in
+    (* Collect every (conformant) instance at distance k. *)
+    let collect_at k =
+      let rec go acc =
+        if List.length acc >= limit then List.rev acc
+        else begin
+          incr iterations;
+          match
+            Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most card k) finder
+          with
+          | Relog.Finder.Unsat -> List.rev acc
+          | Relog.Finder.Sat inst -> (
+            Relog.Finder.block finder;
+            match Space.decode_targets space inst with
+            | Error _ -> go acc
+            | Ok repaired ->
+              let r =
+                {
+                  repaired;
+                  relational_distance = Space.relational_distance space inst;
+                  edit_distance = Space.edit_distance space repaired;
+                  iterations = !iterations;
+                }
+              in
+              go (r :: acc))
+        end
+      in
+      go []
+    in
+    (* Distinct SAT assignments can decode to identical models (e.g.
+       symmetric uses of slack atoms not covered by the symmetry
+       chain); deduplicate on the decoded states. *)
+    let dedup repairs =
+      let seen = ref [] in
+      List.filter
+        (fun (r : success) ->
+          let key =
+            List.map (fun (p, m) -> (Mdl.Ident.name p, m)) r.repaired
+          in
+          if
+            List.exists
+              (fun k ->
+                List.for_all2
+                  (fun (n1, m1) (n2, m2) -> n1 = n2 && Mdl.Model.equal m1 m2)
+                  k key)
+              !seen
+          then false
+          else begin
+            seen := key :: !seen;
+            true
+          end)
+        repairs
+    in
+    let rec at_distance k =
+      if k > cap then Ok []
+      else
+        match collect_at k with
+        | [] -> at_distance (k + 1)
+        | repairs ->
+          (* [collect_at] also sees instances strictly below k that
+             earlier iterations proved absent, so everything returned
+             is at the minimal distance. *)
+          Ok (dedup repairs)
+    in
+    at_distance 0
+  with
+  | Relog.Translate.Unsupported msg -> Error msg
+  | Invalid_argument msg -> Error msg

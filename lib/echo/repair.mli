@@ -1,0 +1,37 @@
+(** Iterative least-change repair (Echo, FASE'13).
+
+    Searches for consistent instances at increasing relational
+    distance from the original models: one shared SAT encoding, a
+    totalizer over the change literals, and per-iteration cardinality
+    assumptions [distance ≤ k] for k = 0, 1, 2, ... The first
+    satisfiable bound yields a minimal repair; exhausting the total
+    weight proves the target set cannot restore consistency (the
+    situation §3 warns about for single-target updates). *)
+
+type success = {
+  repaired : (Mdl.Ident.t * Mdl.Model.t) list;
+      (** full binding: targets replaced, others as given *)
+  relational_distance : int;
+  edit_distance : int;
+  iterations : int;  (** number of solver calls *)
+}
+
+type outcome =
+  | Repaired of success
+  | Cannot_restore
+      (** no consistent instance exists within the bounded space for
+          this target set *)
+
+val run : ?max_distance:int -> Space.t -> (outcome, string) result
+(** [max_distance] caps the search (default: total weight of the
+    space's change literals). [Error] on internal decode failures. *)
+
+val run_all :
+  ?max_distance:int -> ?limit:int -> Space.t -> (success list, string) result
+(** All distinct minimal repairs (every consistent instance at the
+    optimal distance), up to [limit] (default 16). The empty list
+    means consistency cannot be restored. This realises the workflow
+    the paper's §4 sketches for the multidirectional Echo: "when
+    inconsistencies are found, [users] select which models are to be
+    updated" — and here, also which of the equally-minimal repairs to
+    take. *)

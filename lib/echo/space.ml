@@ -1,0 +1,151 @@
+module Ident = Mdl.Ident
+module TS = Relog.Rel.Tupleset
+
+type t = {
+  enc : Qvtr.Encode.t;
+  info : Qvtr.Typecheck.info;
+  sem : Qvtr.Semantics.t;
+  tgts : Target.t;
+  original : Relog.Instance.t;
+  bnds : Relog.Bounds.t;
+  fmls : Relog.Ast.formula list;
+  weights : int Ident.Map.t;  (* param -> weight *)
+  originals : (Ident.t * Mdl.Model.t) list;
+}
+
+(* Relation names are namespaced "<param>$..."; recover the parameter. *)
+let param_of_rel r =
+  match String.index_opt (Ident.name r) '$' with
+  | None -> None
+  | Some i -> Some (Ident.make (String.sub (Ident.name r) 0 i))
+
+let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
+    ?(model_weights = []) ~transformation ~metamodels ~models ~targets () =
+  let ( let* ) = Result.bind in
+  let params = List.map fst transformation.Qvtr.Ast.t_params in
+  let* () = Target.validate ~params targets in
+  let* info =
+    match Qvtr.Typecheck.check transformation ~metamodels with
+    | Ok info -> Ok info
+    | Error errs ->
+      Error
+        (String.concat "; "
+           (List.map (fun e -> Format.asprintf "%a" Qvtr.Typecheck.pp_error e) errs))
+  in
+  let* enc =
+    Qvtr.Encode.create ~transformation ~metamodels ~models ~extra_values
+      ~slack_objects ()
+  in
+  try
+    let sem = Qvtr.Semantics.create ?mode ?unroll enc info in
+    let consistency = Qvtr.Semantics.consistency_formula sem in
+    let structural =
+      List.concat_map
+        (fun p -> Qvtr.Encode.structural_formulas enc ~param:p)
+        (Ident.Set.elements targets)
+    in
+    let weights =
+      List.fold_left
+        (fun acc p ->
+          let w =
+            match List.find_opt (fun (q, _) -> Ident.equal q p) model_weights with
+            | Some (_, w) -> w
+            | None -> 1
+          in
+          if w <= 0 then invalid_arg "Space.build: weights must be positive";
+          Ident.Map.add p w acc)
+        Ident.Map.empty params
+    in
+    Ok
+      {
+        enc;
+        info;
+        sem;
+        tgts = targets;
+        original = Qvtr.Encode.check_instance enc;
+        bnds = Qvtr.Encode.bounds enc ~targets;
+        fmls = consistency :: structural;
+        weights;
+        originals = models;
+      }
+  with
+  | Qvtr.Semantics.Compile_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let encoding s = s.enc
+
+let directional_formulas s =
+  List.map
+    (fun (r, d, f) -> (r.Qvtr.Ast.r_name, d, f))
+    (Qvtr.Semantics.top_formulas s.sem)
+
+let structural s =
+  List.concat_map
+    (fun p -> Qvtr.Encode.structural_formulas s.enc ~param:p)
+    (Ident.Set.elements s.tgts)
+let targets s = s.tgts
+let formulas s = s.fmls
+let bounds s = s.bnds
+let params s = List.map fst (Qvtr.Encode.transformation s.enc).Qvtr.Ast.t_params
+
+let weight_of_rel s r =
+  match param_of_rel r with
+  | Some p -> (
+    match Ident.Map.find_opt p s.weights with Some w -> Some w | None -> None)
+  | None -> None
+
+let change_literals s trans =
+  Relog.Translate.fold_primaries trans
+    (fun r tuple v acc ->
+      match weight_of_rel s r with
+      | None -> acc  (* value relations etc. — never primary in practice *)
+      | Some w ->
+        let originally = TS.mem tuple (Relog.Instance.get s.original r) in
+        let lit = if originally then Sat.Lit.neg_of v else Sat.Lit.pos v in
+        (lit, w) :: acc)
+    []
+
+let total_weight s trans =
+  List.fold_left (fun acc (_, w) -> acc + w) 0 (change_literals s trans)
+
+let decode_targets s inst =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (p, original) :: rest ->
+      if not (Ident.Set.mem p s.tgts) then go ((p, original) :: acc) rest
+      else (
+        match Qvtr.Encode.decode_model s.enc inst ~param:p with
+        | Error msg -> Error msg
+        | Ok m ->
+          let violations = Mdl.Conformance.check m in
+          if violations <> [] then
+            Error
+              (Format.asprintf "decoded %a does not conform: %a" Ident.pp p
+                 Mdl.Conformance.pp_report violations)
+          else go ((p, m) :: acc) rest)
+  in
+  go [] s.originals
+
+let relational_distance s inst =
+  List.fold_left
+    (fun acc r ->
+      match (param_of_rel r, Relog.Bounds.get s.bnds r) with
+      | Some p, Some _ when Ident.Set.mem p s.tgts ->
+        let w = Option.value ~default:1 (Ident.Map.find_opt p s.weights) in
+        let a = Relog.Instance.get s.original r in
+        let b = Relog.Instance.get inst r in
+        let sym = TS.cardinal (TS.diff a b) + TS.cardinal (TS.diff b a) in
+        acc + (w * sym)
+      | _ -> acc)
+    0
+    (Relog.Bounds.relations s.bnds)
+
+let edit_distance s repaired =
+  List.fold_left
+    (fun acc (p, original) ->
+      if Ident.Set.mem p s.tgts then
+        match List.find_opt (fun (q, _) -> Ident.equal q p) repaired with
+        | Some (_, m) -> acc + Mdl.Distance.delta original m
+        | None -> acc
+      else acc)
+    0 s.originals

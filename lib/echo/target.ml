@@ -1,0 +1,33 @@
+module Ident = Mdl.Ident
+
+type t = Ident.Set.t
+
+let single s = Ident.Set.singleton (Ident.make s)
+let of_list l = Ident.Set.of_list (List.map Ident.make l)
+
+let all_but ~params s =
+  let excluded = Ident.make s in
+  List.fold_left
+    (fun acc p -> if Ident.equal p excluded then acc else Ident.Set.add p acc)
+    Ident.Set.empty params
+
+let validate ~params t =
+  if Ident.Set.is_empty t then Error "empty target set"
+  else
+    match
+      List.find_opt
+        (fun p -> not (List.exists (Ident.equal p) params))
+        (Ident.Set.elements t)
+    with
+    | Some p -> Error (Printf.sprintf "unknown target parameter %s" (Ident.name p))
+    | None -> Ok ()
+
+let pp ~params ppf t =
+  let sources =
+    List.filter (fun p -> not (Ident.Set.mem p t)) params
+    |> List.map Ident.name
+  in
+  let targets = List.map Ident.name (Ident.Set.elements t) in
+  Format.fprintf ppf "%s -> %s"
+    (if sources = [] then "()" else String.concat " x " sources)
+    (String.concat " x " targets)

@@ -1,0 +1,26 @@
+(** Target-set selection — the paper's transformation shapes (§1, §3).
+
+    A multidirectional specification [F ⊆ M₁ × ... × Mₙ] induces one
+    consistency-restoring transformation per non-empty subset Θ of the
+    models (the models allowed to change). The paper's catalogue:
+
+    - [→F_FM : CFᵏ → FM] — {!single} on the feature model;
+    - [→Fᵢ_CF : FM × CFᵏ⁻¹ → CF] — {!single} on one configuration
+      (the only shapes the OMG standard hints at);
+    - [→F_CFᵏ : FM → CFᵏ] — {!of_list} over all configurations;
+    - [→Fᵢ_FM×CFᵏ⁻¹ : CF → FM × CFᵏ⁻¹] — {!all_but} one
+      configuration (the paper's proposed generalisations). *)
+
+type t = Mdl.Ident.Set.t
+(** The set of mutable model parameters. *)
+
+val single : string -> t
+val of_list : string list -> t
+val all_but : params:Mdl.Ident.t list -> string -> t
+(** Every parameter except the given one. *)
+
+val validate : params:Mdl.Ident.t list -> t -> (unit, string) result
+(** Non-empty and within the declared parameters. *)
+
+val pp : params:Mdl.Ident.t list -> Format.formatter -> t -> unit
+(** Renders as the paper's arrow notation, e.g. [CF -> FM x CF]. *)

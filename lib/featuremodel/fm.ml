@@ -1,0 +1,205 @@
+module Ident = Mdl.Ident
+module MM = Mdl.Metamodel
+module Model = Mdl.Model
+module SS = Set.Make (String)
+
+let fm_metamodel =
+  MM.make_exn ~name:"FM"
+    [
+      MM.cls "Feature"
+        ~attrs:
+          [ MM.attr ~key:true "name" MM.P_string; MM.attr "mandatory" MM.P_bool ];
+    ]
+
+let cf_metamodel =
+  MM.make_exn ~name:"CF"
+    [ MM.cls "Feature" ~attrs:[ MM.attr ~key:true "name" MM.P_string ] ]
+
+let metamodels =
+  [ (Ident.make "CF", cf_metamodel); (Ident.make "FM", fm_metamodel) ]
+
+let feature_cls = Ident.make "Feature"
+let name_attr = Ident.make "name"
+let mandatory_attr = Ident.make "mandatory"
+
+let feature_model ~name features =
+  List.fold_left
+    (fun m (n, mand) ->
+      let m, id = Model.add_object m ~cls:feature_cls in
+      let m = Model.set_attr1 m id name_attr (Mdl.Value.Str n) in
+      Model.set_attr1 m id mandatory_attr (Mdl.Value.Bool mand))
+    (Model.empty ~name fm_metamodel)
+    features
+
+let configuration ~name features =
+  List.fold_left
+    (fun m n ->
+      let m, id = Model.add_object m ~cls:feature_cls in
+      Model.set_attr1 m id name_attr (Mdl.Value.Str n))
+    (Model.empty ~name cf_metamodel)
+    features
+
+let fm_features m =
+  Model.objects m
+  |> List.filter_map (fun id ->
+         match
+           (Model.get_attr1 m id name_attr, Model.get_attr1 m id mandatory_attr)
+         with
+         | Some (Mdl.Value.Str s), Some (Mdl.Value.Bool b) -> Some (s, b)
+         | Some (Mdl.Value.Str s), None -> Some (s, false)
+         | _ -> None)
+  |> List.sort compare
+
+let cf_features m =
+  Model.objects m
+  |> List.filter_map (fun id ->
+         match Model.get_attr1 m id name_attr with
+         | Some (Mdl.Value.Str s) -> Some s
+         | _ -> None)
+  |> List.sort_uniq compare
+
+let param_cf i = Ident.make (Printf.sprintf "cf%d" i)
+let param_fm = Ident.make "fm"
+
+(* ------------------------------------------------------------------ *)
+(* The transformation, built generically over k                        *)
+
+let tpl v props = { Qvtr.Ast.t_var = Ident.make v; t_class = feature_cls; t_props = props }
+let prop f e = { Qvtr.Ast.p_feature = Ident.make f; p_value = Qvtr.Ast.PV_expr e }
+
+let domain_cf i var =
+  {
+    Qvtr.Ast.d_model = param_cf i;
+    d_template = tpl var [ prop "name" (Qvtr.Ast.O_var (Ident.make "n")) ];
+    d_enforceable = true;
+  }
+
+let mf_relation ~k ~with_deps =
+  let n = Qvtr.Ast.O_var (Ident.make "n") in
+  let cf_names = List.init k (fun i -> Ident.name (param_cf (i + 1))) in
+  {
+    Qvtr.Ast.r_name = Ident.make "MF";
+    r_top = true;
+    r_vars = [ (Ident.make "n", Qvtr.Ast.T_string) ];
+    r_prims = [];
+    r_domains =
+      List.init k (fun i -> domain_cf (i + 1) (Printf.sprintf "s%d" (i + 1)))
+      @ [
+          {
+            Qvtr.Ast.d_model = param_fm;
+            d_template = tpl "f" [ prop "name" n; prop "mandatory" (Qvtr.Ast.O_bool true) ];
+            d_enforceable = true;
+          };
+        ];
+    r_when = [];
+    r_where = [];
+    r_deps =
+      (if not with_deps then []
+       else
+         Qvtr.Dependency.make ~sources:cf_names ~target:"fm"
+         :: List.map
+              (fun cf -> Qvtr.Dependency.make ~sources:[ "fm" ] ~target:cf)
+              cf_names);
+  }
+
+let of_relation ~k ~with_deps =
+  let n = Qvtr.Ast.O_var (Ident.make "n") in
+  let cf_names = List.init k (fun i -> Ident.name (param_cf (i + 1))) in
+  {
+    Qvtr.Ast.r_name = Ident.make "OF";
+    r_top = true;
+    r_vars = [ (Ident.make "n", Qvtr.Ast.T_string) ];
+    r_prims = [];
+    r_domains =
+      List.init k (fun i -> domain_cf (i + 1) (Printf.sprintf "t%d" (i + 1)))
+      @ [
+          {
+            Qvtr.Ast.d_model = param_fm;
+            d_template = tpl "g" [ prop "name" n ];
+            d_enforceable = true;
+          };
+        ];
+    r_when = [];
+    r_where = [];
+    r_deps =
+      (if not with_deps then []
+       else
+         List.map (fun cf -> Qvtr.Dependency.make ~sources:[ cf ] ~target:"fm") cf_names);
+  }
+
+let make_transformation ~k ~with_deps =
+  if k < 1 then invalid_arg "Fm.transformation: k must be positive";
+  {
+    Qvtr.Ast.t_name = Ident.make "FeatureConfig";
+    t_params =
+      List.init k (fun i -> (param_cf (i + 1), Ident.make "CF"))
+      @ [ (param_fm, Ident.make "FM") ];
+    t_relations = [ mf_relation ~k ~with_deps; of_relation ~k ~with_deps ];
+  }
+
+let transformation ~k = make_transformation ~k ~with_deps:true
+let transformation_standard ~k = make_transformation ~k ~with_deps:false
+
+let source ~k =
+  let buf = Buffer.create 1024 in
+  let cf i = Ident.name (param_cf i) in
+  let params =
+    String.concat ", " (List.init k (fun i -> cf (i + 1) ^ " : CF") @ [ "fm : FM" ])
+  in
+  Buffer.add_string buf (Printf.sprintf "transformation FeatureConfig(%s) {\n" params);
+  (* MF *)
+  Buffer.add_string buf "  top relation MF {\n    n : String;\n";
+  List.iteri
+    (fun i _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "    domain %s s%d : Feature { name = n };\n" (cf (i + 1)) (i + 1)))
+    (List.init k Fun.id);
+  Buffer.add_string buf
+    "    domain fm f : Feature { name = n, mandatory = true };\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    dependencies { %s -> fm; %s }\n"
+       (String.concat " " (List.init k (fun i -> cf (i + 1))))
+       (String.concat " "
+          (List.init k (fun i -> Printf.sprintf "fm -> %s;" (cf (i + 1))))));
+  Buffer.add_string buf "  }\n";
+  (* OF *)
+  Buffer.add_string buf "  top relation OF {\n    n : String;\n";
+  List.iteri
+    (fun i _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "    domain %s t%d : Feature { name = n };\n" (cf (i + 1)) (i + 1)))
+    (List.init k Fun.id);
+  Buffer.add_string buf "    domain fm g : Feature { name = n };\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    dependencies { %s }\n"
+       (String.concat " "
+          (List.init k (fun i -> Printf.sprintf "%s -> fm;" (cf (i + 1))))));
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let bind ~cfs ~fm =
+  List.mapi
+    (fun i cf -> (param_cf (i + 1), Model.set_name cf (Ident.name (param_cf (i + 1)))))
+    cfs
+  @ [ (param_fm, Model.set_name fm "fm") ]
+
+(* ------------------------------------------------------------------ *)
+(* Set-level oracles                                                   *)
+
+let selected cf = SS.of_list (cf_features cf)
+let mandatory_names fm =
+  SS.of_list (List.filter_map (fun (n, m) -> if m then Some n else None) (fm_features fm))
+let all_names fm = SS.of_list (List.map fst (fm_features fm))
+
+let consistent_mf ~cfs ~fm =
+  match cfs with
+  | [] -> SS.is_empty (mandatory_names fm)
+  | c :: rest ->
+    let inter = List.fold_left (fun acc c -> SS.inter acc (selected c)) (selected c) rest in
+    SS.equal inter (mandatory_names fm)
+
+let consistent_of ~cfs ~fm =
+  let union = List.fold_left (fun acc c -> SS.union acc (selected c)) SS.empty cfs in
+  SS.subset union (all_names fm)
+
+let consistent ~cfs ~fm = consistent_mf ~cfs ~fm && consistent_of ~cfs ~fm

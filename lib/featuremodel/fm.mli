@@ -1,0 +1,69 @@
+(** The paper's running example: feature models and configurations
+    (Figure 1), with typed builders and the MF/OF transformation.
+
+    A feature model ([FM]) is a set of named features, each optionally
+    mandatory; a configuration ([CF]) is a set of selected features
+    (by name). Consistency (paper §1):
+
+    - [MF]: the features selected in {e every} configuration are
+      exactly the mandatory features — with checking dependencies
+      [{CF₁ CF₂ → FM, FM → CF₁, FM → CF₂}];
+    - [OF]: every selected feature exists in the feature model — with
+      dependencies [{CF₁ → FM, CF₂ → FM}]. *)
+
+val fm_metamodel : Mdl.Metamodel.t
+(** [metamodel FM { class Feature { attr name : string; attr
+    mandatory : bool } }] — Figure 1, right. *)
+
+val cf_metamodel : Mdl.Metamodel.t
+(** [metamodel CF { class Feature { attr name : string } }] —
+    Figure 1, left. *)
+
+val metamodels : (Mdl.Ident.t * Mdl.Metamodel.t) list
+(** Binding list for the engine APIs. *)
+
+val feature_model : name:string -> (string * bool) list -> Mdl.Model.t
+(** [feature_model ~name [("A", true); ...]]: features with their
+    mandatory flag. *)
+
+val configuration : name:string -> string list -> Mdl.Model.t
+(** Selected feature names. *)
+
+val fm_features : Mdl.Model.t -> (string * bool) list
+(** Inverse of {!feature_model}, sorted by name. *)
+
+val cf_features : Mdl.Model.t -> string list
+(** Inverse of {!configuration}, sorted. *)
+
+val transformation : k:int -> Qvtr.Ast.transformation
+(** The MF + OF transformation over [k] configurations
+    (parameters [cf1..cfk : CF, fm : FM]), with the paper's checking
+    dependencies generalised to k:
+    [MF = {CF₁..CFₖ → FM} ∪ {FM → CFᵢ}] and [OF = {CFᵢ → FM}]. *)
+
+val transformation_standard : k:int -> Qvtr.Ast.transformation
+(** Same patterns but no [dependencies] blocks — the standard QVT-R
+    semantics (for experiments E2/E4). *)
+
+val source : k:int -> string
+(** The concrete QVT-R syntax of {!transformation} (it parses to the
+    same AST; used by the CLI examples and parser tests). *)
+
+val param_cf : int -> Mdl.Ident.t
+(** [param_cf i] = [cfi] (1-based). *)
+
+val param_fm : Mdl.Ident.t
+
+val bind : cfs:Mdl.Model.t list -> fm:Mdl.Model.t -> (Mdl.Ident.t * Mdl.Model.t) list
+(** Parameter binding for k = length cfs (renames the models to the
+    parameter names). *)
+
+val consistent_mf : cfs:Mdl.Model.t list -> fm:Mdl.Model.t -> bool
+(** Oracle: intended MF semantics computed directly on sets
+    ([mandatory = ⋂ selected]) — ground truth for the experiments. *)
+
+val consistent_of : cfs:Mdl.Model.t list -> fm:Mdl.Model.t -> bool
+(** Oracle: [⋃ selected ⊆ features]. *)
+
+val consistent : cfs:Mdl.Model.t list -> fm:Mdl.Model.t -> bool
+(** [consistent_mf && consistent_of] — the paper's [F = MF ∩ OF]. *)

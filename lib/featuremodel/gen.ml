@@ -1,0 +1,147 @@
+module Model = Mdl.Model
+
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| seed |]
+let feature_names n = List.init n (fun i -> Printf.sprintf "F%d" (i + 1))
+
+let random_subset rng pool =
+  List.filter (fun _ -> Random.State.bool rng) pool
+
+let random_fm rng ~pool =
+  let chosen = random_subset rng pool in
+  Fm.feature_model ~name:"fm"
+    (List.map (fun n -> (n, Random.State.int rng 3 = 0)) chosen)
+
+let random_cf rng ~pool = Fm.configuration ~name:"cf" (random_subset rng pool)
+
+let consistent_state rng ~k ~n_features =
+  let pool = feature_names n_features in
+  (* Partition: mandatory core / optional. *)
+  let mandatory, optional =
+    List.partition (fun _ -> Random.State.int rng 3 = 0) pool
+  in
+  let fm =
+    Fm.feature_model ~name:"fm"
+      (List.map (fun n -> (n, true)) mandatory
+      @ List.map (fun n -> (n, false)) optional)
+  in
+  (* Each configuration: the mandatory core plus random optionals —
+     but if every configuration picked the same optional it would
+     violate MF, so ensure at least one configuration omits each
+     chosen optional (drop it from a random configuration). *)
+  let cf_extras = Array.init k (fun _ -> random_subset rng optional) in
+  List.iter
+    (fun opt ->
+      let everywhere = Array.for_all (fun ex -> List.mem opt ex) cf_extras in
+      if everywhere && k > 0 then begin
+        let i = Random.State.int rng k in
+        cf_extras.(i) <- List.filter (fun o -> o <> opt) cf_extras.(i)
+      end)
+    optional;
+  let cfs =
+    List.init k (fun i ->
+        Fm.configuration
+          ~name:(Printf.sprintf "cf%d" (i + 1))
+          (mandatory @ cf_extras.(i)))
+  in
+  (cfs, fm)
+
+type perturbation =
+  | Add_mandatory_to_fm of string
+  | Select_unknown of { cf_index : int; feature : string }
+  | Select_everywhere of string
+  | Drop_selection of { cf_index : int; feature : string }
+
+let fresh_feature_name fm cfs =
+  let used =
+    List.map fst (Fm.fm_features fm)
+    @ List.concat_map Fm.cf_features cfs
+  in
+  let rec go i =
+    let cand = Printf.sprintf "X%d" i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 1
+
+let apply_perturbation (cfs, fm) = function
+  | Add_mandatory_to_fm name ->
+    let fm' =
+      Fm.feature_model ~name:"fm" (Fm.fm_features fm @ [ (name, true) ])
+    in
+    (cfs, fm')
+  | Select_unknown { cf_index; feature } ->
+    let cfs' =
+      List.mapi
+        (fun i cf ->
+          if i = cf_index then
+            Fm.configuration ~name:(Printf.sprintf "cf%d" (i + 1))
+              (Fm.cf_features cf @ [ feature ])
+          else cf)
+        cfs
+    in
+    (cfs', fm)
+  | Select_everywhere feature ->
+    let cfs' =
+      List.mapi
+        (fun i cf ->
+          Fm.configuration ~name:(Printf.sprintf "cf%d" (i + 1))
+            (List.sort_uniq compare (feature :: Fm.cf_features cf)))
+        cfs
+    in
+    (cfs', fm)
+  | Drop_selection { cf_index; feature } ->
+    let cfs' =
+      List.mapi
+        (fun i cf ->
+          if i = cf_index then
+            Fm.configuration ~name:(Printf.sprintf "cf%d" (i + 1))
+              (List.filter (fun n -> n <> feature) (Fm.cf_features cf))
+          else cf)
+        cfs
+    in
+    (cfs', fm)
+
+let random_perturbation rng (cfs, fm) =
+  let k = List.length cfs in
+  let optional =
+    List.filter_map (fun (n, m) -> if not m then Some n else None) (Fm.fm_features fm)
+  in
+  let mandatory =
+    List.filter_map (fun (n, m) -> if m then Some n else None) (Fm.fm_features fm)
+  in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let candidates =
+    (if k > 0 then [ `Add ] else [])
+    @ (if k > 0 then [ `Unknown ] else [])
+    @ (if k > 0 && optional <> [] then [ `Everywhere ] else [])
+    @ if k > 0 && mandatory <> [] then [ `Drop ] else []
+  in
+  if candidates = [] then None
+  else
+    match pick candidates with
+    | `Add -> Some (Add_mandatory_to_fm (fresh_feature_name fm cfs))
+    | `Unknown ->
+      Some
+        (Select_unknown
+           { cf_index = Random.State.int rng k; feature = fresh_feature_name fm cfs })
+    | `Everywhere -> Some (Select_everywhere (pick optional))
+    | `Drop ->
+      Some (Drop_selection { cf_index = Random.State.int rng k; feature = pick mandatory })
+
+let all_subsets l =
+  List.fold_left (fun acc x -> acc @ List.map (fun s -> x :: s) acc) [ [] ] l
+
+let all_cfs pool =
+  List.map (fun sub -> Fm.configuration ~name:"cf" sub) (all_subsets pool)
+
+let all_fms pool =
+  all_subsets pool
+  |> List.concat_map (fun sub ->
+         List.fold_left
+           (fun acc name ->
+             List.concat_map
+               (fun flags -> [ (name, true) :: flags; (name, false) :: flags ])
+               acc)
+           [ [] ] sub)
+  |> List.map (fun flags -> Fm.feature_model ~name:"fm" flags)

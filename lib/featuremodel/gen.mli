@@ -1,0 +1,58 @@
+(** Workload generators for tests and benchmarks.
+
+    Deterministic (seeded) generators of feature models,
+    configurations, consistent multi-model states, and perturbations
+    that make them inconsistent in controlled ways — the raw material
+    of experiments E2/E3/E7/E8. *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+(** Seeded generator state. *)
+
+val feature_names : int -> string list
+(** ["F1"; ...; "Fn"] — the closed name pool generators draw from. *)
+
+val random_fm : rng -> pool:string list -> Mdl.Model.t
+(** A feature model over a random subset of the pool, each feature
+    mandatory with probability 1/3. *)
+
+val random_cf : rng -> pool:string list -> Mdl.Model.t
+(** A configuration selecting a random subset of the pool. *)
+
+val consistent_state : rng -> k:int -> n_features:int -> Mdl.Model.t list * Mdl.Model.t
+(** A consistent (per {!Fm.consistent}) state: a feature model over
+    [n_features] features and [k] configurations, built by choosing a
+    mandatory core plus per-configuration optional extras. *)
+
+(** A controlled perturbation of a consistent state. *)
+type perturbation =
+  | Add_mandatory_to_fm of string
+      (** the paper's §3 scenario: a new mandatory feature appears in
+          the feature model *)
+  | Select_unknown of { cf_index : int; feature : string }
+      (** a configuration selects a feature the FM does not know
+          (violates OF) *)
+  | Select_everywhere of string
+      (** all configurations select an optional feature (violates MF
+          in the CFs→FM direction) *)
+  | Drop_selection of { cf_index : int; feature : string }
+      (** one configuration drops a mandatory feature *)
+
+val apply_perturbation :
+  Mdl.Model.t list * Mdl.Model.t -> perturbation -> Mdl.Model.t list * Mdl.Model.t
+
+val random_perturbation : rng -> Mdl.Model.t list * Mdl.Model.t -> perturbation option
+(** A perturbation applicable to the state ([None] when the state is
+    too degenerate, e.g. nothing selected anywhere). *)
+
+val all_subsets : 'a list -> 'a list list
+(** Power set (small inputs; used for exhaustive small-scope
+    experiments). *)
+
+val all_fms : string list -> Mdl.Model.t list
+(** Every feature model over subsets of the pool with every
+    mandatory-flag assignment. *)
+
+val all_cfs : string list -> Mdl.Model.t list
+(** Every configuration over subsets of the pool. *)

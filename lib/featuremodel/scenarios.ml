@@ -1,0 +1,74 @@
+type t = {
+  s_name : string;
+  s_description : string;
+  cfs : Mdl.Model.t list;
+  fm : Mdl.Model.t;
+  restorable : string list list;
+  not_restorable : string list list;
+}
+
+let new_mandatory_feature =
+  {
+    s_name = "new-mandatory-feature";
+    s_description =
+      "paper \u{00a7}3: a new mandatory feature N appears in the FM; updating a \
+       single configuration cannot restore consistency, updating all of them can";
+    cfs =
+      [ Fm.configuration ~name:"cf1" [ "A" ]; Fm.configuration ~name:"cf2" [ "A" ] ];
+    fm = Fm.feature_model ~name:"fm" [ ("A", true); ("N", true) ];
+    restorable = [ [ "cf1"; "cf2" ]; [ "fm" ]; [ "cf1"; "cf2"; "fm" ] ];
+    not_restorable = [ [ "cf1" ]; [ "cf2" ] ];
+  }
+
+let feature_made_mandatory =
+  {
+    s_name = "feature-made-mandatory";
+    s_description =
+      "paper \u{00a7}1: feature B was changed to mandatory in the FM; cf1 already \
+       selects it, cf2 does not — only multi-target propagation to the \
+       configurations (or reverting the FM) restores consistency";
+    cfs =
+      [
+        Fm.configuration ~name:"cf1" [ "A"; "B" ];
+        Fm.configuration ~name:"cf2" [ "A" ];
+      ];
+    fm = Fm.feature_model ~name:"fm" [ ("A", true); ("B", true) ];
+    restorable = [ [ "cf2" ]; [ "fm" ]; [ "cf1"; "cf2" ] ];
+    not_restorable = [ [ "cf1" ] ];
+  }
+
+let renamed_feature =
+  {
+    s_name = "renamed-feature";
+    s_description =
+      "paper \u{00a7}1: a mandatory feature was renamed A->A2 in cf1; repairing \
+       everything else (fm and cf2) propagates the rename, while repairing cf1 \
+       alone reverts it; cf2 alone cannot help because the FM still lacks A2";
+    cfs =
+      [
+        Fm.configuration ~name:"cf1" [ "A2" ];
+        Fm.configuration ~name:"cf2" [ "A" ];
+      ];
+    fm = Fm.feature_model ~name:"fm" [ ("A", true) ];
+    restorable = [ [ "cf1" ]; [ "fm" ]; [ "fm"; "cf2" ]; [ "cf1"; "cf2"; "fm" ] ];
+    not_restorable = [ [ "cf2" ] ];
+  }
+
+let unknown_selection =
+  {
+    s_name = "unknown-selection";
+    s_description =
+      "cf2 selects a feature X the FM does not declare (violates OF); adding X \
+       to the FM or dropping the selection both work";
+    cfs =
+      [
+        Fm.configuration ~name:"cf1" [ "A" ];
+        Fm.configuration ~name:"cf2" [ "A"; "X" ];
+      ];
+    fm = Fm.feature_model ~name:"fm" [ ("A", true) ];
+    restorable = [ [ "fm" ]; [ "cf2" ] ];
+    not_restorable = [ [ "cf1" ] ];
+  }
+
+let all =
+  [ new_mandatory_feature; feature_made_mandatory; renamed_feature; unknown_selection ]

@@ -1,0 +1,42 @@
+(** The paper's worked scenarios, packaged as ready-to-run states.
+
+    Each scenario is a (configurations, feature model) state plus the
+    paper's narrative about which update directions can or cannot
+    restore consistency. Experiment E6 runs each scenario against
+    every transformation shape. *)
+
+type t = {
+  s_name : string;
+  s_description : string;  (** where in the paper it comes from *)
+  cfs : Mdl.Model.t list;
+  fm : Mdl.Model.t;
+  (* expectations, as target sets that should / should not be able to
+     restore consistency *)
+  restorable : string list list;  (** target sets expected to succeed *)
+  not_restorable : string list list;  (** target sets expected to fail *)
+}
+
+val new_mandatory_feature : t
+(** §3: "a new mandatory feature is introduced in the feature model.
+    Then →Fᵢ_CF, which updates a single model, will clearly not be
+    able to restore consistency ... the user should apply →F_CFᵏ and
+    update all CFs." (k = 2) *)
+
+val feature_made_mandatory : t
+(** §1: "if a feature is changed to mandatory it must be selected in
+    all configurations; this simple update could not be handled by the
+    standard transformations". One configuration already selects it,
+    the other does not. *)
+
+val renamed_feature : t
+(** §1: "if the name of a feature is changed, the natural way to
+    recover consistency is to change the name of that feature in all
+    the remaining configurations and in the feature model" — here the
+    rename happened in cf1, and the rest may be updated
+    ([→Fᵢ_FM×CFᵏ⁻¹]). *)
+
+val unknown_selection : t
+(** A configuration selects a feature missing from the feature model
+    (violates OF); repairable from either side. *)
+
+val all : t list

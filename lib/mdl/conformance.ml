@@ -1,0 +1,201 @@
+type violation =
+  | Attr_multiplicity of {
+      obj : Model.obj_id;
+      attr : Ident.t;
+      found : int;
+      mult : Metamodel.mult;
+    }
+  | Ref_multiplicity of {
+      obj : Model.obj_id;
+      ref_ : Ident.t;
+      found : int;
+      mult : Metamodel.mult;
+    }
+  | Multiple_containers of { obj : Model.obj_id; containers : Model.obj_id list }
+  | Containment_cycle of { obj : Model.obj_id }
+  | Opposite_mismatch of {
+      src : Model.obj_id;
+      ref_ : Ident.t;
+      dst : Model.obj_id;
+      opposite : Ident.t;
+    }
+  | Key_violation of {
+      cls : Ident.t;
+      attr : Ident.t;
+      objs : Model.obj_id list;
+    }
+
+let pp_violation ppf = function
+  | Attr_multiplicity { obj; attr; found; mult } ->
+    Format.fprintf ppf "object #%d: attribute %a has %d values, expected %a" obj
+      Ident.pp attr found Metamodel.pp_mult mult
+  | Ref_multiplicity { obj; ref_; found; mult } ->
+    Format.fprintf ppf "object #%d: reference %a has %d targets, expected %a" obj
+      Ident.pp ref_ found Metamodel.pp_mult mult
+  | Multiple_containers { obj; containers } ->
+    Format.fprintf ppf "object #%d contained by several objects: %s" obj
+      (String.concat ", " (List.map string_of_int containers))
+  | Containment_cycle { obj } ->
+    Format.fprintf ppf "object #%d transitively contains itself" obj
+  | Opposite_mismatch { src; ref_; dst; opposite } ->
+    Format.fprintf ppf "edge #%d -%a-> #%d lacks opposite edge #%d -%a-> #%d" src
+      Ident.pp ref_ dst dst Ident.pp opposite src
+  | Key_violation { cls; attr; objs } ->
+    Format.fprintf ppf "key attribute %a.%a duplicated across objects: %s" Ident.pp
+      cls Ident.pp attr
+      (String.concat ", " (List.map string_of_int objs))
+
+let check_slots m acc =
+  let mm = Model.metamodel m in
+  List.fold_left
+    (fun acc id ->
+      let cls = Model.class_of m id in
+      let acc =
+        List.fold_left
+          (fun acc (a : Metamodel.attribute) ->
+            let n = List.length (Model.get_attr m id a.attr_name) in
+            if Metamodel.mult_admits a.attr_mult n then acc
+            else
+              Attr_multiplicity { obj = id; attr = a.attr_name; found = n; mult = a.attr_mult }
+              :: acc)
+          acc
+          (Metamodel.all_attributes mm cls)
+      in
+      List.fold_left
+        (fun acc (r : Metamodel.reference) ->
+          let n = List.length (Model.get_refs m id r.ref_name) in
+          if Metamodel.mult_admits r.ref_mult n then acc
+          else
+            Ref_multiplicity { obj = id; ref_ = r.ref_name; found = n; mult = r.ref_mult }
+            :: acc)
+        acc
+        (Metamodel.all_references mm cls))
+    acc (Model.objects m)
+
+(* Containment edges of the model: (container, contained). *)
+let containment_edges m =
+  let mm = Model.metamodel m in
+  List.concat_map
+    (fun id ->
+      let cls = Model.class_of m id in
+      Metamodel.all_references mm cls
+      |> List.concat_map (fun (r : Metamodel.reference) ->
+             if r.ref_containment then
+               List.map (fun dst -> (id, dst)) (Model.get_refs m id r.ref_name)
+             else []))
+    (Model.objects m)
+
+let check_containment m acc =
+  let edges = containment_edges m in
+  (* Each object has at most one container. *)
+  let tbl : (Model.obj_id, Model.obj_id list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c, o) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl o) in
+      Hashtbl.replace tbl o (c :: cur))
+    edges;
+  let acc =
+    Hashtbl.fold
+      (fun o cs acc ->
+        match cs with
+        | [] | [ _ ] -> acc
+        | _ -> Multiple_containers { obj = o; containers = List.rev cs } :: acc)
+      tbl acc
+  in
+  (* No containment cycles: DFS from each object following container
+     links upward. *)
+  let container o =
+    match Hashtbl.find_opt tbl o with Some (c :: _) -> Some c | Some [] | None -> None
+  in
+  List.fold_left
+    (fun acc o ->
+      let rec climb seen cur =
+        match container cur with
+        | None -> false
+        | Some c -> c = o || (not (List.mem c seen)) && climb (c :: seen) c
+      in
+      if climb [ o ] o then Containment_cycle { obj = o } :: acc else acc)
+    acc (Model.objects m)
+
+let check_opposites m acc =
+  let mm = Model.metamodel m in
+  List.fold_left
+    (fun acc src ->
+      let cls = Model.class_of m src in
+      List.fold_left
+        (fun acc (r : Metamodel.reference) ->
+          match r.ref_opposite with
+          | None -> acc
+          | Some opp ->
+            List.fold_left
+              (fun acc dst ->
+                if Model.has_ref m ~src:dst ~ref_:opp ~dst:src then acc
+                else
+                  Opposite_mismatch { src; ref_ = r.ref_name; dst; opposite = opp }
+                  :: acc)
+              acc
+              (Model.get_refs m src r.ref_name))
+        acc
+        (Metamodel.all_references mm cls))
+    acc (Model.objects m)
+
+(* Key (ID) attributes: unique within the extent of the declaring
+   class, per concrete class. *)
+let check_keys m acc =
+  let mm = Model.metamodel m in
+  List.fold_left
+    (fun acc (c : Metamodel.cls) ->
+      if c.cls_abstract then acc
+      else
+        List.fold_left
+          (fun acc (a : Metamodel.attribute) ->
+            if not a.attr_key then acc
+            else begin
+              let by_value : (Value.t, Model.obj_id list) Hashtbl.t =
+                Hashtbl.create 16
+              in
+              List.iter
+                (fun id ->
+                  match Model.get_attr m id a.attr_name with
+                  | [ v ] ->
+                    let cur = Option.value ~default:[] (Hashtbl.find_opt by_value v) in
+                    Hashtbl.replace by_value v (id :: cur)
+                  | [] | _ :: _ -> ())
+                (Model.class_extent m c.cls_name);
+              Hashtbl.fold
+                (fun _ ids acc ->
+                  match ids with
+                  | [] | [ _ ] -> acc
+                  | ids ->
+                    Key_violation
+                      { cls = c.cls_name; attr = a.attr_name; objs = List.sort compare ids }
+                    :: acc)
+                by_value acc
+            end)
+          acc
+          (Metamodel.all_attributes mm c.cls_name))
+    acc (Metamodel.classes mm)
+
+let violation_key = function
+  | Attr_multiplicity { obj; attr; _ } -> (obj, Ident.name attr, 0, 0)
+  | Ref_multiplicity { obj; ref_; _ } -> (obj, Ident.name ref_, 1, 0)
+  | Multiple_containers { obj; _ } -> (obj, "", 2, 0)
+  | Containment_cycle { obj } -> (obj, "", 3, 0)
+  | Opposite_mismatch { src; ref_; dst; _ } -> (src, Ident.name ref_, 4, dst)
+  | Key_violation { objs; attr; _ } -> (
+    match objs with
+    | o :: _ -> (o, Ident.name attr, 5, 0)
+    | [] -> (0, Ident.name attr, 5, 0))
+
+let check m =
+  [] |> check_slots m |> check_containment m |> check_opposites m |> check_keys m
+  |> List.sort (fun a b -> compare (violation_key a) (violation_key b))
+
+let conforms m = check m = []
+
+let pp_report ppf = function
+  | [] -> Format.fprintf ppf "model conforms"
+  | vs ->
+    Format.fprintf ppf "@[<v>%d violation(s):" (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "@,- %a" pp_violation v) vs;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Conformance checking: does a model satisfy its metamodel?
+
+    {!Model} already enforces structural typing on every update; this
+    module checks the remaining instance-level constraints — slot
+    multiplicities, containment shape — and reports all violations at
+    once, with human-readable diagnostics. The enforcement engine runs
+    this after decoding a repaired model, and tests use it as the
+    ground-truth notion of "valid instance". *)
+
+type violation =
+  | Attr_multiplicity of {
+      obj : Model.obj_id;
+      attr : Ident.t;
+      found : int;
+      mult : Metamodel.mult;
+    }
+      (** An attribute slot holds a number of values outside its
+          declared multiplicity. *)
+  | Ref_multiplicity of {
+      obj : Model.obj_id;
+      ref_ : Ident.t;
+      found : int;
+      mult : Metamodel.mult;
+    }
+  | Multiple_containers of { obj : Model.obj_id; containers : Model.obj_id list }
+      (** An object reachable through more than one containment edge. *)
+  | Containment_cycle of { obj : Model.obj_id }
+      (** An object that (transitively) contains itself. *)
+  | Opposite_mismatch of {
+      src : Model.obj_id;
+      ref_ : Ident.t;
+      dst : Model.obj_id;
+      opposite : Ident.t;
+    }
+      (** Edge [src -ref-> dst] present but the declared opposite edge
+          [dst -opposite-> src] is missing. *)
+  | Key_violation of {
+      cls : Ident.t;
+      attr : Ident.t;
+      objs : Model.obj_id list;
+    }
+      (** Two or more instances of a class share the value of a key
+          (ID) attribute. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Model.t -> violation list
+(** All violations, in deterministic order (by object id, then
+    feature name). The empty list means the model conforms. *)
+
+val conforms : Model.t -> bool
+(** [conforms m = (check m = [])]. *)
+
+val pp_report : Format.formatter -> violation list -> unit

@@ -1,0 +1,124 @@
+let same_value_list a b = List.equal Value.equal a b
+
+let sorted l = List.sort_uniq Int.compare l
+
+(* Slot-level edits needed to turn [a]'s view of object [id] into
+   [b]'s. The object exists in both models with the same class.
+   Edges of [a] pointing at [reclassed] objects are treated as absent:
+   the script deletes and re-creates those targets, which implicitly
+   severs such edges, so they must be re-added even when both models
+   contain them. *)
+let slot_edits a b ~reclassed id =
+  let mm = Model.metamodel a in
+  let cls = Model.class_of a id in
+  let attr_edits =
+    Metamodel.all_attributes mm cls
+    |> List.concat_map (fun (at : Metamodel.attribute) ->
+           let va = Model.get_attr a id at.attr_name in
+           let vb = Model.get_attr b id at.attr_name in
+           if same_value_list va vb then []
+           else [ Edit.Set_attr { id; attr = at.attr_name; before = va; after = vb } ])
+  in
+  let ref_edits =
+    Metamodel.all_references mm cls
+    |> List.concat_map (fun (rf : Metamodel.reference) ->
+           let ra =
+             sorted (Model.get_refs a id rf.ref_name)
+             |> List.filter (fun d -> not (List.mem d reclassed))
+           in
+           let rb = sorted (Model.get_refs b id rf.ref_name) in
+           let dels =
+             List.filter (fun d -> not (List.mem d rb)) ra
+             |> List.map (fun dst -> Edit.Del_ref { src = id; ref_ = rf.ref_name; dst })
+           in
+           let adds =
+             List.filter (fun d -> not (List.mem d ra)) rb
+             |> List.map (fun dst -> Edit.Add_ref { src = id; ref_ = rf.ref_name; dst })
+           in
+           dels @ adds)
+  in
+  attr_edits @ ref_edits
+
+(* Edits populating a fresh object [id] to match its slots in [b]. *)
+let populate_edits b id =
+  let mm = Model.metamodel b in
+  let cls = Model.class_of b id in
+  let attrs =
+    Metamodel.all_attributes mm cls
+    |> List.concat_map (fun (at : Metamodel.attribute) ->
+           match Model.get_attr b id at.attr_name with
+           | [] -> []
+           | vs -> [ Edit.Set_attr { id; attr = at.attr_name; before = []; after = vs } ])
+  in
+  let refs =
+    Metamodel.all_references mm cls
+    |> List.concat_map (fun (rf : Metamodel.reference) ->
+           Model.get_refs b id rf.ref_name
+           |> List.map (fun dst -> Edit.Add_ref { src = id; ref_ = rf.ref_name; dst }))
+  in
+  (attrs, refs)
+
+(* Edits emptying object [id]'s slots in [a] (prior to deletion). *)
+let empty_edits a id =
+  let mm = Model.metamodel a in
+  let cls = Model.class_of a id in
+  let attrs =
+    Metamodel.all_attributes mm cls
+    |> List.concat_map (fun (at : Metamodel.attribute) ->
+           match Model.get_attr a id at.attr_name with
+           | [] -> []
+           | vs -> [ Edit.Set_attr { id; attr = at.attr_name; before = vs; after = [] } ])
+  in
+  let refs =
+    Metamodel.all_references mm cls
+    |> List.concat_map (fun (rf : Metamodel.reference) ->
+           Model.get_refs a id rf.ref_name
+           |> List.map (fun dst -> Edit.Del_ref { src = id; ref_ = rf.ref_name; dst }))
+  in
+  attrs @ refs
+
+let script a b =
+  if not (Metamodel.equal (Model.metamodel a) (Model.metamodel b)) then
+    invalid_arg "Diff.script: models have different metamodels";
+  let in_a = Model.objects a and in_b = Model.objects b in
+  let only_a = List.filter (fun id -> not (Model.mem b id)) in_a in
+  let only_b = List.filter (fun id -> not (Model.mem a id)) in_b in
+  let common = List.filter (fun id -> Model.mem b id) in_a in
+  (* An id present in both but with a different class is treated as a
+     delete + create. *)
+  let reclassed, stable =
+    List.partition
+      (fun id -> not (Ident.equal (Model.class_of a id) (Model.class_of b id)))
+      common
+  in
+  let deletions =
+    List.concat_map
+      (fun id -> empty_edits a id @ [ Edit.Delete_object { id } ])
+      (only_a @ reclassed)
+  in
+  let creations =
+    List.map (fun id -> Edit.Add_object { id; cls = Model.class_of b id }) (only_b @ reclassed)
+  in
+  let stable_edits =
+    List.concat_map (fun id -> slot_edits a b ~reclassed id) stable
+  in
+  (* Populate after all creations so cross references resolve; likewise
+     deletions happen after the edge removals they require. Order:
+     empty+delete old, create new, slot edits, populate new. *)
+  let populate =
+    List.concat_map
+      (fun id ->
+        let attrs, refs = populate_edits b id in
+        attrs @ refs)
+      (only_b @ reclassed)
+  in
+  deletions @ creations @ stable_edits @ populate
+
+let pp_script ppf edits =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Edit.pp ppf e)
+    edits;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,16 @@
+(** Model differencing.
+
+    Computes an edit script turning one model into another, assuming
+    the two share the metamodel and an id space (the "same" object has
+    the same id in both — the situation after an enforcement run,
+    whose decoder preserves ids). The script is canonical: objects
+    present in both contribute slot-level edits; objects only in [b]
+    are created then populated; objects only in [a] are emptied then
+    deleted. *)
+
+val script : Model.t -> Model.t -> Edit.t list
+(** [script a b] is an edit script s.t.
+    [Edit.apply_script a (script a b)] equals [b] (up to reference
+    order). Raises [Invalid_argument] when metamodels differ. *)
+
+val pp_script : Format.formatter -> Edit.t list -> unit

@@ -1,0 +1,57 @@
+type t =
+  | Add_object of { id : Model.obj_id; cls : Ident.t }
+  | Delete_object of { id : Model.obj_id }
+  | Set_attr of {
+      id : Model.obj_id;
+      attr : Ident.t;
+      before : Value.t list;
+      after : Value.t list;
+    }
+  | Add_ref of { src : Model.obj_id; ref_ : Ident.t; dst : Model.obj_id }
+  | Del_ref of { src : Model.obj_id; ref_ : Ident.t; dst : Model.obj_id }
+
+let pp_values ppf vs =
+  match vs with
+  | [] -> Format.pp_print_string ppf "unset"
+  | vs ->
+    Format.pp_print_string ppf (String.concat ", " (List.map Value.to_string vs))
+
+let pp ppf = function
+  | Add_object { id; cls } -> Format.fprintf ppf "+obj #%d : %a" id Ident.pp cls
+  | Delete_object { id } -> Format.fprintf ppf "-obj #%d" id
+  | Set_attr { id; attr; before; after } ->
+    Format.fprintf ppf "#%d.%a : %a := %a" id Ident.pp attr pp_values before pp_values
+      after
+  | Add_ref { src; ref_; dst } ->
+    Format.fprintf ppf "+edge #%d -%a-> #%d" src Ident.pp ref_ dst
+  | Del_ref { src; ref_; dst } ->
+    Format.fprintf ppf "-edge #%d -%a-> #%d" src Ident.pp ref_ dst
+
+let apply m edit =
+  try
+    match edit with
+    | Add_object { id; cls } -> Ok (Model.add_object_with_id m ~id ~cls)
+    | Delete_object { id } -> Ok (Model.delete_object m id)
+    | Set_attr { id; attr; after; before = _ } -> Ok (Model.set_attr m id attr after)
+    | Add_ref { src; ref_; dst } -> Ok (Model.add_ref m ~src ~ref_ ~dst)
+    | Del_ref { src; ref_; dst } -> Ok (Model.del_ref m ~src ~ref_ ~dst)
+  with Model.Type_error msg -> Error msg
+
+let apply_script m edits =
+  List.fold_left
+    (fun acc e -> Result.bind acc (fun m -> apply m e))
+    (Ok m) edits
+
+let invert = function
+  | Add_object { id; _ } -> Delete_object { id }
+  | Delete_object { id } ->
+    (* Cannot restore the class without more information; Diff never
+       produces bare inversions of deletions — it emits the slot edits
+       first. The class is irrelevant for distance computations, so a
+       placeholder is acceptable here. *)
+    Add_object { id; cls = Ident.make "?" }
+  | Set_attr { id; attr; before; after } -> Set_attr { id; attr; before = after; after = before }
+  | Add_ref { src; ref_; dst } -> Del_ref { src; ref_; dst }
+  | Del_ref { src; ref_; dst } -> Add_ref { src; ref_; dst }
+
+let invert_script edits = List.rev_map invert edits

@@ -1,0 +1,37 @@
+(** Atomic edit operations on models.
+
+    Edits are the currency of the distance metric Δ (paper §3): a
+    repair's cost is the weighted size of the edit script between the
+    original and the repaired model. They are also used by workload
+    generators to perturb consistent states into inconsistent ones. *)
+
+type t =
+  | Add_object of { id : Model.obj_id; cls : Ident.t }
+  | Delete_object of { id : Model.obj_id }
+  | Set_attr of {
+      id : Model.obj_id;
+      attr : Ident.t;
+      before : Value.t list;
+      after : Value.t list;
+    }
+  | Add_ref of { src : Model.obj_id; ref_ : Ident.t; dst : Model.obj_id }
+  | Del_ref of { src : Model.obj_id; ref_ : Ident.t; dst : Model.obj_id }
+
+val pp : Format.formatter -> t -> unit
+
+val apply : Model.t -> t -> (Model.t, string) result
+(** Apply one edit; [Error] on edits that do not fit the model (e.g.
+    deleting a missing object). [Set_attr]'s [before] field is not
+    required to match the current slot — it exists so scripts are
+    invertible. *)
+
+val apply_script : Model.t -> t list -> (Model.t, string) result
+(** Apply edits left to right, stopping at the first failure. *)
+
+val invert : t -> t
+(** The edit undoing this one. [invert (Add_object ...)] is a bare
+    [Delete_object]; inverting a script of an object deletion that had
+    populated slots requires the full script produced by {!Diff}. *)
+
+val invert_script : t list -> t list
+(** Inverse script (reversed order, each edit inverted). *)

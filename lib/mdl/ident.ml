@@ -1,0 +1,29 @@
+type t = { tag : int; str : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 512
+let counter = ref 0
+
+let make str =
+  match Hashtbl.find_opt table str with
+  | Some id -> id
+  | None ->
+    let id = { tag = !counter; str } in
+    incr counter;
+    Hashtbl.add table str id;
+    id
+
+let name id = id.str
+let equal a b = a.tag = b.tag
+let compare a b = Int.compare a.tag b.tag
+let compare_name a b = String.compare a.str b.str
+let hash id = id.tag
+let pp ppf id = Format.pp_print_string ppf id.str
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

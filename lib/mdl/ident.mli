@@ -1,0 +1,34 @@
+(** Interned identifiers.
+
+    Identifiers name every metamodel-level entity (classes, attributes,
+    references, enum literals) and every model. They are hash-consed so
+    that equality and comparison are O(1) integer operations, which
+    matters in the inner loops of the relational translation. *)
+
+type t
+(** An interned identifier. Two idents built from the same string are
+    physically equal. *)
+
+val make : string -> t
+(** [make s] interns [s] and returns its identifier. *)
+
+val name : t -> string
+(** [name id] is the string [id] was built from. *)
+
+val equal : t -> t -> bool
+(** O(1) equality on the interning tag. *)
+
+val compare : t -> t -> int
+(** Total order on interning tags. The order is deterministic within a
+    process run (it reflects interning order), not lexicographic; use
+    {!compare_name} for display-stable ordering. *)
+
+val compare_name : t -> t -> int
+(** Lexicographic order on the underlying strings. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

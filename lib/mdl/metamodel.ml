@@ -1,0 +1,435 @@
+type prim =
+  | P_string
+  | P_int
+  | P_bool
+  | P_enum of Ident.t
+
+type mult = {
+  lower : int;
+  upper : int option;
+}
+
+let mult_one = { lower = 1; upper = Some 1 }
+let mult_opt = { lower = 0; upper = Some 1 }
+let mult_many = { lower = 0; upper = None }
+let mult_some = { lower = 1; upper = None }
+
+let mult_admits m n =
+  n >= m.lower && (match m.upper with None -> true | Some u -> n <= u)
+
+let pp_mult ppf m =
+  match m.upper with
+  | None -> Format.fprintf ppf "[%d..*]" m.lower
+  | Some u -> Format.fprintf ppf "[%d..%d]" m.lower u
+
+type attribute = {
+  attr_name : Ident.t;
+  attr_type : prim;
+  attr_mult : mult;
+  attr_key : bool;
+}
+
+type reference = {
+  ref_name : Ident.t;
+  ref_target : Ident.t;
+  ref_mult : mult;
+  ref_containment : bool;
+  ref_opposite : Ident.t option;
+}
+
+type cls = {
+  cls_name : Ident.t;
+  cls_abstract : bool;
+  cls_supers : Ident.t list;
+  cls_attrs : attribute list;
+  cls_refs : reference list;
+}
+
+type enum = {
+  enum_name : Ident.t;
+  enum_literals : Ident.t list;
+}
+
+type t = {
+  mm_name : Ident.t;
+  mm_classes : cls list;
+  mm_enums : enum list;
+  by_class : cls Ident.Map.t;
+  by_enum : enum Ident.Map.t;
+  supers_tc : Ident.Set.t Ident.Map.t;  (* transitive, without self *)
+  subs_tc : Ident.Set.t Ident.Map.t;
+}
+
+let name mm = mm.mm_name
+let classes mm = mm.mm_classes
+let enums mm = mm.mm_enums
+let find_class mm c = Ident.Map.find_opt c mm.by_class
+
+let find_class_exn mm c =
+  match find_class mm c with
+  | Some cl -> cl
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Metamodel.find_class_exn: no class %s in %s"
+         (Ident.name c) (Ident.name mm.mm_name))
+
+let find_enum mm e = Ident.Map.find_opt e mm.by_enum
+
+let has_enum_literal mm e lit =
+  match find_enum mm e with
+  | None -> false
+  | Some en -> List.exists (Ident.equal lit) en.enum_literals
+
+let superclasses mm c =
+  match Ident.Map.find_opt c mm.supers_tc with
+  | Some s -> s
+  | None -> Ident.Set.empty
+
+let subclasses mm c =
+  match Ident.Map.find_opt c mm.subs_tc with
+  | Some s -> s
+  | None -> Ident.Set.empty
+
+let is_subclass mm ~sub ~super =
+  Ident.equal sub super || Ident.Set.mem super (superclasses mm sub)
+
+let concrete_subclasses mm c =
+  let candidates = Ident.Set.add c (subclasses mm c) in
+  Ident.Set.filter
+    (fun c' ->
+      match find_class mm c' with
+      | Some cl -> not cl.cls_abstract
+      | None -> false)
+    candidates
+
+(* Linearization: superclass features first, then local, depth-first on
+   the declared super order, deduplicated by feature name (a feature
+   redeclared lower in the chain shadows the inherited one). *)
+let chain mm c =
+  let visited = ref Ident.Set.empty in
+  let rec go c acc =
+    if Ident.Set.mem c !visited then acc
+    else begin
+      visited := Ident.Set.add c !visited;
+      match find_class mm c with
+      | None -> acc
+      | Some cl -> cl :: List.fold_left (fun acc s -> go s acc) acc cl.cls_supers
+    end
+  in
+  (* [go] accumulates supers before self in reverse; reverse at the end
+     so superclasses come first. *)
+  List.rev (go c [])
+
+let dedup_by_name key features =
+  let seen = Hashtbl.create 8 in
+  (* Later (more specific) declarations win; iterate in reverse so the
+     last occurrence is kept, then restore order. *)
+  List.rev features
+  |> List.filter (fun f ->
+         let n = key f in
+         if Hashtbl.mem seen n then false
+         else begin
+           Hashtbl.add seen n ();
+           true
+         end)
+  |> List.rev
+
+let all_attributes mm c =
+  chain mm c
+  |> List.concat_map (fun cl -> cl.cls_attrs)
+  |> dedup_by_name (fun a -> a.attr_name)
+
+let all_references mm c =
+  chain mm c
+  |> List.concat_map (fun cl -> cl.cls_refs)
+  |> dedup_by_name (fun r -> r.ref_name)
+
+let find_attribute mm c a =
+  List.find_opt (fun at -> Ident.equal at.attr_name a) (all_attributes mm c)
+
+let find_reference mm c r =
+  List.find_opt (fun rf -> Ident.equal rf.ref_name r) (all_references mm c)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let ( let* ) = Result.bind
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: xs ->
+    let* () = f x in
+    check_all f xs
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_unique what names =
+  let sorted = List.sort Ident.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if Ident.equal a b then err "duplicate %s name %a" what Ident.pp a
+      else go rest
+    | [ _ ] | [] -> Ok ()
+  in
+  go sorted
+
+let check_mult what m =
+  if m.lower < 0 then err "%s: negative lower bound" what
+  else
+    match m.upper with
+    | Some u when u < m.lower -> err "%s: upper bound below lower bound" what
+    | Some _ | None -> Ok ()
+
+let validate mm =
+  let class_names = List.map (fun c -> c.cls_name) mm.mm_classes in
+  let enum_names = List.map (fun e -> e.enum_name) mm.mm_enums in
+  let* () = check_unique "class" class_names in
+  let* () = check_unique "enum" enum_names in
+  let* () =
+    check_all
+      (fun e ->
+        if e.enum_literals = [] then err "enum %a has no literals" Ident.pp e.enum_name
+        else check_unique "enum literal" e.enum_literals)
+      mm.mm_enums
+  in
+  let* () =
+    check_all
+      (fun c ->
+        let* () =
+          check_all
+            (fun s ->
+              if Ident.Map.mem s mm.by_class then Ok ()
+              else err "class %a: unknown superclass %a" Ident.pp c.cls_name Ident.pp s)
+            c.cls_supers
+        in
+        let* () =
+          check_all
+            (fun a ->
+              let* () =
+                check_mult
+                  (Printf.sprintf "attribute %s.%s" (Ident.name c.cls_name)
+                     (Ident.name a.attr_name))
+                  a.attr_mult
+              in
+              match a.attr_type with
+              | P_enum e when not (Ident.Map.mem e mm.by_enum) ->
+                err "attribute %a.%a: unknown enum %a" Ident.pp c.cls_name Ident.pp
+                  a.attr_name Ident.pp e
+              | P_enum _ | P_string | P_int | P_bool -> Ok ())
+            c.cls_attrs
+        in
+        check_all
+          (fun r ->
+            let* () =
+              check_mult
+                (Printf.sprintf "reference %s.%s" (Ident.name c.cls_name)
+                   (Ident.name r.ref_name))
+                r.ref_mult
+            in
+            if not (Ident.Map.mem r.ref_target mm.by_class) then
+              err "reference %a.%a: unknown target class %a" Ident.pp c.cls_name
+                Ident.pp r.ref_name Ident.pp r.ref_target
+            else Ok ())
+          c.cls_refs)
+      mm.mm_classes
+  in
+  (* Inheritance acyclicity: a class must not be its own transitive
+     superclass. The transitive closure below is computed with a cycle
+     guard, so detect cycles directly here. *)
+  let* () =
+    check_all
+      (fun c ->
+        let rec reaches target seen c =
+          if Ident.Set.mem c seen then false
+          else
+            match Ident.Map.find_opt c mm.by_class with
+            | None -> false
+            | Some cl ->
+              List.exists
+                (fun s -> Ident.equal s target || reaches target (Ident.Set.add c seen) s)
+                cl.cls_supers
+        in
+        if reaches c.cls_name Ident.Set.empty c.cls_name then
+          err "inheritance cycle through class %a" Ident.pp c.cls_name
+        else Ok ())
+      mm.mm_classes
+  in
+  (* Feature-name clashes along the chain are allowed only as an exact
+     shadowing redeclaration; we simply forbid declaring the same name
+     twice locally. *)
+  let* () =
+    check_all
+      (fun c ->
+        check_unique
+          (Printf.sprintf "feature of class %s" (Ident.name c.cls_name))
+          (List.map (fun a -> a.attr_name) c.cls_attrs
+          @ List.map (fun r -> r.ref_name) c.cls_refs))
+      mm.mm_classes
+  in
+  (* Opposites must exist on the target class and point back. *)
+  check_all
+    (fun c ->
+      check_all
+        (fun r ->
+          match r.ref_opposite with
+          | None -> Ok ()
+          | Some opp -> (
+            let target = Ident.Map.find r.ref_target mm.by_class in
+            match
+              List.find_opt (fun r' -> Ident.equal r'.ref_name opp) target.cls_refs
+            with
+            | None ->
+              err "reference %a.%a: opposite %a not found on %a" Ident.pp c.cls_name
+                Ident.pp r.ref_name Ident.pp opp Ident.pp r.ref_target
+            | Some r' ->
+              if
+                r'.ref_opposite = Some r.ref_name
+                && Ident.equal r'.ref_target c.cls_name
+              then Ok ()
+              else
+                err "reference %a.%a: opposite %a.%a does not point back" Ident.pp
+                  c.cls_name Ident.pp r.ref_name Ident.pp r.ref_target Ident.pp opp))
+        c.cls_refs)
+    mm.mm_classes
+
+let transitive_closure classes by_class =
+  (* supers_tc: class -> all transitive superclasses (assumes acyclic). *)
+  let memo = Hashtbl.create 32 in
+  let rec supers_of c =
+    match Hashtbl.find_opt memo c with
+    | Some s -> s
+    | None ->
+      Hashtbl.add memo c Ident.Set.empty;
+      (* cycle guard *)
+      let s =
+        match Ident.Map.find_opt c by_class with
+        | None -> Ident.Set.empty
+        | Some cl ->
+          List.fold_left
+            (fun acc s -> Ident.Set.add s (Ident.Set.union acc (supers_of s)))
+            Ident.Set.empty cl.cls_supers
+      in
+      Hashtbl.replace memo c s;
+      s
+  in
+  let supers_tc =
+    List.fold_left
+      (fun m c -> Ident.Map.add c.cls_name (supers_of c.cls_name) m)
+      Ident.Map.empty classes
+  in
+  let subs_tc =
+    List.fold_left
+      (fun m c ->
+        Ident.Set.fold
+          (fun super m ->
+            let cur =
+              match Ident.Map.find_opt super m with
+              | Some s -> s
+              | None -> Ident.Set.empty
+            in
+            Ident.Map.add super (Ident.Set.add c.cls_name cur) m)
+          (supers_of c.cls_name) m)
+      Ident.Map.empty classes
+  in
+  (supers_tc, subs_tc)
+
+let make ~name ?(enums = []) classes =
+  let by_class =
+    List.fold_left (fun m c -> Ident.Map.add c.cls_name c m) Ident.Map.empty classes
+  in
+  let by_enum =
+    List.fold_left (fun m e -> Ident.Map.add e.enum_name e m) Ident.Map.empty enums
+  in
+  let mm =
+    {
+      mm_name = Ident.make name;
+      mm_classes = classes;
+      mm_enums = enums;
+      by_class;
+      by_enum;
+      supers_tc = Ident.Map.empty;
+      subs_tc = Ident.Map.empty;
+    }
+  in
+  match validate mm with
+  | Error _ as e -> e
+  | Ok () ->
+    let supers_tc, subs_tc = transitive_closure classes by_class in
+    Ok { mm with supers_tc; subs_tc }
+
+let make_exn ~name ?enums classes =
+  match make ~name ?enums classes with
+  | Ok mm -> mm
+  | Error msg -> invalid_arg ("Metamodel.make_exn: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+let attr ?(mult = mult_one) ?(key = false) name typ =
+  { attr_name = Ident.make name; attr_type = typ; attr_mult = mult; attr_key = key }
+
+let ref_ ?(mult = mult_many) ?(containment = false) ?opposite name ~target =
+  {
+    ref_name = Ident.make name;
+    ref_target = Ident.make target;
+    ref_mult = mult;
+    ref_containment = containment;
+    ref_opposite = Option.map Ident.make opposite;
+  }
+
+let cls ?(abstract = false) ?(supers = []) ?(attrs = []) ?(refs = []) name =
+  {
+    cls_name = Ident.make name;
+    cls_abstract = abstract;
+    cls_supers = List.map Ident.make supers;
+    cls_attrs = attrs;
+    cls_refs = refs;
+  }
+
+let enum_decl name literals =
+  { enum_name = Ident.make name; enum_literals = List.map Ident.make literals }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let pp_prim ppf = function
+  | P_string -> Format.pp_print_string ppf "string"
+  | P_int -> Format.pp_print_string ppf "int"
+  | P_bool -> Format.pp_print_string ppf "bool"
+  | P_enum e -> Ident.pp ppf e
+
+let pp_attribute ppf a =
+  Format.fprintf ppf "attr %a : %a" Ident.pp a.attr_name pp_prim a.attr_type;
+  if a.attr_mult <> mult_one then Format.fprintf ppf " %a" pp_mult a.attr_mult;
+  if a.attr_key then Format.pp_print_string ppf " key"
+
+let pp_reference ppf r =
+  Format.fprintf ppf "ref %a : %a %a" Ident.pp r.ref_name Ident.pp r.ref_target pp_mult
+    r.ref_mult;
+  if r.ref_containment then Format.pp_print_string ppf " containment";
+  Option.iter (fun o -> Format.fprintf ppf " opposite %a" Ident.pp o) r.ref_opposite
+
+let pp_cls ppf c =
+  Format.fprintf ppf "@[<v 2>%sclass %a%s {"
+    (if c.cls_abstract then "abstract " else "")
+    Ident.pp c.cls_name
+    (match c.cls_supers with
+    | [] -> ""
+    | ss -> " extends " ^ String.concat ", " (List.map Ident.name ss));
+  List.iter (fun a -> Format.fprintf ppf "@,%a;" pp_attribute a) c.cls_attrs;
+  List.iter (fun r -> Format.fprintf ppf "@,%a;" pp_reference r) c.cls_refs;
+  Format.fprintf ppf "@]@,}"
+
+let pp_enum ppf e =
+  Format.fprintf ppf "enum %a { %s }" Ident.pp e.enum_name
+    (String.concat ", " (List.map Ident.name e.enum_literals))
+
+let pp ppf mm =
+  Format.fprintf ppf "@[<v 2>metamodel %a {" Ident.pp mm.mm_name;
+  List.iter (fun e -> Format.fprintf ppf "@,%a" pp_enum e) mm.mm_enums;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_cls c) mm.mm_classes;
+  Format.fprintf ppf "@]@,}"
+
+let equal a b =
+  Ident.equal a.mm_name b.mm_name
+  && a.mm_classes = b.mm_classes && a.mm_enums = b.mm_enums

@@ -1,0 +1,136 @@
+(** Ecore-lite metamodels.
+
+    A metamodel declares enums and classes; classes carry typed
+    attributes and references to other classes, support multiple
+    inheritance and abstractness, and references carry multiplicities,
+    optional containment and optional opposites. This is the fragment
+    of EMF/Ecore that QVT-R domain patterns range over. *)
+
+(** Primitive attribute types. *)
+type prim =
+  | P_string
+  | P_int
+  | P_bool
+  | P_enum of Ident.t  (** by enum name *)
+
+(** Multiplicity bounds; [upper = None] means unbounded ([*]). *)
+type mult = {
+  lower : int;
+  upper : int option;
+}
+
+val mult_one : mult
+(** Exactly one: [1..1]. *)
+
+val mult_opt : mult
+(** At most one: [0..1]. *)
+
+val mult_many : mult
+(** Any number: [0..*]. *)
+
+val mult_some : mult
+(** At least one: [1..*]. *)
+
+val mult_admits : mult -> int -> bool
+(** [mult_admits m n] holds when a slot of multiplicity [m] may hold
+    exactly [n] values. *)
+
+val pp_mult : Format.formatter -> mult -> unit
+
+type attribute = {
+  attr_name : Ident.t;
+  attr_type : prim;
+  attr_mult : mult;  (** single-valued attributes use {!mult_one} *)
+  attr_key : bool;
+      (** EMF-style ID attribute: values are unique within the class
+          extent (enforced by {!Conformance} and by the enforcement
+          engine's structural constraints) *)
+}
+
+type reference = {
+  ref_name : Ident.t;
+  ref_target : Ident.t;  (** target class name *)
+  ref_mult : mult;
+  ref_containment : bool;
+  ref_opposite : Ident.t option;
+      (** name of the opposite reference on the target class *)
+}
+
+type cls = {
+  cls_name : Ident.t;
+  cls_abstract : bool;
+  cls_supers : Ident.t list;  (** direct superclasses *)
+  cls_attrs : attribute list;  (** locally declared *)
+  cls_refs : reference list;  (** locally declared *)
+}
+
+type enum = {
+  enum_name : Ident.t;
+  enum_literals : Ident.t list;
+}
+
+type t
+(** A validated metamodel. Construction via {!make} checks internal
+    well-formedness. *)
+
+val make : name:string -> ?enums:enum list -> cls list -> (t, string) result
+(** [make ~name ~enums classes] validates and builds a metamodel.
+    Validation rejects: duplicate class/enum names, unresolvable
+    superclasses / reference targets / enum types, inheritance cycles,
+    duplicate feature names along the inheritance chain, ill-formed
+    multiplicities ([lower < 0] or [upper < lower]), dangling or
+    asymmetric opposites, and enums without literals. *)
+
+val make_exn : name:string -> ?enums:enum list -> cls list -> t
+(** Like {!make}, raising [Invalid_argument] on validation failure. *)
+
+val name : t -> Ident.t
+val classes : t -> cls list
+val enums : t -> enum list
+
+val find_class : t -> Ident.t -> cls option
+val find_class_exn : t -> Ident.t -> cls
+val find_enum : t -> Ident.t -> enum option
+val has_enum_literal : t -> Ident.t -> Ident.t -> bool
+(** [has_enum_literal mm enum lit]. *)
+
+val superclasses : t -> Ident.t -> Ident.Set.t
+(** Transitive superclasses, not including the class itself. *)
+
+val subclasses : t -> Ident.t -> Ident.Set.t
+(** Transitive subclasses, not including the class itself. *)
+
+val is_subclass : t -> sub:Ident.t -> super:Ident.t -> bool
+(** Reflexive-transitive subclassing test. *)
+
+val concrete_subclasses : t -> Ident.t -> Ident.Set.t
+(** All non-abstract classes conforming to the given class, including
+    itself when concrete. *)
+
+val all_attributes : t -> Ident.t -> attribute list
+(** Local and inherited attributes, superclass-first order. *)
+
+val all_references : t -> Ident.t -> reference list
+(** Local and inherited references, superclass-first order. *)
+
+val find_attribute : t -> Ident.t -> Ident.t -> attribute option
+(** [find_attribute mm cls a] resolves [a] along the inheritance chain. *)
+
+val find_reference : t -> Ident.t -> Ident.t -> reference option
+
+(** Convenience builders for declaring metamodels in OCaml. *)
+
+val attr : ?mult:mult -> ?key:bool -> string -> prim -> attribute
+val ref_ :
+  ?mult:mult -> ?containment:bool -> ?opposite:string -> string ->
+  target:string -> reference
+val cls :
+  ?abstract:bool -> ?supers:string list -> ?attrs:attribute list ->
+  ?refs:reference list -> string -> cls
+val enum_decl : string -> string list -> enum
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints in the concrete syntax accepted by {!Serialize}. *)
+
+val equal : t -> t -> bool
+(** Structural equality (names and declarations). *)

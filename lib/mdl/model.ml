@@ -1,0 +1,221 @@
+module IntMap = Map.Make (Int)
+
+type obj_id = int
+
+type obj = {
+  o_class : Ident.t;
+  o_attrs : Value.t list Ident.Map.t;
+  o_refs : obj_id list Ident.Map.t;
+}
+
+type t = {
+  m_name : Ident.t;
+  m_mm : Metamodel.t;
+  m_objs : obj IntMap.t;
+  m_next : obj_id;
+}
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let empty ~name mm =
+  { m_name = Ident.make name; m_mm = mm; m_objs = IntMap.empty; m_next = 0 }
+
+let name m = m.m_name
+let metamodel m = m.m_mm
+let set_name m n = { m with m_name = Ident.make n }
+
+let find_obj m id =
+  match IntMap.find_opt id m.m_objs with
+  | Some o -> o
+  | None -> type_error "model %a: no object #%d" Ident.pp m.m_name id
+
+let check_instantiable m cls =
+  match Metamodel.find_class m.m_mm cls with
+  | None -> type_error "model %a: unknown class %a" Ident.pp m.m_name Ident.pp cls
+  | Some c when c.Metamodel.cls_abstract ->
+    type_error "model %a: class %a is abstract" Ident.pp m.m_name Ident.pp cls
+  | Some _ -> ()
+
+let fresh_obj cls =
+  { o_class = cls; o_attrs = Ident.Map.empty; o_refs = Ident.Map.empty }
+
+let add_object m ~cls =
+  check_instantiable m cls;
+  let id = m.m_next in
+  ({ m with m_objs = IntMap.add id (fresh_obj cls) m.m_objs; m_next = id + 1 }, id)
+
+let add_object_with_id m ~id ~cls =
+  check_instantiable m cls;
+  if id < 0 then type_error "model %a: negative object id %d" Ident.pp m.m_name id;
+  if IntMap.mem id m.m_objs then
+    type_error "model %a: object id #%d already in use" Ident.pp m.m_name id;
+  {
+    m with
+    m_objs = IntMap.add id (fresh_obj cls) m.m_objs;
+    m_next = max m.m_next (id + 1);
+  }
+
+let delete_object m id =
+  let _ = find_obj m id in
+  let objs = IntMap.remove id m.m_objs in
+  let objs =
+    IntMap.map
+      (fun o ->
+        { o with o_refs = Ident.Map.map (List.filter (fun d -> d <> id)) o.o_refs })
+      objs
+  in
+  { m with m_objs = objs }
+
+let mem m id = IntMap.mem id m.m_objs
+let class_of m id = (find_obj m id).o_class
+let objects m = IntMap.fold (fun id _ acc -> id :: acc) m.m_objs [] |> List.rev
+let size m = IntMap.cardinal m.m_objs
+
+let class_extent m cls =
+  IntMap.fold
+    (fun id o acc -> if Ident.equal o.o_class cls then id :: acc else acc)
+    m.m_objs []
+  |> List.rev
+
+let instances_of m cls =
+  IntMap.fold
+    (fun id o acc ->
+      if Metamodel.is_subclass m.m_mm ~sub:o.o_class ~super:cls then id :: acc else acc)
+    m.m_objs []
+  |> List.rev
+
+let check_value m (a : Metamodel.attribute) v =
+  let ok =
+    match a.Metamodel.attr_type, v with
+    | Metamodel.P_string, Value.Str _ -> true
+    | Metamodel.P_int, Value.Int _ -> true
+    | Metamodel.P_bool, Value.Bool _ -> true
+    | Metamodel.P_enum e, Value.Enum lit -> Metamodel.has_enum_literal m.m_mm e lit
+    | (Metamodel.P_string | Metamodel.P_int | Metamodel.P_bool | Metamodel.P_enum _), _
+      -> false
+  in
+  if not ok then
+    type_error "model %a: value %a ill-typed for attribute %a" Ident.pp m.m_name
+      Value.pp v Ident.pp a.Metamodel.attr_name
+
+let resolve_attr m id a =
+  let o = find_obj m id in
+  match Metamodel.find_attribute m.m_mm o.o_class a with
+  | Some at -> (o, at)
+  | None ->
+    type_error "model %a: class %a has no attribute %a" Ident.pp m.m_name Ident.pp
+      o.o_class Ident.pp a
+
+let resolve_ref m id r =
+  let o = find_obj m id in
+  match Metamodel.find_reference m.m_mm o.o_class r with
+  | Some rf -> (o, rf)
+  | None ->
+    type_error "model %a: class %a has no reference %a" Ident.pp m.m_name Ident.pp
+      o.o_class Ident.pp r
+
+let set_attr m id a vs =
+  let o, at = resolve_attr m id a in
+  List.iter (check_value m at) vs;
+  let o =
+    if vs = [] then { o with o_attrs = Ident.Map.remove a o.o_attrs }
+    else { o with o_attrs = Ident.Map.add a vs o.o_attrs }
+  in
+  { m with m_objs = IntMap.add id o m.m_objs }
+
+let set_attr1 m id a v = set_attr m id a [ v ]
+
+let get_attr m id a =
+  let o, _ = resolve_attr m id a in
+  match Ident.Map.find_opt a o.o_attrs with Some vs -> vs | None -> []
+
+let get_attr1 m id a =
+  match get_attr m id a with [] -> None | v :: _ -> Some v
+
+let add_ref m ~src ~ref_ ~dst =
+  let o, rf = resolve_ref m src ref_ in
+  let dcls = class_of m dst in
+  if not (Metamodel.is_subclass m.m_mm ~sub:dcls ~super:rf.Metamodel.ref_target) then
+    type_error "model %a: #%d : %a does not conform to target %a of reference %a"
+      Ident.pp m.m_name dst Ident.pp dcls Ident.pp rf.Metamodel.ref_target Ident.pp
+      ref_;
+  let cur = match Ident.Map.find_opt ref_ o.o_refs with Some l -> l | None -> [] in
+  if List.mem dst cur then m
+  else
+    let o = { o with o_refs = Ident.Map.add ref_ (cur @ [ dst ]) o.o_refs } in
+    { m with m_objs = IntMap.add src o m.m_objs }
+
+let del_ref m ~src ~ref_ ~dst =
+  let o, _ = resolve_ref m src ref_ in
+  let cur = match Ident.Map.find_opt ref_ o.o_refs with Some l -> l | None -> [] in
+  let cur = List.filter (fun d -> d <> dst) cur in
+  let o =
+    if cur = [] then { o with o_refs = Ident.Map.remove ref_ o.o_refs }
+    else { o with o_refs = Ident.Map.add ref_ cur o.o_refs }
+  in
+  { m with m_objs = IntMap.add src o m.m_objs }
+
+let get_refs m id r =
+  let o, _ = resolve_ref m id r in
+  match Ident.Map.find_opt r o.o_refs with Some l -> l | None -> []
+
+let has_ref m ~src ~ref_ ~dst = List.mem dst (get_refs m src ref_)
+
+let fold_objects f m acc =
+  IntMap.fold (fun id o acc -> f id o.o_class acc) m.m_objs acc
+
+let fold_attr_slots f m acc =
+  IntMap.fold
+    (fun id o acc -> Ident.Map.fold (fun a vs acc -> f id a vs acc) o.o_attrs acc)
+    m.m_objs acc
+
+let fold_ref_edges f m acc =
+  IntMap.fold
+    (fun id o acc ->
+      Ident.Map.fold
+        (fun r dsts acc -> List.fold_left (fun acc d -> f id r d acc) acc dsts)
+        o.o_refs acc)
+    m.m_objs acc
+
+let all_values m =
+  fold_attr_slots
+    (fun _ _ vs acc -> List.fold_left (fun acc v -> Value.Set.add v acc) acc vs)
+    m Value.Set.empty
+
+let sorted_ints l = List.sort_uniq Int.compare l
+
+let equal_obj a b =
+  Ident.equal a.o_class b.o_class
+  && Ident.Map.equal (List.equal Value.equal) a.o_attrs b.o_attrs
+  && Ident.Map.equal
+       (fun x y -> sorted_ints x = sorted_ints y)
+       (Ident.Map.filter (fun _ l -> l <> []) a.o_refs)
+       (Ident.Map.filter (fun _ l -> l <> []) b.o_refs)
+
+let equal a b =
+  Ident.equal a.m_name b.m_name
+  && Ident.equal (Metamodel.name a.m_mm) (Metamodel.name b.m_mm)
+  && IntMap.equal equal_obj a.m_objs b.m_objs
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 2>model %a : %a {" Ident.pp m.m_name Ident.pp
+    (Metamodel.name m.m_mm);
+  IntMap.iter
+    (fun id o ->
+      Format.fprintf ppf "@,@[<v 2>obj o%d : %a {" id Ident.pp o.o_class;
+      Ident.Map.iter
+        (fun a vs ->
+          Format.fprintf ppf "@,%a = %s;" Ident.pp a
+            (String.concat ", " (List.map Value.to_string vs)))
+        o.o_attrs;
+      Ident.Map.iter
+        (fun r dsts ->
+          if dsts <> [] then
+            Format.fprintf ppf "@,%a -> %s;" Ident.pp r
+              (String.concat ", " (List.map (fun d -> "o" ^ string_of_int d) dsts)))
+        o.o_refs;
+      Format.fprintf ppf "@]@,}")
+    m.m_objs;
+  Format.fprintf ppf "@]@,}"

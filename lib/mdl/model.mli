@@ -1,0 +1,117 @@
+(** Instance models (typed object graphs).
+
+    A model is a finite set of objects, each an instance of a class of
+    a fixed metamodel, with attribute slots holding primitive values
+    and reference slots holding ordered lists of object identifiers.
+
+    Models are immutable persistent values: every update returns a new
+    model sharing structure with the old one. This is what makes the
+    enforcement engine's search over candidate repairs cheap.
+
+    Well-formedness enforced here is purely structural (slots only for
+    declared features, values type-compatible); multiplicities and the
+    deeper conformance rules are checked by {!Conformance}. *)
+
+type obj_id = int
+(** Object identifiers, unique within a model. Identifiers are stable
+    across updates — deleting an object never renumbers others — so
+    the same id in two versions of a model denotes "the same" object,
+    which is what the distance metric Δ relies on. *)
+
+type t
+
+val empty : name:string -> Metamodel.t -> t
+(** An empty model conforming to the given metamodel. *)
+
+val name : t -> Ident.t
+val metamodel : t -> Metamodel.t
+
+val set_name : t -> string -> t
+(** Rename the model (used when instantiating one model as several
+    QVT-R domains). *)
+
+exception Type_error of string
+(** Raised by updates that violate the metamodel's structure: unknown
+    class/feature, abstract class instantiation, or value of the wrong
+    primitive type. *)
+
+val add_object : t -> cls:Ident.t -> t * obj_id
+(** [add_object m ~cls] creates a fresh object of class [cls]
+    (attributes unset, references empty).
+    @raise Type_error if [cls] is unknown or abstract. *)
+
+val add_object_with_id : t -> id:obj_id -> cls:Ident.t -> t
+(** Create an object with a caller-chosen (unused, non-negative) id.
+    Used by the repair decoder to keep atom/object correspondence.
+    @raise Type_error if the id is taken or negative, or class invalid. *)
+
+val delete_object : t -> obj_id -> t
+(** Remove the object and every reference edge pointing at it.
+    @raise Type_error if the object does not exist. *)
+
+val mem : t -> obj_id -> bool
+val class_of : t -> obj_id -> Ident.t
+(** @raise Type_error on unknown ids. *)
+
+val objects : t -> obj_id list
+(** All object ids in increasing order. *)
+
+val size : t -> int
+(** Number of objects. *)
+
+val class_extent : t -> Ident.t -> obj_id list
+(** Objects whose class is exactly the given class. *)
+
+val instances_of : t -> Ident.t -> obj_id list
+(** Objects whose class conforms to (is a subclass of) the given
+    class — the extent QVT-R domain patterns quantify over. *)
+
+val set_attr : t -> obj_id -> Ident.t -> Value.t list -> t
+(** Replace an attribute slot. Single-valued attributes take a
+    singleton list; the empty list unsets the slot.
+    @raise Type_error on unknown object/attribute or ill-typed value. *)
+
+val set_attr1 : t -> obj_id -> Ident.t -> Value.t -> t
+(** [set_attr1 m o a v] = [set_attr m o a [v]]. *)
+
+val get_attr : t -> obj_id -> Ident.t -> Value.t list
+(** The attribute slot, [[]] when unset.
+    @raise Type_error on unknown object or attribute. *)
+
+val get_attr1 : t -> obj_id -> Ident.t -> Value.t option
+(** First value of the slot, if any. *)
+
+val add_ref : t -> src:obj_id -> ref_:Ident.t -> dst:obj_id -> t
+(** Append [dst] to the reference slot (no-op if the edge exists).
+    @raise Type_error on unknown endpoints/reference or a target whose
+    class does not conform to the reference's target class. *)
+
+val del_ref : t -> src:obj_id -> ref_:Ident.t -> dst:obj_id -> t
+(** Remove the edge if present.
+    @raise Type_error on unknown endpoints or reference. *)
+
+val get_refs : t -> obj_id -> Ident.t -> obj_id list
+(** Targets of the reference slot, in insertion order.
+    @raise Type_error on unknown object or reference. *)
+
+val has_ref : t -> src:obj_id -> ref_:Ident.t -> dst:obj_id -> bool
+
+val fold_objects : (obj_id -> Ident.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over (id, class) pairs in increasing id order. *)
+
+val fold_attr_slots : (obj_id -> Ident.t -> Value.t list -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every set attribute slot. *)
+
+val fold_ref_edges : (obj_id -> Ident.t -> obj_id -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every reference edge (src, ref, dst). *)
+
+val all_values : t -> Value.Set.t
+(** Every primitive value occurring in some attribute slot. *)
+
+val equal : t -> t -> bool
+(** Slot-level equality up to reference-list order (reference slots
+    compare as sets). Object identity matters: models with isomorphic
+    but differently-numbered objects are unequal. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints in the concrete syntax accepted by {!Serialize}. *)

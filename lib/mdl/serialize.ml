@@ -1,0 +1,491 @@
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tint of int
+  | Tpunct of string  (* { } [ ] ( ) ; , : = -> .. * extends etc. handled as idents/puncts *)
+  | Teof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+exception Parse_error of string
+
+let error lx fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error (Printf.sprintf "line %d, col %d: %s" lx.tok_line lx.tok_col s)))
+    fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance_char lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance_char lx;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance_char lx
+    done;
+    skip_ws lx
+  | Some _ | None -> ()
+
+let lex_next lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.col;
+  match peek_char lx with
+  | None -> lx.tok <- Teof
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance_char lx
+    done;
+    lx.tok <- Tident (String.sub lx.src start (lx.pos - start))
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance_char lx
+    done;
+    lx.tok <- Tint (int_of_string (String.sub lx.src start (lx.pos - start)))
+  | Some '-' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '>' ->
+    advance_char lx;
+    advance_char lx;
+    lx.tok <- Tpunct "->"
+  | Some '-' when lx.pos + 1 < String.length lx.src && is_digit lx.src.[lx.pos + 1] ->
+    advance_char lx;
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance_char lx
+    done;
+    lx.tok <- Tint (-int_of_string (String.sub lx.src start (lx.pos - start)))
+  | Some '.' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '.' ->
+    advance_char lx;
+    advance_char lx;
+    lx.tok <- Tpunct ".."
+  | Some '"' ->
+    advance_char lx;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek_char lx with
+      | None -> error lx "unterminated string literal"
+      | Some '"' -> advance_char lx
+      | Some '\\' ->
+        advance_char lx;
+        (match peek_char lx with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> error lx "unterminated escape");
+        advance_char lx;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance_char lx;
+        go ()
+    in
+    go ();
+    lx.tok <- Tstring (Buffer.contents buf)
+  | Some c ->
+    advance_char lx;
+    lx.tok <- Tpunct (String.make 1 c)
+
+let make_lexer src =
+  let lx = { src; pos = 0; line = 1; col = 1; tok = Teof; tok_line = 1; tok_col = 1 } in
+  lex_next lx;
+  lx
+
+let expect_punct lx p =
+  match lx.tok with
+  | Tpunct q when q = p -> lex_next lx
+  | _ -> error lx "expected '%s'" p
+
+let expect_kw lx kw =
+  match lx.tok with
+  | Tident id when id = kw -> lex_next lx
+  | _ -> error lx "expected keyword '%s'" kw
+
+let accept_punct lx p =
+  match lx.tok with
+  | Tpunct q when q = p ->
+    lex_next lx;
+    true
+  | _ -> false
+
+let accept_kw lx kw =
+  match lx.tok with
+  | Tident id when id = kw ->
+    lex_next lx;
+    true
+  | _ -> false
+
+let expect_ident lx =
+  match lx.tok with
+  | Tident id ->
+    lex_next lx;
+    id
+  | _ -> error lx "expected identifier"
+
+let expect_int lx =
+  match lx.tok with
+  | Tint n ->
+    lex_next lx;
+    n
+  | _ -> error lx "expected integer"
+
+(* ------------------------------------------------------------------ *)
+(* Metamodel parsing                                                   *)
+
+let parse_mult lx =
+  if accept_punct lx "[" then begin
+    let lower = expect_int lx in
+    expect_punct lx "..";
+    let upper =
+      match lx.tok with
+      | Tpunct "*" ->
+        lex_next lx;
+        None
+      | Tint n ->
+        lex_next lx;
+        Some n
+      | _ -> error lx "expected upper bound or '*'"
+    in
+    expect_punct lx "]";
+    Some { Metamodel.lower; upper }
+  end
+  else None
+
+let parse_prim name =
+  match name with
+  | "string" -> Metamodel.P_string
+  | "int" -> Metamodel.P_int
+  | "bool" -> Metamodel.P_bool
+  | other -> Metamodel.P_enum (Ident.make other)
+
+let parse_attribute lx =
+  (* after 'attr' *)
+  let name = expect_ident lx in
+  expect_punct lx ":";
+  let typ = parse_prim (expect_ident lx) in
+  let mult = Option.value ~default:Metamodel.mult_one (parse_mult lx) in
+  let key = accept_kw lx "key" in
+  expect_punct lx ";";
+  {
+    Metamodel.attr_name = Ident.make name;
+    attr_type = typ;
+    attr_mult = mult;
+    attr_key = key;
+  }
+
+let parse_reference lx =
+  (* after 'ref' *)
+  let name = expect_ident lx in
+  expect_punct lx ":";
+  let target = expect_ident lx in
+  let mult = Option.value ~default:Metamodel.mult_many (parse_mult lx) in
+  let containment = accept_kw lx "containment" in
+  let opposite = if accept_kw lx "opposite" then Some (expect_ident lx) else None in
+  expect_punct lx ";";
+  {
+    Metamodel.ref_name = Ident.make name;
+    ref_target = Ident.make target;
+    ref_mult = mult;
+    ref_containment = containment;
+    ref_opposite = Option.map Ident.make opposite;
+  }
+
+let parse_class lx ~abstract =
+  (* after 'class' *)
+  let name = expect_ident lx in
+  let supers =
+    if accept_kw lx "extends" then begin
+      let rec go acc =
+        let s = expect_ident lx in
+        if accept_punct lx "," then go (s :: acc) else List.rev (s :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  expect_punct lx "{";
+  let attrs = ref [] and refs = ref [] in
+  let rec members () =
+    if accept_kw lx "attr" then begin
+      attrs := parse_attribute lx :: !attrs;
+      members ()
+    end
+    else if accept_kw lx "ref" then begin
+      refs := parse_reference lx :: !refs;
+      members ()
+    end
+    else expect_punct lx "}"
+  in
+  members ();
+  {
+    Metamodel.cls_name = Ident.make name;
+    cls_abstract = abstract;
+    cls_supers = List.map Ident.make supers;
+    cls_attrs = List.rev !attrs;
+    cls_refs = List.rev !refs;
+  }
+
+let parse_enum lx =
+  (* after 'enum' *)
+  let name = expect_ident lx in
+  expect_punct lx "{";
+  let rec go acc =
+    let lit = expect_ident lx in
+    if accept_punct lx "," then go (lit :: acc)
+    else begin
+      expect_punct lx "}";
+      List.rev (lit :: acc)
+    end
+  in
+  let literals = go [] in
+  { Metamodel.enum_name = Ident.make name; enum_literals = List.map Ident.make literals }
+
+let parse_metamodel_decl lx =
+  expect_kw lx "metamodel";
+  let name = expect_ident lx in
+  expect_punct lx "{";
+  let classes = ref [] and enums = ref [] in
+  let rec decls () =
+    if accept_kw lx "enum" then begin
+      enums := parse_enum lx :: !enums;
+      decls ()
+    end
+    else if accept_kw lx "class" then begin
+      classes := parse_class lx ~abstract:false :: !classes;
+      decls ()
+    end
+    else if accept_kw lx "abstract" then begin
+      expect_kw lx "class";
+      classes := parse_class lx ~abstract:true :: !classes;
+      decls ()
+    end
+    else expect_punct lx "}"
+  in
+  decls ();
+  match Metamodel.make ~name ~enums:(List.rev !enums) (List.rev !classes) with
+  | Ok mm -> mm
+  | Error msg -> error lx "invalid metamodel %s: %s" name msg
+
+(* ------------------------------------------------------------------ *)
+(* Model parsing                                                       *)
+
+type pending_obj = {
+  po_label : string;
+  po_cls : string;
+  po_attrs : (string * Value.t list) list;
+  po_refs : (string * string list) list;  (* labels *)
+}
+
+let parse_value lx mm ~(cls : string) ~(attr : string) =
+  match lx.tok with
+  | Tstring s ->
+    lex_next lx;
+    Value.Str s
+  | Tint n ->
+    lex_next lx;
+    Value.Int n
+  | Tident "true" ->
+    lex_next lx;
+    Value.Bool true
+  | Tident "false" ->
+    lex_next lx;
+    Value.Bool false
+  | Tident lit -> (
+    lex_next lx;
+    (* Bare identifier: an enum literal. Validate against the declared
+       attribute type so typos fail here with position information. *)
+    match Metamodel.find_attribute mm (Ident.make cls) (Ident.make attr) with
+    | Some { Metamodel.attr_type = Metamodel.P_enum e; _ }
+      when Metamodel.has_enum_literal mm e (Ident.make lit) ->
+      Value.Enum (Ident.make lit)
+    | Some _ | None -> error lx "value %s not valid for attribute %s.%s" lit cls attr)
+  | _ -> error lx "expected a value"
+
+let parse_obj lx mm =
+  (* after 'obj' *)
+  let label = expect_ident lx in
+  expect_punct lx ":";
+  let cls = expect_ident lx in
+  expect_punct lx "{";
+  let attrs = ref [] and refs = ref [] in
+  let rec slots () =
+    match lx.tok with
+    | Tpunct "}" ->
+      lex_next lx;
+      ()
+    | Tident feature ->
+      lex_next lx;
+      if accept_punct lx "=" then begin
+        let rec vals acc =
+          let v = parse_value lx mm ~cls ~attr:feature in
+          if accept_punct lx "," then vals (v :: acc) else List.rev (v :: acc)
+        in
+        let vs = vals [] in
+        expect_punct lx ";";
+        attrs := (feature, vs) :: !attrs
+      end
+      else begin
+        expect_punct lx "->";
+        let rec targets acc =
+          let t = expect_ident lx in
+          if accept_punct lx "," then targets (t :: acc) else List.rev (t :: acc)
+        in
+        let ts = targets [] in
+        expect_punct lx ";";
+        refs := (feature, ts) :: !refs
+      end;
+      slots ()
+    | _ -> error lx "expected a slot or '}'"
+  in
+  slots ();
+  { po_label = label; po_cls = cls; po_attrs = List.rev !attrs; po_refs = List.rev !refs }
+
+let parse_model_decl lx (metamodels : Metamodel.t list) =
+  expect_kw lx "model";
+  let name = expect_ident lx in
+  expect_punct lx ":";
+  let mm_name = expect_ident lx in
+  let mm =
+    match
+      List.find_opt
+        (fun mm -> Ident.equal (Metamodel.name mm) (Ident.make mm_name))
+        metamodels
+    with
+    | Some mm -> mm
+    | None -> error lx "unknown metamodel %s" mm_name
+  in
+  expect_punct lx "{";
+  let objs = ref [] in
+  let rec decls () =
+    if accept_kw lx "obj" then begin
+      objs := parse_obj lx mm :: !objs;
+      decls ()
+    end
+    else expect_punct lx "}"
+  in
+  decls ();
+  let objs = List.rev !objs in
+  (* First pass: create objects.  Labels of the form oN request id N
+     (printer round-trip); otherwise ids are assigned in order. *)
+  let requested_id label =
+    if String.length label >= 2 && label.[0] = 'o' then
+      int_of_string_opt (String.sub label 1 (String.length label - 1))
+    else None
+  in
+  let model = ref (Model.empty ~name mm) in
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun po ->
+      if Hashtbl.mem env po.po_label then
+        error lx "duplicate object label %s" po.po_label;
+      let cls = Ident.make po.po_cls in
+      try
+        let id =
+          match requested_id po.po_label with
+          | Some id when not (Model.mem !model id) ->
+            model := Model.add_object_with_id !model ~id ~cls;
+            id
+          | Some _ | None ->
+            let m, id = Model.add_object !model ~cls in
+            model := m;
+            id
+        in
+        Hashtbl.add env po.po_label id
+      with Model.Type_error msg -> error lx "%s" msg)
+    objs;
+  (* Second pass: slots. *)
+  List.iter
+    (fun po ->
+      let id = Hashtbl.find env po.po_label in
+      try
+        List.iter
+          (fun (a, vs) -> model := Model.set_attr !model id (Ident.make a) vs)
+          po.po_attrs;
+        List.iter
+          (fun (r, targets) ->
+            List.iter
+              (fun tlabel ->
+                match Hashtbl.find_opt env tlabel with
+                | Some dst ->
+                  model := Model.add_ref !model ~src:id ~ref_:(Ident.make r) ~dst
+                | None -> error lx "unknown object label %s" tlabel)
+              targets)
+          po.po_refs
+      with Model.Type_error msg -> error lx "%s" msg)
+    objs;
+  !model
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+
+let metamodel_to_string mm = Format.asprintf "%a" Metamodel.pp mm
+let model_to_string m = Format.asprintf "%a" Model.pp m
+
+let wrap f =
+  try Ok (f ()) with
+  | Parse_error msg -> Error msg
+  | Model.Type_error msg -> Error msg
+
+let parse_metamodel src =
+  wrap (fun () ->
+      let lx = make_lexer src in
+      let mm = parse_metamodel_decl lx in
+      (match lx.tok with Teof -> () | _ -> error lx "trailing input");
+      mm)
+
+let parse_metamodels src =
+  wrap (fun () ->
+      let lx = make_lexer src in
+      let rec go acc =
+        match lx.tok with
+        | Teof -> List.rev acc
+        | _ -> go (parse_metamodel_decl lx :: acc)
+      in
+      go [])
+
+let parse_model mm src =
+  wrap (fun () ->
+      let lx = make_lexer src in
+      let m = parse_model_decl lx [ mm ] in
+      (match lx.tok with Teof -> () | _ -> error lx "trailing input");
+      m)
+
+let parse_models metamodels src =
+  wrap (fun () ->
+      let lx = make_lexer src in
+      let rec go acc =
+        match lx.tok with
+        | Teof -> List.rev acc
+        | _ -> go (parse_model_decl lx metamodels :: acc)
+      in
+      go [])

@@ -1,0 +1,48 @@
+(** Textual serialization of metamodels and models.
+
+    A small, line-oriented concrete syntax (the output of
+    {!Metamodel.pp} and {!Model.pp} parses back):
+
+    {v
+    metamodel FM {
+      enum Color { red, green }
+      class Feature {
+        attr name : string;
+        attr mandatory : bool;
+        ref children : Feature [0..*] containment;
+      }
+      abstract class Named extends Feature { }
+    }
+
+    model fm : FM {
+      obj f1 : Feature {
+        name = "A";
+        mandatory = true;
+        children -> f2, f3;
+      }
+    }
+    v}
+
+    Object labels ([f1] above) are arbitrary identifiers scoped to one
+    model; they are mapped to fresh ids in declaration order. The
+    printer writes labels [oN] where [N] is the object id, so a
+    print/parse round-trip preserves ids. This format is what the CLI
+    and the example programs read and write. *)
+
+val metamodel_to_string : Metamodel.t -> string
+val model_to_string : Model.t -> string
+
+val parse_metamodel : string -> (Metamodel.t, string) result
+(** Parse a single [metamodel] declaration. Errors carry
+    line/column information. *)
+
+val parse_metamodels : string -> (Metamodel.t list, string) result
+(** Parse a file containing several [metamodel] declarations. *)
+
+val parse_model : Metamodel.t -> string -> (Model.t, string) result
+(** Parse a single [model] declaration against the given metamodel
+    (whose name must match the model's declared metamodel). *)
+
+val parse_models : Metamodel.t list -> string -> (Model.t list, string) result
+(** Parse a file containing several model declarations, resolving each
+    against the metamodel with the matching name. *)

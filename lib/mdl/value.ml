@@ -1,0 +1,50 @@
+type t =
+  | Str of string
+  | Int of int
+  | Bool of bool
+  | Enum of Ident.t
+
+let equal a b =
+  match a, b with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Enum x, Enum y -> Ident.equal x y
+  | (Str _ | Int _ | Bool _ | Enum _), _ -> false
+
+let rank = function Str _ -> 0 | Int _ -> 1 | Bool _ -> 2 | Enum _ -> 3
+
+let compare a b =
+  match a, b with
+  | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Enum x, Enum y -> Ident.compare x y
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Str s -> Hashtbl.hash (0, s)
+  | Int i -> Hashtbl.hash (1, i)
+  | Bool b -> Hashtbl.hash (2, b)
+  | Enum e -> Hashtbl.hash (3, Ident.hash e)
+
+let pp ppf = function
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Bool b -> Format.pp_print_bool ppf b
+  | Enum e -> Ident.pp ppf e
+
+let to_string v = Format.asprintf "%a" pp v
+let str s = Str s
+let int i = Int i
+let bool b = Bool b
+let enum s = Enum (Ident.make s)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,30 @@
+(** Primitive attribute values.
+
+    Models carry typed attribute slots; the value universe is the
+    closed set of primitives below. Enum values are tagged with their
+    literal identifier (the owning enum is known from the metamodel). *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Bool of bool
+  | Enum of Ident.t  (** an enum literal *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Rendering used by the serializer: strings are quoted, other values
+    printed bare. *)
+
+(** Convenience constructors. *)
+
+val str : string -> t
+val int : int -> t
+val bool : bool -> t
+val enum : string -> t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,132 @@
+module Ident = Mdl.Ident
+
+type t = Ast.dependency
+
+let make ~sources ~target =
+  {
+    Ast.dep_sources = List.map Ident.make sources;
+    dep_target = Ident.make target;
+  }
+
+let standard domains =
+  List.map
+    (fun target ->
+      {
+        Ast.dep_sources =
+          List.filter (fun m -> not (Ident.equal m target)) domains;
+        dep_target = target;
+      })
+    domains
+
+let effective (r : Ast.relation) =
+  match r.Ast.r_deps with
+  | [] -> standard (List.map (fun d -> d.Ast.d_model) r.Ast.r_domains)
+  | deps -> deps
+
+let validate ~domains deps =
+  let known m = List.exists (Ident.equal m) domains in
+  let rec go = function
+    | [] -> Ok ()
+    | { Ast.dep_sources; dep_target } :: rest ->
+      if dep_sources = [] then
+        Error
+          (Printf.sprintf "dependency for %s has an empty source set"
+             (Ident.name dep_target))
+      else if not (known dep_target) then
+        Error (Printf.sprintf "dependency target %s is not a domain" (Ident.name dep_target))
+      else if List.exists (fun s -> not (known s)) dep_sources then
+        Error
+          (Printf.sprintf "dependency for %s mentions a non-domain source"
+             (Ident.name dep_target))
+      else if List.exists (Ident.equal dep_target) dep_sources then
+        Error
+          (Printf.sprintf "dependency target %s appears among its sources"
+             (Ident.name dep_target))
+      else go rest
+  in
+  go deps
+
+(* Unit propagation over definite Horn clauses, linear in the total
+   clause size: each clause keeps a counter of not-yet-derived body
+   atoms and is indexed by each body atom; deriving an atom decrements
+   the counters of the clauses watching it. *)
+let closure deps ~sources =
+  let bodies =
+    List.map (fun d -> List.sort_uniq Ident.compare d.Ast.dep_sources) deps
+  in
+  let remaining = Array.of_list (List.map List.length bodies) in
+  let watching : (Ident.t, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i body ->
+      List.iter
+        (fun s ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt watching s) in
+          Hashtbl.replace watching s (i :: cur))
+        body)
+    bodies;
+  let heads = Array.of_list (List.map (fun d -> d.Ast.dep_target) deps) in
+  let derived : (Ident.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let derive m =
+    if not (Hashtbl.mem derived m) then begin
+      Hashtbl.add derived m ();
+      Queue.add m queue
+    end
+  in
+  List.iter derive sources;
+  Array.iteri (fun i r -> if r = 0 then derive heads.(i)) remaining;
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    List.iter
+      (fun i ->
+        remaining.(i) <- remaining.(i) - 1;
+        if remaining.(i) = 0 then derive heads.(i))
+      (Option.value ~default:[] (Hashtbl.find_opt watching m))
+  done;
+  Hashtbl.fold (fun m () acc -> Ident.Set.add m acc) derived Ident.Set.empty
+
+let entails deps (d : t) =
+  (* Inlined closure that stops as soon as the goal is derived,
+     keeping the check linear and typically sub-linear. *)
+  let bodies =
+    List.map (fun dp -> List.sort_uniq Ident.compare dp.Ast.dep_sources) deps
+  in
+  let remaining = Array.of_list (List.map List.length bodies) in
+  let watching : (Ident.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i body ->
+      List.iter
+        (fun s ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt watching s) in
+          Hashtbl.replace watching s (i :: cur))
+        body)
+    bodies;
+  let heads = Array.of_list (List.map (fun dp -> dp.Ast.dep_target) deps) in
+  let goal = d.Ast.dep_target in
+  let derived : (Ident.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let found = ref false in
+  let derive m =
+    if Ident.equal m goal then found := true;
+    if not (Hashtbl.mem derived m) then begin
+      Hashtbl.add derived m ();
+      Queue.add m queue
+    end
+  in
+  List.iter derive d.Ast.dep_sources;
+  Array.iteri (fun i r -> if r = 0 then derive heads.(i)) remaining;
+  while (not !found) && not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    List.iter
+      (fun i ->
+        remaining.(i) <- remaining.(i) - 1;
+        if remaining.(i) = 0 then derive heads.(i))
+      (Option.value ~default:[] (Hashtbl.find_opt watching m))
+  done;
+  !found
+
+let entails_multi deps ~sources ~targets =
+  let derivable = closure deps ~sources in
+  List.for_all (fun t -> Ident.Set.mem t derivable) targets
+
+let pp = Ast.pp_dependency

@@ -1,0 +1,49 @@
+(** Checking dependencies and their entailment (paper §2.2–2.3).
+
+    A dependency [S -> T] is a definite Horn clause over the model
+    parameters of a relation: body [S], head [T]. A relation's
+    semantics is the conjunction of its directional checks, one per
+    dependency; a call of relation [R'] in direction [d] type-checks
+    when [R'] 's dependency set entails [d] ({!entails}) — decidable in
+    linear time by unit propagation, as the paper notes.
+
+    The derived-dependency laws of §2.2 are provided as combinators:
+    {!entails_multi} realises
+    [{M1->M2, M1->M3} |- M1 -> M2 M3] (conjunctive heads) and union
+    bodies are already captured by plain entailment
+    ([{M1->M3, M2->M3} |- M1|M2 -> M3] holds because each disjunct is
+    entailed separately). *)
+
+type t = Ast.dependency
+
+val make : sources:string list -> target:string -> t
+
+val standard : Mdl.Ident.t list -> t list
+(** The full dependency set [⋃ᵢ (dom R \ Mᵢ -> Mᵢ)], which by the
+    paper's conservativity remark reproduces the standard QVT-R
+    checking semantics. *)
+
+val effective : Ast.relation -> t list
+(** The relation's dependency set: its [dependencies] block when
+    non-empty, else {!standard} over its domains' models. *)
+
+val validate : domains:Mdl.Ident.t list -> t list -> (unit, string) result
+(** Each dependency must mention only the relation's model parameters,
+    have a non-empty source set, and not include its target among its
+    sources. *)
+
+val entails : t list -> t -> bool
+(** [entails deps (S -> T)]: starting from the facts [S] and closing
+    under [deps] (unit propagation), is [T] derivable? Runs in time
+    linear in the total size of [deps]. *)
+
+val entails_multi : t list -> sources:Mdl.Ident.t list -> targets:Mdl.Ident.t list -> bool
+(** Conjunctive-head entailment: every target derivable from the
+    sources. [entails_multi deps ~sources:[M1] ~targets:[M2; M3]]
+    is the paper's [{...} |- M1 -> M2 M3]. *)
+
+val closure : t list -> sources:Mdl.Ident.t list -> Mdl.Ident.Set.t
+(** All model parameters derivable from the sources (including the
+    sources themselves). *)
+
+val pp : Format.formatter -> t -> unit

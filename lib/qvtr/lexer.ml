@@ -1,0 +1,175 @@
+type token =
+  | Ident of string
+  | String of string
+  | Int of int
+  | Punct of string
+  | Eof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+exception Error of string
+
+let error lx fmt =
+  Format.kasprintf
+    (fun s ->
+      raise (Error (Printf.sprintf "line %d, col %d: %s" lx.tok_line lx.tok_col s)))
+    fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+    while peek lx <> None && peek lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+    advance lx;
+    advance lx;
+    let rec go () =
+      match (peek lx, peek2 lx) with
+      | Some '*', Some '/' ->
+        advance lx;
+        advance lx
+      | None, _ -> error lx "unterminated comment"
+      | _ ->
+        advance lx;
+        go ()
+    in
+    go ();
+    skip_ws lx
+  | Some _ | None -> ()
+
+let two_char_ops = [ "->"; "<>"; "++"; "**"; "--"; "<="; ">=" ]
+
+let next lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.col;
+  match peek lx with
+  | None -> lx.tok <- Eof
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek lx with Some c -> is_ident_char c | None -> false) do
+      advance lx
+    done;
+    lx.tok <- Ident (String.sub lx.src start (lx.pos - start))
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    lx.tok <- Int (int_of_string (String.sub lx.src start (lx.pos - start)))
+  | Some '-' when (match peek2 lx with Some c -> is_digit c | None -> false) ->
+    advance lx;
+    let start = lx.pos in
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    lx.tok <- Int (-int_of_string (String.sub lx.src start (lx.pos - start)))
+  | Some '"' ->
+    advance lx;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek lx with
+      | None -> error lx "unterminated string literal"
+      | Some '"' -> advance lx
+      | Some '\\' ->
+        advance lx;
+        (match peek lx with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> error lx "unterminated escape");
+        advance lx;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+    in
+    go ();
+    lx.tok <- String (Buffer.contents buf)
+  | Some c ->
+    let two =
+      match peek2 lx with
+      | Some c2 ->
+        let s = Printf.sprintf "%c%c" c c2 in
+        if List.mem s two_char_ops then Some s else None
+      | None -> None
+    in
+    (match two with
+    | Some op ->
+      advance lx;
+      advance lx;
+      lx.tok <- Punct op
+    | None ->
+      advance lx;
+      lx.tok <- Punct (String.make 1 c))
+
+let make src =
+  let lx =
+    { src; pos = 0; line = 1; col = 1; tok = Eof; tok_line = 1; tok_col = 1 }
+  in
+  next lx;
+  lx
+
+let token lx = lx.tok
+let position lx = (lx.tok_line, lx.tok_col)
+
+type snapshot = {
+  s_pos : int;
+  s_line : int;
+  s_col : int;
+  s_tok : token;
+  s_tok_line : int;
+  s_tok_col : int;
+}
+
+let snapshot lx =
+  {
+    s_pos = lx.pos;
+    s_line = lx.line;
+    s_col = lx.col;
+    s_tok = lx.tok;
+    s_tok_line = lx.tok_line;
+    s_tok_col = lx.tok_col;
+  }
+
+let restore lx s =
+  lx.pos <- s.s_pos;
+  lx.line <- s.s_line;
+  lx.col <- s.s_col;
+  lx.tok <- s.s_tok;
+  lx.tok_line <- s.s_tok_line;
+  lx.tok_col <- s.s_tok_col

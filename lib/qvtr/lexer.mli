@@ -1,0 +1,39 @@
+(** Lexer for the QVT-R concrete syntax (shared by {!Parser}).
+
+    Tokens cover the textual fragment of QVT-R the paper uses plus the
+    [dependencies] extension: identifiers, string/integer literals,
+    [#lit] enum literals, punctuation and multi-character operators
+    ([->], [<>], [++], [**], [--], [@]). Line comments start with
+    [//], block comments are [/* ... */]. *)
+
+type token =
+  | Ident of string
+  | String of string
+  | Int of int
+  | Punct of string
+  | Eof
+
+type t
+
+exception Error of string
+(** Carries "line L, col C: message". *)
+
+val make : string -> t
+val token : t -> token
+(** Current token. *)
+
+val next : t -> unit
+(** Advance. *)
+
+val position : t -> int * int
+(** (line, column) of the current token. *)
+
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} at the current position. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the lexer state for bounded lookahead. *)
+
+val restore : t -> snapshot -> unit

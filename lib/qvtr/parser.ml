@@ -1,0 +1,435 @@
+module Ident = Mdl.Ident
+
+let expect_punct lx p =
+  match Lexer.token lx with
+  | Lexer.Punct q when q = p -> Lexer.next lx
+  | _ -> Lexer.error lx "expected '%s'" p
+
+let accept_punct lx p =
+  match Lexer.token lx with
+  | Lexer.Punct q when q = p ->
+    Lexer.next lx;
+    true
+  | _ -> false
+
+let expect_kw lx kw =
+  match Lexer.token lx with
+  | Lexer.Ident id when id = kw -> Lexer.next lx
+  | _ -> Lexer.error lx "expected keyword '%s'" kw
+
+let accept_kw lx kw =
+  match Lexer.token lx with
+  | Lexer.Ident id when id = kw ->
+    Lexer.next lx;
+    true
+  | _ -> false
+
+let expect_ident lx =
+  match Lexer.token lx with
+  | Lexer.Ident id ->
+    Lexer.next lx;
+    id
+  | _ -> Lexer.error lx "expected identifier"
+
+let peek_ident lx =
+  match Lexer.token lx with Lexer.Ident id -> Some id | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+(* primary := literal | #lit | ident [@ model] | ( expr )
+   postfix := primary { . ident }
+   expr    := postfix { (++|**|--) postfix }                        *)
+let rec parse_oexpr lx : Ast.oexpr =
+  let lhs = parse_postfix lx in
+  parse_binops lx lhs
+
+and parse_binops lx lhs =
+  match Lexer.token lx with
+  | Lexer.Punct "++" ->
+    Lexer.next lx;
+    parse_binops lx (Ast.O_union (lhs, parse_postfix lx))
+  | Lexer.Punct "**" ->
+    Lexer.next lx;
+    parse_binops lx (Ast.O_inter (lhs, parse_postfix lx))
+  | Lexer.Punct "--" ->
+    Lexer.next lx;
+    parse_binops lx (Ast.O_diff (lhs, parse_postfix lx))
+  | _ -> lhs
+
+and parse_postfix lx =
+  let e = ref (parse_primary lx) in
+  while accept_punct lx "." do
+    let f = expect_ident lx in
+    e := Ast.O_nav (!e, Ident.make f)
+  done;
+  !e
+
+and parse_primary lx =
+  match Lexer.token lx with
+  | Lexer.String s ->
+    Lexer.next lx;
+    Ast.O_str s
+  | Lexer.Int i ->
+    Lexer.next lx;
+    Ast.O_int i
+  | Lexer.Punct "#" ->
+    Lexer.next lx;
+    Ast.O_enum (Ident.make (expect_ident lx))
+  | Lexer.Punct "(" ->
+    Lexer.next lx;
+    let e = parse_oexpr lx in
+    expect_punct lx ")";
+    e
+  | Lexer.Ident "true" ->
+    Lexer.next lx;
+    Ast.O_bool true
+  | Lexer.Ident "false" ->
+    Lexer.next lx;
+    Ast.O_bool false
+  | Lexer.Ident id ->
+    Lexer.next lx;
+    if accept_punct lx "@" then
+      let model = expect_ident lx in
+      Ast.O_all (Ident.make model, Ident.make id)
+    else Ast.O_var (Ident.make id)
+  | _ -> Lexer.error lx "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+(* pred    := orpred [implies pred]
+   orpred  := andpred { or andpred }
+   andpred := atom { and atom }
+   atom    := not atom | empty e | nonempty e | ( pred )
+            | Name(args) | e (=|<>|in) e                            *)
+let rec parse_pred lx : Ast.pred =
+  let lhs = parse_or lx in
+  if accept_kw lx "implies" then Ast.P_implies (lhs, parse_pred lx) else lhs
+
+and parse_or lx =
+  let lhs = ref (parse_and lx) in
+  while accept_kw lx "or" do
+    lhs := Ast.P_or (!lhs, parse_and lx)
+  done;
+  !lhs
+
+and parse_and lx =
+  let lhs = ref (parse_atom lx) in
+  while accept_kw lx "and" do
+    lhs := Ast.P_and (!lhs, parse_atom lx)
+  done;
+  !lhs
+
+and parse_atom lx =
+  match Lexer.token lx with
+  | Lexer.Ident "not" ->
+    Lexer.next lx;
+    Ast.P_not (parse_atom lx)
+  | Lexer.Ident "empty" ->
+    Lexer.next lx;
+    Ast.P_empty (parse_oexpr lx)
+  | Lexer.Ident "nonempty" ->
+    Lexer.next lx;
+    Ast.P_nonempty (parse_oexpr lx)
+  | Lexer.Ident "true" when not (is_comparison_ahead lx) ->
+    Lexer.next lx;
+    Ast.P_true
+  | Lexer.Punct "(" ->
+    (* Ambiguity: '(' may open a parenthesised predicate or a
+       parenthesised expression that is the left side of a comparison
+       ("(a ++ b) = c"). Try the predicate reading first and backtrack
+       to the comparison reading on failure. *)
+    let save = Lexer.snapshot lx in
+    (try
+       Lexer.next lx;
+       let p = parse_pred lx in
+       expect_punct lx ")";
+       p
+     with Lexer.Error _ ->
+       Lexer.restore lx save;
+       parse_comparison lx)
+  | Lexer.Ident name when is_call_ahead lx ->
+    Lexer.next lx;
+    expect_punct lx "(";
+    let rec args acc =
+      let a = expect_ident lx in
+      if accept_punct lx "," then args (Ident.make a :: acc)
+      else begin
+        expect_punct lx ")";
+        List.rev (Ident.make a :: acc)
+      end
+    in
+    Ast.P_call (Ident.make name, args [])
+  | _ -> parse_comparison lx
+
+and parse_comparison lx =
+    let a = parse_oexpr lx in
+    (match Lexer.token lx with
+    | Lexer.Punct "=" ->
+      Lexer.next lx;
+      Ast.P_eq (a, parse_oexpr lx)
+    | Lexer.Punct "<>" ->
+      Lexer.next lx;
+      Ast.P_neq (a, parse_oexpr lx)
+    | Lexer.Ident "in" ->
+      Lexer.next lx;
+      Ast.P_in (a, parse_oexpr lx)
+    | Lexer.Punct "<" ->
+      Lexer.next lx;
+      Ast.P_lt (a, parse_oexpr lx)
+    | Lexer.Punct "<=" ->
+      Lexer.next lx;
+      Ast.P_le (a, parse_oexpr lx)
+    | Lexer.Punct ">" ->
+      Lexer.next lx;
+      let b = parse_oexpr lx in
+      Ast.P_lt (b, a)
+    | Lexer.Punct ">=" ->
+      Lexer.next lx;
+      let b = parse_oexpr lx in
+      Ast.P_le (b, a)
+    | _ -> Lexer.error lx "expected a comparison ('=', '<>', 'in', '<', ...)")
+
+(* One-token lookahead helpers on the raw source: a relation call is
+   Ident '(' with capitalized... we cannot re-peek beyond the current
+   token with this lexer, so clone it. *)
+and is_call_ahead lx =
+  match Lexer.token lx with
+  | Lexer.Ident _ ->
+    let save = Lexer.snapshot lx in
+    Lexer.next lx;
+    let is_call = Lexer.token lx = Lexer.Punct "(" in
+    Lexer.restore lx save;
+    is_call
+  | _ -> false
+
+and is_comparison_ahead lx =
+  let save = Lexer.snapshot lx in
+  Lexer.next lx;
+  let ahead =
+    match Lexer.token lx with
+    | Lexer.Punct ("=" | "<>" | "." | "++" | "**" | "--" | "<" | "<=" | ">" | ">=") ->
+      true
+    | Lexer.Ident "in" -> true
+    | _ -> false
+  in
+  Lexer.restore lx save;
+  ahead
+
+(* ------------------------------------------------------------------ *)
+(* Templates and domains                                               *)
+
+let rec parse_template lx : Ast.template =
+  let v = expect_ident lx in
+  expect_punct lx ":";
+  let cls = expect_ident lx in
+  expect_punct lx "{";
+  let props = ref [] in
+  if not (accept_punct lx "}") then begin
+    let rec go () =
+      let f = expect_ident lx in
+      expect_punct lx "=";
+      (* Lookahead: ident ':' starts a nested template. *)
+      let is_template =
+        match Lexer.token lx with
+        | Lexer.Ident _ ->
+          let save = Lexer.snapshot lx in
+          Lexer.next lx;
+          let r = Lexer.token lx = Lexer.Punct ":" in
+          Lexer.restore lx save;
+          r
+        | _ -> false
+      in
+      let value =
+        if is_template then Ast.PV_template (parse_template lx)
+        else Ast.PV_expr (parse_oexpr lx)
+      in
+      props := { Ast.p_feature = Ident.make f; p_value = value } :: !props;
+      if accept_punct lx "," then go () else expect_punct lx "}"
+    in
+    go ()
+  end;
+  { Ast.t_var = Ident.make v; t_class = Ident.make cls; t_props = List.rev !props }
+
+let parse_domain lx ~enforceable =
+  expect_kw lx "domain";
+  let model = expect_ident lx in
+  let tpl = parse_template lx in
+  expect_punct lx ";";
+  { Ast.d_model = Ident.make model; d_template = tpl; d_enforceable = enforceable }
+
+(* ------------------------------------------------------------------ *)
+(* Variable declarations                                               *)
+
+let parse_var_type lx : Ast.var_type =
+  let id = expect_ident lx in
+  if accept_punct lx "@" then
+    let model = expect_ident lx in
+    Ast.T_class (Ident.make model, Ident.make id)
+  else
+    match id with
+    | "String" -> Ast.T_string
+    | "Integer" -> Ast.T_int
+    | "Boolean" -> Ast.T_bool
+    | other -> Ast.T_enum (Ident.make other)
+
+(* ------------------------------------------------------------------ *)
+(* Relations and transformations                                       *)
+
+let parse_pred_block lx =
+  expect_punct lx "{";
+  let preds = ref [] in
+  if not (accept_punct lx "}") then begin
+    let rec go () =
+      preds := parse_pred lx :: !preds;
+      if accept_punct lx ";" then begin
+        if accept_punct lx "}" then () else go ()
+      end
+      else expect_punct lx "}"
+    in
+    go ()
+  end;
+  List.rev !preds
+
+let parse_dependencies lx =
+  expect_punct lx "{";
+  let deps = ref [] in
+  if not (accept_punct lx "}") then begin
+    let rec go () =
+      let rec sources acc =
+        let s = expect_ident lx in
+        if accept_punct lx "->" then List.rev (s :: acc) else sources (s :: acc)
+      in
+      let srcs = sources [] in
+      let target = expect_ident lx in
+      deps :=
+        {
+          Ast.dep_sources = List.map Ident.make srcs;
+          dep_target = Ident.make target;
+        }
+        :: !deps;
+      if accept_punct lx ";" then begin
+        if accept_punct lx "}" then () else go ()
+      end
+      else expect_punct lx "}"
+    in
+    go ()
+  end;
+  List.rev !deps
+
+let parse_relation lx ~top =
+  expect_kw lx "relation";
+  let name = expect_ident lx in
+  expect_punct lx "{";
+  let vars = ref [] and domains = ref [] and prims = ref [] in
+  let when_ = ref [] and where = ref [] and deps = ref [] in
+  let rec body () =
+    match Lexer.token lx with
+    | Lexer.Punct "}" -> Lexer.next lx
+    | Lexer.Ident "checkonly" ->
+      Lexer.next lx;
+      domains := parse_domain lx ~enforceable:false :: !domains;
+      body ()
+    | Lexer.Ident "enforce" ->
+      Lexer.next lx;
+      domains := parse_domain lx ~enforceable:true :: !domains;
+      body ()
+    | Lexer.Ident "primitive" ->
+      Lexer.next lx;
+      expect_kw lx "domain";
+      let v = expect_ident lx in
+      expect_punct lx ":";
+      let ty = parse_var_type lx in
+      expect_punct lx ";";
+      prims := (Ident.make v, ty) :: !prims;
+      body ()
+    | Lexer.Ident "domain" ->
+      domains := parse_domain lx ~enforceable:true :: !domains;
+      body ()
+    | Lexer.Ident "when" ->
+      Lexer.next lx;
+      when_ := parse_pred_block lx;
+      body ()
+    | Lexer.Ident "where" ->
+      Lexer.next lx;
+      where := parse_pred_block lx;
+      body ()
+    | Lexer.Ident "dependencies" ->
+      Lexer.next lx;
+      deps := parse_dependencies lx;
+      body ()
+    | Lexer.Ident _ ->
+      (* variable declaration: v : Type ; *)
+      let v = expect_ident lx in
+      expect_punct lx ":";
+      let ty = parse_var_type lx in
+      expect_punct lx ";";
+      vars := (Ident.make v, ty) :: !vars;
+      body ()
+    | _ -> Lexer.error lx "expected a relation member or '}'"
+  in
+  body ();
+  {
+    Ast.r_name = Ident.make name;
+    r_top = top;
+    r_vars = List.rev !vars;
+    r_prims = List.rev !prims;
+    r_domains = List.rev !domains;
+    r_when = !when_;
+    r_where = !where;
+    r_deps = !deps;
+  }
+
+let parse_transformation lx =
+  expect_kw lx "transformation";
+  let name = expect_ident lx in
+  expect_punct lx "(";
+  let rec params acc =
+    let p = expect_ident lx in
+    expect_punct lx ":";
+    let mm = expect_ident lx in
+    let acc = (Ident.make p, Ident.make mm) :: acc in
+    if accept_punct lx "," then params acc
+    else begin
+      expect_punct lx ")";
+      List.rev acc
+    end
+  in
+  let params = params [] in
+  expect_punct lx "{";
+  let relations = ref [] in
+  let rec decls () =
+    if accept_kw lx "top" then begin
+      relations := parse_relation lx ~top:true :: !relations;
+      decls ()
+    end
+    else if peek_ident lx = Some "relation" then begin
+      relations := parse_relation lx ~top:false :: !relations;
+      decls ()
+    end
+    else expect_punct lx "}"
+  in
+  decls ();
+  {
+    Ast.t_name = Ident.make name;
+    t_params = params;
+    t_relations = List.rev !relations;
+  }
+
+let parse src =
+  try
+    let lx = Lexer.make src in
+    let t = parse_transformation lx in
+    (match Lexer.token lx with
+    | Lexer.Eof -> ()
+    | _ -> Lexer.error lx "trailing input");
+    Ok t
+  with Lexer.Error msg -> Error msg
+
+let parse_exn src =
+  match parse src with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)
+
+let to_string t = Format.asprintf "%a" Ast.pp_transformation t

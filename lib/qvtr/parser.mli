@@ -1,0 +1,31 @@
+(** Parser for the QVT-R concrete syntax, including the paper's
+    proposed [dependencies] block. Grammar sketch:
+
+    {v
+    transformation T(p1 : MM1, ..., pn : MMn) {
+      [top] relation R {
+        v : String;  w : Class@p1;            // shared variables
+        [checkonly|enforce] domain p1 x : C { f = expr, r = y : D {...} };
+        ...
+        [when  { pred; ... }]
+        [where { pred; ... }]
+        [dependencies { p1 p2 -> p3; ... }]    // paper §2.2 extension
+      }
+      ...
+    }
+    v}
+
+    Expressions: literals ("s", 42, true, #lit), variables, [C@p]
+    (allInstances), navigation [e.f], set operators [++] (union),
+    [**] (intersection), [--] (difference). Predicates: [=], [<>],
+    [in], [empty e], [nonempty e], [not], [and], [or], [implies],
+    relation calls [R(x, y, z)], parentheses. *)
+
+val parse : string -> (Ast.transformation, string) result
+(** Parse a single transformation. Error messages carry positions. *)
+
+val parse_exn : string -> Ast.transformation
+
+val to_string : Ast.transformation -> string
+(** Render back to concrete syntax ({!Ast.pp_transformation}); the
+    output re-parses to an equal AST. *)

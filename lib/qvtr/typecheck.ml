@@ -1,0 +1,509 @@
+module Ident = Mdl.Ident
+module MM = Mdl.Metamodel
+
+type tyenv = Ast.var_type Ident.Map.t
+
+type info = {
+  i_trans : Ast.transformation;
+  i_mms : MM.t Ident.Map.t;  (* param -> metamodel *)
+  i_tyenvs : tyenv Ident.Map.t;  (* relation -> env *)
+}
+
+let tyenv info r =
+  match Ident.Map.find_opt r info.i_tyenvs with
+  | Some env -> env
+  | None -> raise Not_found
+
+let metamodel_of_param info p = Ident.Map.find p info.i_mms
+
+type error = {
+  err_relation : Ident.t option;
+  err_msg : string;
+}
+
+let pp_error ppf e =
+  match e.err_relation with
+  | Some r -> Format.fprintf ppf "relation %a: %s" Ident.pp r e.err_msg
+  | None -> Format.fprintf ppf "%s" e.err_msg
+
+(* ------------------------------------------------------------------ *)
+(* Type algebra                                                        *)
+
+let pp_ty ppf = function
+  | Ast.T_string -> Format.pp_print_string ppf "String"
+  | Ast.T_int -> Format.pp_print_string ppf "Integer"
+  | Ast.T_bool -> Format.pp_print_string ppf "Boolean"
+  | Ast.T_enum e -> Ident.pp ppf e
+  | Ast.T_class (p, c) -> Format.fprintf ppf "%a@@%a" Ident.pp c Ident.pp p
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty
+
+(* [compatible mm a b]: can values of [a] and [b] be compared /
+   unioned?  Classes must live in the same model parameter and be
+   related by inheritance; the join is the more general class. *)
+let compatible mms a b =
+  match (a, b) with
+  | Ast.T_string, Ast.T_string -> Some Ast.T_string
+  | Ast.T_int, Ast.T_int -> Some Ast.T_int
+  | Ast.T_bool, Ast.T_bool -> Some Ast.T_bool
+  | Ast.T_enum x, Ast.T_enum y when Ident.equal x y -> Some (Ast.T_enum x)
+  | Ast.T_class (p, c), Ast.T_class (q, d) when Ident.equal p q -> (
+    match Ident.Map.find_opt p mms with
+    | None -> None
+    | Some mm ->
+      if MM.is_subclass mm ~sub:c ~super:d then Some (Ast.T_class (p, d))
+      else if MM.is_subclass mm ~sub:d ~super:c then Some (Ast.T_class (p, c))
+      else None)
+  | _ -> None
+
+let prim_of_attr_type (t : MM.prim) =
+  match t with
+  | MM.P_string -> Ast.T_string
+  | MM.P_int -> Ast.T_int
+  | MM.P_bool -> Ast.T_bool
+  | MM.P_enum e -> Ast.T_enum e
+
+(* ------------------------------------------------------------------ *)
+(* Expression inference                                                *)
+
+let rec infer mms (env : tyenv) (e : Ast.oexpr) : (Ast.var_type, string) result =
+  let ( let* ) = Result.bind in
+  match e with
+  | Ast.O_var v -> (
+    match Ident.Map.find_opt v env with
+    | Some ty -> Ok ty
+    | None -> Error (Printf.sprintf "unbound variable %s" (Ident.name v)))
+  | Ast.O_str _ -> Ok Ast.T_string
+  | Ast.O_int _ -> Ok Ast.T_int
+  | Ast.O_bool _ -> Ok Ast.T_bool
+  | Ast.O_enum lit -> (
+    (* Find the (unique) enum declaring this literal. *)
+    let owners =
+      Ident.Map.fold
+        (fun _ mm acc ->
+          List.fold_left
+            (fun acc (en : MM.enum) ->
+              if List.exists (Ident.equal lit) en.MM.enum_literals then
+                Ident.Set.add en.MM.enum_name acc
+              else acc)
+            acc (MM.enums mm))
+        mms Ident.Set.empty
+    in
+    match Ident.Set.elements owners with
+    | [ e ] -> Ok (Ast.T_enum e)
+    | [] -> Error (Printf.sprintf "unknown enum literal %s" (Ident.name lit))
+    | _ -> Error (Printf.sprintf "ambiguous enum literal %s" (Ident.name lit)))
+  | Ast.O_all (p, c) -> (
+    match Ident.Map.find_opt p mms with
+    | None -> Error (Printf.sprintf "unknown model parameter %s" (Ident.name p))
+    | Some mm ->
+      if MM.find_class mm c = None then
+        Error
+          (Printf.sprintf "unknown class %s in metamodel of %s" (Ident.name c)
+             (Ident.name p))
+      else Ok (Ast.T_class (p, c)))
+  | Ast.O_nav (e, f) -> (
+    let* ty = infer mms env e in
+    match ty with
+    | Ast.T_class (p, c) -> (
+      let mm = Ident.Map.find p mms in
+      match MM.find_attribute mm c f with
+      | Some a -> Ok (prim_of_attr_type a.MM.attr_type)
+      | None -> (
+        match MM.find_reference mm c f with
+        | Some r -> Ok (Ast.T_class (p, r.MM.ref_target))
+        | None ->
+          Error
+            (Printf.sprintf "class %s has no feature %s" (Ident.name c)
+               (Ident.name f))))
+    | other ->
+      Error
+        (Printf.sprintf "navigation .%s on non-object type %s" (Ident.name f)
+           (ty_to_string other)))
+  | Ast.O_union (a, b) | Ast.O_inter (a, b) | Ast.O_diff (a, b) -> (
+    let* ta = infer mms env a in
+    let* tb = infer mms env b in
+    match compatible mms ta tb with
+    | Some ty -> Ok ty
+    | None ->
+      Error
+        (Printf.sprintf "set operation over incompatible types %s and %s"
+           (ty_to_string ta) (ty_to_string tb)))
+
+(* ------------------------------------------------------------------ *)
+(* Environment construction                                            *)
+
+let rec bind_template errors mms p mm (env : tyenv ref) (tpl : Ast.template) add_err =
+  (match MM.find_class mm tpl.Ast.t_class with
+  | None ->
+    add_err
+      (Printf.sprintf "unknown class %s in metamodel of %s" (Ident.name tpl.Ast.t_class)
+         (Ident.name p))
+  | Some _ -> ());
+  (match Ident.Map.find_opt tpl.Ast.t_var !env with
+  | Some _ ->
+    add_err (Printf.sprintf "variable %s bound twice" (Ident.name tpl.Ast.t_var))
+  | None -> env := Ident.Map.add tpl.Ast.t_var (Ast.T_class (p, tpl.Ast.t_class)) !env);
+  List.iter
+    (fun (prop : Ast.property) ->
+      match prop.Ast.p_value with
+      | Ast.PV_expr _ -> ()
+      | Ast.PV_template nested -> bind_template errors mms p mm env nested add_err)
+    tpl.Ast.t_props
+
+(* ------------------------------------------------------------------ *)
+(* Pattern / predicate checking                                        *)
+
+let check_template mms env p mm (tpl : Ast.template) add_err =
+  let rec go (tpl : Ast.template) =
+    match MM.find_class mm tpl.Ast.t_class with
+    | None -> ()  (* already reported *)
+    | Some _ ->
+      List.iter
+        (fun (prop : Ast.property) ->
+          let f = prop.Ast.p_feature in
+          let attr = MM.find_attribute mm tpl.Ast.t_class f in
+          let refr = MM.find_reference mm tpl.Ast.t_class f in
+          match (attr, refr, prop.Ast.p_value) with
+          | None, None, _ ->
+            add_err
+              (Printf.sprintf "class %s has no feature %s" (Ident.name tpl.Ast.t_class)
+                 (Ident.name f))
+          | Some a, _, Ast.PV_expr e -> (
+            match infer mms env e with
+            | Error msg -> add_err msg
+            | Ok ty -> (
+              let want = prim_of_attr_type a.MM.attr_type in
+              match compatible mms ty want with
+              | Some _ -> ()
+              | None ->
+                add_err
+                  (Printf.sprintf "attribute %s expects %s, pattern gives %s"
+                     (Ident.name f) (ty_to_string want) (ty_to_string ty))))
+          | Some _, _, Ast.PV_template _ ->
+            add_err
+              (Printf.sprintf "attribute %s cannot match an object template"
+                 (Ident.name f))
+          | None, Some r, Ast.PV_expr e -> (
+            match infer mms env e with
+            | Error msg -> add_err msg
+            | Ok ty -> (
+              match compatible mms ty (Ast.T_class (p, r.MM.ref_target)) with
+              | Some _ -> ()
+              | None ->
+                add_err
+                  (Printf.sprintf "reference %s expects %s, pattern gives %s"
+                     (Ident.name f)
+                     (Ident.name r.MM.ref_target)
+                     (ty_to_string ty))))
+          | None, Some r, Ast.PV_template nested ->
+            (match compatible mms
+                     (Ast.T_class (p, nested.Ast.t_class))
+                     (Ast.T_class (p, r.MM.ref_target))
+             with
+            | Some _ -> ()
+            | None ->
+              add_err
+                (Printf.sprintf "nested template class %s does not conform to %s"
+                   (Ident.name nested.Ast.t_class)
+                   (Ident.name r.MM.ref_target)));
+            go nested)
+        tpl.Ast.t_props
+  in
+  go tpl
+
+let rec check_pred mms env (trans : Ast.transformation) (pred : Ast.pred) add_err =
+  let chk e = match infer mms env e with Error m -> add_err m; None | Ok t -> Some t in
+  match pred with
+  | Ast.P_true -> ()
+  | Ast.P_eq (a, b) | Ast.P_neq (a, b) | Ast.P_in (a, b) -> (
+    match (chk a, chk b) with
+    | Some ta, Some tb ->
+      if compatible mms ta tb = None then
+        add_err
+          (Printf.sprintf "comparison between incompatible types %s and %s"
+             (ty_to_string ta) (ty_to_string tb))
+    | _ -> ())
+  | Ast.P_lt (a, b) | Ast.P_le (a, b) -> (
+    match (chk a, chk b) with
+    | Some Ast.T_int, Some Ast.T_int -> ()
+    | Some ta, Some tb ->
+      add_err
+        (Printf.sprintf "integer comparison between %s and %s" (ty_to_string ta)
+           (ty_to_string tb))
+    | _ -> ())
+  | Ast.P_empty a | Ast.P_nonempty a -> ignore (chk a)
+  | Ast.P_not p -> check_pred mms env trans p add_err
+  | Ast.P_and (a, b) | Ast.P_or (a, b) | Ast.P_implies (a, b) ->
+    check_pred mms env trans a add_err;
+    check_pred mms env trans b add_err
+  | Ast.P_call (callee, args) -> (
+    match Ast.find_relation trans callee with
+    | None -> add_err (Printf.sprintf "call to unknown relation %s" (Ident.name callee))
+    | Some s ->
+      let domains = s.Ast.r_domains in
+      let prims = s.Ast.r_prims in
+      let expected = List.length domains + List.length prims in
+      if List.length args <> expected then
+        add_err
+          (Printf.sprintf "call to %s expects %d arguments, got %d" (Ident.name callee)
+             expected (List.length args))
+      else begin
+        (* positional: model-domain roots first, then primitive domains *)
+        let rec split n = function
+          | xs when n = 0 -> ([], xs)
+          | x :: xs ->
+            let a, b = split (n - 1) xs in
+            (x :: a, b)
+          | [] -> ([], [])
+        in
+        let dom_args, prim_args = split (List.length domains) args in
+        let check_arg arg want =
+          match Ident.Map.find_opt arg env with
+          | None -> add_err (Printf.sprintf "unbound variable %s" (Ident.name arg))
+          | Some ty -> (
+            match compatible mms ty want with
+            | Some _ -> ()
+            | None ->
+              add_err
+                (Printf.sprintf "argument %s of call to %s: expected %s, got %s"
+                   (Ident.name arg) (Ident.name callee) (ty_to_string want)
+                   (ty_to_string ty)))
+        in
+        List.iter2
+          (fun arg (d : Ast.domain) ->
+            check_arg arg (Ast.T_class (d.Ast.d_model, d.Ast.d_template.Ast.t_class)))
+          dom_args domains;
+        List.iter2 (fun arg (_, ty) -> check_arg arg ty) prim_args prims
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Call-direction compatibility (paper §2.3)                           *)
+
+let direction_errors (trans : Ast.transformation) add_err =
+  let dom_of (r : Ast.relation) = List.map (fun d -> d.Ast.d_model) r.Ast.r_domains in
+  List.iter
+    (fun (r : Ast.relation) ->
+      let deps_r = Dependency.effective r in
+      let callees_of preds =
+        List.concat_map
+          (fun p ->
+            let rec calls (p : Ast.pred) acc =
+              match p with
+              | Ast.P_call (name, _) -> name :: acc
+              | Ast.P_not q -> calls q acc
+              | Ast.P_and (a, b) | Ast.P_or (a, b) | Ast.P_implies (a, b) ->
+                calls a (calls b acc)
+              | Ast.P_true | Ast.P_eq _ | Ast.P_neq _ | Ast.P_in _ | Ast.P_lt _
+              | Ast.P_le _ | Ast.P_empty _ | Ast.P_nonempty _ -> acc
+            in
+            calls p [])
+          preds
+      in
+      let check_where_call callee =
+        match Ast.find_relation trans callee with
+        | None -> ()  (* reported elsewhere *)
+        | Some s ->
+          let dom_s = dom_of s in
+          let deps_s = Dependency.effective s in
+          List.iter
+            (fun (d : Ast.dependency) ->
+              if List.exists (Ident.equal d.Ast.dep_target) dom_s then begin
+                let sources' =
+                  List.filter
+                    (fun m -> List.exists (Ident.equal m) dom_s)
+                    d.Ast.dep_sources
+                in
+                let projected =
+                  { Ast.dep_sources = sources'; dep_target = d.Ast.dep_target }
+                in
+                if not (Dependency.entails deps_s projected) then
+                  add_err
+                    (Printf.sprintf
+                       "where-call to %s cannot run in direction %s: callee \
+                        dependencies do not entail %s"
+                       (Ident.name callee)
+                       (Format.asprintf "%a" Ast.pp_dependency d)
+                       (Format.asprintf "%a" Ast.pp_dependency projected))
+              end
+              else if
+                (* The callee constrains none of its domains towards the
+                   caller's target; it must then be entirely a source-side
+                   relation for this direction. *)
+                not
+                  (List.for_all
+                     (fun m -> List.exists (Ident.equal m) d.Ast.dep_sources)
+                     dom_s)
+              then
+                add_err
+                  (Printf.sprintf
+                     "where-call to %s in direction %s: callee has no %s domain and \
+                      reads non-source models"
+                     (Ident.name callee)
+                     (Format.asprintf "%a" Ast.pp_dependency d)
+                     (Ident.name d.Ast.dep_target)))
+            deps_r
+      in
+      let check_when_call callee =
+        match Ast.find_relation trans callee with
+        | None -> ()
+        | Some s ->
+          let dom_s = dom_of s in
+          List.iter
+            (fun (d : Ast.dependency) ->
+              if
+                not
+                  (List.for_all
+                     (fun m -> List.exists (Ident.equal m) d.Ast.dep_sources)
+                     dom_s)
+              then
+                add_err
+                  (Printf.sprintf
+                     "when-call to %s in direction %s reads models outside the \
+                      source set"
+                     (Ident.name callee)
+                     (Format.asprintf "%a" Ast.pp_dependency d)))
+            deps_r
+      in
+      List.iter check_where_call (callees_of r.Ast.r_where);
+      List.iter check_when_call (callees_of r.Ast.r_when))
+    trans.Ast.t_relations
+
+(* Call-graph cycle detection. *)
+let recursion_errors (trans : Ast.transformation) add_err =
+  let calls_of (r : Ast.relation) =
+    let rec calls (p : Ast.pred) acc =
+      match p with
+      | Ast.P_call (name, _) -> Ident.Set.add name acc
+      | Ast.P_not q -> calls q acc
+      | Ast.P_and (a, b) | Ast.P_or (a, b) | Ast.P_implies (a, b) ->
+        calls a (calls b acc)
+      | Ast.P_true | Ast.P_eq _ | Ast.P_neq _ | Ast.P_in _ | Ast.P_lt _ | Ast.P_le _
+      | Ast.P_empty _ | Ast.P_nonempty _ -> acc
+    in
+    List.fold_left
+      (fun acc p -> calls p acc)
+      Ident.Set.empty
+      (r.Ast.r_when @ r.Ast.r_where)
+  in
+  let graph =
+    List.fold_left
+      (fun acc (r : Ast.relation) -> Ident.Map.add r.Ast.r_name (calls_of r) acc)
+      Ident.Map.empty trans.Ast.t_relations
+  in
+  let rec reaches target seen r =
+    match Ident.Map.find_opt r graph with
+    | None -> false
+    | Some callees ->
+      Ident.Set.exists
+        (fun c ->
+          Ident.equal c target
+          || ((not (Ident.Set.mem c seen)) && reaches target (Ident.Set.add c seen) c))
+        callees
+  in
+  List.iter
+    (fun (r : Ast.relation) ->
+      if reaches r.Ast.r_name Ident.Set.empty r.Ast.r_name then
+        add_err
+          (Printf.sprintf "relation %s is recursively invoked (unsupported; see \
+                           Semantics unrolling)"
+             (Ident.name r.Ast.r_name)))
+    trans.Ast.t_relations
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+
+let check ?(allow_recursion = false) (trans : Ast.transformation) ~metamodels =
+  let errors = ref [] in
+  let add_err_for rel msg =
+    errors := { err_relation = rel; err_msg = msg } :: !errors
+  in
+  (* Parameters. *)
+  let mms =
+    List.fold_left
+      (fun acc (p, mm_name) ->
+        match List.find_opt (fun (n, _) -> Ident.equal n mm_name) metamodels with
+        | Some (_, mm) -> Ident.Map.add p mm acc
+        | None ->
+          add_err_for None
+            (Printf.sprintf "parameter %s: unknown metamodel %s" (Ident.name p)
+               (Ident.name mm_name));
+          acc)
+      Ident.Map.empty trans.Ast.t_params
+  in
+  (* Duplicate parameter / relation names. *)
+  let dup what names =
+    let sorted = List.sort Ident.compare names in
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        if Ident.equal a b then
+          add_err_for None (Printf.sprintf "duplicate %s %s" what (Ident.name a));
+        go rest
+      | [ _ ] | [] -> ()
+    in
+    go sorted
+  in
+  dup "model parameter" (List.map fst trans.Ast.t_params);
+  dup "relation" (List.map (fun (r : Ast.relation) -> r.Ast.r_name) trans.Ast.t_relations);
+  (* Per-relation environment + checks. *)
+  let tyenvs =
+    List.fold_left
+      (fun acc (r : Ast.relation) ->
+        let add_err msg = add_err_for (Some r.Ast.r_name) msg in
+        (* Domains name distinct declared parameters. *)
+        let domain_models = List.map (fun (d : Ast.domain) -> d.Ast.d_model) r.Ast.r_domains in
+        dup "domain" domain_models;
+        List.iter
+          (fun m ->
+            if not (List.exists (fun (p, _) -> Ident.equal p m) trans.Ast.t_params)
+            then add_err (Printf.sprintf "domain over unknown parameter %s" (Ident.name m)))
+          domain_models;
+        if List.length r.Ast.r_domains < 1 then
+          add_err "a relation needs at least one model domain"
+        else if List.length r.Ast.r_domains + List.length r.Ast.r_prims < 2 then
+          add_err "a relation needs at least two domains";
+        (* Environment: declared vars, then template vars. *)
+        let env = ref Ident.Map.empty in
+        List.iter
+          (fun (v, ty) ->
+            if Ident.Map.mem v !env then
+              add_err (Printf.sprintf "variable %s declared twice" (Ident.name v))
+            else env := Ident.Map.add v ty !env)
+          (r.Ast.r_vars @ r.Ast.r_prims);
+        if r.Ast.r_top && r.Ast.r_prims <> [] then
+          add_err "a top relation cannot declare primitive domains";
+        List.iter
+          (fun (d : Ast.domain) ->
+            match Ident.Map.find_opt d.Ast.d_model mms with
+            | None -> ()
+            | Some mm ->
+              bind_template errors mms d.Ast.d_model mm env d.Ast.d_template add_err)
+          r.Ast.r_domains;
+        (* Check patterns and predicates. *)
+        List.iter
+          (fun (d : Ast.domain) ->
+            match Ident.Map.find_opt d.Ast.d_model mms with
+            | None -> ()
+            | Some mm -> check_template mms !env d.Ast.d_model mm d.Ast.d_template add_err)
+          r.Ast.r_domains;
+        List.iter (fun p -> check_pred mms !env trans p add_err) (r.Ast.r_when @ r.Ast.r_where);
+        (* Dependencies. *)
+        (match Dependency.validate ~domains:domain_models r.Ast.r_deps with
+        | Ok () -> ()
+        | Error msg -> add_err msg);
+        Ident.Map.add r.Ast.r_name !env acc)
+      Ident.Map.empty trans.Ast.t_relations
+  in
+  let add_err_global msg = add_err_for None msg in
+  direction_errors trans (fun msg -> add_err_global msg);
+  if not allow_recursion then recursion_errors trans (fun msg -> add_err_global msg);
+  match !errors with
+  | [] -> Ok { i_trans = trans; i_mms = mms; i_tyenvs = tyenvs }
+  | errs -> Error (List.rev errs)
+
+let infer_oexpr info rel e =
+  match Ident.Map.find_opt rel info.i_tyenvs with
+  | None -> Error (Printf.sprintf "unknown relation %s" (Ident.name rel))
+  | Some env -> infer info.i_mms env e
+
+let infer_in info env e = infer info.i_mms env e

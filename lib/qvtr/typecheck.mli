@@ -1,0 +1,49 @@
+(** Static checking of QVT-R transformations.
+
+    Beyond conventional well-formedness (domains resolve to declared
+    parameters, patterns are well-typed against the metamodels,
+    variables are declared before use), this implements the paper's
+    §2.3 contribution: {e call-direction compatibility}. A relation
+    [R] with dependency set [D] may invoke a relation [S] (dependency
+    set [D']) in a [where] clause only if, for every dependency
+    [Src -> Tgt] of [R], the projection onto [S]'s domains is entailed
+    by [D'] — checked with {!Dependency.entails}, i.e. in linear time,
+    Horn clauses being what they are. [when]-calls may only read
+    source models. Recursive invocation is rejected (the semantics
+    compiler inlines calls; see {!Semantics} for bounded unrolling). *)
+
+type tyenv = Ast.var_type Mdl.Ident.Map.t
+(** Variable typing for one relation: declared variables plus all
+    template-bound object variables. *)
+
+type info
+(** Result of a successful check. *)
+
+val tyenv : info -> Mdl.Ident.t -> tyenv
+(** Typing environment of a relation (by name).
+    @raise Not_found for unknown relations. *)
+
+val metamodel_of_param : info -> Mdl.Ident.t -> Mdl.Metamodel.t
+
+type error = {
+  err_relation : Mdl.Ident.t option;  (** relation at fault, if any *)
+  err_msg : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check :
+  ?allow_recursion:bool ->
+  Ast.transformation ->
+  metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
+  (info, error list) result
+(** All detected errors are reported, not just the first. *)
+
+val infer_oexpr :
+  info -> Mdl.Ident.t -> Ast.oexpr -> (Ast.var_type, string) result
+(** Type of an expression within a relation's environment (by relation
+    name). Used by the semantics compiler to resolve navigations. *)
+
+val infer_in : info -> tyenv -> Ast.oexpr -> (Ast.var_type, string) result
+(** Like {!infer_oexpr} but with an explicit environment (used when
+    compiling inlined relation calls). *)

@@ -1,0 +1,211 @@
+module Ident = Mdl.Ident
+
+type expr =
+  | Rel of Ident.t
+  | Var of Ident.t
+  | Atom of Ident.t
+  | Univ
+  | Iden
+  | None_
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | Join of expr * expr
+  | Product of expr * expr
+  | Transpose of expr
+  | Closure of expr
+  | RClosure of expr
+
+type formula =
+  | True
+  | False
+  | Subset of expr * expr
+  | Equal of expr * expr
+  | Some_ of expr
+  | No of expr
+  | Lone of expr
+  | One of expr
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Forall of (Ident.t * expr) list * formula
+  | Exists of (Ident.t * expr) list * formula
+
+let rel s = Rel (Ident.make s)
+let var s = Var (Ident.make s)
+let atom s = Atom (Ident.make s)
+let join a b = Join (a, b)
+let dot x r = Join (x, r)
+
+let conj fs =
+  let fs =
+    List.concat_map (function And gs -> gs | True -> [] | f -> [ f ]) fs
+  in
+  if List.exists (fun f -> f = False) fs then False
+  else match fs with [] -> True | [ f ] -> f | fs -> And fs
+
+let disj fs =
+  let fs = List.concat_map (function Or gs -> gs | False -> [] | f -> [ f ]) fs in
+  if List.exists (fun f -> f = True) fs then True
+  else match fs with [] -> False | [ f ] -> f | fs -> Or fs
+
+let implies a b =
+  match (a, b) with
+  | True, b -> b
+  | False, _ -> True
+  | _, True -> True
+  | a, False -> Not a
+  | a, b -> Implies (a, b)
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let in_ a b = Subset (a, b)
+let eq a b = Equal (a, b)
+
+let forall decls f =
+  match decls with
+  | [] -> f
+  | _ -> Forall (List.map (fun (v, d) -> (Ident.make v, d)) decls, f)
+
+let exists decls f =
+  match decls with
+  | [] -> f
+  | _ -> Exists (List.map (fun (v, d) -> (Ident.make v, d)) decls, f)
+
+let ( let* ) = Result.bind
+
+let rec expr_arity lookup e : (int, string) result =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match e with
+  | Rel r -> (
+    match lookup r with
+    | Some a -> Ok a
+    | None -> err "unknown relation %s" (Ident.name r))
+  | Var _ | Atom _ | Univ | None_ -> Ok 1
+  | Iden -> Ok 2
+  | Union (a, b) | Inter (a, b) | Diff (a, b) ->
+    let* x = expr_arity lookup a in
+    let* y = expr_arity lookup b in
+    if x = y then Ok x else err "arity mismatch in set operation (%d vs %d)" x y
+  | Join (a, b) ->
+    let* x = expr_arity lookup a in
+    let* y = expr_arity lookup b in
+    if x = 0 || y = 0 then err "join of nullary relation" else Ok (x + y - 2)
+  | Product (a, b) ->
+    let* x = expr_arity lookup a in
+    let* y = expr_arity lookup b in
+    Ok (x + y)
+  | Transpose a ->
+    let* x = expr_arity lookup a in
+    if x = 2 then Ok 2 else err "transpose of non-binary relation (arity %d)" x
+  | Closure a | RClosure a ->
+    let* x = expr_arity lookup a in
+    if x = 2 then Ok 2 else err "closure of non-binary relation (arity %d)" x
+
+let rec free_rels_expr e acc =
+  match e with
+  | Rel r -> Ident.Set.add r acc
+  | Var _ | Atom _ | Univ | Iden | None_ -> acc
+  | Union (a, b) | Inter (a, b) | Diff (a, b) | Join (a, b) | Product (a, b) ->
+    free_rels_expr a (free_rels_expr b acc)
+  | Transpose a | Closure a | RClosure a -> free_rels_expr a acc
+
+let rec free_rels_formula f acc =
+  match f with
+  | True | False -> acc
+  | Subset (a, b) | Equal (a, b) -> free_rels_expr a (free_rels_expr b acc)
+  | Some_ a | No a | Lone a | One a -> free_rels_expr a acc
+  | Not f -> free_rels_formula f acc
+  | And fs | Or fs -> List.fold_left (fun acc f -> free_rels_formula f acc) acc fs
+  | Implies (a, b) | Iff (a, b) -> free_rels_formula a (free_rels_formula b acc)
+  | Forall (decls, f) | Exists (decls, f) ->
+    let acc = List.fold_left (fun acc (_, d) -> free_rels_expr d acc) acc decls in
+    free_rels_formula f acc
+
+let free_rels f = free_rels_formula f Ident.Set.empty
+
+let rec fv_expr e acc =
+  match e with
+  | Var v -> Ident.Set.add v acc
+  | Rel _ | Atom _ | Univ | Iden | None_ -> acc
+  | Union (a, b) | Inter (a, b) | Diff (a, b) | Join (a, b) | Product (a, b) ->
+    fv_expr a (fv_expr b acc)
+  | Transpose a | Closure a | RClosure a -> fv_expr a acc
+
+let free_vars_expr e = fv_expr e Ident.Set.empty
+
+let rec fv_formula f acc =
+  match f with
+  | True | False -> acc
+  | Subset (a, b) | Equal (a, b) -> fv_expr a (fv_expr b acc)
+  | Some_ a | No a | Lone a | One a -> fv_expr a acc
+  | Not f -> fv_formula f acc
+  | And fs | Or fs -> List.fold_left (fun acc f -> fv_formula f acc) acc fs
+  | Implies (a, b) | Iff (a, b) -> fv_formula a (fv_formula b acc)
+  | Forall (decls, f) | Exists (decls, f) ->
+    (* Domains may mention earlier variables of the same block. *)
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) (v, d) ->
+          let acc = Ident.Set.union acc (Ident.Set.diff (free_vars_expr d) bound) in
+          (Ident.Set.add v bound, acc))
+        (Ident.Set.empty, acc) decls
+    in
+    Ident.Set.union acc (Ident.Set.diff (fv_formula f Ident.Set.empty) bound)
+
+let free_vars f = fv_formula f Ident.Set.empty
+
+let rec pp_expr ppf = function
+  | Rel r -> Ident.pp ppf r
+  | Var v -> Format.fprintf ppf "%a" Ident.pp v
+  | Atom a -> Format.fprintf ppf "'%a" Ident.pp a
+  | Univ -> Format.pp_print_string ppf "univ"
+  | Iden -> Format.pp_print_string ppf "iden"
+  | None_ -> Format.pp_print_string ppf "none"
+  | Union (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Inter (a, b) -> Format.fprintf ppf "(%a & %a)" pp_expr a pp_expr b
+  | Diff (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Join (a, b) -> Format.fprintf ppf "%a.%a" pp_expr a pp_expr b
+  | Product (a, b) -> Format.fprintf ppf "(%a -> %a)" pp_expr a pp_expr b
+  | Transpose a -> Format.fprintf ppf "~%a" pp_expr a
+  | Closure a -> Format.fprintf ppf "^%a" pp_expr a
+  | RClosure a -> Format.fprintf ppf "*%a" pp_expr a
+
+let pp_decls ppf decls =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+    (fun f (v, d) -> Format.fprintf f "%a : %a" Ident.pp v pp_expr d)
+    ppf decls
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Subset (a, b) -> Format.fprintf ppf "%a in %a" pp_expr a pp_expr b
+  | Equal (a, b) -> Format.fprintf ppf "%a = %a" pp_expr a pp_expr b
+  | Some_ a -> Format.fprintf ppf "some %a" pp_expr a
+  | No a -> Format.fprintf ppf "no %a" pp_expr a
+  | Lone a -> Format.fprintf ppf "lone %a" pp_expr a
+  | One a -> Format.fprintf ppf "one %a" pp_expr a
+  | Not f -> Format.fprintf ppf "!(%a)" pp f
+  | And fs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " && ")
+         pp)
+      fs
+  | Or fs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " || ")
+         pp)
+      fs
+  | Implies (a, b) -> Format.fprintf ppf "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <=> %a)" pp a pp b
+  | Forall (decls, f) -> Format.fprintf ppf "(all %a | %a)" pp_decls decls pp f
+  | Exists (decls, f) -> Format.fprintf ppf "(some %a | %a)" pp_decls decls pp f

@@ -1,0 +1,80 @@
+(** Relational expressions and first-order formulas — the logic the
+    QVT-R checking semantics compiles into (the role of Alloy's core
+    language in Echo).
+
+    Expressions denote relations (sets of equal-arity tuples) over a
+    universe of atoms; formulas are first-order with quantifiers
+    ranging over unary expressions. Free relation names are resolved
+    against an instance (for evaluation) or against bounds (for model
+    finding). *)
+
+type expr =
+  | Rel of Mdl.Ident.t  (** free relation, by name *)
+  | Var of Mdl.Ident.t  (** bound variable: a singleton unary relation *)
+  | Atom of Mdl.Ident.t  (** constant singleton unary relation *)
+  | Univ  (** every atom (unary) *)
+  | Iden  (** identity (binary) *)
+  | None_  (** the empty unary relation *)
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | Join of expr * expr  (** relational dot-join *)
+  | Product of expr * expr
+  | Transpose of expr  (** binary only *)
+  | Closure of expr  (** transitive closure, binary only *)
+  | RClosure of expr  (** reflexive-transitive closure *)
+
+type formula =
+  | True
+  | False
+  | Subset of expr * expr
+  | Equal of expr * expr
+  | Some_ of expr  (** non-empty *)
+  | No of expr  (** empty *)
+  | Lone of expr  (** at most one tuple *)
+  | One of expr  (** exactly one tuple *)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Forall of (Mdl.Ident.t * expr) list * formula
+      (** [Forall [(x, d); ...] f]: each variable ranges over the unary
+          expression [d]; later domains may mention earlier variables. *)
+  | Exists of (Mdl.Ident.t * expr) list * formula
+
+(** Convenience constructors with light simplification. *)
+
+val rel : string -> expr
+val var : string -> expr
+val atom : string -> expr
+val join : expr -> expr -> expr
+val dot : expr -> expr -> expr
+(** [dot x r] = [join x r] — OCL-style navigation [x.r]. *)
+
+val conj : formula list -> formula
+val disj : formula list -> formula
+val implies : formula -> formula -> formula
+val not_ : formula -> formula
+val in_ : expr -> expr -> formula
+(** Membership/subset. *)
+
+val eq : expr -> expr -> formula
+val forall : (string * expr) list -> formula -> formula
+val exists : (string * expr) list -> formula -> formula
+
+val expr_arity : (Mdl.Ident.t -> int option) -> expr -> (int, string) result
+(** Arity-check an expression given the arity of free relations;
+    [Error] describes the first ill-formed subterm (arity mismatch in
+    set operations, transpose/closure of non-binary, join of
+    nullaries). Variables and atoms are unary. *)
+
+val free_rels : formula -> Mdl.Ident.Set.t
+(** Free relation names of a formula. *)
+
+val free_vars_expr : expr -> Mdl.Ident.Set.t
+val free_vars : formula -> Mdl.Ident.Set.t
+(** Variables not bound by a quantifier. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> formula -> unit

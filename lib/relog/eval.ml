@@ -1,0 +1,118 @@
+module Ident = Mdl.Ident
+module TS = Rel.Tupleset
+
+type env = int Ident.Map.t
+
+let empty_env = Ident.Map.empty
+
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let rec expr inst env (e : Ast.expr) =
+  match e with
+  | Ast.Rel r -> Instance.get inst r
+  | Ast.Var v -> (
+    match Ident.Map.find_opt v env with
+    | Some idx -> TS.singleton [| idx |]
+    | None -> error "unbound variable %s" (Ident.name v))
+  | Ast.Atom a -> (
+    match Rel.Universe.index (Instance.universe inst) a with
+    | idx -> TS.singleton [| idx |]
+    | exception Not_found -> error "unknown atom %s" (Ident.name a))
+  | Ast.Univ -> TS.univ (Instance.universe inst)
+  | Ast.Iden -> TS.iden (Instance.universe inst)
+  | Ast.None_ -> TS.empty
+  | Ast.Union (a, b) -> TS.union (expr inst env a) (expr inst env b)
+  | Ast.Inter (a, b) -> TS.inter (expr inst env a) (expr inst env b)
+  | Ast.Diff (a, b) -> TS.diff (expr inst env a) (expr inst env b)
+  | Ast.Join (a, b) -> TS.join (expr inst env a) (expr inst env b)
+  | Ast.Product (a, b) -> TS.product (expr inst env a) (expr inst env b)
+  | Ast.Transpose a -> TS.transpose (expr inst env a)
+  | Ast.Closure a -> TS.closure (expr inst env a)
+  | Ast.RClosure a ->
+    TS.reflexive_closure (Instance.universe inst) (expr inst env a)
+
+let rec formula inst env (f : Ast.formula) =
+  match f with
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Subset (a, b) -> TS.subset (expr inst env a) (expr inst env b)
+  | Ast.Equal (a, b) -> TS.equal (expr inst env a) (expr inst env b)
+  | Ast.Some_ a -> not (TS.is_empty (expr inst env a))
+  | Ast.No a -> TS.is_empty (expr inst env a)
+  | Ast.Lone a -> TS.cardinal (expr inst env a) <= 1
+  | Ast.One a -> TS.cardinal (expr inst env a) = 1
+  | Ast.Not f -> not (formula inst env f)
+  | Ast.And fs -> List.for_all (formula inst env) fs
+  | Ast.Or fs -> List.exists (formula inst env) fs
+  | Ast.Implies (a, b) -> (not (formula inst env a)) || formula inst env b
+  | Ast.Iff (a, b) -> Bool.equal (formula inst env a) (formula inst env b)
+  | Ast.Forall (decls, body) -> quantify inst env decls body ~universal:true
+  | Ast.Exists (decls, body) -> quantify inst env decls body ~universal:false
+
+and quantify inst env decls body ~universal =
+  match decls with
+  | [] -> formula inst env body
+  | (v, dom) :: rest ->
+    let domain = expr inst env dom in
+    (match TS.arity domain with
+    | Some 1 | None -> ()
+    | Some n -> error "quantifier domain for %s has arity %d" (Ident.name v) n);
+    let test tuple =
+      let env = Ident.Map.add v tuple.(0) env in
+      quantify inst env rest body ~universal
+    in
+    (* short-circuit: stop at the first counterexample / witness *)
+    let exception Decided in
+    let verdict = ref universal in
+    (try
+       TS.fold
+         (fun t () ->
+           let holds = test t in
+           if universal && not holds then begin
+             verdict := false;
+             raise Decided
+           end
+           else if (not universal) && holds then begin
+             verdict := true;
+             raise Decided
+           end)
+         domain ()
+     with Decided -> ());
+    !verdict
+
+let holds inst f = formula inst empty_env f
+
+(* Descend through ∀ / ∧ / ⇒ to a falsified kernel, recording the
+   quantifier bindings on the way. Returns [None] when [f] holds. *)
+let counterexample inst f =
+  let rec falsify env (f : Ast.formula) : (Ident.t * int) list option =
+    match f with
+    | Ast.Forall (decls, body) -> falsify_forall env decls body []
+    | Ast.And fs ->
+      List.fold_left
+        (fun acc g -> match acc with Some _ -> acc | None -> falsify env g)
+        None fs
+    | Ast.Implies (a, b) ->
+      if formula inst env a then falsify env b else None
+    | f -> if formula inst env f then None else Some []
+  and falsify_forall env decls body bound =
+    match decls with
+    | [] -> Option.map (fun rest -> List.rev bound @ rest) (falsify env body)
+    | (v, dom) :: rest ->
+      let domain = expr inst env dom in
+      TS.fold
+        (fun tuple acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let env = Ident.Map.add v tuple.(0) env in
+            falsify_forall env rest body ((v, tuple.(0)) :: bound))
+        domain None
+  in
+  match falsify empty_env f with
+  | None -> None
+  | Some bindings ->
+    let u = Instance.universe inst in
+    Some (List.map (fun (v, idx) -> (v, Rel.Universe.atom u idx)) bindings)

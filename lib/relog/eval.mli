@@ -1,0 +1,27 @@
+(** Direct evaluation of expressions and formulas against a concrete
+    instance. This is the fast path for QVT-R [checkonly]: no SAT
+    involved, just finite set algebra with environment-carried
+    quantifiers. *)
+
+type env = int Mdl.Ident.Map.t
+(** Variable bindings: variable name to atom index. *)
+
+val empty_env : env
+
+exception Eval_error of string
+(** Unknown variable, arity abuse (e.g. transposing a ternary), or
+    atom foreign to the universe. *)
+
+val expr : Instance.t -> env -> Ast.expr -> Rel.Tupleset.t
+val formula : Instance.t -> env -> Ast.formula -> bool
+
+val holds : Instance.t -> Ast.formula -> bool
+(** [formula] with the empty environment (for sentences). *)
+
+val counterexample :
+  Instance.t -> Ast.formula -> (Mdl.Ident.t * Mdl.Ident.t) list option
+(** When the sentence is false, a witness of the failure: bindings
+    (variable, atom) collected by descending through universal
+    quantifiers, conjunctions and implications to a falsified kernel.
+    [None] when the sentence holds. The binding list may be empty when
+    the failure is not under a quantifier. *)

@@ -1,0 +1,59 @@
+type t = {
+  trans : Translate.t;
+  mutable last : (Sat.Lit.var * bool) list option;
+      (* primary assignment of the last model, for blocking *)
+}
+
+let prepare bnds formulas =
+  let trans = Translate.create bnds in
+  List.iter (Translate.materialize trans) (Bounds.relations bnds);
+  List.iter (Translate.assert_formula trans) formulas;
+  { trans; last = None }
+
+let translation t = t.trans
+let solver t = Translate.solver t.trans
+
+type outcome =
+  | Sat of Instance.t
+  | Unsat
+
+let solve ?(assumptions = []) t =
+  match Sat.Solver.solve ~assumptions (solver t) with
+  | Sat.Solver.Unsat ->
+    t.last <- None;
+    Unsat
+  | Sat.Solver.Sat ->
+    let assignment =
+      Translate.fold_primaries t.trans
+        (fun _ _ v acc -> (v, Sat.Solver.value (solver t) v) :: acc)
+        []
+    in
+    t.last <- Some assignment;
+    Sat (Translate.decode t.trans)
+
+let block t =
+  match t.last with
+  | None -> ()
+  | Some assignment ->
+    let clause =
+      List.map
+        (fun (v, value) -> if value then Sat.Lit.neg_of v else Sat.Lit.pos v)
+        assignment
+    in
+    Sat.Solver.add_clause (solver t) clause;
+    t.last <- None
+
+let enumerate ?limit t =
+  let rec go acc n =
+    match limit with
+    | Some l when n >= l -> List.rev acc
+    | _ -> (
+      match solve t with
+      | Unsat -> List.rev acc
+      | Sat inst ->
+        block t;
+        go (inst :: acc) (n + 1))
+  in
+  go [] 0
+
+let count ?limit t = List.length (enumerate ?limit t)

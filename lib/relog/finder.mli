@@ -1,0 +1,35 @@
+(** The bounded relational model finder (Kodkod/Alloy-Analyzer
+    substitute).
+
+    Wraps {!Translate} with a solve/enumerate interface: find an
+    instance within the bounds satisfying the asserted formulas, add
+    blocking clauses to enumerate further instances, and solve under
+    cardinality assumptions (how the Echo-style repair engine runs its
+    increasing-distance iteration on one shared encoding). *)
+
+type t
+
+val prepare : Bounds.t -> Ast.formula list -> t
+(** Translate and assert the conjunction of the formulas. All bound
+    relations are materialized, so {!Translate.decode} covers them.
+    Raises {!Translate.Unsupported} on ill-formed input. *)
+
+val translation : t -> Translate.t
+val solver : t -> Sat.Solver.t
+
+type outcome =
+  | Sat of Instance.t
+  | Unsat
+
+val solve : ?assumptions:Sat.Lit.t list -> t -> outcome
+
+val block : t -> unit
+(** Add a blocking clause excluding the last found instance's primary
+    assignment. Repeated [solve]/[block] enumerates all instances. *)
+
+val enumerate : ?limit:int -> t -> Instance.t list
+(** All satisfying instances (up to [limit], default unlimited).
+    Mutates the finder by blocking each found instance. *)
+
+val count : ?limit:int -> t -> int
+(** Number of satisfying instances, counted by enumeration. *)

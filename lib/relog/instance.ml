@@ -1,0 +1,42 @@
+module Ident = Mdl.Ident
+
+type t = {
+  universe : Rel.Universe.t;
+  rels : Rel.Tupleset.t Ident.Map.t;
+}
+
+let make universe = { universe; rels = Ident.Map.empty }
+let universe i = i.universe
+let set i r ts = { i with rels = Ident.Map.add r ts i.rels }
+
+let get i r =
+  match Ident.Map.find_opt r i.rels with
+  | Some ts -> ts
+  | None -> Rel.Tupleset.empty
+
+let mem i r = Ident.Map.mem r i.rels
+
+let relations i =
+  Ident.Map.bindings i.rels
+  |> List.sort (fun (a, _) (b, _) -> Ident.compare_name a b)
+
+let union_all a b =
+  let rels =
+    Ident.Map.union
+      (fun r x y ->
+        if Rel.Tupleset.equal x y then Some x
+        else
+          invalid_arg
+            (Printf.sprintf "Instance.union_all: relation %s bound twice"
+               (Ident.name r)))
+      a.rels b.rels
+  in
+  { universe = a.universe; rels }
+
+let pp ppf i =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (r, ts) ->
+      Format.fprintf ppf "%a = %a@," Ident.pp r (Rel.Tupleset.pp i.universe) ts)
+    (relations i);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** Concrete instances: a universe plus a value for every free
+    relation. Produced by the model encoder ({!Qvtr.Encode}) and by
+    the model finder's decoder; consumed by the evaluator. *)
+
+type t
+
+val make : Rel.Universe.t -> t
+val universe : t -> Rel.Universe.t
+
+val set : t -> Mdl.Ident.t -> Rel.Tupleset.t -> t
+val get : t -> Mdl.Ident.t -> Rel.Tupleset.t
+(** Unknown relations evaluate to the empty set. *)
+
+val mem : t -> Mdl.Ident.t -> bool
+val relations : t -> (Mdl.Ident.t * Rel.Tupleset.t) list
+(** Sorted by relation name. *)
+
+val union_all : t -> t -> t
+(** Point-wise union of two instances over the same universe (used to
+    merge per-model encodings into one multi-model instance). Raises
+    [Invalid_argument] when a relation appears in both with different
+    values — relation names are expected to be namespaced per model. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+module Ident = Mdl.Ident
+
+module Universe = struct
+  type t = {
+    atoms : Ident.t array;
+    index : int Ident.Map.t;
+  }
+
+  let make atoms =
+    let arr = Array.of_list atoms in
+    let index, _ =
+      Array.fold_left
+        (fun (m, i) a ->
+          if Ident.Map.mem a m then
+            invalid_arg
+              (Printf.sprintf "Universe.make: duplicate atom %s" (Ident.name a));
+          (Ident.Map.add a i m, i + 1))
+        (Ident.Map.empty, 0) arr
+    in
+    { atoms = arr; index }
+
+  let size u = Array.length u.atoms
+  let atom u i = u.atoms.(i)
+  let index u a =
+    match Ident.Map.find_opt a u.index with
+    | Some i -> i
+    | None -> raise Not_found
+
+  let mem u a = Ident.Map.mem a u.index
+  let atoms u = Array.to_list u.atoms
+end
+
+module Tuple = struct
+  type t = int array
+
+  let arity = Array.length
+
+  let compare (a : t) (b : t) =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Int.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+  let concat = Array.append
+
+  let pp u ppf t =
+    Format.fprintf ppf "(%s)"
+      (String.concat ", "
+         (Array.to_list (Array.map (fun i -> Ident.name (Universe.atom u i)) t)))
+end
+
+module TS = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+module Tupleset = struct
+  type t = TS.t
+
+  let empty = TS.empty
+  let is_empty = TS.is_empty
+
+  let arity ts = if TS.is_empty ts then None else Some (Tuple.arity (TS.min_elt ts))
+
+  let check_arity ts =
+    match arity ts with
+    | None -> ()
+    | Some a ->
+      if TS.exists (fun t -> Tuple.arity t <> a) ts then
+        invalid_arg "Tupleset: mixed arities"
+
+  let of_list tuples =
+    let ts = TS.of_list tuples in
+    check_arity ts;
+    ts
+
+  let to_list = TS.elements
+  let singleton t = TS.singleton t
+  let mem = TS.mem
+  let cardinal = TS.cardinal
+  let subset = TS.subset
+  let equal = TS.equal
+  let fold = TS.fold
+  let filter = TS.filter
+
+  let binop_check a b =
+    match (arity a, arity b) with
+    | Some x, Some y when x <> y -> invalid_arg "Tupleset: arity mismatch"
+    | _ -> ()
+
+  let union a b =
+    binop_check a b;
+    TS.union a b
+
+  let inter a b =
+    binop_check a b;
+    TS.inter a b
+
+  let diff a b =
+    binop_check a b;
+    TS.diff a b
+
+  let product a b =
+    TS.fold
+      (fun ta acc -> TS.fold (fun tb acc -> TS.add (Tuple.concat ta tb) acc) b acc)
+      a TS.empty
+
+  let join a b =
+    (match (arity a, arity b) with
+    | Some x, _ when x = 0 -> invalid_arg "Tupleset.join: nullary operand"
+    | _, Some y when y = 0 -> invalid_arg "Tupleset.join: nullary operand"
+    | _ -> ());
+    (* Index b by first column. *)
+    let by_first = Hashtbl.create 64 in
+    TS.iter
+      (fun tb ->
+        let key = tb.(0) in
+        let rest = Array.sub tb 1 (Array.length tb - 1) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_first key) in
+        Hashtbl.replace by_first key (rest :: cur))
+      b;
+    TS.fold
+      (fun ta acc ->
+        let la = Array.length ta in
+        let key = ta.(la - 1) in
+        let prefix = Array.sub ta 0 (la - 1) in
+        match Hashtbl.find_opt by_first key with
+        | None -> acc
+        | Some rests ->
+          List.fold_left
+            (fun acc rest -> TS.add (Tuple.concat prefix rest) acc)
+            acc rests)
+      a TS.empty
+
+  let transpose ts =
+    (match arity ts with
+    | Some 2 | None -> ()
+    | Some _ -> invalid_arg "Tupleset.transpose: not binary");
+    TS.fold (fun t acc -> TS.add [| t.(1); t.(0) |] acc) ts TS.empty
+
+  let closure ts =
+    (match arity ts with
+    | Some 2 | None -> ()
+    | Some _ -> invalid_arg "Tupleset.closure: not binary");
+    let rec fix cur =
+      let next = union cur (join cur ts) in
+      if TS.equal next cur then cur else fix next
+    in
+    fix ts
+
+  let iden u =
+    let n = Universe.size u in
+    let rec go i acc = if i = n then acc else go (i + 1) (TS.add [| i; i |] acc) in
+    go 0 TS.empty
+
+  let reflexive_closure u ts = union (closure ts) (iden u)
+
+  let univ u =
+    let n = Universe.size u in
+    let rec go i acc = if i = n then acc else go (i + 1) (TS.add [| i |] acc) in
+    go 0 TS.empty
+
+  let pp u ppf ts =
+    Format.fprintf ppf "{%s}"
+      (String.concat "; "
+         (List.map (fun t -> Format.asprintf "%a" (Tuple.pp u) t) (TS.elements ts)))
+end

@@ -1,0 +1,90 @@
+(** Atoms, tuples, tuple sets and universes — the ground data of the
+    bounded relational logic (the role Kodkod's [Universe],
+    [Tuple] and [TupleSet] play under Alloy).
+
+    Atoms are named ({!Mdl.Ident}) and indexed densely within a
+    universe; tuples are arrays of atom indices; tuple sets are sorted
+    sets of equal-arity tuples. *)
+
+module Universe : sig
+  type t
+
+  val make : Mdl.Ident.t list -> t
+  (** Universe of the given distinct atoms. Raises [Invalid_argument]
+      on duplicates. *)
+
+  val size : t -> int
+  val atom : t -> int -> Mdl.Ident.t
+  (** Atom at an index. *)
+
+  val index : t -> Mdl.Ident.t -> int
+  (** @raise Not_found for foreign atoms. *)
+
+  val mem : t -> Mdl.Ident.t -> bool
+  val atoms : t -> Mdl.Ident.t list
+end
+
+module Tuple : sig
+  type t = int array
+  (** Atom indices; immutable by convention. *)
+
+  val arity : t -> int
+  val compare : t -> t -> int
+  val concat : t -> t -> t
+  val pp : Universe.t -> Format.formatter -> t -> unit
+end
+
+module Tupleset : sig
+  type t
+  (** A set of tuples, all of the same arity. The empty set is
+      compatible with every arity. *)
+
+  val empty : t
+  val is_empty : t -> bool
+  val arity : t -> int option
+  (** [None] for the empty set. *)
+
+  val of_list : Tuple.t list -> t
+  (** Raises [Invalid_argument] on mixed arities. *)
+
+  val to_list : t -> Tuple.t list
+  (** In sorted order. *)
+
+  val singleton : Tuple.t -> t
+  val mem : Tuple.t -> t -> bool
+  val cardinal : t -> int
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val filter : (Tuple.t -> bool) -> t -> t
+
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+
+  val product : t -> t -> t
+  (** Cartesian product: arities add. *)
+
+  val join : t -> t -> t
+  (** Relational (dot) join: matches the last column of the left
+      operand against the first column of the right; arity
+      [a + b - 2]. Raises [Invalid_argument] when either side is
+      nullary. *)
+
+  val transpose : t -> t
+  (** Binary relations only. *)
+
+  val closure : t -> t
+  (** Transitive closure of a binary relation. *)
+
+  val reflexive_closure : Universe.t -> t -> t
+  (** Reflexive-transitive closure over the universe's identity. *)
+
+  val iden : Universe.t -> t
+  (** The identity binary relation over all atoms. *)
+
+  val univ : Universe.t -> t
+  (** The unary relation holding every atom. *)
+
+  val pp : Universe.t -> Format.formatter -> t -> unit
+end

@@ -1,0 +1,124 @@
+(* Negation normal form with algebraic simplification. *)
+
+let is_empty_expr (e : Ast.expr) = e = Ast.None_
+
+let rec expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Rel _ | Ast.Var _ | Ast.Atom _ | Ast.Univ | Ast.Iden | Ast.None_ -> e
+  | Ast.Union (a, b) -> (
+    match (expr a, expr b) with
+    | Ast.None_, b' -> b'
+    | a', Ast.None_ -> a'
+    | a', b' -> if a' = b' then a' else Ast.Union (a', b'))
+  | Ast.Inter (a, b) -> (
+    match (expr a, expr b) with
+    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
+    | a', b' -> if a' = b' then a' else Ast.Inter (a', b'))
+  | Ast.Diff (a, b) -> (
+    match (expr a, expr b) with
+    | Ast.None_, _ -> Ast.None_
+    | a', Ast.None_ -> a'
+    | a', b' -> if a' = b' then Ast.None_ else Ast.Diff (a', b'))
+  | Ast.Join (a, b) -> (
+    match (expr a, expr b) with
+    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
+    | a', b' -> Ast.Join (a', b'))
+  | Ast.Product (a, b) -> (
+    match (expr a, expr b) with
+    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
+    | a', b' -> Ast.Product (a', b'))
+  | Ast.Transpose a -> (
+    match expr a with
+    | Ast.None_ -> Ast.None_
+    | Ast.Transpose a' -> a'
+    | Ast.Iden -> Ast.Iden
+    | a' -> Ast.Transpose a')
+  | Ast.Closure a -> (
+    match expr a with
+    | Ast.None_ -> Ast.None_
+    | a' -> Ast.Closure a')
+  | Ast.RClosure a -> Ast.RClosure (expr a)
+
+(* [go pos f]: simplified NNF of [f] under polarity [pos]. *)
+let rec go pos (f : Ast.formula) : Ast.formula =
+  match f with
+  | Ast.True -> if pos then Ast.True else Ast.False
+  | Ast.False -> if pos then Ast.False else Ast.True
+  | Ast.Not g -> go (not pos) g
+  | Ast.And fs ->
+    let fs' = List.map (go pos) fs in
+    if pos then Ast.conj fs' else Ast.disj fs'
+  | Ast.Or fs ->
+    let fs' = List.map (go pos) fs in
+    if pos then Ast.disj fs' else Ast.conj fs'
+  | Ast.Implies (a, b) ->
+    if pos then Ast.disj [ go false a; go true b ]
+    else Ast.conj [ go true a; go false b ]
+  | Ast.Iff (a, b) ->
+    (* (a ∧ b) ∨ (¬a ∧ ¬b), negated: (a ∧ ¬b) ∨ (¬a ∧ b) *)
+    if pos then
+      Ast.disj
+        [ Ast.conj [ go true a; go true b ]; Ast.conj [ go false a; go false b ] ]
+    else
+      Ast.disj
+        [ Ast.conj [ go true a; go false b ]; Ast.conj [ go false a; go true b ] ]
+  | Ast.Forall (decls, body) -> quantifier ~universal:pos pos decls body
+  | Ast.Exists (decls, body) -> quantifier ~universal:(not pos) pos decls body
+  | Ast.Subset (a, b) -> atom pos (Ast.Subset (expr a, expr b))
+  | Ast.Equal (a, b) ->
+    let a' = expr a and b' = expr b in
+    if a' = b' then go pos Ast.True else atom pos (Ast.Equal (a', b'))
+  | Ast.Some_ a -> (
+    match expr a with
+    | Ast.None_ -> go pos Ast.False
+    | Ast.Univ | Ast.Iden | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
+    | a' -> atom pos (Ast.Some_ a'))
+  | Ast.No a -> (
+    match expr a with
+    | Ast.None_ -> go pos Ast.True
+    | Ast.Atom _ | Ast.Var _ -> go pos Ast.False
+    | a' -> atom pos (Ast.No a'))
+  | Ast.Lone a -> (
+    match expr a with
+    | Ast.None_ | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
+    | a' -> atom pos (Ast.Lone a'))
+  | Ast.One a -> (
+    match expr a with
+    | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
+    | Ast.None_ -> go pos Ast.False
+    | a' -> atom pos (Ast.One a'))
+
+and atom pos a = if pos then a else Ast.Not a
+
+and quantifier ~universal pos decls body =
+  (* Simplify domains; a syntactically empty domain decides the
+     quantifier. Note [pos] has already been folded into the
+     constructor choice: [universal] tells which quantifier we are
+     emitting, and [body] must be simplified under [pos]. *)
+  let decls' = List.map (fun (v, d) -> (v, expr d)) decls in
+  if List.exists (fun (_, d) -> is_empty_expr d) decls' then
+    if universal then Ast.True else Ast.False
+  else
+    let body' = go pos body in
+    match body' with
+    | Ast.True -> if universal then Ast.True else Ast.Exists (decls', nonempty_witness decls')
+    | Ast.False -> if universal then forall_vacuous decls' else Ast.False
+    | _ -> if universal then Ast.Forall (decls', body') else Ast.Exists (decls', body')
+
+(* ∃ xs | true is not trivially true — the domains must be non-empty.
+   Keep the quantifier but with the trivial body. *)
+and nonempty_witness _decls = Ast.True
+
+(* ∀ xs | false is "all domains empty"; keep the quantifier. *)
+and forall_vacuous decls = Ast.Forall (decls, Ast.False)
+
+let formula f = go true f
+
+let rec size (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Subset _ | Ast.Equal _ | Ast.Some_ _ | Ast.No _
+  | Ast.Lone _ | Ast.One _ -> 1
+  | Ast.Not g -> 1 + size g
+  | Ast.And fs | Ast.Or fs -> List.fold_left (fun acc g -> acc + size g) 1 fs
+  | Ast.Implies (a, b) | Ast.Iff (a, b) -> 1 + size a + size b
+  | Ast.Forall (_, g) | Ast.Exists (_, g) -> 1 + size g

@@ -1,0 +1,27 @@
+(** Formula simplification.
+
+    Rewrites formulas into negation normal form with light algebraic
+    simplification. Used to keep compiled QVT-R formulas small before
+    evaluation/translation, and convenient for tests and debugging
+    (simplified formulas read better). Guarantees:
+
+    - the result is logically equivalent on every instance with a
+      non-empty universe whose formulas mention only existing atoms
+      (property-tested against the evaluator) — the only situation the
+      compiler produces;
+    - negations appear only on atomic formulas (NNF) — [Not] never
+      wraps a connective or quantifier;
+    - no [True]/[False] sub-formulas except as the whole formula;
+    - single-element [And]/[Or] are unwrapped, nested ones flattened;
+    - quantifiers over syntactically empty domains ([None_]) collapse
+      to their truth value. *)
+
+val formula : Ast.formula -> Ast.formula
+
+val expr : Ast.expr -> Ast.expr
+(** Light expression simplification: identity elements of union /
+    intersection / difference, collapse of [Transpose (Transpose e)],
+    and constant-empty propagation through join and product. *)
+
+val size : Ast.formula -> int
+(** Node count (for tests and diagnostics). *)

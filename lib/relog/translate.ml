@@ -1,0 +1,327 @@
+module Ident = Mdl.Ident
+module TS = Rel.Tupleset
+module C = Sat.Circuit
+
+module TupleMap = Map.Make (struct
+  type t = Rel.Tuple.t
+
+  let compare = Rel.Tuple.compare
+end)
+
+exception Unsupported of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* A sparse boolean matrix: tuples absent from [cells] are false. *)
+type matrix = {
+  m_arity : int;
+  cells : C.t TupleMap.t;
+}
+
+type t = {
+  builder : C.builder;
+  sat : Sat.Solver.t;
+  tseitin : Sat.Tseitin.ctx;
+  bnds : Bounds.t;
+  (* (relation, tuple) -> primary variable *)
+  primaries : (Ident.t * Rel.Tuple.t, Sat.Lit.var) Hashtbl.t;
+  (* memoized relation matrices *)
+  rel_matrices : (Ident.t, matrix) Hashtbl.t;
+}
+
+let create ?solver bnds =
+  let sat = match solver with Some s -> s | None -> Sat.Solver.create () in
+  {
+    builder = C.builder ();
+    sat;
+    tseitin = Sat.Tseitin.create sat;
+    bnds;
+    primaries = Hashtbl.create 256;
+    rel_matrices = Hashtbl.create 64;
+  }
+
+let solver t = t.sat
+let bounds t = t.bnds
+
+let matrix_of_rel t r =
+  match Hashtbl.find_opt t.rel_matrices r with
+  | Some m -> m
+  | None ->
+    let lower, upper =
+      match Bounds.get t.bnds r with
+      | Some b -> b
+      | None -> error "relation %s has no bounds" (Ident.name r)
+    in
+    let arity = match TS.arity upper with Some a -> Some a | None -> TS.arity lower in
+    let cells =
+      TS.fold
+        (fun tuple cells ->
+          let node =
+            if TS.mem tuple lower then C.tru t.builder
+            else begin
+              let v = Sat.Solver.new_var t.sat in
+              Hashtbl.replace t.primaries (r, tuple) v;
+              C.input t.builder (Sat.Lit.pos v)
+            end
+          in
+          TupleMap.add tuple node cells)
+        upper TupleMap.empty
+    in
+    let m = { m_arity = Option.value ~default:1 arity; cells } in
+    Hashtbl.replace t.rel_matrices r m;
+    m
+
+let cell m tuple = TupleMap.find_opt tuple m.cells
+
+(* Merge-with for union. *)
+let mat_union t a b =
+  if a.m_arity <> b.m_arity && not (TupleMap.is_empty a.cells || TupleMap.is_empty b.cells)
+  then error "union arity mismatch";
+  let cells =
+    TupleMap.union (fun _ x y -> Some (C.or_ t.builder [ x; y ])) a.cells b.cells
+  in
+  { m_arity = max a.m_arity b.m_arity; cells }
+
+let mat_inter t a b =
+  let cells =
+    TupleMap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some x, Some y ->
+          let n = C.and_ t.builder [ x; y ] in
+          if C.is_false n then None else Some n
+        | _ -> None)
+      a.cells b.cells
+  in
+  { m_arity = a.m_arity; cells }
+
+let mat_diff t a b =
+  let cells =
+    TupleMap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some x, None -> Some x
+        | Some x, Some y ->
+          let n = C.and_ t.builder [ x; C.not_ t.builder y ] in
+          if C.is_false n then None else Some n
+        | None, _ -> None)
+      a.cells b.cells
+  in
+  { m_arity = a.m_arity; cells }
+
+let mat_product t a b =
+  let cells =
+    TupleMap.fold
+      (fun ta ea acc ->
+        TupleMap.fold
+          (fun tb eb acc ->
+            let n = C.and_ t.builder [ ea; eb ] in
+            if C.is_false n then acc else TupleMap.add (Rel.Tuple.concat ta tb) n acc)
+          b.cells acc)
+      a.cells TupleMap.empty
+  in
+  { m_arity = a.m_arity + b.m_arity; cells }
+
+let mat_join t a b =
+  if a.m_arity = 0 || b.m_arity = 0 then error "join of nullary relation";
+  (* Index b by first column. *)
+  let by_first : (int, (Rel.Tuple.t * C.t) list) Hashtbl.t = Hashtbl.create 64 in
+  TupleMap.iter
+    (fun tb eb ->
+      let key = tb.(0) in
+      let rest = Array.sub tb 1 (Array.length tb - 1) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_first key) in
+      Hashtbl.replace by_first key ((rest, eb) :: cur))
+    b.cells;
+  let disjuncts : C.t list TupleMap.t ref = ref TupleMap.empty in
+  TupleMap.iter
+    (fun ta ea ->
+      let la = Array.length ta in
+      let key = ta.(la - 1) in
+      let prefix = Array.sub ta 0 (la - 1) in
+      match Hashtbl.find_opt by_first key with
+      | None -> ()
+      | Some matches ->
+        List.iter
+          (fun (rest, eb) ->
+            let n = C.and_ t.builder [ ea; eb ] in
+            if not (C.is_false n) then begin
+              let tuple = Rel.Tuple.concat prefix rest in
+              let cur = Option.value ~default:[] (TupleMap.find_opt tuple !disjuncts) in
+              disjuncts := TupleMap.add tuple (n :: cur) !disjuncts
+            end)
+          matches)
+    a.cells;
+  let cells =
+    TupleMap.fold
+      (fun tuple ds acc ->
+        let n = C.or_ t.builder ds in
+        if C.is_false n then acc else TupleMap.add tuple n acc)
+      !disjuncts TupleMap.empty
+  in
+  { m_arity = a.m_arity + b.m_arity - 2; cells }
+
+let mat_transpose a =
+  if a.m_arity <> 2 then error "transpose of non-binary relation";
+  {
+    a with
+    cells =
+      TupleMap.fold
+        (fun tu e acc -> TupleMap.add [| tu.(1); tu.(0) |] e acc)
+        a.cells TupleMap.empty;
+  }
+
+(* Transitive closure by iterated squaring: n squarings suffice for
+   paths of length <= 2^n >= |universe|. *)
+let mat_closure t universe a =
+  if a.m_arity <> 2 then error "closure of non-binary relation";
+  let n = Rel.Universe.size universe in
+  let steps =
+    let rec go k pow = if pow >= n then k else go (k + 1) (2 * pow) in
+    go 0 1
+  in
+  let rec iterate m k =
+    if k = 0 then m else iterate (mat_union t m (mat_join t m m)) (k - 1)
+  in
+  iterate a steps
+
+let mat_iden t universe =
+  let n = Rel.Universe.size universe in
+  let cells = ref TupleMap.empty in
+  for i = 0 to n - 1 do
+    cells := TupleMap.add [| i; i |] (C.tru t.builder) !cells
+  done;
+  { m_arity = 2; cells = !cells }
+
+let mat_univ t universe =
+  let n = Rel.Universe.size universe in
+  let cells = ref TupleMap.empty in
+  for i = 0 to n - 1 do
+    cells := TupleMap.add [| i |] (C.tru t.builder) !cells
+  done;
+  { m_arity = 1; cells = !cells }
+
+type env = int Ident.Map.t
+
+let rec expr t (env : env) (e : Ast.expr) : matrix =
+  let universe = Bounds.universe t.bnds in
+  match e with
+  | Ast.Rel r -> matrix_of_rel t r
+  | Ast.Var v -> (
+    match Ident.Map.find_opt v env with
+    | Some idx ->
+      { m_arity = 1; cells = TupleMap.singleton [| idx |] (C.tru t.builder) }
+    | None -> error "unbound variable %s" (Ident.name v))
+  | Ast.Atom a -> (
+    match Rel.Universe.index universe a with
+    | idx -> { m_arity = 1; cells = TupleMap.singleton [| idx |] (C.tru t.builder) }
+    | exception Not_found -> error "unknown atom %s" (Ident.name a))
+  | Ast.Univ -> mat_univ t universe
+  | Ast.Iden -> mat_iden t universe
+  | Ast.None_ -> { m_arity = 1; cells = TupleMap.empty }
+  | Ast.Union (a, b) -> mat_union t (expr t env a) (expr t env b)
+  | Ast.Inter (a, b) -> mat_inter t (expr t env a) (expr t env b)
+  | Ast.Diff (a, b) -> mat_diff t (expr t env a) (expr t env b)
+  | Ast.Join (a, b) -> mat_join t (expr t env a) (expr t env b)
+  | Ast.Product (a, b) -> mat_product t (expr t env a) (expr t env b)
+  | Ast.Transpose a -> mat_transpose (expr t env a)
+  | Ast.Closure a -> mat_closure t universe (expr t env a)
+  | Ast.RClosure a ->
+    mat_union t (mat_closure t universe (expr t env a)) (mat_iden t universe)
+
+let rec formula t (env : env) (f : Ast.formula) : C.t =
+  let b = t.builder in
+  match f with
+  | Ast.True -> C.tru b
+  | Ast.False -> C.fls b
+  | Ast.Subset (x, y) ->
+    let mx = expr t env x and my = expr t env y in
+    let conjuncts =
+      TupleMap.fold
+        (fun tuple ex acc ->
+          let ey = Option.value ~default:(C.fls b) (cell my tuple) in
+          C.implies b ex ey :: acc)
+        mx.cells []
+    in
+    C.and_ b conjuncts
+  | Ast.Equal (x, y) ->
+    C.and_ b [ formula t env (Ast.Subset (x, y)); formula t env (Ast.Subset (y, x)) ]
+  | Ast.Some_ x ->
+    let mx = expr t env x in
+    C.or_ b (TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [])
+  | Ast.No x -> C.not_ b (formula t env (Ast.Some_ x))
+  | Ast.Lone x ->
+    let mx = expr t env x in
+    let entries = TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [] in
+    let rec pairs = function
+      | [] -> []
+      | e :: rest ->
+        List.map (fun e' -> C.not_ b (C.and_ b [ e; e' ])) rest @ pairs rest
+    in
+    C.and_ b (pairs entries)
+  | Ast.One x -> C.and_ b [ formula t env (Ast.Some_ x); formula t env (Ast.Lone x) ]
+  | Ast.Not f -> C.not_ b (formula t env f)
+  | Ast.And fs -> C.and_ b (List.map (formula t env) fs)
+  | Ast.Or fs -> C.or_ b (List.map (formula t env) fs)
+  | Ast.Implies (x, y) -> C.implies b (formula t env x) (formula t env y)
+  | Ast.Iff (x, y) -> C.iff b (formula t env x) (formula t env y)
+  | Ast.Forall (decls, body) -> quantify t env decls body ~universal:true
+  | Ast.Exists (decls, body) -> quantify t env decls body ~universal:false
+
+and quantify t env decls body ~universal =
+  let b = t.builder in
+  match decls with
+  | [] -> formula t env body
+  | (v, dom) :: rest ->
+    let md = expr t env dom in
+    if md.m_arity <> 1 && not (TupleMap.is_empty md.cells) then
+      error "quantifier domain for %s not unary" (Ident.name v);
+    let branches =
+      TupleMap.fold
+        (fun tuple guard acc ->
+          let env = Ident.Map.add v tuple.(0) env in
+          let inner = quantify t env rest body ~universal in
+          let branch =
+            if universal then C.implies b guard inner
+            else C.and_ b [ guard; inner ]
+          in
+          branch :: acc)
+        md.cells []
+    in
+    if universal then C.and_ b branches else C.or_ b branches
+
+let assert_formula t f =
+  let node = formula t Ident.Map.empty f in
+  Sat.Tseitin.assert_true t.tseitin node
+
+let formula_lit t f =
+  let node = formula t Ident.Map.empty f in
+  Sat.Tseitin.lit_of t.tseitin node
+
+let primary_var t r tuple = Hashtbl.find_opt t.primaries (r, tuple)
+let materialize t r = ignore (matrix_of_rel t r)
+
+let fold_primaries t f acc =
+  Hashtbl.fold (fun (r, tuple) v acc -> f r tuple v acc) t.primaries acc
+
+let decode_with t value_of =
+  let inst = Instance.make (Bounds.universe t.bnds) in
+  List.fold_left
+    (fun inst r ->
+      let lower, upper = Option.get (Bounds.get t.bnds r) in
+      let value =
+        TS.fold
+          (fun tuple acc ->
+            if TS.mem tuple lower then TS.union acc (TS.singleton tuple)
+            else
+              match primary_var t r tuple with
+              | Some v when value_of v -> TS.union acc (TS.singleton tuple)
+              | Some _ | None -> acc)
+          upper TS.empty
+      in
+      Instance.set inst r value)
+    inst (Bounds.relations t.bnds)
+
+let decode t = decode_with t (Sat.Solver.value t.sat)
+
+let stats t = (Hashtbl.length t.primaries, Sat.Solver.nb_vars t.sat)

@@ -1,0 +1,59 @@
+(** Kodkod-style translation of bounded relational problems into
+    boolean circuits.
+
+    Every free relation becomes a sparse boolean matrix over the
+    universe: tuples in the lower bound map to the constant true,
+    tuples in [upper \ lower] map to fresh SAT variables (the
+    {e primary variables}), everything else is false. Relational
+    operators become matrix algebra over circuits; quantifiers are
+    grounded over the (symbolic) domain matrix; the resulting circuit
+    is CNF-encoded through {!Sat.Tseitin}. *)
+
+type t
+(** A translation context: circuit builder, SAT solver and the
+    primary-variable registry. *)
+
+(** [create ?solver bounds]: a fresh context. [solver] lets callers
+    share a solver with other encodings (e.g. the MaxSAT-based repair
+    backend); by default a fresh one is created. *)
+val create : ?solver:Sat.Solver.t -> Bounds.t -> t
+val solver : t -> Sat.Solver.t
+val bounds : t -> Bounds.t
+
+exception Unsupported of string
+(** Raised on ill-formed input: unbound relation names, arity abuse,
+    unbound variables, or atoms outside the universe. *)
+
+val assert_formula : t -> Ast.formula -> unit
+(** Translate the formula and assert it (conjunctively with previous
+    assertions) in the solver. *)
+
+val formula_lit : t -> Ast.formula -> Sat.Lit.t
+(** Translate the formula to a literal equivalent to it (for use in
+    assumptions), without asserting it. *)
+
+val primary_var : t -> Mdl.Ident.t -> Rel.Tuple.t -> Sat.Lit.var option
+(** The primary variable deciding this tuple's membership, when the
+    tuple lies in [upper \ lower] of the given relation and the
+    matrix has been materialized. Matrices for every relation
+    mentioned in an asserted formula are materialized; call
+    {!materialize} for relations only referenced by the decoder. *)
+
+val materialize : t -> Mdl.Ident.t -> unit
+(** Force creation of the relation's matrix (and primary variables). *)
+
+val fold_primaries :
+  t -> (Mdl.Ident.t -> Rel.Tuple.t -> Sat.Lit.var -> 'a -> 'a) -> 'a -> 'a
+(** Iterate the primary-variable registry. *)
+
+val decode : t -> Instance.t
+(** Read the model of the last satisfiable [solve] off the solver:
+    each bound relation's value is its lower bound plus the optional
+    tuples whose primary variable is true. *)
+
+val decode_with : t -> (Sat.Lit.var -> bool) -> Instance.t
+(** Like {!decode} with an explicit valuation (e.g. a MaxSAT model
+    snapshot). *)
+
+val stats : t -> int * int
+(** (number of primary variables, total SAT variables). *)

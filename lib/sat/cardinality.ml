@@ -1,0 +1,54 @@
+type t = {
+  inputs : int;
+  outputs : Lit.t array;  (* outputs.(k-1) = o_k *)
+}
+
+(* Merge two sorted unary counters [a] and [b] into [r], adding the
+   upper-bound clauses  a_i ∧ b_j → r_{i+j}  (with the i=0 / j=0
+   degenerate cases a_i → r_i and b_j → r_j). *)
+let merge solver a b =
+  let na = Array.length a and nb = Array.length b in
+  let r = Array.init (na + nb) (fun _ -> Lit.pos (Solver.new_var solver)) in
+  for i = 0 to na - 1 do
+    Solver.add_clause solver [ Lit.neg a.(i); r.(i) ]
+  done;
+  for j = 0 to nb - 1 do
+    Solver.add_clause solver [ Lit.neg b.(j); r.(j) ]
+  done;
+  for i = 0 to na - 1 do
+    for j = 0 to nb - 1 do
+      Solver.add_clause solver [ Lit.neg a.(i); Lit.neg b.(j); r.(i + j + 1) ]
+    done
+  done;
+  r
+
+let rec totalize solver inputs =
+  match Array.length inputs with
+  | 0 -> [||]
+  | 1 -> inputs
+  | n ->
+    let mid = n / 2 in
+    let left = totalize solver (Array.sub inputs 0 mid) in
+    let right = totalize solver (Array.sub inputs mid (n - mid)) in
+    merge solver left right
+
+let build solver lits =
+  let inputs = Array.of_list lits in
+  let outputs = totalize solver inputs in
+  { inputs = Array.length inputs; outputs }
+
+let count t = t.inputs
+
+let output t k =
+  if k < 1 || k > t.inputs then invalid_arg "Cardinality.output: index out of range";
+  t.outputs.(k - 1)
+
+let at_most t k =
+  if k < 0 then invalid_arg "Cardinality.at_most: negative bound";
+  if k >= t.inputs then [] else [ Lit.neg t.outputs.(k) ]
+
+let assert_at_most solver t k =
+  if k < 0 then invalid_arg "Cardinality.assert_at_most: negative bound";
+  for j = k to t.inputs - 1 do
+    Solver.add_clause solver [ Lit.neg t.outputs.(j) ]
+  done

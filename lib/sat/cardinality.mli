@@ -1,0 +1,34 @@
+(** Totalizer cardinality constraints.
+
+    Builds, for input literals [x₁..xₙ], output literals [o₁..oₙ]
+    such that the clauses force [oₖ] whenever at least [k] inputs are
+    true (the upper-bound direction of the totalizer of Bailleux &
+    Boufkhad). Asserting [¬oₖ₊₁] — directly or as a solver
+    assumption — then caps the count at [k].
+
+    The enforcement engine uses this twice: the iterative Echo-style
+    repair asserts increasing bounds as assumptions over one shared
+    encoding, and the MaxSAT solver bounds relaxation variables the
+    same way. *)
+
+type t
+
+val build : Solver.t -> Lit.t list -> t
+(** Encode the totalizer tree for these inputs. O(n log n) auxiliary
+    variables and O(n²) clauses. *)
+
+val count : t -> int
+(** Number of inputs [n]. *)
+
+val output : t -> int -> Lit.t
+(** [output t k] (1-based, [1 <= k <= count t]) is [oₖ]: true when at
+    least [k] inputs are true. *)
+
+val at_most : t -> int -> Lit.t list
+(** Assumption literals capping the true-input count at [k]:
+    [[¬oₖ₊₁]], or [[]] when [k >= count t]. Raises
+    [Invalid_argument] on negative [k]. *)
+
+val assert_at_most : Solver.t -> t -> int -> unit
+(** Permanently cap the count (adds unit clauses [¬oⱼ] for
+    [j > k]). *)

@@ -1,0 +1,153 @@
+type t = {
+  node_id : int;
+  node_view : view;
+}
+
+and view =
+  | True
+  | False
+  | Input of Lit.t
+  | Not of t
+  | And of t array
+  | Or of t array
+
+(* Structural key used for hash-consing: children identified by id. *)
+type key =
+  | K_true
+  | K_false
+  | K_input of int
+  | K_not of int
+  | K_and of int list
+  | K_or of int list
+
+type builder = {
+  table : (key, t) Hashtbl.t;
+  mutable next : int;
+}
+
+let builder () = { table = Hashtbl.create 1024; next = 0 }
+let view n = n.node_view
+let id n = n.node_id
+
+let intern b key view =
+  match Hashtbl.find_opt b.table key with
+  | Some n -> n
+  | None ->
+    let n = { node_id = b.next; node_view = view } in
+    b.next <- b.next + 1;
+    Hashtbl.add b.table key n;
+    n
+
+let tru b = intern b K_true True
+let fls b = intern b K_false False
+let input b l = intern b (K_input l) (Input l)
+
+let is_true n = match n.node_view with True -> true | _ -> false
+let is_false n = match n.node_view with False -> true | _ -> false
+
+let not_ b n =
+  match n.node_view with
+  | True -> fls b
+  | False -> tru b
+  | Not m -> m
+  | Input l -> input b (Lit.neg l)
+  | And _ | Or _ -> intern b (K_not n.node_id) (Not n)
+
+(* Normalize an operand list for And: flatten nested Ands, drop [True],
+   short-circuit on [False], deduplicate, detect complementary pairs. *)
+let norm_nary ~unit ~zero ~flatten operands =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let absorbed = ref false in
+  let rec add n =
+    if not !absorbed then
+      match n.node_view with
+      | v when v = zero -> absorbed := true
+      | v when v = unit -> ()
+      | _ -> (
+        match flatten n.node_view with
+        | Some children -> Array.iter add children
+        | None ->
+          if not (Hashtbl.mem seen n.node_id) then begin
+            Hashtbl.add seen n.node_id ();
+            acc := n :: !acc
+          end)
+  in
+  List.iter add operands;
+  if !absorbed then None
+  else begin
+    (* Complementary pair (x and Not x) forces the zero element. *)
+    let complement =
+      List.exists
+        (fun n ->
+          match n.node_view with
+          | Not m -> Hashtbl.mem seen m.node_id
+          | Input l -> (
+            (* An input's complement is Input (neg l). *)
+            List.exists
+              (fun m ->
+                match m.node_view with
+                | Input l' -> l' = Lit.neg l
+                | _ -> false)
+              !acc)
+          | _ -> false)
+        !acc
+    in
+    if complement then None else Some (List.rev !acc)
+  end
+
+let sort_nodes ns = List.sort (fun a b -> Int.compare a.node_id b.node_id) ns
+
+let and_ b operands =
+  let flatten = function And cs -> Some cs | _ -> None in
+  match norm_nary ~unit:True ~zero:False ~flatten operands with
+  | None -> fls b
+  | Some [] -> tru b
+  | Some [ n ] -> n
+  | Some ns ->
+    let ns = sort_nodes ns in
+    intern b (K_and (List.map id ns)) (And (Array.of_list ns))
+
+let or_ b operands =
+  let flatten = function Or cs -> Some cs | _ -> None in
+  match norm_nary ~unit:False ~zero:True ~flatten operands with
+  | None -> tru b
+  | Some [] -> fls b
+  | Some [ n ] -> n
+  | Some ns ->
+    let ns = sort_nodes ns in
+    intern b (K_or (List.map id ns)) (Or (Array.of_list ns))
+
+let implies b x y = or_ b [ not_ b x; y ]
+let iff b x y = and_ b [ implies b x y; implies b y x ]
+let xor b x y = not_ b (iff b x y)
+let ite b c t e = and_ b [ implies b c t; implies b (not_ b c) e ]
+
+let size n =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n.node_id) then begin
+      Hashtbl.add seen n.node_id ();
+      match n.node_view with
+      | True | False | Input _ -> ()
+      | Not m -> go m
+      | And cs | Or cs -> Array.iter go cs
+    end
+  in
+  go n;
+  Hashtbl.length seen
+
+let rec pp ppf n =
+  match n.node_view with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Input l -> Lit.pp ppf l
+  | Not m -> Format.fprintf ppf "!(%a)" pp m
+  | And cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_array ~pp_sep:(fun f () -> Format.pp_print_string f " & ") pp)
+      cs
+  | Or cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_array ~pp_sep:(fun f () -> Format.pp_print_string f " | ") pp)
+      cs

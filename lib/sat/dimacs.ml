@@ -1,0 +1,63 @@
+let to_string ~nvars clauses =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_int l) ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> error := Some (Printf.sprintf "bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some n -> current := Lit.of_int n :: !current
+  in
+  List.iter
+    (fun line ->
+      if !error = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if String.length line > 1 && line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "p"; "cnf"; v; _ ] -> (
+            match int_of_string_opt v with
+            | Some v -> nvars := v
+            | None -> error := Some "bad p header")
+          | _ -> error := Some "bad p header"
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+          |> List.iter handle_token)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !current <> [] then clauses := List.rev !current :: !clauses;
+    Ok (!nvars, List.rev !clauses)
+
+let load_into solver src =
+  match parse src with
+  | Error _ as e -> e
+  | Ok (nvars, clauses) ->
+    let needed =
+      List.fold_left
+        (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+        nvars clauses
+    in
+    while Solver.nb_vars solver < needed do
+      ignore (Solver.new_var solver)
+    done;
+    List.iter (Solver.add_clause solver) clauses;
+    Ok ()

@@ -1,0 +1,13 @@
+(** DIMACS CNF reading and writing, for debugging and interop. *)
+
+val to_string : nvars:int -> Lit.t list list -> string
+(** Render a clause set in DIMACS CNF format. *)
+
+val parse : string -> (int * Lit.t list list, string) result
+(** Parse DIMACS CNF; returns (variable count, clauses). Accepts
+    comment lines and a standard [p cnf] header; clauses may span
+    lines and are 0-terminated. *)
+
+val load_into : Solver.t -> string -> (unit, string) result
+(** Parse and add every clause to the solver, allocating variables as
+    needed. *)

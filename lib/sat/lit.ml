@@ -1,0 +1,17 @@
+type var = int
+type t = int
+
+let make v sign = (v lsl 1) lor (if sign then 0 else 1)
+let pos v = v lsl 1
+let neg_of v = (v lsl 1) lor 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let neg l = l lxor 1
+let to_int l = if sign l then var l + 1 else -(var l + 1)
+
+let of_int n =
+  if n = 0 then invalid_arg "Lit.of_int: zero"
+  else if n > 0 then pos (n - 1)
+  else neg_of (-n - 1)
+
+let pp ppf l = Format.fprintf ppf "%d" (to_int l)

@@ -1,0 +1,30 @@
+(** Propositional variables and literals.
+
+    Variables are dense non-negative integers allocated by the solver.
+    A literal packs a variable and a sign into one integer
+    ([2v] positive, [2v+1] negative), the classic MiniSat encoding:
+    negation is [xor 1], and literals index watch lists directly. *)
+
+type var = int
+type t = int
+
+val make : var -> bool -> t
+(** [make v sign]: the literal [v] if [sign], [¬v] otherwise. *)
+
+val pos : var -> t
+val neg_of : var -> t
+
+val var : t -> var
+val sign : t -> bool
+(** [sign l] is [true] for positive literals. *)
+
+val neg : t -> t
+(** Complement. *)
+
+val to_int : t -> int
+(** DIMACS integer: [v+1] for positive, [-(v+1)] for negative. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}. Raises [Invalid_argument] on 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = {
+  solver : Solver.t;
+  mutable relax : (Lit.t * int) list;  (* relaxation literal, weight *)
+  mutable n_soft : int;
+  mutable model : bool array;  (* snapshot of the best model found *)
+}
+
+let create () =
+  { solver = Solver.create (); relax = []; n_soft = 0; model = [||] }
+
+let of_solver solver = { solver; relax = []; n_soft = 0; model = [||] }
+let solver t = t.solver
+let new_var t = Solver.new_var t.solver
+let add_hard t lits = Solver.add_clause t.solver lits
+
+let add_soft t ~weight lits =
+  if weight <= 0 then invalid_arg "Maxsat.add_soft: weight must be positive";
+  let r = Lit.pos (Solver.new_var t.solver) in
+  Solver.add_clause t.solver (r :: lits);
+  t.relax <- (r, weight) :: t.relax;
+  t.n_soft <- t.n_soft + 1
+
+type outcome =
+  | Optimum of int
+  | Hard_unsat
+
+let snapshot t =
+  t.model <-
+    Array.init (Solver.nb_vars t.solver) (fun v -> Solver.value t.solver v)
+
+(* Cost of the snapshot: total weight of true relaxation literals.
+   This upper-bounds the true cost (the solver may set a relaxation
+   variable even when its clause is satisfied), which is all the
+   downward search needs. *)
+let snapshot_cost t =
+  List.fold_left
+    (fun acc (r, w) -> if t.model.(Lit.var r) then acc + w else acc)
+    0 t.relax
+
+let solve t =
+  match Solver.solve t.solver with
+  | Solver.Unsat -> Hard_unsat
+  | Solver.Sat ->
+    snapshot t;
+    if t.relax = [] then Optimum 0
+    else begin
+      (* Weighted inputs expand into [weight] copies, so totalizer
+         outputs count total weight. *)
+      let inputs =
+        List.concat_map (fun (r, w) -> List.init w (fun _ -> r)) t.relax
+      in
+      let card = Cardinality.build t.solver inputs in
+      (* SAT-driven descent from the initial model's cost: each SAT
+         tightens the bound, the final UNSAT proves optimality. *)
+      let rec descend best =
+        if best = 0 then Optimum 0
+        else
+          match
+            Solver.solve ~assumptions:(Cardinality.at_most card (best - 1)) t.solver
+          with
+          | Solver.Unsat -> Optimum best
+          | Solver.Sat ->
+            snapshot t;
+            let cost = snapshot_cost t in
+            descend (min cost (best - 1))
+      in
+      descend (snapshot_cost t)
+    end
+
+let value t v = v < Array.length t.model && t.model.(v)
+let soft_count t = t.n_soft
+let hard_count t = Solver.nb_clauses t.solver - t.n_soft

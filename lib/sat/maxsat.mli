@@ -1,0 +1,44 @@
+(** Weighted partial MaxSAT.
+
+    Finds an assignment satisfying all hard clauses while minimizing
+    the total weight of falsified soft clauses. This is the optimizing
+    backend the paper's §3 refers to via the PMax-SAT extension of
+    Echo (Cunha, Macedo & Guimarães, FASE'14): "keep this tuple as it
+    was" becomes a soft clause, so the optimum is a least-change
+    repair.
+
+    Algorithm: each soft clause gets a relaxation variable; relaxation
+    variables enter a totalizer (duplicated [weight] times), and the
+    solver searches upward from cost 0 using solver assumptions —
+    mirroring Echo's "increasing distance" iteration — until the first
+    satisfiable bound, which is the optimum. *)
+
+type t
+
+val create : unit -> t
+
+val of_solver : Solver.t -> t
+(** Wrap an existing solver (whose clauses become hard clauses). *)
+
+val solver : t -> Solver.t
+
+val new_var : t -> Lit.var
+
+val add_hard : t -> Lit.t list -> unit
+val add_soft : t -> weight:int -> Lit.t list -> unit
+(** [weight] must be positive. *)
+
+type outcome =
+  | Optimum of int  (** minimal total weight of falsified soft clauses *)
+  | Hard_unsat
+
+val solve : t -> outcome
+(** Solving is one-shot per instance mutation: further clauses may be
+    added afterwards and [solve] called again (a fresh totalizer is
+    built each time). *)
+
+val value : t -> Lit.var -> bool
+(** Model access after [Optimum]. *)
+
+val soft_count : t -> int
+val hard_count : t -> int

@@ -1,0 +1,668 @@
+(* A MiniSat-style CDCL solver.
+
+   Conventions:
+   - assignment per variable: -1 unassigned, 1 true, 0 false;
+   - a literal l is true iff its variable is assigned to [sign l];
+   - clauses are int arrays of literals; the two watched literals are
+     kept at positions 0 and 1;
+   - watch lists are indexed by the literal that must become FALSE for
+     the clause to need attention (i.e. clause c watches lit p via the
+     list of [Lit.neg p]). *)
+
+type clause = {
+  lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable removed : bool;
+}
+
+(* Growable vector of clauses / ints. *)
+module Vec = struct
+  type 'a t = {
+    mutable data : 'a array;
+    mutable size : int;
+    dummy : 'a;
+  }
+
+  let create dummy = { data = Array.make 16 dummy; size = 0; dummy }
+
+  let push v x =
+    if v.size = Array.length v.data then begin
+      let data = Array.make (2 * Array.length v.data) v.dummy in
+      Array.blit v.data 0 data 0 v.size;
+      v.data <- data
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let shrink v n = v.size <- n
+end
+
+type t = {
+  (* clause database *)
+  clauses : clause Vec.t;  (* problem clauses *)
+  learnts : clause Vec.t;
+  (* watches.(lit) = clauses that must be inspected when [lit] becomes
+     false. *)
+  mutable watches : clause Vec.t array;
+  (* assignment *)
+  mutable assign : int array;  (* var -> -1/0/1 *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array;
+  trail : int Vec.t;  (* literals in assignment order *)
+  trail_lim : int Vec.t;  (* decision-level boundaries in trail *)
+  mutable qhead : int;
+  (* branching *)
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable heap : int array;  (* binary max-heap of vars *)
+  mutable heap_size : int;
+  mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
+  mutable seen : bool array;
+  mutable nvars : int;
+  mutable ok : bool;  (* false once the clause set is unsat at level 0 *)
+  mutable conflict_core : int list;  (* assumption literals of the last final conflict *)
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_reduces : int;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; removed = false }
+
+let create () =
+  {
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    watches = Array.init 2 (fun _ -> Vec.create dummy_clause);
+    assign = Array.make 1 (-1);
+    level = Array.make 1 (-1);
+    reason = Array.make 1 None;
+    phase = Array.make 1 false;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    activity = Array.make 1 0.0;
+    var_inc = 1.0;
+    heap = Array.make 1 0;
+    heap_size = 0;
+    heap_pos = Array.make 1 (-1);
+    seen = Array.make 1 false;
+    nvars = 0;
+    ok = true;
+    conflict_core = [];
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_reduces = 0;
+  }
+
+let nb_vars s = s.nvars
+let nb_clauses s = Vec.size s.clauses
+
+(* ----------------------------------------------------------------- *)
+(* Heap of variables ordered by activity                               *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_lt s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_lt s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let top = s.heap.(0) in
+  s.heap_pos.(top) <- -1;
+  s.heap_size <- s.heap_size - 1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* ----------------------------------------------------------------- *)
+(* Variables                                                           *)
+
+let grow_array arr n dummy =
+  let len = Array.length arr in
+  if n <= len then arr
+  else begin
+    let arr' = Array.make (max n (2 * len)) dummy in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_array s.assign (v + 1) (-1);
+  s.level <- grow_array s.level (v + 1) (-1);
+  s.reason <- grow_array s.reason (v + 1) None;
+  s.phase <- grow_array s.phase (v + 1) false;
+  s.activity <- grow_array s.activity (v + 1) 0.0;
+  s.heap <- grow_array s.heap (v + 1) 0;
+  s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
+  s.seen <- grow_array s.seen (v + 1) false;
+  let nlits = 2 * (v + 1) in
+  if Array.length s.watches < nlits then begin
+    let watches = Array.init (max nlits (2 * Array.length s.watches)) (fun i ->
+        if i < Array.length s.watches then s.watches.(i) else Vec.create dummy_clause)
+    in
+    s.watches <- watches
+  end;
+  s.assign.(v) <- -1;
+  s.level.(v) <- -1;
+  s.reason.(v) <- None;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+(* ----------------------------------------------------------------- *)
+(* Assignment                                                          *)
+
+let lit_is_true s l = s.assign.(Lit.var l) = (if Lit.sign l then 1 else 0)
+let lit_is_false s l = s.assign.(Lit.var l) = (if Lit.sign l then 0 else 1)
+let lit_is_unassigned s l = s.assign.(Lit.var l) = -1
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  s.assign.(v) <- (if Lit.sign l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- Lit.sign l;
+  Vec.push s.trail l;
+  s.n_propagations <- s.n_propagations + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None;
+      s.level.(v) <- -1;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Propagation                                                         *)
+
+exception Conflict of clause
+
+(* Propagate all enqueued facts; raise [Conflict] on a falsified
+   clause. *)
+let propagate s =
+  while s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    (* p just became true: visit clauses watching ¬p. *)
+    let false_lit = Lit.neg p in
+    let ws = s.watches.(false_lit) in
+    let n = Vec.size ws in
+    let kept = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         let c = Vec.get ws i in
+         let lits = c.lits in
+         (* Ensure the false literal is at position 1. *)
+         if lits.(0) = false_lit then begin
+           lits.(0) <- lits.(1);
+           lits.(1) <- false_lit
+         end;
+         if lit_is_true s lits.(0) then begin
+           (* Clause already satisfied: keep the watch. *)
+           Vec.set ws !kept c;
+           incr kept
+         end
+         else begin
+           (* Look for a new literal to watch. *)
+           let len = Array.length lits in
+           let found = ref false in
+           let j = ref 2 in
+           while (not !found) && !j < len do
+             if not (lit_is_false s lits.(!j)) then begin
+               lits.(1) <- lits.(!j);
+               lits.(!j) <- false_lit;
+               Vec.push s.watches.(lits.(1)) c;
+               found := true
+             end;
+             incr j
+           done;
+           if not !found then begin
+             (* Unit or conflicting. *)
+             Vec.set ws !kept c;
+             incr kept;
+             if lit_is_false s lits.(0) then begin
+               (* Conflict: keep remaining watches before raising. *)
+               for k = i + 1 to n - 1 do
+                 Vec.set ws !kept (Vec.get ws k);
+                 incr kept
+               done;
+               Vec.shrink ws !kept;
+               raise (Conflict c)
+             end
+             else enqueue s lits.(0) (Some c)
+           end
+         end
+       done;
+       Vec.shrink ws !kept
+     with Conflict _ as e -> raise e)
+  done
+
+(* ----------------------------------------------------------------- *)
+(* Activity                                                            *)
+
+let var_decay = 0.95
+let clause_decay = 0.999
+let cla_inc = ref 1.0
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let decay_activities s =
+  s.var_inc <- s.var_inc /. var_decay;
+  cla_inc := !cla_inc /. clause_decay
+
+let bump_clause (c : clause) =
+  c.activity <- c.activity +. !cla_inc;
+  if c.activity > 1e20 then c.activity <- c.activity *. 1e-20
+
+(* ----------------------------------------------------------------- *)
+(* Clause attachment                                                   *)
+
+let attach_clause s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let add_clause s lits =
+  if s.ok then begin
+    (* Clauses are always added at the root level; a previous [solve]
+       may have left the trail at a positive decision level. *)
+    cancel_until s 0;
+    (* Normalize: sort, merge duplicates, drop tautologies and
+       level-0-false literals, detect satisfied clauses. *)
+    let lits = List.sort_uniq Int.compare lits in
+    let tautology =
+      let rec go = function
+        | a :: (b :: _ as rest) -> (Lit.neg a = b && Lit.var a = Lit.var b) || go rest
+        | [ _ ] | [] -> false
+      in
+      go lits
+    in
+    let satisfied =
+      List.exists (fun l -> s.level.(Lit.var l) = 0 && lit_is_true s l) lits
+    in
+    if not (tautology || satisfied) then begin
+      let lits =
+        List.filter (fun l -> not (s.level.(Lit.var l) = 0 && lit_is_false s l)) lits
+      in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        (* Unit clause: assign at level 0. Callers add clauses only at
+           level 0 (before/between solves). *)
+        assert (decision_level s = 0);
+        if lit_is_false s l then s.ok <- false
+        else if lit_is_unassigned s l then begin
+          enqueue s l None;
+          try propagate s with Conflict _ -> s.ok <- false
+        end
+      | lits ->
+        let c =
+          { lits = Array.of_list lits; learnt = false; activity = 0.0; removed = false }
+        in
+        Vec.push s.clauses c;
+        attach_clause s c
+    end
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Conflict analysis (first UIP)                                       *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  (* -1 means "whole conflict clause" on the first iteration *)
+  let idx = ref (Vec.size s.trail - 1) in
+  let btlevel = ref 0 in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    bump_clause !confl;
+    let lits = !confl.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length lits - 1 do
+      let q = lits.(j) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        bump_var s v;
+        s.seen.(v) <- true;
+        if s.level.(v) >= decision_level s then incr path_count
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Select next literal on the trail to expand. *)
+    let rec next () =
+      let l = Vec.get s.trail !idx in
+      decr idx;
+      if s.seen.(Lit.var l) then l else next ()
+    in
+    let l = next () in
+    s.seen.(Lit.var l) <- false;
+    decr path_count;
+    if !path_count <= 0 then begin
+      p := l;
+      continue := false
+    end
+    else begin
+      (match s.reason.(Lit.var l) with
+      | Some c -> confl := c
+      | None -> assert false);
+      p := l
+    end
+  done;
+  let learnt = Lit.neg !p :: !learnt in
+  (* Clear seen flags for reuse. *)
+  List.iter (fun l -> s.seen.(Lit.var l) <- false) learnt;
+  (learnt, !btlevel)
+
+(* After a conflict directly caused by assumptions: collect the subset
+   of assumptions implying the conflict, starting from literal [p]
+   (a failed assumption). *)
+let analyze_final s p assumption_set =
+  let core = ref [] in
+  if s.level.(Lit.var p) > 0 then begin
+    s.seen.(Lit.var p) <- true;
+    for i = Vec.size s.trail - 1 downto 0 do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+        | None ->
+          (* A decision — under assumption-driven search all decisions
+             at these levels are assumptions. *)
+          if Hashtbl.mem assumption_set l then core := l :: !core
+        | Some c ->
+          Array.iter
+            (fun q -> if s.level.(Lit.var q) > 0 then s.seen.(Lit.var q) <- true)
+            c.lits);
+        s.seen.(v) <- false
+      end
+    done
+  end;
+  !core
+
+(* ----------------------------------------------------------------- *)
+(* Search                                                              *)
+
+(* The Luby restart sequence 1 1 2 1 1 2 4 ... scaled by [y^k]. *)
+let luby y x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+let record_learnt s learnt btlevel =
+  match learnt with
+  | [] -> assert false
+  | [ l ] ->
+    cancel_until s 0;
+    if lit_is_unassigned s l then begin
+      enqueue s l None;
+      (try propagate s with Conflict _ -> s.ok <- false)
+    end
+    else if lit_is_false s l then s.ok <- false
+  | first :: _ ->
+    cancel_until s btlevel;
+    (* Put a highest-level literal (w.r.t. remaining assignment) second
+       so watches stay valid: the asserting literal is first, a literal
+       from btlevel second. *)
+    let arr = Array.of_list learnt in
+    let max_i = ref 1 in
+    for i = 2 to Array.length arr - 1 do
+      if s.level.(Lit.var arr.(i)) > s.level.(Lit.var arr.(!max_i)) then max_i := i
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!max_i);
+    arr.(!max_i) <- tmp;
+    let c = { lits = arr; learnt = true; activity = 0.0; removed = false } in
+    bump_clause c;
+    Vec.push s.learnts c;
+    attach_clause s c;
+    enqueue s first (Some c)
+
+(* Drop the low-activity half of the learnt clauses. Clauses serving
+   as reasons for current assignments are kept. Watch lists are
+   rebuilt to exclude removed clauses. *)
+let reduce_db s =
+  let n = Vec.size s.learnts in
+  if n > 0 then begin
+    let all = Array.init n (Vec.get s.learnts) in
+    (* protect reasons *)
+    let protected c =
+      let keep = ref false in
+      for i = 0 to Vec.size s.trail - 1 do
+        match s.reason.(Lit.var (Vec.get s.trail i)) with
+        | Some r when r == c -> keep := true
+        | Some _ | None -> ()
+      done;
+      !keep
+    in
+    Array.sort
+      (fun (a : clause) (b : clause) -> Float.compare b.activity a.activity)
+      all;
+    let cutoff = n / 2 in
+    Array.iteri
+      (fun i c ->
+        if i >= cutoff && Array.length c.lits > 2 && not (protected c) then
+          c.removed <- true)
+      all;
+    (* rebuild the learnt vector and the watch lists *)
+    Vec.shrink s.learnts 0;
+    Array.iter (fun c -> if not c.removed then Vec.push s.learnts c) all;
+    Array.iter
+      (fun ws ->
+        let kept = ref 0 in
+        for i = 0 to Vec.size ws - 1 do
+          let c = Vec.get ws i in
+          if not c.removed then begin
+            Vec.set ws !kept c;
+            incr kept
+          end
+        done;
+        Vec.shrink ws !kept)
+      s.watches
+  end
+
+type result =
+  | Sat
+  | Unsat
+
+exception Found of result
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assign.(v) = -1 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) s =
+  s.conflict_core <- [];
+  if not s.ok then Unsat
+  else begin
+    let assumption_set = Hashtbl.create (List.length assumptions) in
+    List.iter (fun l -> Hashtbl.replace assumption_set l ()) assumptions;
+    let assumptions = Array.of_list assumptions in
+    let max_conflicts = ref 100.0 in
+    let restart_count = ref 0 in
+    let outcome = ref None in
+    (try
+       while true do
+         (* One restart-bounded search episode. *)
+         let conflicts_here = ref 0 in
+         cancel_until s 0;
+         (try
+            while true do
+              (try
+                 propagate s;
+                 (* No conflict: decide. *)
+                 if float_of_int !conflicts_here >= !max_conflicts then begin
+                   (* Restart. *)
+                   s.n_restarts <- s.n_restarts + 1;
+                   raise Exit
+                 end;
+                 (* Assumption decisions first. *)
+                 let dl = decision_level s in
+                 if dl < Array.length assumptions then begin
+                   let a = assumptions.(dl) in
+                   if lit_is_true s a then begin
+                     (* Already satisfied: open an empty decision level
+                        so indices keep matching. *)
+                     Vec.push s.trail_lim (Vec.size s.trail)
+                   end
+                   else if lit_is_false s a then begin
+                     s.conflict_core <- a :: analyze_final s (Lit.neg a) assumption_set;
+                     raise (Found Unsat)
+                   end
+                   else begin
+                     Vec.push s.trail_lim (Vec.size s.trail);
+                     s.n_decisions <- s.n_decisions + 1;
+                     enqueue s a None
+                   end
+                 end
+                 else begin
+                   let v = pick_branch_var s in
+                   if v < 0 then raise (Found Sat);
+                   Vec.push s.trail_lim (Vec.size s.trail);
+                   s.n_decisions <- s.n_decisions + 1;
+                   enqueue s (Lit.make v s.phase.(v)) None
+                 end
+               with Conflict c ->
+                 s.n_conflicts <- s.n_conflicts + 1;
+                 incr conflicts_here;
+                 if decision_level s = 0 then begin
+                   s.ok <- false;
+                   raise (Found Unsat)
+                 end;
+                 (* A conflict below the assumption levels must not
+                    backtrack past them blindly: analyze computes the
+                    proper level; if the learnt clause is asserting at a
+                    level inside the assumptions, that is fine — the
+                    assumption decisions will be replayed. *)
+                 let learnt, btlevel = analyze s c in
+                 record_learnt s learnt btlevel;
+                 if not s.ok then raise (Found Unsat);
+                 decay_activities s)
+            done
+          with Exit -> ());
+         incr restart_count;
+         (* the restart left the trail at level 0: safe point to shrink
+            the learnt-clause database *)
+         if Vec.size s.learnts > 2000 + (Vec.size s.clauses * 2) then begin
+           cancel_until s 0;
+           reduce_db s;
+           s.n_reduces <- s.n_reduces + 1
+         end;
+         max_conflicts := 100.0 *. luby 2.0 !restart_count
+       done
+     with Found r -> outcome := Some r);
+    let r = match !outcome with Some r -> r | None -> assert false in
+    (match r with
+    | Sat ->
+      (* Freeze the model before leaving the search state. *)
+      ()
+    | Unsat -> cancel_until s 0);
+    r
+  end
+
+let value s v = if v < s.nvars then s.assign.(v) = 1 else false
+
+let lit_value s l = if Lit.sign l then value s (Lit.var l) else not (value s (Lit.var l))
+
+let unsat_core s = s.conflict_core
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt : int;
+  reduces : int;
+}
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt = Vec.size s.learnts;
+    reduces = s.n_reduces;
+  }

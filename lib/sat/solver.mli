@@ -1,0 +1,57 @@
+(** A CDCL SAT solver.
+
+    MiniSat-style conflict-driven clause learning: two-watched-literal
+    propagation, 1-UIP conflict analysis with clause learning, VSIDS
+    branching with phase saving, Luby restarts, and incremental solving
+    under assumptions. This is the search backend of the relational
+    model finder ({!Relog.Finder}) and of the MaxSAT solver
+    ({!Maxsat}). *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> Lit.var
+(** Allocate a fresh variable. *)
+
+val nb_vars : t -> int
+val nb_clauses : t -> int
+(** Problem clauses added so far (not learnt clauses). *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause. Tautologies are dropped, duplicate literals
+    merged. Adding the empty clause (or a clause false under level-0
+    assignments) makes the instance permanently unsatisfiable. *)
+
+type result =
+  | Sat
+  | Unsat
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve under the given assumption literals. The solver is
+    incremental: more clauses and variables may be added after a call
+    and [solve] called again. *)
+
+val value : t -> Lit.var -> bool
+(** Value of a variable in the model found by the last [solve] that
+    returned [Sat]. Variables irrelevant to the formula default to
+    [false]. Unspecified after [Unsat]. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val unsat_core : t -> Lit.t list
+(** After [solve ~assumptions] returned [Unsat]: a subset of the
+    assumptions sufficient for unsatisfiability (the final conflict
+    clause over assumptions). Empty when the instance is unsatisfiable
+    regardless of assumptions. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt : int;
+  reduces : int;  (** learnt-clause database reductions performed *)
+}
+
+val stats : t -> stats

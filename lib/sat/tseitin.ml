@@ -1,0 +1,70 @@
+type ctx = {
+  solver : Solver.t;
+  cache : (int, Lit.t) Hashtbl.t;  (* circuit node id -> definition literal *)
+  mutable true_lit : Lit.t option;  (* lazily created constant *)
+}
+
+let create solver = { solver; cache = Hashtbl.create 256; true_lit = None }
+let solver ctx = ctx.solver
+
+let constant_true ctx =
+  match ctx.true_lit with
+  | Some l -> l
+  | None ->
+    let v = Solver.new_var ctx.solver in
+    let l = Lit.pos v in
+    Solver.add_clause ctx.solver [ l ];
+    ctx.true_lit <- Some l;
+    l
+
+let rec lit_of ctx node =
+  match Hashtbl.find_opt ctx.cache (Circuit.id node) with
+  | Some l -> l
+  | None ->
+    let l =
+      match Circuit.view node with
+      | Circuit.True -> constant_true ctx
+      | Circuit.False -> Lit.neg (constant_true ctx)
+      | Circuit.Input l -> l
+      | Circuit.Not n -> Lit.neg (lit_of ctx n)
+      | Circuit.And children ->
+        let ls = Array.map (lit_of ctx) children in
+        let g = Lit.pos (Solver.new_var ctx.solver) in
+        (* g -> c_i *)
+        Array.iter (fun c -> Solver.add_clause ctx.solver [ Lit.neg g; c ]) ls;
+        (* /\ c_i -> g *)
+        Solver.add_clause ctx.solver
+          (g :: Array.to_list (Array.map Lit.neg ls));
+        g
+      | Circuit.Or children ->
+        let ls = Array.map (lit_of ctx) children in
+        let g = Lit.pos (Solver.new_var ctx.solver) in
+        (* c_i -> g *)
+        Array.iter (fun c -> Solver.add_clause ctx.solver [ Lit.neg c; g ]) ls;
+        (* g -> \/ c_i *)
+        Solver.add_clause ctx.solver (Lit.neg g :: Array.to_list ls);
+        g
+    in
+    Hashtbl.replace ctx.cache (Circuit.id node) l;
+    l
+
+let rec assert_true ctx node =
+  match Circuit.view node with
+  | Circuit.True -> ()
+  | Circuit.False -> Solver.add_clause ctx.solver []
+  | Circuit.Input l -> Solver.add_clause ctx.solver [ l ]
+  | Circuit.Not n -> assert_false ctx n
+  | Circuit.And children -> Array.iter (assert_true ctx) children
+  | Circuit.Or children ->
+    Solver.add_clause ctx.solver (Array.to_list (Array.map (lit_of ctx) children))
+
+and assert_false ctx node =
+  match Circuit.view node with
+  | Circuit.True -> Solver.add_clause ctx.solver []
+  | Circuit.False -> ()
+  | Circuit.Input l -> Solver.add_clause ctx.solver [ Lit.neg l ]
+  | Circuit.Not n -> assert_true ctx n
+  | Circuit.Or children -> Array.iter (assert_false ctx) children
+  | Circuit.And children ->
+    Solver.add_clause ctx.solver
+      (Array.to_list (Array.map (fun c -> Lit.neg (lit_of ctx c)) children))

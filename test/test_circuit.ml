@@ -1,0 +1,167 @@
+(* Tests for Sat.Circuit (hash-consing and simplification) and
+   Sat.Tseitin (CNF encoding equisatisfiability). *)
+
+module C = Sat.Circuit
+module S = Sat.Solver
+module L = Sat.Lit
+
+let test_hash_consing () =
+  let b = C.builder () in
+  let x = C.input b (L.pos 0) and y = C.input b (L.pos 1) in
+  let a1 = C.and_ b [ x; y ] and a2 = C.and_ b [ y; x ] in
+  Alcotest.(check bool) "commutative and shares" true (a1 == a2);
+  let o1 = C.or_ b [ x; y; x ] and o2 = C.or_ b [ y; x ] in
+  Alcotest.(check bool) "duplicates removed before interning" true (o1 == o2)
+
+let test_constant_folding () =
+  let b = C.builder () in
+  let x = C.input b (L.pos 0) in
+  Alcotest.(check bool) "and [] = true" true (C.is_true (C.and_ b []));
+  Alcotest.(check bool) "or [] = false" true (C.is_false (C.or_ b []));
+  Alcotest.(check bool) "and [false; x] = false" true (C.is_false (C.and_ b [ C.fls b; x ]));
+  Alcotest.(check bool) "or [true; x] = true" true (C.is_true (C.or_ b [ C.tru b; x ]));
+  Alcotest.(check bool) "and [true; x] = x" true (C.and_ b [ C.tru b; x ] == x);
+  Alcotest.(check bool) "not not x = x" true (C.not_ b (C.not_ b x) == x);
+  Alcotest.(check bool) "x & !x = false" true
+    (C.is_false (C.and_ b [ x; C.not_ b x ]));
+  Alcotest.(check bool) "x | !x = true" true (C.is_true (C.or_ b [ x; C.not_ b x ]))
+
+let test_negated_input () =
+  let b = C.builder () in
+  let x = C.input b (L.pos 0) in
+  (* not over an input becomes the complementary input *)
+  match C.view (C.not_ b x) with
+  | C.Input l -> Alcotest.(check int) "complement literal" (L.neg_of 0) l
+  | _ -> Alcotest.fail "expected Input view"
+
+let test_flattening () =
+  let b = C.builder () in
+  let x = C.input b (L.pos 0)
+  and y = C.input b (L.pos 1)
+  and z = C.input b (L.pos 2) in
+  let nested = C.and_ b [ x; C.and_ b [ y; z ] ] in
+  match C.view nested with
+  | C.And cs -> Alcotest.(check int) "flattened to 3 children" 3 (Array.length cs)
+  | _ -> Alcotest.fail "expected And view"
+
+(* Evaluate a circuit under an assignment (ground truth). *)
+let rec eval assign node =
+  match C.view node with
+  | C.True -> true
+  | C.False -> false
+  | C.Input l -> if L.sign l then assign.(L.var l) else not assign.(L.var l)
+  | C.Not n -> not (eval assign n)
+  | C.And cs -> Array.for_all (eval assign) cs
+  | C.Or cs -> Array.exists (eval assign) cs
+
+(* Random circuit generator over nv input variables. *)
+let rec random_circuit rng b nv depth =
+  if depth = 0 || Random.State.int rng 3 = 0 then
+    C.input b (L.make (Random.State.int rng nv) (Random.State.bool rng))
+  else
+    match Random.State.int rng 4 with
+    | 0 -> C.not_ b (random_circuit rng b nv (depth - 1))
+    | 1 ->
+      C.and_ b
+        (List.init
+           (1 + Random.State.int rng 3)
+           (fun _ -> random_circuit rng b nv (depth - 1)))
+    | 2 ->
+      C.or_ b
+        (List.init
+           (1 + Random.State.int rng 3)
+           (fun _ -> random_circuit rng b nv (depth - 1)))
+    | _ ->
+      C.iff b (random_circuit rng b nv (depth - 1)) (random_circuit rng b nv (depth - 1))
+
+let models_of_circuit node nv =
+  (* brute-force count of satisfying assignments *)
+  let count = ref 0 in
+  let assign = Array.make nv false in
+  let rec go v =
+    if v = nv then begin
+      if eval assign node then incr count
+    end
+    else begin
+      assign.(v) <- true;
+      go (v + 1);
+      assign.(v) <- false;
+      go (v + 1)
+    end
+  in
+  go 0;
+  !count
+
+let test_tseitin_equisat =
+  QCheck.Test.make ~name:"tseitin assert_true preserves satisfiability" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nv = 4 in
+      let b = C.builder () in
+      let node = random_circuit rng b nv 3 in
+      let sat_expected = models_of_circuit node nv > 0 in
+      let s = S.create () in
+      for _ = 1 to nv do
+        ignore (S.new_var s)
+      done;
+      let ctx = Sat.Tseitin.create s in
+      Sat.Tseitin.assert_true ctx node;
+      let got = S.solve s = S.Sat in
+      if got <> sat_expected then false
+      else if got then
+        (* model projected on the inputs satisfies the circuit *)
+        eval (Array.init nv (fun v -> S.value s v)) node
+      else true)
+
+let test_tseitin_assert_false =
+  QCheck.Test.make ~name:"tseitin assert_false encodes negation" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nv = 4 in
+      let b = C.builder () in
+      let node = random_circuit rng b nv 3 in
+      let falsifiable = models_of_circuit node nv < 16 in
+      let s = S.create () in
+      for _ = 1 to nv do
+        ignore (S.new_var s)
+      done;
+      let ctx = Sat.Tseitin.create s in
+      Sat.Tseitin.assert_false ctx node;
+      (S.solve s = S.Sat) = falsifiable)
+
+let test_lit_of_shared () =
+  (* encoding the same node twice must not duplicate definitions *)
+  let b = C.builder () in
+  let x = C.input b (L.pos 0) and y = C.input b (L.pos 1) in
+  let node = C.and_ b [ x; y ] in
+  let s = S.create () in
+  ignore (S.new_var s);
+  ignore (S.new_var s);
+  let ctx = Sat.Tseitin.create s in
+  let l1 = Sat.Tseitin.lit_of ctx node in
+  let n_after_first = S.nb_vars s in
+  let l2 = Sat.Tseitin.lit_of ctx node in
+  Alcotest.(check int) "same literal" l1 l2;
+  Alcotest.(check int) "no new variables" n_after_first (S.nb_vars s)
+
+let test_size () =
+  let b = C.builder () in
+  let x = C.input b (L.pos 0) and y = C.input b (L.pos 1) in
+  let shared = C.and_ b [ x; y ] in
+  let top = C.or_ b [ shared; C.not_ b shared ] in
+  (* or of complement simplifies to true, so build differently *)
+  ignore top;
+  let top2 = C.and_ b [ C.or_ b [ shared; x ]; C.or_ b [ shared; y ] ] in
+  Alcotest.(check bool) "size counts distinct nodes once" true (C.size top2 <= 6)
+
+let suite =
+  [
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "negated input" `Quick test_negated_input;
+    Alcotest.test_case "flattening" `Quick test_flattening;
+    Alcotest.test_case "lit_of shares definitions" `Quick test_lit_of_shared;
+    Alcotest.test_case "size" `Quick test_size;
+    QCheck_alcotest.to_alcotest test_tseitin_equisat;
+    QCheck_alcotest.to_alcotest test_tseitin_assert_false;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for Mdl.Conformance: multiplicities, containment, opposites,
+   key attributes. *)
+
+module MM = Mdl.Metamodel
+module Model = Mdl.Model
+module C = Mdl.Conformance
+module I = Mdl.Ident
+module V = Mdl.Value
+
+let mm () =
+  MM.make_exn ~name:"Org"
+    [
+      MM.cls "Dept"
+        ~attrs:[ MM.attr ~key:true "code" MM.P_string ]
+        ~refs:
+          [
+            MM.ref_ ~mult:MM.mult_some "staff" ~target:"Emp" ~containment:true;
+            MM.ref_ ~mult:MM.mult_opt "head" ~target:"Emp";
+          ];
+      MM.cls "Emp" ~attrs:[ MM.attr "name" MM.P_string ];
+    ]
+
+let dept = I.make "Dept"
+let emp = I.make "Emp"
+let code = I.make "code"
+let name_ = I.make "name"
+let staff = I.make "staff"
+let head = I.make "head"
+
+let dept_with_staff () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, d = Model.add_object m ~cls:dept in
+  let m = Model.set_attr1 m d code (V.str "D1") in
+  let m, e = Model.add_object m ~cls:emp in
+  let m = Model.set_attr1 m e name_ (V.str "ann") in
+  let m = Model.add_ref m ~src:d ~ref_:staff ~dst:e in
+  (m, d, e)
+
+let test_conforming () =
+  let m, _, _ = dept_with_staff () in
+  Alcotest.(check bool) "conforms" true (C.conforms m);
+  Alcotest.(check int) "no violations" 0 (List.length (C.check m))
+
+let test_missing_mandatory_attr () =
+  let m, _, e = dept_with_staff () in
+  let m = Model.set_attr m e name_ [] in
+  let vs = C.check m in
+  Alcotest.(check bool) "attr multiplicity violation" true
+    (List.exists (function C.Attr_multiplicity _ -> true | _ -> false) vs)
+
+let test_lower_bound_ref () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, d = Model.add_object m ~cls:dept in
+  let m = Model.set_attr1 m d code (V.str "D1") in
+  let vs = C.check m in
+  Alcotest.(check bool) "staff 1..* violated when empty" true
+    (List.exists
+       (function C.Ref_multiplicity { ref_; _ } -> I.equal ref_ staff | _ -> false)
+       vs)
+
+let test_upper_bound_ref () =
+  let m, d, e = dept_with_staff () in
+  let m, e2 = Model.add_object m ~cls:emp in
+  let m = Model.set_attr1 m e2 name_ (V.str "bob") in
+  let m = Model.add_ref m ~src:d ~ref_:staff ~dst:e2 in
+  let m = Model.add_ref m ~src:d ~ref_:head ~dst:e in
+  let m = Model.add_ref m ~src:d ~ref_:head ~dst:e2 in
+  let vs = C.check m in
+  Alcotest.(check bool) "head 0..1 violated with two targets" true
+    (List.exists
+       (function C.Ref_multiplicity { ref_; _ } -> I.equal ref_ head | _ -> false)
+       vs)
+
+let test_two_containers () =
+  let m, d, e = dept_with_staff () in
+  ignore d;
+  let m, d2 = Model.add_object m ~cls:dept in
+  let m = Model.set_attr1 m d2 code (V.str "D2") in
+  let m = Model.add_ref m ~src:d2 ~ref_:staff ~dst:e in
+  let vs = C.check m in
+  Alcotest.(check bool) "double containment flagged" true
+    (List.exists (function C.Multiple_containers _ -> true | _ -> false) vs)
+
+let test_containment_cycle () =
+  let mm =
+    MM.make_exn ~name:"T"
+      [ MM.cls "N" ~refs:[ MM.ref_ "kids" ~target:"N" ~containment:true ] ]
+  in
+  let m = Model.empty ~name:"m" mm in
+  let m, a = Model.add_object m ~cls:(I.make "N") in
+  let m, b = Model.add_object m ~cls:(I.make "N") in
+  let m = Model.add_ref m ~src:a ~ref_:(I.make "kids") ~dst:b in
+  let m = Model.add_ref m ~src:b ~ref_:(I.make "kids") ~dst:a in
+  let vs = C.check m in
+  Alcotest.(check bool) "containment cycle flagged" true
+    (List.exists (function C.Containment_cycle _ -> true | _ -> false) vs)
+
+let test_opposites () =
+  let mm =
+    MM.make_exn ~name:"G"
+      [
+        MM.cls "A" ~refs:[ MM.ref_ "to_b" ~target:"B" ~opposite:"to_a" ];
+        MM.cls "B" ~refs:[ MM.ref_ "to_a" ~target:"A" ~opposite:"to_b" ];
+      ]
+  in
+  let m = Model.empty ~name:"m" mm in
+  let m, a = Model.add_object m ~cls:(I.make "A") in
+  let m, b = Model.add_object m ~cls:(I.make "B") in
+  let m = Model.add_ref m ~src:a ~ref_:(I.make "to_b") ~dst:b in
+  let vs = C.check m in
+  Alcotest.(check bool) "missing opposite edge flagged" true
+    (List.exists (function C.Opposite_mismatch _ -> true | _ -> false) vs);
+  let m = Model.add_ref m ~src:b ~ref_:(I.make "to_a") ~dst:a in
+  Alcotest.(check bool) "symmetric edges conform" true (C.conforms m)
+
+let test_key_violation () =
+  let m, _, _ = dept_with_staff () in
+  let m, d2 = Model.add_object m ~cls:dept in
+  let m = Model.set_attr1 m d2 code (V.str "D1") in
+  (* reuse! *)
+  let m, e2 = Model.add_object m ~cls:emp in
+  let m = Model.set_attr1 m e2 name_ (V.str "zoe") in
+  let m = Model.add_ref m ~src:d2 ~ref_:staff ~dst:e2 in
+  let vs = C.check m in
+  Alcotest.(check bool) "duplicate key flagged" true
+    (List.exists (function C.Key_violation _ -> true | _ -> false) vs)
+
+let test_key_ok_across_classes () =
+  (* key uniqueness is per class extent: same value on different
+     classes is fine (name is not a key on Emp anyway; use two Depts
+     with distinct codes) *)
+  let m, _, _ = dept_with_staff () in
+  let m, d2 = Model.add_object m ~cls:dept in
+  let m = Model.set_attr1 m d2 code (V.str "D2") in
+  let m, e2 = Model.add_object m ~cls:emp in
+  let m = Model.set_attr1 m e2 name_ (V.str "ann") in
+  let m = Model.add_ref m ~src:d2 ~ref_:staff ~dst:e2 in
+  Alcotest.(check bool) "distinct keys conform" true (C.conforms m)
+
+let test_report_rendering () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, d = Model.add_object m ~cls:dept in
+  ignore d;
+  let vs = C.check m in
+  let rendered = Format.asprintf "%a" C.pp_report vs in
+  Alcotest.(check bool) "report mentions violations" true
+    (String.length rendered > 0 && vs <> [])
+
+let suite =
+  [
+    Alcotest.test_case "conforming model" `Quick test_conforming;
+    Alcotest.test_case "missing mandatory attribute" `Quick test_missing_mandatory_attr;
+    Alcotest.test_case "reference lower bound" `Quick test_lower_bound_ref;
+    Alcotest.test_case "reference upper bound" `Quick test_upper_bound_ref;
+    Alcotest.test_case "two containers" `Quick test_two_containers;
+    Alcotest.test_case "containment cycle" `Quick test_containment_cycle;
+    Alcotest.test_case "opposites" `Quick test_opposites;
+    Alcotest.test_case "key violation" `Quick test_key_violation;
+    Alcotest.test_case "keys scoped per extent" `Quick test_key_ok_across_classes;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+  ]

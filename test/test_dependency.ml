@@ -1,0 +1,154 @@
+(* Tests for Qvtr.Dependency: Horn entailment (§2.3), derived
+   dependency laws (§2.2), validation, and a brute-force cross-check
+   of the unit-propagation closure. *)
+
+module D = Qvtr.Dependency
+module I = Mdl.Ident
+
+let m1 = I.make "M1"
+let m2 = I.make "M2"
+let m3 = I.make "M3"
+let m4 = I.make "M4"
+
+let test_paper_example () =
+  (* {M1->M2, M2->M3} |- M1->M3  (§2.3's example call direction) *)
+  let deps = [ D.make ~sources:[ "M1" ] ~target:"M2"; D.make ~sources:[ "M2" ] ~target:"M3" ] in
+  Alcotest.(check bool) "transitivity" true
+    (D.entails deps (D.make ~sources:[ "M1" ] ~target:"M3"));
+  Alcotest.(check bool) "no reverse" false
+    (D.entails deps (D.make ~sources:[ "M3" ] ~target:"M1"))
+
+let test_multi_head_law () =
+  (* {M1->M2, M1->M3} |- M1 -> M2 M3 (conjunctive heads, §2.2) *)
+  let deps = [ D.make ~sources:[ "M1" ] ~target:"M2"; D.make ~sources:[ "M1" ] ~target:"M3" ] in
+  Alcotest.(check bool) "conjunctive head" true
+    (D.entails_multi deps ~sources:[ m1 ] ~targets:[ m2; m3 ]);
+  Alcotest.(check bool) "missing head" false
+    (D.entails_multi deps ~sources:[ m1 ] ~targets:[ m2; m4 ])
+
+let test_union_body_law () =
+  (* {M1->M3, M2->M3} means M1|M2 -> M3: each disjunct entails *)
+  let deps = [ D.make ~sources:[ "M1" ] ~target:"M3"; D.make ~sources:[ "M2" ] ~target:"M3" ] in
+  Alcotest.(check bool) "left disjunct" true
+    (D.entails deps (D.make ~sources:[ "M1" ] ~target:"M3"));
+  Alcotest.(check bool) "right disjunct" true
+    (D.entails deps (D.make ~sources:[ "M2" ] ~target:"M3"))
+
+let test_conjunctive_body () =
+  let deps = [ D.make ~sources:[ "M1"; "M2" ] ~target:"M3" ] in
+  Alcotest.(check bool) "both sources needed" true
+    (D.entails deps (D.make ~sources:[ "M1"; "M2" ] ~target:"M3"));
+  Alcotest.(check bool) "one source insufficient" false
+    (D.entails deps (D.make ~sources:[ "M1" ] ~target:"M3"));
+  (* weakening: extra sources are fine *)
+  Alcotest.(check bool) "weakening" true
+    (D.entails deps (D.make ~sources:[ "M1"; "M2"; "M4" ] ~target:"M3"))
+
+let test_chained_conjunctions () =
+  let deps =
+    [
+      D.make ~sources:[ "M1" ] ~target:"M2";
+      D.make ~sources:[ "M1"; "M2" ] ~target:"M3";
+      D.make ~sources:[ "M2"; "M3" ] ~target:"M4";
+    ]
+  in
+  Alcotest.(check bool) "cascade" true (D.entails deps (D.make ~sources:[ "M1" ] ~target:"M4"));
+  let closure = D.closure deps ~sources:[ m1 ] in
+  Alcotest.(check int) "closure covers all" 4 (I.Set.cardinal closure)
+
+let test_standard_set () =
+  let deps = D.standard [ m1; m2; m3 ] in
+  Alcotest.(check int) "n dependencies" 3 (List.length deps);
+  (* every model derivable from the other two *)
+  Alcotest.(check bool) "full exchange" true
+    (List.for_all
+       (fun d -> D.entails deps d)
+       [
+         D.make ~sources:[ "M1"; "M2" ] ~target:"M3";
+         D.make ~sources:[ "M2"; "M3" ] ~target:"M1";
+         D.make ~sources:[ "M1"; "M3" ] ~target:"M2";
+       ]);
+  Alcotest.(check bool) "single source insufficient" false
+    (D.entails deps (D.make ~sources:[ "M1" ] ~target:"M3"))
+
+let test_validate () =
+  let domains = [ m1; m2 ] in
+  Alcotest.(check bool) "ok dependency" true
+    (Result.is_ok (D.validate ~domains [ D.make ~sources:[ "M1" ] ~target:"M2" ]));
+  Alcotest.(check bool) "empty sources rejected" true
+    (Result.is_error (D.validate ~domains [ { Qvtr.Ast.dep_sources = []; dep_target = m2 } ]));
+  Alcotest.(check bool) "unknown target rejected" true
+    (Result.is_error (D.validate ~domains [ D.make ~sources:[ "M1" ] ~target:"M9" ]));
+  Alcotest.(check bool) "unknown source rejected" true
+    (Result.is_error (D.validate ~domains [ D.make ~sources:[ "M9" ] ~target:"M2" ]));
+  Alcotest.(check bool) "target in sources rejected" true
+    (Result.is_error (D.validate ~domains [ D.make ~sources:[ "M1"; "M2" ] ~target:"M2" ]))
+
+let test_effective () =
+  let dom m = { Qvtr.Ast.d_model = m; d_template = { Qvtr.Ast.t_var = I.make "x"; t_class = I.make "C"; t_props = [] }; d_enforceable = true } in
+  let rel deps =
+    {
+      Qvtr.Ast.r_name = I.make "R";
+      r_top = true;
+      r_vars = [];
+      r_prims = [];
+      r_domains = [ dom m1; dom m2 ];
+      r_when = [];
+      r_where = [];
+      r_deps = deps;
+    }
+  in
+  Alcotest.(check int) "empty block -> standard set" 2
+    (List.length (D.effective (rel [])));
+  Alcotest.(check int) "explicit block kept" 1
+    (List.length (D.effective (rel [ D.make ~sources:[ "M1" ] ~target:"M2" ])))
+
+(* brute-force Horn entailment over a 4-atom alphabet *)
+let brute_entails deps goal =
+  (* D |- S->T iff every superset of S closed under deps contains T;
+     equivalently the least fixpoint from S contains T *)
+  let atoms = [ m1; m2; m3; m4 ] in
+  let holds set d =
+    (not (List.for_all (fun s -> List.mem s set) d.Qvtr.Ast.dep_sources))
+    || List.mem d.Qvtr.Ast.dep_target set
+  in
+  let rec fix set =
+    let next =
+      List.fold_left
+        (fun acc d -> if holds acc d then acc else d.Qvtr.Ast.dep_target :: acc)
+        set deps
+    in
+    if List.length next = List.length set then set else fix next
+  in
+  ignore atoms;
+  List.mem goal.Qvtr.Ast.dep_target (fix goal.Qvtr.Ast.dep_sources)
+
+let prop_entailment_vs_brute =
+  QCheck.Test.make ~name:"unit propagation matches fixpoint semantics" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let atoms = [| "M1"; "M2"; "M3"; "M4" |] in
+      let rand_dep () =
+        let target = atoms.(Random.State.int rng 4) in
+        let sources =
+          List.filter (fun a -> a <> target && Random.State.bool rng) (Array.to_list atoms)
+        in
+        let sources = if sources = [] then [ List.find (fun a -> a <> target) (Array.to_list atoms) ] else sources in
+        D.make ~sources ~target
+      in
+      let deps = List.init (Random.State.int rng 6) (fun _ -> rand_dep ()) in
+      let goal = rand_dep () in
+      D.entails deps goal = brute_entails deps goal)
+
+let suite =
+  [
+    Alcotest.test_case "paper transitivity example" `Quick test_paper_example;
+    Alcotest.test_case "multi-head law" `Quick test_multi_head_law;
+    Alcotest.test_case "union-body law" `Quick test_union_body_law;
+    Alcotest.test_case "conjunctive bodies" `Quick test_conjunctive_body;
+    Alcotest.test_case "chained conjunctions" `Quick test_chained_conjunctions;
+    Alcotest.test_case "standard dependency set" `Quick test_standard_set;
+    Alcotest.test_case "validation" `Quick test_validate;
+    Alcotest.test_case "effective dependencies" `Quick test_effective;
+    QCheck_alcotest.to_alcotest prop_entailment_vs_brute;
+  ]

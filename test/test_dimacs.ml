@@ -1,0 +1,58 @@
+(* Tests for DIMACS I/O. *)
+
+module D = Sat.Dimacs
+module L = Sat.Lit
+module S = Sat.Solver
+
+let test_print () =
+  let out = D.to_string ~nvars:3 [ [ L.pos 0; L.neg_of 2 ]; [ L.pos 1 ] ] in
+  Alcotest.(check string) "rendering" "p cnf 3 2\n1 -3 0\n2 0\n" out
+
+let test_parse () =
+  let src = "c a comment\np cnf 3 2\n1 -3 0\n2 0\n" in
+  match D.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok (nvars, clauses) ->
+    Alcotest.(check int) "nvars" 3 nvars;
+    Alcotest.(check int) "clauses" 2 (List.length clauses);
+    Alcotest.(check (list int)) "first clause"
+      [ L.pos 0; L.neg_of 2 ]
+      (List.hd clauses)
+
+let test_roundtrip () =
+  let clauses = [ [ L.pos 0; L.pos 1 ]; [ L.neg_of 1; L.pos 2 ]; [ L.neg_of 0 ] ] in
+  match D.parse (D.to_string ~nvars:3 clauses) with
+  | Ok (_, clauses') -> Alcotest.(check bool) "round-trip" true (clauses = clauses')
+  | Error e -> Alcotest.failf "round-trip: %s" e
+
+let test_multiline_clause () =
+  match D.parse "p cnf 2 1\n1\n2 0\n" with
+  | Ok (_, [ clause ]) -> Alcotest.(check int) "clause spans lines" 2 (List.length clause)
+  | Ok _ -> Alcotest.fail "expected one clause"
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_load_into () =
+  let s = S.create () in
+  (match D.load_into s "p cnf 2 2\n1 2 0\n-1 0\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  Alcotest.(check bool) "solvable" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "v1 forced" true (S.value s 1)
+
+let test_bad_input () =
+  (match D.parse "p cnf x 1\n1 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  match D.parse "p cnf 1 1\nfoo 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad token accepted"
+
+let suite =
+  [
+    Alcotest.test_case "print" `Quick test_print;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "multiline clause" `Quick test_multiline_clause;
+    Alcotest.test_case "load into solver" `Quick test_load_into;
+    Alcotest.test_case "bad input" `Quick test_bad_input;
+  ]

@@ -1,0 +1,323 @@
+(* Tests for the enforcement engine (paper §3): transformation shapes,
+   least-change minimality (cross-checked against exhaustive search),
+   backend agreement, weighted aggregation, and Cannot_restore. *)
+
+module F = Featuremodel.Fm
+module G = Featuremodel.Gen
+module Eng = Echo.Engine
+module I = Mdl.Ident
+
+let metamodels = F.metamodels
+
+let enforce ?backend ?model_weights trans cfs fm targets =
+  Eng.enforce ?backend ?model_weights trans ~metamodels ~models:(F.bind ~cfs ~fm)
+    ~targets:(Echo.Target.of_list targets)
+
+let test_target_validation () =
+  let params = [ I.make "cf1"; I.make "fm" ] in
+  Alcotest.(check bool) "ok" true
+    (Result.is_ok (Echo.Target.validate ~params (Echo.Target.single "cf1")));
+  Alcotest.(check bool) "empty rejected" true
+    (Result.is_error (Echo.Target.validate ~params (Echo.Target.of_list [])));
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Echo.Target.validate ~params (Echo.Target.single "zz")));
+  let ab = Echo.Target.all_but ~params "cf1" in
+  Alcotest.(check int) "all_but" 1 (I.Set.cardinal ab);
+  Alcotest.(check bool) "all_but excludes" false (I.Set.mem (I.make "cf1") ab)
+
+let test_already_consistent () =
+  let trans = F.transformation ~k:2 in
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [ "A" ] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  match enforce trans cfs fm [ "fm" ] with
+  | Ok Eng.Already_consistent -> ()
+  | Ok o -> Alcotest.failf "expected Already_consistent, got %s" (Format.asprintf "%a" Eng.pp_outcome o)
+  | Error e -> Alcotest.fail e
+
+let test_repair_restores_consistency () =
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : Featuremodel.Scenarios.t) ->
+      List.iter
+        (fun targets ->
+          match
+            enforce trans s.Featuremodel.Scenarios.cfs s.Featuremodel.Scenarios.fm targets
+          with
+          | Ok (Eng.Enforced r) ->
+            let report =
+              Qvtr.Check.run_exn trans ~metamodels ~models:r.Eng.repaired
+            in
+            if not report.Qvtr.Check.consistent then
+              Alcotest.failf "%s / %s: repaired models inconsistent"
+                s.Featuremodel.Scenarios.s_name (String.concat "," targets)
+          | Ok o ->
+            Alcotest.failf "%s / %s: expected repair, got %s"
+              s.Featuremodel.Scenarios.s_name (String.concat "," targets)
+              (Format.asprintf "%a" Eng.pp_outcome o)
+          | Error e -> Alcotest.fail e)
+        s.Featuremodel.Scenarios.restorable)
+    Featuremodel.Scenarios.all
+
+let test_cannot_restore () =
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : Featuremodel.Scenarios.t) ->
+      List.iter
+        (fun targets ->
+          match
+            enforce trans s.Featuremodel.Scenarios.cfs s.Featuremodel.Scenarios.fm targets
+          with
+          | Ok Eng.Cannot_restore -> ()
+          | Ok o ->
+            Alcotest.failf "%s / %s: expected Cannot_restore, got %s"
+              s.Featuremodel.Scenarios.s_name (String.concat "," targets)
+              (Format.asprintf "%a" Eng.pp_outcome o)
+          | Error e -> Alcotest.fail e)
+        s.Featuremodel.Scenarios.not_restorable)
+    Featuremodel.Scenarios.all
+
+let test_backends_agree_on_optimum () =
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : Featuremodel.Scenarios.t) ->
+      List.iter
+        (fun targets ->
+          let run backend =
+            match
+              enforce ~backend trans s.Featuremodel.Scenarios.cfs
+                s.Featuremodel.Scenarios.fm targets
+            with
+            | Ok (Eng.Enforced r) -> Some r.Eng.relational_distance
+            | Ok Eng.Cannot_restore -> None
+            | Ok Eng.Already_consistent -> Some 0
+            | Error e -> Alcotest.fail e
+          in
+          let it = run Eng.Iterative and mx = run Eng.Maxsat in
+          if it <> mx then
+            Alcotest.failf "%s / %s: iterative %s vs maxsat %s"
+              s.Featuremodel.Scenarios.s_name (String.concat "," targets)
+              (match it with Some d -> string_of_int d | None -> "-")
+              (match mx with Some d -> string_of_int d | None -> "-"))
+        (s.Featuremodel.Scenarios.restorable @ s.Featuremodel.Scenarios.not_restorable))
+    Featuremodel.Scenarios.all
+
+(* Exhaustive minimality oracle for single-target CF repairs over a
+   bounded name pool: enumerate all configurations over the pool and
+   find the minimal edit distance among consistent ones. *)
+let minimal_cf_repair_distance cfs fm ~cf_index ~pool =
+  let candidates = G.all_subsets pool in
+  let best = ref None in
+  List.iter
+    (fun selection ->
+      let cf' = F.configuration ~name:(Printf.sprintf "cf%d" (cf_index + 1)) selection in
+      let cfs' = List.mapi (fun i c -> if i = cf_index then cf' else c) cfs in
+      if F.consistent ~cfs:cfs' ~fm then begin
+        (* relational distance of a CF change: 2 per feature added or
+           removed (extent tuple + name tuple) *)
+        let module SS = Set.Make (String) in
+        let before = SS.of_list (F.cf_features (List.nth cfs cf_index)) in
+        let after = SS.of_list selection in
+        let d = 2 * SS.cardinal (SS.union (SS.diff before after) (SS.diff after before)) in
+        match !best with
+        | None -> best := Some d
+        | Some b -> if d < b then best := Some d
+      end)
+    candidates;
+  !best
+
+let test_minimality_vs_exhaustive () =
+  let trans = F.transformation ~k:2 in
+  let pool = G.feature_names 3 in
+  let rng = G.rng 7 in
+  let tried = ref 0 in
+  (* random inconsistent states; repair cf2 and compare against the
+     exhaustive optimum *)
+  for _ = 1 to 12 do
+    let cfs, fm = G.consistent_state rng ~k:2 ~n_features:3 in
+    match G.random_perturbation rng (cfs, fm) with
+    | None -> ()
+    | Some p ->
+      let cfs, fm = G.apply_perturbation (cfs, fm) p in
+      if not (F.consistent ~cfs ~fm) then begin
+        let oracle = minimal_cf_repair_distance cfs fm ~cf_index:1 ~pool:("X1" :: pool) in
+        let got =
+          match enforce trans cfs fm [ "cf2" ] with
+          | Ok (Eng.Enforced r) -> Some r.Eng.relational_distance
+          | Ok Eng.Cannot_restore -> None
+          | Ok Eng.Already_consistent -> Some 0
+          | Error e -> Alcotest.fail e
+        in
+        incr tried;
+        (* the engine may use values outside the pool; oracle None
+           means the engine must also fail (or need fresh features the
+           oracle pool lacks) *)
+        match (oracle, got) with
+        | Some o, Some g ->
+          if g <> o then
+            Alcotest.failf "minimality mismatch: engine %d vs oracle %d (state %s / %s)"
+              g o
+              (String.concat "+" (List.map (fun c -> String.concat "," (F.cf_features c)) cfs))
+              (String.concat ","
+                 (List.map (fun (n, m) -> if m then n ^ "!" else n) (F.fm_features fm)))
+        | None, None -> ()
+        | None, Some _ | Some _, None ->
+          (* pool mismatch is possible only when the perturbation
+             introduced a fresh feature name (X1 covered); flag it *)
+          Alcotest.failf "oracle/engine feasibility mismatch"
+      end
+  done;
+  Alcotest.(check bool) "exercised at least one state" true (!tried > 0)
+
+let test_weighted_repair_changes_optimum () =
+  (* renamed-feature scenario with fm prioritised: the optimum avoids
+     touching fm when it is expensive (see examples/coevolution) *)
+  let trans = F.transformation ~k:2 in
+  let cfs =
+    [ F.configuration ~name:"cf1" [ "A2" ]; F.configuration ~name:"cf2" [ "A" ] ]
+  in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let unweighted =
+    match enforce trans cfs fm [ "fm"; "cf2" ] with
+    | Ok (Eng.Enforced r) -> r.Eng.relational_distance
+    | _ -> Alcotest.fail "expected repair"
+  in
+  let weighted =
+    match
+      enforce ~model_weights:[ (I.make "fm", 10) ] trans cfs fm [ "fm"; "cf2" ]
+    with
+    | Ok (Eng.Enforced r) -> r.Eng.relational_distance
+    | _ -> Alcotest.fail "expected repair"
+  in
+  Alcotest.(check bool) "weighting increases the weighted optimum" true
+    (weighted > unweighted)
+
+let test_object_creation_via_slack () =
+  (* repairing an empty configuration against a mandatory feature
+     requires creating objects *)
+  let trans = F.transformation ~k:1 in
+  let cfs = [ F.configuration ~name:"cf1" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", true) ] in
+  match enforce trans cfs fm [ "cf1" ] with
+  | Ok (Eng.Enforced r) ->
+    let cf = List.assoc (I.make "cf1") r.Eng.repaired in
+    Alcotest.(check (list string)) "both features created" [ "A"; "B" ] (F.cf_features cf)
+  | Ok o -> Alcotest.failf "expected repair, got %s" (Format.asprintf "%a" Eng.pp_outcome o)
+  | Error e -> Alcotest.fail e
+
+let test_slack_exhaustion () =
+  (* with slack 1, creating two objects is impossible *)
+  let trans = F.transformation ~k:1 in
+  let cfs = [ F.configuration ~name:"cf1" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", true) ] in
+  match
+    Eng.enforce ~slack_objects:1 trans ~metamodels ~models:(F.bind ~cfs ~fm)
+      ~targets:(Echo.Target.single "cf1")
+  with
+  | Ok Eng.Cannot_restore -> ()
+  | Ok o -> Alcotest.failf "expected Cannot_restore, got %s" (Format.asprintf "%a" Eng.pp_outcome o)
+  | Error e -> Alcotest.fail e
+
+let test_repaired_conform () =
+  let trans = F.transformation ~k:2 in
+  let s = Featuremodel.Scenarios.new_mandatory_feature in
+  match enforce trans s.Featuremodel.Scenarios.cfs s.Featuremodel.Scenarios.fm [ "cf1"; "cf2" ] with
+  | Ok (Eng.Enforced r) ->
+    List.iter
+      (fun (p, m) ->
+        if not (Mdl.Conformance.conforms m) then
+          Alcotest.failf "repaired %s does not conform" (I.name p))
+      r.Eng.repaired
+  | _ -> Alcotest.fail "expected repair"
+
+let suite =
+  [
+    Alcotest.test_case "target validation" `Quick test_target_validation;
+    Alcotest.test_case "already consistent" `Quick test_already_consistent;
+    Alcotest.test_case "repairs restore consistency (E6)" `Slow test_repair_restores_consistency;
+    Alcotest.test_case "cannot-restore cases (E6)" `Quick test_cannot_restore;
+    Alcotest.test_case "backends agree (E7)" `Slow test_backends_agree_on_optimum;
+    Alcotest.test_case "minimality vs exhaustive (E7)" `Slow test_minimality_vs_exhaustive;
+    Alcotest.test_case "weighted repair" `Quick test_weighted_repair_changes_optimum;
+    Alcotest.test_case "object creation via slack" `Quick test_object_creation_via_slack;
+    Alcotest.test_case "slack exhaustion" `Quick test_slack_exhaustion;
+    Alcotest.test_case "repaired models conform" `Quick test_repaired_conform;
+  ]
+
+let test_enforce_all_agrees_with_enforce () =
+  (* the enumerated repairs are at exactly the single-repair optimum *)
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : Featuremodel.Scenarios.t) ->
+      List.iter
+        (fun targets ->
+          let models =
+            F.bind ~cfs:s.Featuremodel.Scenarios.cfs ~fm:s.Featuremodel.Scenarios.fm
+          in
+          let single =
+            match
+              Eng.enforce trans ~metamodels ~models
+                ~targets:(Echo.Target.of_list targets)
+            with
+            | Ok (Eng.Enforced r) -> Some r.Eng.relational_distance
+            | _ -> None
+          in
+          match
+            Eng.enforce_all trans ~metamodels ~models
+              ~targets:(Echo.Target.of_list targets)
+          with
+          | Error e -> Alcotest.fail e
+          | Ok outcomes ->
+            let ds =
+              List.filter_map
+                (function Eng.Enforced r -> Some r.Eng.relational_distance | _ -> None)
+                outcomes
+            in
+            (match (single, ds) with
+            | Some d, _ :: _ ->
+              if not (List.for_all (fun d' -> d' = d) ds) then
+                Alcotest.failf "%s/%s: enumeration not at the optimum"
+                  s.Featuremodel.Scenarios.s_name (String.concat "," targets)
+            | None, [] -> ()
+            | _ -> Alcotest.fail "enforce and enforce_all disagree on feasibility"))
+        s.Featuremodel.Scenarios.restorable)
+    Featuremodel.Scenarios.all
+
+let test_k3_shapes () =
+  (* three configurations: the paper's ->Fi_FMxCF^(k-1) with k = 3 *)
+  let trans = F.transformation ~k:3 in
+  let cfs =
+    [
+      F.configuration ~name:"cf1" [ "A"; "B" ];
+      F.configuration ~name:"cf2" [ "A" ];
+      F.configuration ~name:"cf3" [ "A" ];
+    ]
+  in
+  (* B optional; cf1 renamed A's sibling? keep simple: fm lacks B *)
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let models = F.bind ~cfs ~fm in
+  (* repair everything except cf1 (cf1 authoritative): fm gains B *)
+  (match
+     Eng.enforce trans ~metamodels ~models
+       ~targets:(Echo.Target.all_but ~params:(List.map fst models) "cf1")
+   with
+  | Ok (Eng.Enforced r) ->
+    let fm' = List.assoc (I.make "fm") r.Eng.repaired in
+    Alcotest.(check bool) "fm gained B" true
+      (List.mem_assoc "B" (F.fm_features fm'));
+    let rep = Qvtr.Check.run_exn trans ~metamodels ~models:r.Eng.repaired in
+    Alcotest.(check bool) "consistent" true rep.Qvtr.Check.consistent
+  | Ok o -> Alcotest.failf "expected repair: %s" (Format.asprintf "%a" Eng.pp_outcome o)
+  | Error e -> Alcotest.fail e);
+  (* single-target cf2 cannot fix the missing-B problem (fm frozen) *)
+  match Eng.enforce trans ~metamodels ~models ~targets:(Echo.Target.single "cf2") with
+  | Ok Eng.Cannot_restore -> ()
+  | Ok o -> Alcotest.failf "expected Cannot_restore: %s" (Format.asprintf "%a" Eng.pp_outcome o)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "enforce_all at the optimum" `Slow
+        test_enforce_all_agrees_with_enforce;
+      Alcotest.test_case "k = 3 shapes" `Quick test_k3_shapes;
+    ]

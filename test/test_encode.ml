@@ -1,0 +1,167 @@
+(* Tests for Qvtr.Encode: the relational encoding of models, bounds
+   construction, structural constraints and decoding. *)
+
+module E = Qvtr.Encode
+module F = Featuremodel.Fm
+module I = Mdl.Ident
+module TS = Relog.Rel.Tupleset
+
+let setup ?(slack = 2) cfs fm =
+  let trans = F.transformation ~k:(List.length cfs) in
+  match
+    E.create ~transformation:trans ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm)
+      ~slack_objects:slack ()
+  with
+  | Ok enc -> enc
+  | Error e -> Alcotest.failf "encode: %s" e
+
+let test_universe_contents () =
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup ~slack:1 cfs fm in
+  let u = E.universe enc in
+  (* objects: 1 + 0 + 1; slack: 3 (one per model); values: "A", true,
+     false *)
+  Alcotest.(check int) "universe size" 8 (Relog.Rel.Universe.size u);
+  Alcotest.(check bool) "object atom named" true
+    (Relog.Rel.Universe.mem u (E.obj_atom_name (I.make "cf1") 0))
+
+let test_check_instance () =
+  let cfs =
+    [ F.configuration ~name:"cf1" [ "A"; "B" ]; F.configuration ~name:"cf2" [ "A" ] ]
+  in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup cfs fm in
+  let inst = E.check_instance enc in
+  let get n = Relog.Instance.get inst (I.make n) in
+  Alcotest.(check int) "cf1 extent" 2 (TS.cardinal (get "cf1$cls$Feature"));
+  Alcotest.(check int) "cf2 extent" 1 (TS.cardinal (get "cf2$cls$Feature"));
+  Alcotest.(check int) "fm extent" 1 (TS.cardinal (get "fm$cls$Feature"));
+  Alcotest.(check int) "cf1 names" 2 (TS.cardinal (get "cf1$ft$name"));
+  Alcotest.(check int) "fm mandatory" 1 (TS.cardinal (get "fm$ft$mandatory"));
+  (* value relations *)
+  Alcotest.(check bool) "strings tracked" true (TS.cardinal (get "val$string") >= 2);
+  Alcotest.(check int) "bools" 2 (TS.cardinal (get "val$bool"))
+
+let test_eval_on_encoding () =
+  (* the encoding + extent expressions cooperate with the evaluator *)
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [ "A" ] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup cfs fm in
+  let inst = E.check_instance enc in
+  let ext = E.extent_expr enc ~param:(I.make "cf1") ~cls:(I.make "Feature") in
+  Alcotest.(check int) "extent expr evaluates" 1
+    (TS.cardinal (Relog.Eval.expr inst Relog.Eval.empty_env ext))
+
+let test_bounds_frozen_vs_target () =
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup ~slack:1 cfs fm in
+  let bounds = E.bounds enc ~targets:(I.Set.singleton (I.make "cf1")) in
+  (* frozen model: exact bounds *)
+  (match Relog.Bounds.get bounds (I.make "cf2$cls$Feature") with
+  | Some (l, u) -> Alcotest.(check bool) "cf2 exact" true (TS.equal l u)
+  | None -> Alcotest.fail "cf2 relation missing");
+  (* target model: lower empty, upper covers existing + slack *)
+  match Relog.Bounds.get bounds (I.make "cf1$cls$Feature") with
+  | Some (l, u) ->
+    Alcotest.(check bool) "cf1 lower empty" true (TS.is_empty l);
+    Alcotest.(check int) "cf1 upper = existing + slack" 2 (TS.cardinal u)
+  | None -> Alcotest.fail "cf1 relation missing"
+
+let test_structural_formulas_accept_current () =
+  (* the current (conforming) model satisfies its own structural
+     constraints *)
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [ "B" ] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", false) ] in
+  let enc = setup cfs fm in
+  let inst = E.check_instance enc in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun f ->
+          if not (Relog.Eval.holds inst f) then
+            Alcotest.failf "structural formula violated for %s: %s" (I.name p)
+              (Format.asprintf "%a" Relog.Ast.pp f))
+        (E.structural_formulas enc ~param:p))
+    (E.params enc)
+
+let test_decode_roundtrip () =
+  let cfs = [ F.configuration ~name:"cf1" [ "A"; "B" ]; F.configuration ~name:"cf2" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup cfs fm in
+  let inst = E.check_instance enc in
+  List.iter
+    (fun (p, original) ->
+      match E.decode_model enc inst ~param:p with
+      | Ok decoded ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s decodes to an equal model" (I.name p))
+          true
+          (Mdl.Model.equal (Mdl.Model.set_name decoded (I.name p)) original)
+      | Error e -> Alcotest.failf "decode %s: %s" (I.name p) e)
+    (List.map (fun p -> (p, E.model_of_param enc p)) (E.params enc))
+
+let test_binding_errors () =
+  let trans = F.transformation ~k:2 in
+  let cf = F.configuration ~name:"cf1" [ "A" ] in
+  let fm = F.feature_model ~name:"fm" [] in
+  (* missing parameter *)
+  (match
+     E.create ~transformation:trans ~metamodels:F.metamodels
+       ~models:[ (I.make "cf1", cf); (I.make "fm", fm) ]
+       ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing binding must fail");
+  (* model of the wrong metamodel *)
+  match
+    E.create ~transformation:trans ~metamodels:F.metamodels
+      ~models:
+        [ (I.make "cf1", cf); (I.make "cf2", Mdl.Model.set_name fm "cf2"); (I.make "fm", fm) ]
+      ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mistyped binding must fail"
+
+let test_value_atom_and_types () =
+  let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let enc = setup cfs fm in
+  let inst = E.check_instance enc in
+  let eval e = Relog.Eval.expr inst Relog.Eval.empty_env e in
+  Alcotest.(check int) "literal is singleton" 1
+    (TS.cardinal (eval (E.value_atom enc (Mdl.Value.Str "A"))));
+  Alcotest.(check int) "bool type set" 2
+    (TS.cardinal (eval (E.type_expr enc Qvtr.Ast.T_bool)));
+  match E.value_atom enc (Mdl.Value.Str "not-in-universe") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign value must raise"
+
+let test_extra_values_enlarge_universe () =
+  let trans = F.transformation ~k:1 in
+  let cf = F.configuration ~name:"cf1" [] in
+  let fm = F.feature_model ~name:"fm" [] in
+  match
+    E.create ~transformation:trans ~metamodels:F.metamodels
+      ~models:(F.bind ~cfs:[ cf ] ~fm)
+      ~extra_values:[ Mdl.Value.Str "fresh" ] ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok enc -> (
+    match E.value_atom enc (Mdl.Value.Str "fresh") with
+    | _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "universe contents" `Quick test_universe_contents;
+    Alcotest.test_case "check instance" `Quick test_check_instance;
+    Alcotest.test_case "eval on encoding" `Quick test_eval_on_encoding;
+    Alcotest.test_case "bounds frozen vs target" `Quick test_bounds_frozen_vs_target;
+    Alcotest.test_case "structural formulas accept current" `Quick
+      test_structural_formulas_accept_current;
+    Alcotest.test_case "decode round-trip" `Quick test_decode_roundtrip;
+    Alcotest.test_case "binding errors" `Quick test_binding_errors;
+    Alcotest.test_case "value atoms and type sets" `Quick test_value_atom_and_types;
+    Alcotest.test_case "extra values" `Quick test_extra_values_enlarge_universe;
+  ]

@@ -1,0 +1,138 @@
+(* Tests for Relog.Eval: direct evaluation of expressions and
+   formulas against concrete instances. *)
+
+module I = Mdl.Ident
+module R = Relog.Rel
+module TS = R.Tupleset
+module A = Relog.Ast
+
+let universe = R.Universe.make (List.init 4 (fun i -> I.make (Printf.sprintf "a%d" i)))
+
+let inst_with rels =
+  List.fold_left
+    (fun inst (name, tuples) -> Relog.Instance.set inst (I.make name) (TS.of_list tuples))
+    (Relog.Instance.make universe)
+    rels
+
+let eval_f inst f = Relog.Eval.holds inst f
+let eval_e inst e = Relog.Eval.expr inst Relog.Eval.empty_env e
+
+let test_expr_basics () =
+  let inst = inst_with [ ("S", [ [| 0 |]; [| 1 |] ]); ("R", [ [| 0; 1 |]; [| 1; 2 |] ]) ] in
+  Alcotest.(check int) "rel lookup" 2 (TS.cardinal (eval_e inst (A.rel "S")));
+  Alcotest.(check int) "unknown rel is empty" 0 (TS.cardinal (eval_e inst (A.rel "Nope")));
+  Alcotest.(check int) "univ" 4 (TS.cardinal (eval_e inst A.Univ));
+  Alcotest.(check int) "iden" 4 (TS.cardinal (eval_e inst A.Iden));
+  Alcotest.(check int) "none" 0 (TS.cardinal (eval_e inst A.None_));
+  Alcotest.(check int) "atom is singleton" 1 (TS.cardinal (eval_e inst (A.atom "a2")));
+  Alcotest.(check int) "join S.R" 2 (TS.cardinal (eval_e inst (A.Join (A.rel "S", A.rel "R"))));
+  Alcotest.(check int) "closure" 3 (TS.cardinal (eval_e inst (A.Closure (A.rel "R"))));
+  Alcotest.(check int) "rclosure includes iden" 7
+    (TS.cardinal (eval_e inst (A.RClosure (A.rel "R"))))
+
+let test_formula_basics () =
+  let inst = inst_with [ ("S", [ [| 0 |]; [| 1 |] ]); ("T", [ [| 0 |]; [| 1 |]; [| 2 |] ]) ] in
+  Alcotest.(check bool) "subset" true (eval_f inst (A.in_ (A.rel "S") (A.rel "T")));
+  Alcotest.(check bool) "not superset" false (eval_f inst (A.in_ (A.rel "T") (A.rel "S")));
+  Alcotest.(check bool) "equal reflexive" true (eval_f inst (A.eq (A.rel "S") (A.rel "S")));
+  Alcotest.(check bool) "some" true (eval_f inst (A.Some_ (A.rel "S")));
+  Alcotest.(check bool) "no none" true (eval_f inst (A.No A.None_));
+  Alcotest.(check bool) "lone singleton" true (eval_f inst (A.Lone (A.atom "a0")));
+  Alcotest.(check bool) "lone fails on S" false (eval_f inst (A.Lone (A.rel "S")));
+  Alcotest.(check bool) "one atom" true (eval_f inst (A.One (A.atom "a0")));
+  Alcotest.(check bool) "connectives" true
+    (eval_f inst
+       (A.conj
+          [ A.Some_ (A.rel "S"); A.not_ (A.Some_ A.None_);
+            A.implies A.False A.True; A.disj [ A.False; A.True ] ]))
+
+let test_quantifiers () =
+  let inst = inst_with [ ("S", [ [| 0 |]; [| 1 |] ]); ("R", [ [| 0; 1 |]; [| 1; 0 |] ]) ] in
+  (* all x : S | some x.R *)
+  Alcotest.(check bool) "forall holds" true
+    (eval_f inst (A.forall [ ("x", A.rel "S") ] (A.Some_ (A.dot (A.var "x") (A.rel "R")))));
+  (* all x : univ | some x.R — fails for a2, a3 *)
+  Alcotest.(check bool) "forall over univ fails" false
+    (eval_f inst (A.forall [ ("x", A.Univ) ] (A.Some_ (A.dot (A.var "x") (A.rel "R")))));
+  (* some x : univ | x.R = S - x  (a0.R = {a1}) *)
+  Alcotest.(check bool) "exists witness" true
+    (eval_f inst
+       (A.exists [ ("x", A.Univ) ]
+          (A.eq (A.dot (A.var "x") (A.rel "R")) (A.Diff (A.rel "S", A.var "x")))));
+  (* empty domain: forall vacuously true, exists false *)
+  Alcotest.(check bool) "forall over empty domain" true
+    (eval_f inst (A.forall [ ("x", A.None_) ] A.False));
+  Alcotest.(check bool) "exists over empty domain" false
+    (eval_f inst (A.exists [ ("x", A.None_) ] A.True))
+
+let test_nested_quantifiers () =
+  (* R is symmetric: all x, y | x->y in R => y->x in R *)
+  let sym = inst_with [ ("R", [ [| 0; 1 |]; [| 1; 0 |]; [| 2; 2 |] ]) ] in
+  let f =
+    A.forall [ ("x", A.Univ); ("y", A.Univ) ]
+      (A.implies
+         (A.in_ (A.Product (A.var "x", A.var "y")) (A.rel "R"))
+         (A.in_ (A.Product (A.var "y", A.var "x")) (A.rel "R")))
+  in
+  Alcotest.(check bool) "symmetric relation passes" true (eval_f sym f);
+  let asym = inst_with [ ("R", [ [| 0; 1 |] ]) ] in
+  Alcotest.(check bool) "asymmetric relation fails" false (eval_f asym f)
+
+let test_dependent_domains () =
+  (* later domains can mention earlier variables:
+     all x : S, y : x.R | y in T *)
+  let inst =
+    inst_with
+      [ ("S", [ [| 0 |] ]); ("R", [ [| 0; 1 |]; [| 0; 2 |] ]); ("T", [ [| 1 |]; [| 2 |] ]) ]
+  in
+  let f =
+    A.forall
+      [ ("x", A.rel "S"); ("y", A.dot (A.var "x") (A.rel "R")) ]
+      (A.in_ (A.var "y") (A.rel "T"))
+  in
+  Alcotest.(check bool) "dependent domain" true (eval_f inst f)
+
+let test_errors () =
+  let inst = inst_with [] in
+  (match Relog.Eval.formula inst Relog.Eval.empty_env (A.Some_ (A.var "ghost")) with
+  | exception Relog.Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable must raise");
+  match Relog.Eval.formula inst Relog.Eval.empty_env (A.Some_ (A.atom "zz")) with
+  | exception Relog.Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unknown atom must raise"
+
+let test_free_rels_and_vars () =
+  let f =
+    A.forall [ ("x", A.rel "S") ]
+      (A.in_ (A.dot (A.var "x") (A.rel "R")) (A.var "y"))
+  in
+  let rels = A.free_rels f in
+  Alcotest.(check int) "two free relations" 2 (I.Set.cardinal rels);
+  let vars = A.free_vars f in
+  Alcotest.(check bool) "y free, x bound" true
+    (I.Set.mem (I.make "y") vars && not (I.Set.mem (I.make "x") vars))
+
+let test_expr_arity () =
+  let lookup r = if I.name r = "R" then Some 2 else if I.name r = "S" then Some 1 else None in
+  Alcotest.(check bool) "S.R has arity 1" true
+    (A.expr_arity lookup (A.Join (A.rel "S", A.rel "R")) = Ok 1);
+  Alcotest.(check bool) "product adds" true
+    (A.expr_arity lookup (A.Product (A.rel "R", A.rel "S")) = Ok 3);
+  Alcotest.(check bool) "transpose of unary is error" true
+    (Result.is_error (A.expr_arity lookup (A.Transpose (A.rel "S"))));
+  Alcotest.(check bool) "union arity mismatch is error" true
+    (Result.is_error (A.expr_arity lookup (A.Union (A.rel "S", A.rel "R"))));
+  Alcotest.(check bool) "unknown relation is error" true
+    (Result.is_error (A.expr_arity lookup (A.rel "Nope")))
+
+let suite =
+  [
+    Alcotest.test_case "expression basics" `Quick test_expr_basics;
+    Alcotest.test_case "formula basics" `Quick test_formula_basics;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "nested quantifiers" `Quick test_nested_quantifiers;
+    Alcotest.test_case "dependent domains" `Quick test_dependent_domains;
+    Alcotest.test_case "evaluation errors" `Quick test_errors;
+    Alcotest.test_case "free rels and vars" `Quick test_free_rels_and_vars;
+    Alcotest.test_case "expression arity" `Quick test_expr_arity;
+  ]

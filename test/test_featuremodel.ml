@@ -1,0 +1,150 @@
+(* Tests for the featuremodel domain library: builders, oracles,
+   generators, scenarios, and the generated QVT-R source. *)
+
+module F = Featuremodel.Fm
+module G = Featuremodel.Gen
+module S = Featuremodel.Scenarios
+
+let test_builders_roundtrip () =
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", false) ] in
+  Alcotest.(check (list (pair string bool))) "fm features"
+    [ ("A", true); ("B", false) ]
+    (F.fm_features fm);
+  let cf = F.configuration ~name:"cf" [ "B"; "A" ] in
+  Alcotest.(check (list string)) "cf features sorted" [ "A"; "B" ] (F.cf_features cf);
+  Alcotest.(check bool) "models conform" true
+    (Mdl.Conformance.conforms fm && Mdl.Conformance.conforms cf)
+
+let test_oracles () =
+  let c = F.configuration ~name:"c" in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", false) ] in
+  Alcotest.(check bool) "consistent case" true
+    (F.consistent ~cfs:[ c [ "A"; "B" ]; c [ "A" ] ] ~fm);
+  Alcotest.(check bool) "mandatory missing in one cf" false
+    (F.consistent_mf ~cfs:[ c [ "A" ]; c [] ] ~fm);
+  Alcotest.(check bool) "shared optional must be mandatory" false
+    (F.consistent_mf ~cfs:[ c [ "A"; "B" ]; c [ "A"; "B" ] ] ~fm);
+  Alcotest.(check bool) "unknown selection violates OF" false
+    (F.consistent_of ~cfs:[ c [ "Z" ]; c [] ] ~fm);
+  Alcotest.(check bool) "OF allows subset" true
+    (F.consistent_of ~cfs:[ c [ "B" ]; c [] ] ~fm)
+
+let test_transformation_shape () =
+  let t = F.transformation ~k:3 in
+  Alcotest.(check int) "k+1 parameters" 4 (List.length t.Qvtr.Ast.t_params);
+  Alcotest.(check int) "two relations" 2 (List.length t.Qvtr.Ast.t_relations);
+  let mf = List.hd t.Qvtr.Ast.t_relations in
+  Alcotest.(check int) "MF deps: 1 + k" 4 (List.length mf.Qvtr.Ast.r_deps);
+  let std = F.transformation_standard ~k:3 in
+  Alcotest.(check bool) "standard variant drops deps" true
+    (List.for_all (fun r -> r.Qvtr.Ast.r_deps = []) std.Qvtr.Ast.t_relations);
+  match F.transformation ~k:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k = 0 must raise"
+
+let test_transformation_typechecks () =
+  List.iter
+    (fun k ->
+      match Qvtr.Typecheck.check (F.transformation ~k) ~metamodels:F.metamodels with
+      | Ok _ -> ()
+      | Error errs ->
+        Alcotest.failf "k=%d: %s" k
+          (String.concat "; "
+             (List.map (fun e -> Format.asprintf "%a" Qvtr.Typecheck.pp_error e) errs)))
+    [ 1; 2; 5 ]
+
+let test_generators_consistent () =
+  let rng = G.rng 11 in
+  for _ = 1 to 30 do
+    let cfs, fm = G.consistent_state rng ~k:3 ~n_features:4 in
+    if not (F.consistent ~cfs ~fm) then
+      Alcotest.failf "generator produced inconsistent state: %s | %s"
+        (String.concat " + " (List.map (fun c -> String.concat "," (F.cf_features c)) cfs))
+        (String.concat ","
+           (List.map (fun (n, m) -> if m then n ^ "!" else n) (F.fm_features fm)))
+  done
+
+let test_perturbations_break_consistency () =
+  let rng = G.rng 13 in
+  let broke = ref 0 and total = ref 0 in
+  for _ = 1 to 30 do
+    let state = G.consistent_state rng ~k:2 ~n_features:4 in
+    match G.random_perturbation rng state with
+    | None -> ()
+    | Some p ->
+      incr total;
+      let cfs, fm = G.apply_perturbation state p in
+      if not (F.consistent ~cfs ~fm) then incr broke
+  done;
+  (* Drop_selection of a feature may keep consistency only if the
+     intersection stays equal — impossible since the dropped feature is
+     mandatory; all four perturbations must break consistency. *)
+  Alcotest.(check int) "every perturbation breaks consistency" !total !broke
+
+let test_all_generators_exhaustive () =
+  Alcotest.(check int) "2^2 subsets" 4 (List.length (G.all_subsets [ 1; 2 ]));
+  Alcotest.(check int) "all cfs over 2 names" 4 (List.length (G.all_cfs [ "A"; "B" ]));
+  (* fms: each subset with each flag assignment: sum C(2,i) 2^i = 1+4+4 = 9 *)
+  Alcotest.(check int) "all fms over 2 names" 9 (List.length (G.all_fms [ "A"; "B" ]))
+
+let test_scenarios_are_inconsistent () =
+  List.iter
+    (fun (s : S.t) ->
+      Alcotest.(check bool)
+        (s.S.s_name ^ " starts inconsistent")
+        false
+        (F.consistent ~cfs:s.S.cfs ~fm:s.S.fm))
+    S.all
+
+let test_scenarios_check_agree () =
+  (* the compiled checking semantics agrees with the oracle on every
+     scenario state *)
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : S.t) ->
+      let report =
+        Qvtr.Check.run_exn trans ~metamodels:F.metamodels
+          ~models:(F.bind ~cfs:s.S.cfs ~fm:s.S.fm)
+      in
+      Alcotest.(check bool) (s.S.s_name ^ " check = oracle")
+        (F.consistent ~cfs:s.S.cfs ~fm:s.S.fm)
+        report.Qvtr.Check.consistent)
+    S.all
+
+let test_source_generator () =
+  let src = F.source ~k:2 in
+  match Qvtr.Parser.parse src with
+  | Ok t -> Alcotest.(check bool) "parses to builder AST" true (t = F.transformation ~k:2)
+  | Error e -> Alcotest.failf "generated source does not parse: %s\n%s" e src
+
+let prop_random_states_check_equals_oracle =
+  QCheck.Test.make ~name:"compiled check = set oracle on random states" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = G.rng seed in
+      let pool = G.feature_names 3 in
+      let cfs =
+        [ Mdl.Model.set_name (G.random_cf rng ~pool) "cf1";
+          Mdl.Model.set_name (G.random_cf rng ~pool) "cf2" ]
+      in
+      let fm = G.random_fm rng ~pool in
+      let trans = F.transformation ~k:2 in
+      let report =
+        Qvtr.Check.run_exn trans ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm)
+      in
+      report.Qvtr.Check.consistent = F.consistent ~cfs ~fm)
+
+let suite =
+  [
+    Alcotest.test_case "builders round-trip" `Quick test_builders_roundtrip;
+    Alcotest.test_case "set-level oracles" `Quick test_oracles;
+    Alcotest.test_case "transformation shape" `Quick test_transformation_shape;
+    Alcotest.test_case "transformation typechecks" `Quick test_transformation_typechecks;
+    Alcotest.test_case "generated states consistent" `Quick test_generators_consistent;
+    Alcotest.test_case "perturbations break consistency" `Quick
+      test_perturbations_break_consistency;
+    Alcotest.test_case "exhaustive generators" `Quick test_all_generators_exhaustive;
+    Alcotest.test_case "scenarios inconsistent" `Quick test_scenarios_are_inconsistent;
+    Alcotest.test_case "scenarios check = oracle" `Quick test_scenarios_check_agree;
+    Alcotest.test_case "source generator" `Quick test_source_generator;
+    QCheck_alcotest.to_alcotest prop_random_states_check_equals_oracle;
+  ]

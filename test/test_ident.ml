@@ -1,0 +1,50 @@
+(* Unit and property tests for Mdl.Ident (interning). *)
+
+module I = Mdl.Ident
+
+let test_interning () =
+  let a = I.make "hello" and b = I.make "hello" in
+  Alcotest.(check bool) "same string interns to equal idents" true (I.equal a b);
+  Alcotest.(check bool) "physical equality" true (a == b);
+  Alcotest.(check string) "name round-trips" "hello" (I.name a)
+
+let test_distinct () =
+  let a = I.make "x" and b = I.make "y" in
+  Alcotest.(check bool) "distinct strings differ" false (I.equal a b);
+  Alcotest.(check bool) "compare is consistent" true (I.compare a b <> 0)
+
+let test_compare_name () =
+  (* compare_name is lexicographic regardless of interning order *)
+  let z = I.make "zzz" and a = I.make "aaa" in
+  Alcotest.(check bool) "compare_name is lexicographic" true (I.compare_name a z < 0);
+  Alcotest.(check int) "compare_name reflexive" 0 (I.compare_name a (I.make "aaa"))
+
+let test_map_set () =
+  let open I in
+  let s = Set.of_list [ make "a"; make "b"; make "a" ] in
+  Alcotest.(check int) "set deduplicates" 2 (Set.cardinal s);
+  let m = Map.add (make "k") 1 Map.empty in
+  Alcotest.(check (option int)) "map lookup" (Some 1) (Map.find_opt (make "k") m)
+
+let prop_equal_iff_same_string =
+  QCheck.Test.make ~name:"ident equality reflects string equality" ~count:500
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (s1, s2) ->
+      I.equal (I.make s1) (I.make s2) = String.equal s1 s2)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"ident compare antisymmetric" ~count:500
+    (QCheck.pair QCheck.small_string QCheck.small_string)
+    (fun (s1, s2) ->
+      let a = I.make s1 and b = I.make s2 in
+      Int.compare (I.compare a b) 0 = -Int.compare (I.compare b a) 0)
+
+let suite =
+  [
+    Alcotest.test_case "interning" `Quick test_interning;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "compare_name" `Quick test_compare_name;
+    Alcotest.test_case "map and set" `Quick test_map_set;
+    QCheck_alcotest.to_alcotest prop_equal_iff_same_string;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+  ]

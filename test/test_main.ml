@@ -1,0 +1,33 @@
+(* Test entry point: one alcotest run covering every library. *)
+
+let () =
+  Alcotest.run "mdqvtr"
+    [
+      ("mdl.ident", Test_ident.suite);
+      ("mdl.value", Test_value.suite);
+      ("mdl.metamodel", Test_metamodel.suite);
+      ("mdl.model", Test_model.suite);
+      ("mdl.conformance", Test_conformance.suite);
+      ("mdl.diff", Test_diff.suite);
+      ("mdl.serialize", Test_serialize.suite);
+      ("mdl.serialize_random", Test_serialize_random.suite);
+      ("sat.solver", Test_sat.suite);
+      ("sat.circuit", Test_circuit.suite);
+      ("sat.cardinality", Test_cardinality.suite);
+      ("sat.maxsat", Test_maxsat.suite);
+      ("sat.dimacs", Test_dimacs.suite);
+      ("relog.rel", Test_rel.suite);
+      ("relog.eval", Test_eval.suite);
+      ("relog.simplify", Test_simplify.suite);
+      ("relog.finder", Test_finder.suite);
+      ("qvtr.dependency", Test_dependency.suite);
+      ("qvtr.parser", Test_parser.suite);
+      ("qvtr.parser_random", Test_parser_random.suite);
+      ("qvtr.typecheck", Test_typecheck.suite);
+      ("qvtr.encode", Test_encode.suite);
+      ("qvtr.semantics", Test_semantics.suite);
+      ("echo.engine", Test_echo.suite);
+      ("featuremodel", Test_featuremodel.suite);
+      ("extensions", Test_extensions.suite);
+      ("internals", Test_internals.suite);
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the weighted partial MaxSAT solver, including a
+   brute-force cross-check on random weighted instances. *)
+
+module M = Sat.Maxsat
+module L = Sat.Lit
+
+let test_no_softs () =
+  let m = M.create () in
+  let a = M.new_var m in
+  M.add_hard m [ L.pos a ];
+  Alcotest.(check bool) "optimum 0" true (M.solve m = M.Optimum 0)
+
+let test_hard_unsat () =
+  let m = M.create () in
+  let a = M.new_var m in
+  M.add_hard m [ L.pos a ];
+  M.add_hard m [ L.neg_of a ];
+  M.add_soft m ~weight:1 [ L.pos a ];
+  Alcotest.(check bool) "hard unsat" true (M.solve m = M.Hard_unsat)
+
+let test_weighted_choice () =
+  (* p and q incompatible; dropping p costs 1, dropping q costs 2 *)
+  let m = M.create () in
+  let p = M.new_var m and q = M.new_var m in
+  M.add_hard m [ L.neg_of p; L.neg_of q ];
+  M.add_soft m ~weight:1 [ L.pos p ];
+  M.add_soft m ~weight:2 [ L.pos q ];
+  (match M.solve m with
+  | M.Optimum c -> Alcotest.(check int) "optimum 1" 1 c
+  | M.Hard_unsat -> Alcotest.fail "unexpected hard unsat");
+  Alcotest.(check bool) "kept the heavier soft" true (M.value m q);
+  Alcotest.(check bool) "dropped the lighter soft" false (M.value m p)
+
+let test_all_softs_satisfiable () =
+  let m = M.create () in
+  let vars = Array.init 5 (fun _ -> M.new_var m) in
+  Array.iter (fun v -> M.add_soft m ~weight:3 [ L.pos v ]) vars;
+  Alcotest.(check bool) "optimum 0" true (M.solve m = M.Optimum 0);
+  Array.iter (fun v -> Alcotest.(check bool) "all true" true (M.value m v)) vars
+
+let test_mutual_exclusion_chain () =
+  (* at most one of 4 vars may hold (pairwise hard), all wanted softly:
+     optimum = 3 *)
+  let m = M.create () in
+  let vars = Array.init 4 (fun _ -> M.new_var m) in
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      M.add_hard m [ L.neg_of vars.(i); L.neg_of vars.(j) ]
+    done
+  done;
+  Array.iter (fun v -> M.add_soft m ~weight:1 [ L.pos v ]) vars;
+  Alcotest.(check bool) "optimum 3" true (M.solve m = M.Optimum 3)
+
+let test_invalid_weight () =
+  let m = M.create () in
+  let a = M.new_var m in
+  match M.add_soft m ~weight:0 [ L.pos a ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero weight must raise"
+
+(* brute-force optimum for small weighted instances *)
+let brute_optimum nv hard soft =
+  let best = ref None in
+  let assign = Array.make nv false in
+  let sat_clause c =
+    List.exists
+      (fun l -> if L.sign l then assign.(L.var l) else not assign.(L.var l))
+      c
+  in
+  let rec go v =
+    if v = nv then begin
+      if List.for_all sat_clause hard then begin
+        let cost =
+          List.fold_left
+            (fun acc (w, c) -> if sat_clause c then acc else acc + w)
+            0 soft
+        in
+        match !best with
+        | None -> best := Some cost
+        | Some b -> if cost < b then best := Some cost
+      end
+    end
+    else begin
+      assign.(v) <- true;
+      go (v + 1);
+      assign.(v) <- false;
+      go (v + 1)
+    end
+  in
+  go 0;
+  !best
+
+let prop_random_weighted =
+  QCheck.Test.make ~name:"maxsat optimum agrees with brute force" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nv = 4 + Random.State.int rng 3 in
+      let rand_clause len =
+        List.init len (fun _ ->
+            L.make (Random.State.int rng nv) (Random.State.bool rng))
+      in
+      let hard = List.init (Random.State.int rng 6) (fun _ -> rand_clause 2) in
+      let soft =
+        List.init
+          (1 + Random.State.int rng 6)
+          (fun _ -> (1 + Random.State.int rng 3, rand_clause 1))
+      in
+      let m = M.create () in
+      for _ = 1 to nv do
+        ignore (M.new_var m)
+      done;
+      List.iter (M.add_hard m) hard;
+      List.iter (fun (w, c) -> M.add_soft m ~weight:w c) soft;
+      match (M.solve m, brute_optimum nv hard soft) with
+      | M.Hard_unsat, None -> true
+      | M.Optimum c, Some b -> c = b
+      | M.Optimum _, None | M.Hard_unsat, Some _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "no softs" `Quick test_no_softs;
+    Alcotest.test_case "hard unsat" `Quick test_hard_unsat;
+    Alcotest.test_case "weighted choice" `Quick test_weighted_choice;
+    Alcotest.test_case "all softs satisfiable" `Quick test_all_softs_satisfiable;
+    Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion_chain;
+    Alcotest.test_case "invalid weight" `Quick test_invalid_weight;
+    QCheck_alcotest.to_alcotest prop_random_weighted;
+  ]

@@ -1,0 +1,140 @@
+(* Tests for Mdl.Metamodel: validation, inheritance, feature lookup. *)
+
+module MM = Mdl.Metamodel
+module I = Mdl.Ident
+
+let library_mm () =
+  MM.make_exn ~name:"Library"
+    ~enums:[ MM.enum_decl "Genre" [ "fiction"; "science"; "poetry" ] ]
+    [
+      MM.cls "Named" ~abstract:true ~attrs:[ MM.attr ~key:true "name" MM.P_string ];
+      MM.cls "Library" ~supers:[ "Named" ]
+        ~refs:[ MM.ref_ "books" ~target:"Book" ~containment:true ];
+      MM.cls "Book" ~supers:[ "Named" ]
+        ~attrs:[ MM.attr "genre" (MM.P_enum (I.make "Genre")); MM.attr "pages" MM.P_int ]
+        ~refs:[ MM.ref_ ~mult:MM.mult_opt "sequel" ~target:"Book" ];
+      MM.cls "Comic" ~supers:[ "Book" ] ~attrs:[ MM.attr "color" MM.P_bool ];
+    ]
+
+let test_valid_build () =
+  let mm = library_mm () in
+  Alcotest.(check int) "4 classes" 4 (List.length (MM.classes mm));
+  Alcotest.(check int) "1 enum" 1 (List.length (MM.enums mm))
+
+let expect_error what builder =
+  match builder () with
+  | Ok _ -> Alcotest.failf "expected validation error: %s" what
+  | Error _ -> ()
+
+let test_rejects_duplicate_class () =
+  expect_error "duplicate class" (fun () ->
+      MM.make ~name:"X" [ MM.cls "A"; MM.cls "A" ])
+
+let test_rejects_unknown_super () =
+  expect_error "unknown super" (fun () ->
+      MM.make ~name:"X" [ MM.cls "A" ~supers:[ "Ghost" ] ])
+
+let test_rejects_inheritance_cycle () =
+  expect_error "cycle" (fun () ->
+      MM.make ~name:"X" [ MM.cls "A" ~supers:[ "B" ]; MM.cls "B" ~supers:[ "A" ] ])
+
+let test_rejects_unknown_ref_target () =
+  expect_error "unknown target" (fun () ->
+      MM.make ~name:"X" [ MM.cls "A" ~refs:[ MM.ref_ "r" ~target:"Ghost" ] ])
+
+let test_rejects_unknown_enum () =
+  expect_error "unknown enum" (fun () ->
+      MM.make ~name:"X" [ MM.cls "A" ~attrs:[ MM.attr "e" (MM.P_enum (I.make "Ghost")) ] ])
+
+let test_rejects_bad_mult () =
+  expect_error "upper below lower" (fun () ->
+      MM.make ~name:"X"
+        [ MM.cls "A" ~refs:[ MM.ref_ ~mult:{ MM.lower = 3; upper = Some 1 } "r" ~target:"A" ] ])
+
+let test_rejects_empty_enum () =
+  expect_error "empty enum" (fun () ->
+      MM.make ~name:"X" ~enums:[ MM.enum_decl "E" [] ] [ MM.cls "A" ])
+
+let test_rejects_bad_opposite () =
+  expect_error "asymmetric opposite" (fun () ->
+      MM.make ~name:"X"
+        [
+          MM.cls "A" ~refs:[ MM.ref_ "r" ~target:"B" ~opposite:"s" ];
+          MM.cls "B" ~refs:[ MM.ref_ "s" ~target:"B" ];
+        ])
+
+let test_accepts_good_opposite () =
+  let mm =
+    MM.make ~name:"X"
+      [
+        MM.cls "A" ~refs:[ MM.ref_ "r" ~target:"B" ~opposite:"s" ];
+        MM.cls "B" ~refs:[ MM.ref_ "s" ~target:"A" ~opposite:"r" ];
+      ]
+  in
+  Alcotest.(check bool) "symmetric opposite accepted" true (Result.is_ok mm)
+
+let test_subclassing () =
+  let mm = library_mm () in
+  let sub c s = MM.is_subclass mm ~sub:(I.make c) ~super:(I.make s) in
+  Alcotest.(check bool) "Comic <= Book" true (sub "Comic" "Book");
+  Alcotest.(check bool) "Comic <= Named (transitive)" true (sub "Comic" "Named");
+  Alcotest.(check bool) "reflexive" true (sub "Book" "Book");
+  Alcotest.(check bool) "not Book <= Comic" false (sub "Book" "Comic");
+  Alcotest.(check bool) "not Library <= Book" false (sub "Library" "Book")
+
+let test_concrete_subclasses () =
+  let mm = library_mm () in
+  let cs = MM.concrete_subclasses mm (I.make "Named") in
+  Alcotest.(check int) "3 concrete under abstract Named" 3 (I.Set.cardinal cs);
+  Alcotest.(check bool) "abstract class itself excluded" false
+    (I.Set.mem (I.make "Named") cs);
+  let cs_book = MM.concrete_subclasses mm (I.make "Book") in
+  Alcotest.(check int) "Book and Comic" 2 (I.Set.cardinal cs_book)
+
+let test_inherited_features () =
+  let mm = library_mm () in
+  let attrs = MM.all_attributes mm (I.make "Comic") in
+  Alcotest.(check (list string)) "inherited attrs, superclass first"
+    [ "name"; "genre"; "pages"; "color" ]
+    (List.map (fun (a : MM.attribute) -> I.name a.attr_name) attrs);
+  let a = MM.find_attribute mm (I.make "Comic") (I.make "name") in
+  Alcotest.(check bool) "inherited key flag survives" true
+    (match a with Some a -> a.MM.attr_key | None -> false);
+  let r = MM.find_reference mm (I.make "Comic") (I.make "sequel") in
+  Alcotest.(check bool) "inherited reference found" true (r <> None);
+  Alcotest.(check bool) "missing feature is None" true
+    (MM.find_attribute mm (I.make "Comic") (I.make "ghost") = None)
+
+let test_mult_admits () =
+  Alcotest.(check bool) "one admits 1" true (MM.mult_admits MM.mult_one 1);
+  Alcotest.(check bool) "one rejects 0" false (MM.mult_admits MM.mult_one 0);
+  Alcotest.(check bool) "one rejects 2" false (MM.mult_admits MM.mult_one 2);
+  Alcotest.(check bool) "opt admits 0" true (MM.mult_admits MM.mult_opt 0);
+  Alcotest.(check bool) "many admits 7" true (MM.mult_admits MM.mult_many 7);
+  Alcotest.(check bool) "some rejects 0" false (MM.mult_admits MM.mult_some 0)
+
+let test_pp_parses_back () =
+  let mm = library_mm () in
+  let printed = Mdl.Serialize.metamodel_to_string mm in
+  match Mdl.Serialize.parse_metamodel printed with
+  | Ok mm' -> Alcotest.(check bool) "pp/parse round-trip" true (MM.equal mm mm')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s\n%s" e printed
+
+let suite =
+  [
+    Alcotest.test_case "valid build" `Quick test_valid_build;
+    Alcotest.test_case "rejects duplicate class" `Quick test_rejects_duplicate_class;
+    Alcotest.test_case "rejects unknown super" `Quick test_rejects_unknown_super;
+    Alcotest.test_case "rejects inheritance cycle" `Quick test_rejects_inheritance_cycle;
+    Alcotest.test_case "rejects unknown ref target" `Quick test_rejects_unknown_ref_target;
+    Alcotest.test_case "rejects unknown enum" `Quick test_rejects_unknown_enum;
+    Alcotest.test_case "rejects bad multiplicity" `Quick test_rejects_bad_mult;
+    Alcotest.test_case "rejects empty enum" `Quick test_rejects_empty_enum;
+    Alcotest.test_case "rejects asymmetric opposite" `Quick test_rejects_bad_opposite;
+    Alcotest.test_case "accepts symmetric opposite" `Quick test_accepts_good_opposite;
+    Alcotest.test_case "subclassing" `Quick test_subclassing;
+    Alcotest.test_case "concrete subclasses" `Quick test_concrete_subclasses;
+    Alcotest.test_case "inherited features" `Quick test_inherited_features;
+    Alcotest.test_case "mult_admits" `Quick test_mult_admits;
+    Alcotest.test_case "pp parses back" `Quick test_pp_parses_back;
+  ]

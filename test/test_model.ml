@@ -1,0 +1,179 @@
+(* Tests for Mdl.Model: object graphs, slots, typing discipline. *)
+
+module MM = Mdl.Metamodel
+module Model = Mdl.Model
+module I = Mdl.Ident
+module V = Mdl.Value
+
+let mm () =
+  MM.make_exn ~name:"Net"
+    [
+      MM.cls "Node" ~attrs:[ MM.attr "label" MM.P_string ]
+        ~refs:[ MM.ref_ "next" ~target:"Node" ];
+      MM.cls "Special" ~supers:[ "Node" ] ~attrs:[ MM.attr "level" MM.P_int ];
+      MM.cls "Ghostless" ~abstract:true;
+    ]
+
+let node = I.make "Node"
+let special = I.make "Special"
+let label = I.make "label"
+let next = I.make "next"
+
+let test_add_and_query () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m, b = Model.add_object m ~cls:special in
+  Alcotest.(check int) "two objects" 2 (Model.size m);
+  Alcotest.(check bool) "ids distinct" true (a <> b);
+  Alcotest.(check string) "class_of" "Node" (I.name (Model.class_of m a));
+  Alcotest.(check (list int)) "exact extent of Node" [ a ] (Model.class_extent m node);
+  Alcotest.(check (list int)) "instances_of includes subclasses" [ a; b ]
+    (Model.instances_of m node)
+
+let test_abstract_rejected () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  Alcotest.check_raises "abstract class"
+    (Model.Type_error "model m: class Ghostless is abstract") (fun () ->
+      ignore (Model.add_object m ~cls:(I.make "Ghostless")))
+
+let test_unknown_class_rejected () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  (match Model.add_object m ~cls:(I.make "Nope") with
+  | exception Model.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error")
+
+let test_attrs () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m = Model.set_attr1 m a label (V.str "hello") in
+  Alcotest.(check (option string)) "get_attr1"
+    (Some "hello")
+    (match Model.get_attr1 m a label with Some (V.Str s) -> Some s | _ -> None);
+  (* unset *)
+  let m = Model.set_attr m a label [] in
+  Alcotest.(check bool) "unset slot" true (Model.get_attr m a label = []);
+  (* ill-typed *)
+  (match Model.set_attr1 m a label (V.int 3) with
+  | exception Model.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error for int into string slot");
+  (* unknown attribute *)
+  match Model.set_attr1 m a (I.make "ghost") (V.int 3) with
+  | exception Model.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error for unknown attribute"
+
+let test_inherited_attr () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, s = Model.add_object m ~cls:special in
+  let m = Model.set_attr1 m s label (V.str "sp") in
+  let m = Model.set_attr1 m s (I.make "level") (V.int 2) in
+  Alcotest.(check int) "both slots set" 2
+    (List.length (Model.get_attr m s label) + List.length (Model.get_attr m s (I.make "level")))
+
+let test_refs () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m, b = Model.add_object m ~cls:special in
+  let m = Model.add_ref m ~src:a ~ref_:next ~dst:b in
+  Alcotest.(check (list int)) "edge added" [ b ] (Model.get_refs m a next);
+  Alcotest.(check bool) "has_ref" true (Model.has_ref m ~src:a ~ref_:next ~dst:b);
+  (* duplicate add is a no-op *)
+  let m = Model.add_ref m ~src:a ~ref_:next ~dst:b in
+  Alcotest.(check int) "no duplicate edges" 1 (List.length (Model.get_refs m a next));
+  let m = Model.del_ref m ~src:a ~ref_:next ~dst:b in
+  Alcotest.(check (list int)) "edge removed" [] (Model.get_refs m a next)
+
+let test_ref_target_typing () =
+  (* a reference to Node accepts a Special (subclass) but the model
+     layer rejects targets of unrelated classes *)
+  let mm2 =
+    MM.make_exn ~name:"Z"
+      [
+        MM.cls "A" ~refs:[ MM.ref_ "r" ~target:"B" ];
+        MM.cls "B";
+        MM.cls "C";
+      ]
+  in
+  let m = Model.empty ~name:"m" mm2 in
+  let m, a = Model.add_object m ~cls:(I.make "A") in
+  let m, c = Model.add_object m ~cls:(I.make "C") in
+  match Model.add_ref m ~src:a ~ref_:(I.make "r") ~dst:c with
+  | exception Model.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error for non-conforming target"
+
+let test_delete_removes_incoming () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m, b = Model.add_object m ~cls:node in
+  let m = Model.add_ref m ~src:a ~ref_:next ~dst:b in
+  let m = Model.delete_object m b in
+  Alcotest.(check bool) "object gone" false (Model.mem m b);
+  Alcotest.(check (list int)) "incoming edge cleaned" [] (Model.get_refs m a next)
+
+let test_stable_ids () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m, b = Model.add_object m ~cls:node in
+  let m = Model.delete_object m a in
+  let m, c = Model.add_object m ~cls:node in
+  Alcotest.(check bool) "deleted ids are not reused" true (c <> a && c <> b);
+  Alcotest.(check bool) "b kept its id" true (Model.mem m b)
+
+let test_add_with_id () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m = Model.add_object_with_id m ~id:7 ~cls:node in
+  Alcotest.(check bool) "id honoured" true (Model.mem m 7);
+  (match Model.add_object_with_id m ~id:7 ~cls:node with
+  | exception Model.Type_error _ -> ()
+  | _ -> Alcotest.fail "duplicate id must be rejected");
+  let m, next_id = Model.add_object m ~cls:node in
+  ignore m;
+  Alcotest.(check bool) "fresh ids skip past explicit ones" true (next_id > 7)
+
+let test_equal () =
+  let build order =
+    let m = Model.empty ~name:"m" (mm ()) in
+    let m, a = Model.add_object m ~cls:node in
+    let m, b = Model.add_object m ~cls:node in
+    let m, c = Model.add_object m ~cls:node in
+    let edges = if order then [ b; c ] else [ c; b ] in
+    List.fold_left (fun m dst -> Model.add_ref m ~src:a ~ref_:next ~dst) m edges
+  in
+  Alcotest.(check bool) "equality ignores reference order" true
+    (Model.equal (build true) (build false))
+
+let test_all_values () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:special in
+  let m = Model.set_attr1 m a label (V.str "x") in
+  let m = Model.set_attr1 m a (I.make "level") (V.int 5) in
+  Alcotest.(check int) "two values" 2 (V.Set.cardinal (Model.all_values m))
+
+let test_pp_parses_back () =
+  let m = Model.empty ~name:"m" (mm ()) in
+  let m, a = Model.add_object m ~cls:node in
+  let m, b = Model.add_object m ~cls:special in
+  let m = Model.set_attr1 m a label (V.str "root") in
+  let m = Model.set_attr1 m b label (V.str "leaf") in
+  let m = Model.set_attr1 m b (I.make "level") (V.int 1) in
+  let m = Model.add_ref m ~src:a ~ref_:next ~dst:b in
+  let printed = Mdl.Serialize.model_to_string m in
+  match Mdl.Serialize.parse_model (mm ()) printed with
+  | Ok m' -> Alcotest.(check bool) "round-trip equal" true (Model.equal m m')
+  | Error e -> Alcotest.failf "parse failed: %s\n%s" e printed
+
+let suite =
+  [
+    Alcotest.test_case "add and query" `Quick test_add_and_query;
+    Alcotest.test_case "abstract rejected" `Quick test_abstract_rejected;
+    Alcotest.test_case "unknown class rejected" `Quick test_unknown_class_rejected;
+    Alcotest.test_case "attributes" `Quick test_attrs;
+    Alcotest.test_case "inherited attribute slots" `Quick test_inherited_attr;
+    Alcotest.test_case "references" `Quick test_refs;
+    Alcotest.test_case "reference target typing" `Quick test_ref_target_typing;
+    Alcotest.test_case "delete removes incoming edges" `Quick test_delete_removes_incoming;
+    Alcotest.test_case "ids stable across deletes" `Quick test_stable_ids;
+    Alcotest.test_case "add with explicit id" `Quick test_add_with_id;
+    Alcotest.test_case "equality up to edge order" `Quick test_equal;
+    Alcotest.test_case "all_values" `Quick test_all_values;
+    Alcotest.test_case "pp parses back" `Quick test_pp_parses_back;
+  ]

@@ -1,0 +1,196 @@
+(* Tests for the QVT-R lexer and parser: positive cases, operator
+   precedence, error positions, and print/parse round-trips. *)
+
+module P = Qvtr.Parser
+module A = Qvtr.Ast
+module I = Mdl.Ident
+
+let minimal =
+  {|
+transformation T(a : MMA, b : MMB) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b y : D { name = n };
+  }
+}
+|}
+
+let test_minimal () =
+  let t = P.parse_exn minimal in
+  Alcotest.(check string) "name" "T" (I.name t.A.t_name);
+  Alcotest.(check int) "params" 2 (List.length t.A.t_params);
+  let r = List.hd t.A.t_relations in
+  Alcotest.(check bool) "top" true r.A.r_top;
+  Alcotest.(check int) "domains" 2 (List.length r.A.r_domains);
+  Alcotest.(check int) "vars" 1 (List.length r.A.r_vars);
+  Alcotest.(check int) "no deps" 0 (List.length r.A.r_deps)
+
+let full =
+  {|
+// a transformation exercising every construct
+transformation Full(m1 : A, m2 : B, m3 : C) {
+  top relation R {
+    n : String;
+    k : Integer;
+    flag : Boolean;
+    col : Color;
+    other : Klass@m1;
+    checkonly domain m1 x : Klass { name = n, child = y : Kid { age = k } };
+    enforce domain m2 z : Thing { label = n };
+    domain m3 w : Entry { key = n, active = true, size = 3, color = #red };
+    when { n <> "reserved"; Helper(x, z) }
+    where { z.label = x.name; nonempty w.key; (flag = true or k = 0) and not (empty x.child) }
+    dependencies { m1 m2 -> m3; m3 -> m1; }
+  }
+  relation Helper {
+    s : String;
+    domain m1 x : Klass { name = s };
+    domain m2 z : Thing { label = s };
+    dependencies { m1 -> m2; m2 -> m1; }
+  }
+}
+|}
+
+let test_full_parse () =
+  let t = P.parse_exn full in
+  let r = List.hd t.A.t_relations in
+  Alcotest.(check int) "vars incl typed" 5 (List.length r.A.r_vars);
+  Alcotest.(check int) "3 domains" 3 (List.length r.A.r_domains);
+  let d1 = List.hd r.A.r_domains in
+  Alcotest.(check bool) "checkonly flag" false d1.A.d_enforceable;
+  (* nested template *)
+  (match d1.A.d_template.A.t_props with
+  | [ _; { A.p_value = A.PV_template nested; _ } ] ->
+    Alcotest.(check string) "nested var" "y" (I.name nested.A.t_var)
+  | _ -> Alcotest.fail "expected nested template");
+  Alcotest.(check int) "when preds" 2 (List.length r.A.r_when);
+  Alcotest.(check int) "where preds" 3 (List.length r.A.r_where);
+  Alcotest.(check int) "deps" 2 (List.length r.A.r_deps);
+  let dep = List.hd r.A.r_deps in
+  Alcotest.(check int) "two sources" 2 (List.length dep.A.dep_sources);
+  (* non-top relation *)
+  let h = List.nth t.A.t_relations 1 in
+  Alcotest.(check bool) "helper not top" false h.A.r_top
+
+let test_var_types () =
+  let t = P.parse_exn full in
+  let r = List.hd t.A.t_relations in
+  let types = List.map snd r.A.r_vars in
+  Alcotest.(check bool) "String" true (List.mem A.T_string types);
+  Alcotest.(check bool) "Integer" true (List.mem A.T_int types);
+  Alcotest.(check bool) "Boolean" true (List.mem A.T_bool types);
+  Alcotest.(check bool) "enum type" true (List.mem (A.T_enum (I.make "Color")) types);
+  Alcotest.(check bool) "class type" true
+    (List.mem (A.T_class (I.make "m1", I.make "Klass")) types)
+
+let test_pred_structure () =
+  let t = P.parse_exn full in
+  let r = List.hd t.A.t_relations in
+  (match r.A.r_when with
+  | [ A.P_neq (A.O_var _, A.O_str "reserved"); A.P_call (h, args) ] ->
+    Alcotest.(check string) "call name" "Helper" (I.name h);
+    Alcotest.(check int) "call args" 2 (List.length args)
+  | _ -> Alcotest.fail "unexpected when structure");
+  match List.nth r.A.r_where 2 with
+  | A.P_and (A.P_or _, A.P_not _) -> ()
+  | p -> Alcotest.failf "unexpected precedence: %s" (Format.asprintf "%a" A.pp_pred p)
+
+let test_set_operators () =
+  let src =
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b y : D { name = n };
+    where { x.p ++ x.q = y.r ** y.s -- y.t }
+  }
+}
+|}
+  in
+  let t = P.parse_exn src in
+  let r = List.hd t.A.t_relations in
+  match r.A.r_where with
+  | [ A.P_eq (A.O_union _, rhs) ] -> (
+    (* ** and -- associate left: (r ** s) -- t *)
+    match rhs with
+    | A.O_diff (A.O_inter _, _) -> ()
+    | _ -> Alcotest.fail "wrong rhs associativity")
+  | _ -> Alcotest.fail "unexpected where structure"
+
+let test_allinstances () =
+  let src =
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b y : D { name = n };
+    when { x in C@a }
+  }
+}
+|}
+  in
+  let t = P.parse_exn src in
+  let r = List.hd t.A.t_relations in
+  match r.A.r_when with
+  | [ A.P_in (A.O_var _, A.O_all (m, c)) ] ->
+    Alcotest.(check string) "model" "a" (I.name m);
+    Alcotest.(check string) "class" "C" (I.name c)
+  | _ -> Alcotest.fail "expected allInstances"
+
+let test_errors_positions () =
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  (match P.parse "transformation T(a : A) {\n  top relation R {\n    domain ;\n  }\n}" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check bool) "line reported" true (contains ~affix:"line 3" e));
+  match P.parse "transformation T(a : A) { trailing" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_comments () =
+  let src =
+    "transformation T(a : A, b : B) { /* block\ncomment */ top relation R { n : \
+     String; domain a x : C { name = n }; // line\n domain b y : D { name = n }; } }"
+  in
+  Alcotest.(check bool) "comments skipped" true (Result.is_ok (P.parse src))
+
+let test_roundtrip_cases () =
+  List.iteri
+    (fun i src ->
+      let t = P.parse_exn src in
+      let printed = P.to_string t in
+      match P.parse printed with
+      | Ok t2 ->
+        if t <> t2 then Alcotest.failf "case %d: round-trip not equal:\n%s" i printed
+      | Error e -> Alcotest.failf "case %d: round-trip parse failed: %s\n%s" i e printed)
+    [ minimal; full; Featuremodel.Fm.source ~k:2; Featuremodel.Fm.source ~k:4 ]
+
+let test_fm_source_equals_builder () =
+  (* the generated concrete syntax parses to the programmatic AST *)
+  List.iter
+    (fun k ->
+      let parsed = P.parse_exn (Featuremodel.Fm.source ~k) in
+      let built = Featuremodel.Fm.transformation ~k in
+      if parsed <> built then
+        Alcotest.failf "k=%d: parsed source differs from built AST" k)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "minimal" `Quick test_minimal;
+    Alcotest.test_case "full syntax" `Quick test_full_parse;
+    Alcotest.test_case "variable types" `Quick test_var_types;
+    Alcotest.test_case "predicate structure" `Quick test_pred_structure;
+    Alcotest.test_case "set operators" `Quick test_set_operators;
+    Alcotest.test_case "allInstances" `Quick test_allinstances;
+    Alcotest.test_case "error positions" `Quick test_errors_positions;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "round-trips" `Quick test_roundtrip_cases;
+    Alcotest.test_case "generated source = built AST" `Quick test_fm_source_equals_builder;
+  ]

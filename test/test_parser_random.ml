@@ -1,0 +1,308 @@
+(* Property tests: random transformation ASTs survive a
+   print → parse round-trip unchanged. This pins down the concrete
+   syntax against printer/parser drift for the whole grammar, not just
+   the hand-written cases in test_parser. *)
+
+module A = Qvtr.Ast
+module I = Mdl.Ident
+
+(* --- generators ---------------------------------------------------- *)
+
+let gen_lower = QCheck.Gen.oneofl [ "x"; "y"; "z"; "foo"; "bar"; "v1"; "v2" ]
+let gen_upper = QCheck.Gen.oneofl [ "C"; "D"; "Klass"; "Thing" ]
+let gen_feature = QCheck.Gen.oneofl [ "name"; "size"; "label"; "kids" ]
+let gen_param = QCheck.Gen.oneofl [ "m1"; "m2"; "m3" ]
+
+let gen_oexpr : A.oexpr QCheck.Gen.t =
+  QCheck.Gen.sized (fun n ->
+      QCheck.Gen.fix
+        (fun self n ->
+          let open QCheck.Gen in
+          let leaf =
+            oneof
+              [
+                map (fun v -> A.O_var (I.make v)) gen_lower;
+                map (fun s -> A.O_str s) (oneofl [ "a"; "hello"; "x y" ]);
+                map (fun i -> A.O_int i) (int_range (-5) 20);
+                map (fun b -> A.O_bool b) bool;
+                map (fun l -> A.O_enum (I.make l)) (oneofl [ "red"; "blue" ]);
+                map2 (fun p c -> A.O_all (I.make p, I.make c)) gen_param gen_upper;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map2 (fun e f -> A.O_nav (e, I.make f)) (self (n - 1)) gen_feature;
+                map2 (fun a b -> A.O_union (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> A.O_inter (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> A.O_diff (a, b)) (self (n / 2)) (self (n / 2));
+              ])
+        (min n 4))
+
+let gen_pred : A.pred QCheck.Gen.t =
+  QCheck.Gen.sized (fun n ->
+      QCheck.Gen.fix
+        (fun self n ->
+          let open QCheck.Gen in
+          let atom =
+            oneof
+              [
+                map2 (fun a b -> A.P_eq (a, b)) gen_oexpr gen_oexpr;
+                map2 (fun a b -> A.P_neq (a, b)) gen_oexpr gen_oexpr;
+                map2 (fun a b -> A.P_in (a, b)) gen_oexpr gen_oexpr;
+                map2 (fun a b -> A.P_lt (a, b)) gen_oexpr gen_oexpr;
+                map2 (fun a b -> A.P_le (a, b)) gen_oexpr gen_oexpr;
+                map (fun a -> A.P_empty a) gen_oexpr;
+                map (fun a -> A.P_nonempty a) gen_oexpr;
+                map2
+                  (fun r args -> A.P_call (I.make r, List.map I.make args))
+                  (oneofl [ "Rel"; "Helper" ])
+                  (oneofl [ [ "x"; "y" ]; [ "x"; "y"; "z" ] ]);
+              ]
+          in
+          if n <= 0 then atom
+          else
+            oneof
+              [
+                atom;
+                map (fun p -> A.P_not p) (self (n - 1));
+                map2 (fun a b -> A.P_and (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> A.P_or (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> A.P_implies (a, b)) (self (n / 2)) (self (n / 2));
+              ])
+        (min n 4))
+
+let gen_template : A.template QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* distinct variable names per nesting level keep the AST printable *)
+  let rec gen depth var =
+    let* cls = gen_upper in
+    let* props =
+      list_size (int_bound 3)
+        (let* f = gen_feature in
+         let* value =
+           if depth <= 0 then map (fun e -> A.PV_expr e) gen_oexpr
+           else
+             frequency
+               [
+                 (3, map (fun e -> A.PV_expr e) gen_oexpr);
+                 (1, map (fun t -> A.PV_template t) (gen (depth - 1) (var ^ "n")));
+               ]
+         in
+         return { A.p_feature = I.make f; p_value = value })
+    in
+    return { A.t_var = I.make var; t_class = I.make cls; t_props = props }
+  in
+  let* root = oneofl [ "a"; "b"; "c" ] in
+  gen 2 root
+
+let gen_var_type : A.var_type QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return A.T_string;
+      QCheck.Gen.return A.T_int;
+      QCheck.Gen.return A.T_bool;
+      QCheck.Gen.map (fun e -> A.T_enum (I.make e)) (QCheck.Gen.oneofl [ "Color"; "Size" ]);
+      QCheck.Gen.map2
+        (fun p c -> A.T_class (I.make p, I.make c))
+        gen_param gen_upper;
+    ]
+
+let gen_relation : A.relation QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* name = oneofl [ "R"; "S"; "Sync" ] in
+  let* top = bool in
+  let* vars =
+    list_size (int_bound 2)
+      (let* v = oneofl [ "n"; "k"; "w" ] in
+       let* ty = gen_var_type in
+       return (I.make v, ty))
+  in
+  (* deduplicate variable names (the printer would emit clashes) *)
+  let vars =
+    List.fold_left
+      (fun acc (v, ty) ->
+        if List.exists (fun (w, _) -> I.equal v w) acc then acc else (v, ty) :: acc)
+      [] vars
+    |> List.rev
+  in
+  let* d1 = gen_template in
+  let* d2 = gen_template in
+  let d2 = { d2 with A.t_var = I.make (I.name d2.A.t_var ^ "2") } in
+  let* enforceable = bool in
+  let domains =
+    [
+      { A.d_model = I.make "m1"; d_template = d1; d_enforceable = enforceable };
+      { A.d_model = I.make "m2"; d_template = d2; d_enforceable = true };
+    ]
+  in
+  let* when_ = list_size (int_bound 2) gen_pred in
+  let* where = list_size (int_bound 2) gen_pred in
+  let* deps =
+    oneofl
+      [
+        [];
+        [ { A.dep_sources = [ I.make "m1" ]; dep_target = I.make "m2" } ];
+        [
+          { A.dep_sources = [ I.make "m1" ]; dep_target = I.make "m2" };
+          { A.dep_sources = [ I.make "m2" ]; dep_target = I.make "m1" };
+        ];
+      ]
+  in
+  return
+    {
+      A.r_name = I.make name;
+      r_top = top;
+      r_vars = vars;
+      r_prims = [];
+      r_domains = domains;
+      r_when = when_;
+      r_where = where;
+      r_deps = deps;
+    }
+
+let gen_transformation : A.transformation QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* rel = gen_relation in
+  let* rel2 = gen_relation in
+  let rel2 = { rel2 with A.r_name = I.make (I.name rel2.A.r_name ^ "2") } in
+  let* n = int_bound 1 in
+  return
+    {
+      A.t_name = I.make "T";
+      t_params = [ (I.make "m1", I.make "MMA"); (I.make "m2", I.make "MMB") ];
+      t_relations = (if n = 0 then [ rel ] else [ rel; rel2 ]);
+    }
+
+let arb_transformation =
+  QCheck.make ~print:(fun t -> Qvtr.Parser.to_string t) gen_transformation
+
+(* Variable-name sanity: nested templates generated above may reuse a
+   root variable name; the parser does not care (it is Typecheck's
+   job), so the round-trip must still hold. *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip on random transformations"
+    ~count:500 arb_transformation (fun t ->
+      let printed = Qvtr.Parser.to_string t in
+      match Qvtr.Parser.parse printed with
+      | Ok t' ->
+        if t = t' then true
+        else QCheck.Test.fail_reportf "reparse differs for:\n%s" printed
+      | Error e -> QCheck.Test.fail_reportf "reparse failed (%s) for:\n%s" e printed)
+
+let prop_oexpr_roundtrip =
+  (* expressions alone, via a minimal wrapper relation *)
+  QCheck.Test.make ~name:"oexpr round-trip" ~count:500
+    (QCheck.make gen_oexpr ~print:(fun e -> Format.asprintf "%a" A.pp_oexpr e))
+    (fun e ->
+      let wrap =
+        {
+          A.t_name = I.make "W";
+          t_params = [ (I.make "m1", I.make "MMA"); (I.make "m2", I.make "MMB") ];
+          t_relations =
+            [
+              {
+                A.r_name = I.make "R";
+                r_top = true;
+                r_vars = [];
+                r_prims = [];
+                r_domains =
+                  [
+                    {
+                      A.d_model = I.make "m1";
+                      d_template =
+                        { A.t_var = I.make "x"; t_class = I.make "C"; t_props = [] };
+                      d_enforceable = true;
+                    };
+                    {
+                      A.d_model = I.make "m2";
+                      d_template =
+                        { A.t_var = I.make "y"; t_class = I.make "D"; t_props = [] };
+                      d_enforceable = true;
+                    };
+                  ];
+                r_when = [];
+                r_where = [ A.P_nonempty e ];
+                r_deps = [];
+              };
+            ];
+        }
+      in
+      match Qvtr.Parser.parse (Qvtr.Parser.to_string wrap) with
+      | Ok t' -> t' = wrap
+      | Error msg ->
+        QCheck.Test.fail_reportf "parse failed: %s for %s" msg
+          (Format.asprintf "%a" A.pp_oexpr e))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_oexpr_roundtrip;
+  ]
+
+(* --- pipeline robustness fuzz ---------------------------------------- *)
+
+(* Metamodels giving the random ASTs a chance to typecheck: all class
+   and feature names the generators draw from exist. Random programs
+   that still fail to typecheck must be REJECTED (Error), never crash;
+   programs that typecheck must check cleanly on models. *)
+let fuzz_mma =
+  Mdl.Metamodel.make_exn ~name:"MMA"
+    [
+      Mdl.Metamodel.cls "C"
+        ~attrs:
+          [
+            Mdl.Metamodel.attr "name" Mdl.Metamodel.P_string;
+            Mdl.Metamodel.attr "size" Mdl.Metamodel.P_int;
+            Mdl.Metamodel.attr "label" Mdl.Metamodel.P_string;
+          ]
+        ~refs:[ Mdl.Metamodel.ref_ "kids" ~target:"Klass" ];
+      Mdl.Metamodel.cls "Klass" ~attrs:[ Mdl.Metamodel.attr "name" Mdl.Metamodel.P_string ];
+    ]
+
+let fuzz_mmb =
+  Mdl.Metamodel.make_exn ~name:"MMB"
+    [
+      Mdl.Metamodel.cls "D"
+        ~attrs:
+          [
+            Mdl.Metamodel.attr "name" Mdl.Metamodel.P_string;
+            Mdl.Metamodel.attr "size" Mdl.Metamodel.P_int;
+            Mdl.Metamodel.attr "label" Mdl.Metamodel.P_string;
+          ]
+        ~refs:[ Mdl.Metamodel.ref_ "kids" ~target:"Thing" ];
+      Mdl.Metamodel.cls "Thing" ~attrs:[ Mdl.Metamodel.attr "name" Mdl.Metamodel.P_string ];
+    ]
+
+let fuzz_metamodels = [ (I.make "MMA", fuzz_mma); (I.make "MMB", fuzz_mmb) ]
+
+let fuzz_models () =
+  let m1 = Mdl.Model.empty ~name:"m1" fuzz_mma in
+  let m1, c = Mdl.Model.add_object m1 ~cls:(I.make "C") in
+  let m1 = Mdl.Model.set_attr1 m1 c (I.make "name") (Mdl.Value.Str "a") in
+  let m1 = Mdl.Model.set_attr1 m1 c (I.make "size") (Mdl.Value.Int 1) in
+  let m1 = Mdl.Model.set_attr1 m1 c (I.make "label") (Mdl.Value.Str "l") in
+  let m2 = Mdl.Model.empty ~name:"m2" fuzz_mmb in
+  let m2, d = Mdl.Model.add_object m2 ~cls:(I.make "D") in
+  let m2 = Mdl.Model.set_attr1 m2 d (I.make "name") (Mdl.Value.Str "a") in
+  let m2 = Mdl.Model.set_attr1 m2 d (I.make "size") (Mdl.Value.Int 1) in
+  let m2 = Mdl.Model.set_attr1 m2 d (I.make "label") (Mdl.Value.Str "l") in
+  [ (I.make "m1", m1); (I.make "m2", m2) ]
+
+let prop_pipeline_no_crash =
+  QCheck.Test.make ~name:"typecheck/check never crash on random ASTs" ~count:500
+    arb_transformation (fun t ->
+      match Qvtr.Typecheck.check t ~metamodels:fuzz_metamodels with
+      | Error _ -> true  (* cleanly rejected *)
+      | Ok _ -> (
+        match Qvtr.Check.run t ~metamodels:fuzz_metamodels ~models:(fuzz_models ()) with
+        | Ok _ | Error _ -> true)
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on:\n%s" (Printexc.to_string e)
+          (Qvtr.Parser.to_string t))
+
+let suite =
+  suite @ [ QCheck_alcotest.to_alcotest prop_pipeline_no_crash ]

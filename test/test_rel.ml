@@ -1,0 +1,137 @@
+(* Tests for Relog.Rel: universes, tuples, and the tuple-set algebra
+   (relational laws checked by qcheck). *)
+
+module R = Relog.Rel
+module I = Mdl.Ident
+module TS = R.Tupleset
+
+let universe n = R.Universe.make (List.init n (fun i -> I.make (Printf.sprintf "a%d" i)))
+
+let test_universe () =
+  let u = universe 3 in
+  Alcotest.(check int) "size" 3 (R.Universe.size u);
+  Alcotest.(check string) "atom by index" "a1" (I.name (R.Universe.atom u 1));
+  Alcotest.(check int) "index by atom" 2 (R.Universe.index u (I.make "a2"));
+  Alcotest.(check bool) "mem" true (R.Universe.mem u (I.make "a0"));
+  Alcotest.(check bool) "foreign atom" false (R.Universe.mem u (I.make "zz"));
+  match R.Universe.make [ I.make "x"; I.make "x" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate atoms must raise"
+
+let ts l = TS.of_list l
+
+let test_basic_ops () =
+  let a = ts [ [| 0 |]; [| 1 |] ] and b = ts [ [| 1 |]; [| 2 |] ] in
+  Alcotest.(check int) "union" 3 (TS.cardinal (TS.union a b));
+  Alcotest.(check int) "inter" 1 (TS.cardinal (TS.inter a b));
+  Alcotest.(check int) "diff" 1 (TS.cardinal (TS.diff a b));
+  Alcotest.(check bool) "subset" true (TS.subset (TS.inter a b) a);
+  Alcotest.(check bool) "mem" true (TS.mem [| 1 |] a)
+
+let test_arity_checks () =
+  let unary = ts [ [| 0 |] ] and binary = ts [ [| 0; 1 |] ] in
+  (match TS.union unary binary with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch in union must raise");
+  (match TS.of_list [ [| 0 |]; [| 0; 1 |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mixed arity of_list must raise");
+  match TS.transpose (ts [ [| 0; 1; 2 |] ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "transpose of ternary must raise"
+
+let test_product_join () =
+  let a = ts [ [| 0 |]; [| 1 |] ] and r = ts [ [| 0; 5 |]; [| 1; 6 |]; [| 2; 7 |] ] in
+  let p = TS.product a a in
+  Alcotest.(check int) "product size" 4 (TS.cardinal p);
+  Alcotest.(check (option int)) "product arity" (Some 2) (TS.arity p);
+  let j = TS.join a r in
+  Alcotest.(check int) "join selects matching rows" 2 (TS.cardinal j);
+  Alcotest.(check bool) "join drops inner columns" true (TS.mem [| 5 |] j && TS.mem [| 6 |] j);
+  (* binary . binary *)
+  let r2 = ts [ [| 5; 9 |] ] in
+  let jj = TS.join r r2 in
+  Alcotest.(check bool) "relational composition" true (TS.mem [| 0; 9 |] jj);
+  Alcotest.(check int) "composition size" 1 (TS.cardinal jj)
+
+let test_transpose_closure () =
+  let r = ts [ [| 0; 1 |]; [| 1; 2 |] ] in
+  Alcotest.(check bool) "transpose flips" true (TS.mem [| 1; 0 |] (TS.transpose r));
+  let c = TS.closure r in
+  Alcotest.(check int) "closure adds 0->2" 3 (TS.cardinal c);
+  Alcotest.(check bool) "0 reaches 2" true (TS.mem [| 0; 2 |] c);
+  let u = universe 3 in
+  let rc = TS.reflexive_closure u r in
+  Alcotest.(check int) "reflexive closure" 6 (TS.cardinal rc)
+
+let test_iden_univ () =
+  let u = universe 4 in
+  Alcotest.(check int) "iden size" 4 (TS.cardinal (TS.iden u));
+  Alcotest.(check int) "univ size" 4 (TS.cardinal (TS.univ u))
+
+(* -------- qcheck: algebra laws on random binary relations ---------- *)
+
+let arb_rel n =
+  QCheck.map
+    (fun pairs ->
+      TS.of_list (List.map (fun (a, b) -> [| a mod n; b mod n |]) pairs))
+    (QCheck.small_list (QCheck.pair QCheck.small_nat QCheck.small_nat))
+
+let n = 4
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutative" ~count:200
+    (QCheck.pair (arb_rel n) (arb_rel n))
+    (fun (a, b) -> TS.equal (TS.union a b) (TS.union b a))
+
+let prop_join_assoc =
+  QCheck.Test.make ~name:"join associative on binaries" ~count:200
+    (QCheck.triple (arb_rel n) (arb_rel n) (arb_rel n))
+    (fun (a, b, c) ->
+      TS.equal (TS.join (TS.join a b) c) (TS.join a (TS.join b c)))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involutive" ~count:200 (arb_rel n) (fun r ->
+      TS.equal (TS.transpose (TS.transpose r)) r)
+
+let prop_transpose_antihom =
+  QCheck.Test.make ~name:"~(a.b) = ~b.~a" ~count:200
+    (QCheck.pair (arb_rel n) (arb_rel n))
+    (fun (a, b) ->
+      TS.equal (TS.transpose (TS.join a b)) (TS.join (TS.transpose b) (TS.transpose a)))
+
+let prop_closure_fixpoint =
+  QCheck.Test.make ~name:"closure is a transitive fixpoint containing r" ~count:200
+    (arb_rel n) (fun r ->
+      let c = TS.closure r in
+      TS.subset r c
+      && TS.subset (TS.join c c) c
+      && TS.equal (TS.closure c) c)
+
+let prop_iden_join_neutral =
+  QCheck.Test.make ~name:"iden is a join identity" ~count:200 (arb_rel n) (fun r ->
+      let u = universe n in
+      TS.equal (TS.join (TS.iden u) r) r && TS.equal (TS.join r (TS.iden u)) r)
+
+let prop_distributivity =
+  QCheck.Test.make ~name:"join distributes over union" ~count:200
+    (QCheck.triple (arb_rel n) (arb_rel n) (arb_rel n))
+    (fun (a, b, c) ->
+      TS.equal (TS.join a (TS.union b c)) (TS.union (TS.join a b) (TS.join a c)))
+
+let suite =
+  [
+    Alcotest.test_case "universe" `Quick test_universe;
+    Alcotest.test_case "basic set ops" `Quick test_basic_ops;
+    Alcotest.test_case "arity checks" `Quick test_arity_checks;
+    Alcotest.test_case "product and join" `Quick test_product_join;
+    Alcotest.test_case "transpose and closure" `Quick test_transpose_closure;
+    Alcotest.test_case "iden and univ" `Quick test_iden_univ;
+    QCheck_alcotest.to_alcotest prop_union_commutes;
+    QCheck_alcotest.to_alcotest prop_join_assoc;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    QCheck_alcotest.to_alcotest prop_transpose_antihom;
+    QCheck_alcotest.to_alcotest prop_closure_fixpoint;
+    QCheck_alcotest.to_alcotest prop_iden_join_neutral;
+    QCheck_alcotest.to_alcotest prop_distributivity;
+  ]

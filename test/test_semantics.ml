@@ -1,0 +1,299 @@
+(* Tests for Qvtr.Semantics + Qvtr.Check — the paper's core claims:
+
+   - E2 (§2.1): the standard checking semantics cannot express MF
+     (it wrongly accepts states violating mandatory ⊆ ⋂ selected);
+   - E3 (§2.2): with checking dependencies the compiled semantics
+     coincides with the intended set-level relation, exhaustively over
+     a small scope;
+   - E4 (§2.2): conservativity — attaching the full dependency set
+     reproduces the standard semantics exactly;
+   - relation invocation (§2.3) in both when and where clauses. *)
+
+module F = Featuremodel.Fm
+module G = Featuremodel.Gen
+module Sem = Qvtr.Semantics
+module Check = Qvtr.Check
+module I = Mdl.Ident
+
+let consistent ?mode trans cfs fm =
+  (Check.run_exn ?mode trans ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm))
+    .Check.consistent
+
+let test_paper_counterexample () =
+  (* empty configurations, FM with a mandatory feature: standard
+     semantics bogusly accepts, extended rejects (paper §2.1) *)
+  let cfs = [ F.configuration ~name:"cf1" []; F.configuration ~name:"cf2" [] ] in
+  let fm = F.feature_model ~name:"fm" [ ("A", true) ] in
+  Alcotest.(check bool) "standard accepts (the paper's bug)" true
+    (consistent ~mode:Sem.Standard (F.transformation_standard ~k:2) cfs fm);
+  Alcotest.(check bool) "extended rejects" false
+    (consistent (F.transformation ~k:2) cfs fm);
+  Alcotest.(check bool) "intended semantics rejects" false (F.consistent ~cfs ~fm)
+
+let test_one_sided_counterexample () =
+  (* a mandatory feature absent from every configuration: all standard
+     directional checks are vacuous for it (the empty ranges of §2.1),
+     even though the configurations are non-empty *)
+  let cfs =
+    [ F.configuration ~name:"cf1" [ "B" ]; F.configuration ~name:"cf2" [ "B" ] ]
+  in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", true) ] in
+  Alcotest.(check bool) "standard accepts" true
+    (consistent ~mode:Sem.Standard (F.transformation_standard ~k:2) cfs fm);
+  Alcotest.(check bool) "extended rejects (fm -> cf_i fails)" false
+    (consistent (F.transformation ~k:2) cfs fm)
+
+(* Exhaustive small-scope comparison over all (cf1, cf2, fm) with
+   features drawn from a 2-name pool. *)
+let exhaustive_states () =
+  let pool = [ "A"; "B" ] in
+  let cfs = G.all_cfs pool in
+  let fms = G.all_fms pool in
+  List.concat_map
+    (fun c1 -> List.concat_map (fun c2 -> List.map (fun fm -> (c1, c2, fm)) fms) cfs)
+    cfs
+
+let test_extended_matches_oracle_exhaustively () =
+  let trans = F.transformation ~k:2 in
+  let mismatches =
+    List.filter
+      (fun (c1, c2, fm) ->
+        consistent trans [ c1; c2 ] fm <> F.consistent ~cfs:[ c1; c2 ] ~fm)
+      (exhaustive_states ())
+  in
+  Alcotest.(check int) "no mismatches over 144 states" 0 (List.length mismatches)
+
+let test_conservativity_exhaustively () =
+  (* E4: the Standard mode and the Extended mode with full dependency
+     sets are the same function, over every state *)
+  let std = F.transformation_standard ~k:2 in
+  let mismatches =
+    List.filter
+      (fun (c1, c2, fm) ->
+        consistent ~mode:Sem.Standard std [ c1; c2 ] fm
+        <> consistent ~mode:Sem.Extended std [ c1; c2 ] fm)
+      (exhaustive_states ())
+  in
+  Alcotest.(check int) "standard = extended-with-full-deps" 0 (List.length mismatches)
+
+let test_standard_incomparable () =
+  (* E2, sharpened: over the exhaustive scope the standard semantics is
+     INCOMPARABLE to the intended relation — it both accepts states the
+     intended relation rejects (the §2.1 vacuous-quantification bug)
+     and rejects states the intended relation accepts (its directional
+     checks force spurious mutual inclusions). Hence no reading of the
+     standard semantics realises MF/OF, which is the paper's point. *)
+  let std = F.transformation_standard ~k:2 in
+  let ext = F.transformation ~k:2 in
+  let states = exhaustive_states () in
+  let false_accepts =
+    List.exists
+      (fun (c1, c2, fm) ->
+        consistent ~mode:Sem.Standard std [ c1; c2 ] fm
+        && not (consistent ext [ c1; c2 ] fm))
+      states
+  in
+  let false_rejects =
+    List.exists
+      (fun (c1, c2, fm) ->
+        (not (consistent ~mode:Sem.Standard std [ c1; c2 ] fm))
+        && consistent ext [ c1; c2 ] fm)
+      states
+  in
+  Alcotest.(check bool) "standard accepts some intended-inconsistent state" true
+    false_accepts;
+  Alcotest.(check bool) "standard rejects some intended-consistent state" true
+    false_rejects
+
+let test_narrowing_equivalence () =
+  (* the pattern-driven quantifier narrowing is semantics-preserving:
+     narrowed and full compilations agree on every exhaustive state *)
+  let trans = F.transformation ~k:2 in
+  match Qvtr.Typecheck.check trans ~metamodels:F.metamodels with
+  | Error _ -> Alcotest.fail "typecheck"
+  | Ok info ->
+    let mismatches =
+      List.filter
+        (fun (c1, c2, fm) ->
+          match
+            Qvtr.Encode.create ~transformation:trans ~metamodels:F.metamodels
+              ~models:(F.bind ~cfs:[ c1; c2 ] ~fm) ~slack_objects:0 ()
+          with
+          | Error _ -> true
+          | Ok enc ->
+            let inst = Qvtr.Encode.check_instance enc in
+            let check narrow =
+              let sem = Sem.create ~narrow enc info in
+              Relog.Eval.holds inst (Sem.consistency_formula sem)
+            in
+            check true <> check false)
+        (exhaustive_states ())
+    in
+    Alcotest.(check int) "narrowed = full on all states" 0 (List.length mismatches)
+
+let test_k3 () =
+  (* three configurations: the intersection is over all of them *)
+  let trans = F.transformation ~k:3 in
+  let fm = F.feature_model ~name:"fm" [ ("A", true); ("B", false) ] in
+  let c a = F.configuration ~name:"c" a in
+  Alcotest.(check bool) "consistent k=3" true
+    (consistent trans [ c [ "A"; "B" ]; c [ "A" ]; c [ "A"; "B" ] ] fm);
+  Alcotest.(check bool) "B in all three -> must be mandatory" false
+    (consistent trans [ c [ "A"; "B" ]; c [ "A"; "B" ]; c [ "A"; "B" ] ] fm);
+  Alcotest.(check bool) "A missing in one -> mandatory violated" false
+    (consistent trans [ c [ "A" ]; c [] ; c [ "A" ] ] fm)
+
+let test_where_call_inlining () =
+  (* ClassTable calling AttrColumn (see examples/class_db_sync): the
+     callee constrains attribute/column correspondence per pair *)
+  let mms_src =
+    {|
+metamodel UML { class Class { attr name : string key; ref attrs : Attribute [0..*] containment; } class Attribute { attr name : string; } }
+metamodel RDB { class Table { attr name : string key; ref cols : Column [0..*] containment; } class Column { attr name : string; } }
+|}
+  in
+  let mms =
+    match Mdl.Serialize.parse_metamodels mms_src with
+    | Ok l -> List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) l
+    | Error e -> Alcotest.failf "metamodels: %s" e
+  in
+  let trans =
+    Qvtr.Parser.parse_exn
+      {|
+transformation CT(uml : UML, rdb : RDB) {
+  top relation ClassTable {
+    n : String;
+    domain uml c : Class { name = n };
+    domain rdb t : Table { name = n };
+    where { AttrColumn(c, t); }
+    dependencies { uml -> rdb; rdb -> uml; }
+  }
+  relation AttrColumn {
+    an : String;
+    domain uml c : Class { attrs = a : Attribute { name = an } };
+    domain rdb t : Table { cols = col : Column { name = an } };
+    dependencies { uml -> rdb; rdb -> uml; }
+  }
+}
+|}
+  in
+  let uml classes =
+    let mm = List.assoc (I.make "UML") mms in
+    List.fold_left
+      (fun m (cn, ats) ->
+        let m, cid = Mdl.Model.add_object m ~cls:(I.make "Class") in
+        let m = Mdl.Model.set_attr1 m cid (I.make "name") (Mdl.Value.Str cn) in
+        List.fold_left
+          (fun m an ->
+            let m, aid = Mdl.Model.add_object m ~cls:(I.make "Attribute") in
+            let m = Mdl.Model.set_attr1 m aid (I.make "name") (Mdl.Value.Str an) in
+            Mdl.Model.add_ref m ~src:cid ~ref_:(I.make "attrs") ~dst:aid)
+          m ats)
+      (Mdl.Model.empty ~name:"uml" mm)
+      classes
+  in
+  let rdb tables =
+    let mm = List.assoc (I.make "RDB") mms in
+    List.fold_left
+      (fun m (tn, cs) ->
+        let m, tid = Mdl.Model.add_object m ~cls:(I.make "Table") in
+        let m = Mdl.Model.set_attr1 m tid (I.make "name") (Mdl.Value.Str tn) in
+        List.fold_left
+          (fun m cn ->
+            let m, cid = Mdl.Model.add_object m ~cls:(I.make "Column") in
+            let m = Mdl.Model.set_attr1 m cid (I.make "name") (Mdl.Value.Str cn) in
+            Mdl.Model.add_ref m ~src:tid ~ref_:(I.make "cols") ~dst:cid)
+          m cs)
+      (Mdl.Model.empty ~name:"rdb" mm)
+      tables
+  in
+  let check u r =
+    (Check.run_exn trans ~metamodels:mms
+       ~models:[ (I.make "uml", uml u); (I.make "rdb", rdb r) ])
+      .Check.consistent
+  in
+  Alcotest.(check bool) "matching attrs/cols consistent" true
+    (check [ ("P", [ "x"; "y" ]) ] [ ("P", [ "x"; "y" ]) ]);
+  Alcotest.(check bool) "missing column detected through the call" false
+    (check [ ("P", [ "x"; "y" ]) ] [ ("P", [ "x" ]) ]);
+  Alcotest.(check bool) "extra column detected in reverse direction" false
+    (check [ ("P", [ "x" ]) ] [ ("P", [ "x"; "z" ]) ]);
+  Alcotest.(check bool) "missing table detected" false
+    (check [ ("P", [ "x" ]); ("Q", []) ] [ ("P", [ "x" ]) ])
+
+let test_when_call () =
+  (* a when-call acts as a precondition over source models only *)
+  let trans =
+    Qvtr.Parser.parse_exn
+      {|
+transformation T(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MandatoryPair {
+    n : String;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm f : Feature { name = n, mandatory = true };
+    when { SameName(s1, s2); }
+    dependencies { cf1 cf2 -> fm; }
+  }
+  relation SameName {
+    m : String;
+    domain cf1 p : Feature { name = m };
+    domain cf2 q : Feature { name = m };
+    dependencies { cf1 -> cf2; cf2 -> cf1; }
+  }
+}
+|}
+  in
+  (* the when-call requires the two configurations to agree entirely;
+     if they do not, the relation is vacuous and anything passes *)
+  let c a = F.configuration ~name:"c" a in
+  let fm_a = F.feature_model ~name:"fm" [ ("A", true) ] in
+  let fm_none = F.feature_model ~name:"fm" [ ("A", false) ] in
+  let run cfs fm =
+    (Check.run_exn trans ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm))
+      .Check.consistent
+  in
+  Alcotest.(check bool) "agreeing configs, mandatory present" true
+    (run [ c [ "A" ]; c [ "A" ] ] fm_a);
+  Alcotest.(check bool) "agreeing configs, mandatory missing" false
+    (run [ c [ "A" ]; c [ "A" ] ] fm_none);
+  Alcotest.(check bool) "disagreeing configs vacuously pass" true
+    (run [ c [ "A" ]; c [ "B" ] ] fm_none)
+
+let test_directional_consistency_split () =
+  let trans = F.transformation ~k:2 in
+  match Qvtr.Typecheck.check trans ~metamodels:F.metamodels with
+  | Error _ -> Alcotest.fail "typecheck"
+  | Ok info -> (
+    let cfs = [ F.configuration ~name:"cf1" [ "A" ]; F.configuration ~name:"cf2" [ "A" ] ] in
+    let fm = F.feature_model ~name:"fm" [ ("A", true); ("N", true) ] in
+    match
+      Qvtr.Encode.create ~transformation:trans ~metamodels:F.metamodels
+        ~models:(F.bind ~cfs ~fm) ~slack_objects:0 ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok enc ->
+      let sem = Sem.create enc info in
+      let inst = Qvtr.Encode.check_instance enc in
+      (* the violation is only in the fm -> cf directions *)
+      let towards target =
+        Relog.Eval.holds inst (Sem.directional_consistency sem ~target:(I.make target))
+      in
+      Alcotest.(check bool) "fm direction holds" true (towards "fm");
+      Alcotest.(check bool) "cf1 direction violated" false (towards "cf1");
+      Alcotest.(check bool) "cf2 direction violated" false (towards "cf2"))
+
+let suite =
+  [
+    Alcotest.test_case "paper counterexample (E2)" `Quick test_paper_counterexample;
+    Alcotest.test_case "one-sided counterexample (E2)" `Quick test_one_sided_counterexample;
+    Alcotest.test_case "extended = oracle, exhaustively (E3)" `Slow
+      test_extended_matches_oracle_exhaustively;
+    Alcotest.test_case "conservativity (E4)" `Slow test_conservativity_exhaustively;
+    Alcotest.test_case "standard incomparable to intended (E2)" `Slow test_standard_incomparable;
+    Alcotest.test_case "narrowing equivalence" `Slow test_narrowing_equivalence;
+    Alcotest.test_case "k = 3" `Quick test_k3;
+    Alcotest.test_case "where-call inlining (2.3)" `Quick test_where_call_inlining;
+    Alcotest.test_case "when-call precondition (2.3)" `Quick test_when_call;
+    Alcotest.test_case "directional consistency split" `Quick test_directional_consistency_split;
+  ]

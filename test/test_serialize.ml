@@ -1,0 +1,153 @@
+(* Tests for Mdl.Serialize: parsing, error reporting, round-trips. *)
+
+module MM = Mdl.Metamodel
+module Model = Mdl.Model
+module S = Mdl.Serialize
+
+let mm_src =
+  {|
+metamodel Shop {
+  enum Size { small, medium, large }
+  class Item {
+    attr sku : string key;
+    attr size : Size;
+    attr price : int;
+    attr tags : string [0..*];
+  }
+  class Bundle extends Item {
+    ref parts : Item [1..*] containment;
+  }
+}
+|}
+
+let test_parse_metamodel () =
+  match S.parse_metamodel mm_src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok mm ->
+    Alcotest.(check string) "name" "Shop" (Mdl.Ident.name (MM.name mm));
+    Alcotest.(check int) "2 classes" 2 (List.length (MM.classes mm));
+    let item = MM.find_class_exn mm (Mdl.Ident.make "Item") in
+    Alcotest.(check int) "4 attrs" 4 (List.length item.MM.cls_attrs);
+    let sku = MM.find_attribute mm (Mdl.Ident.make "Item") (Mdl.Ident.make "sku") in
+    Alcotest.(check bool) "sku is key" true
+      (match sku with Some a -> a.MM.attr_key | None -> false);
+    let tags = MM.find_attribute mm (Mdl.Ident.make "Item") (Mdl.Ident.make "tags") in
+    Alcotest.(check bool) "tags multi-valued" true
+      (match tags with Some a -> a.MM.attr_mult = MM.mult_many | None -> false)
+
+let model_src =
+  {|
+model stock : Shop {
+  obj b : Bundle {
+    sku = "B1";
+    size = large;
+    price = 30;
+    parts -> i1, i2;
+  }
+  obj i1 : Item {
+    sku = "I1";
+    size = small;
+    price = 10;
+    tags = "red", "sale";
+  }
+  obj i2 : Item {
+    sku = "I2";
+    size = medium;
+    price = 20;
+  }
+}
+|}
+
+let parse_both () =
+  match S.parse_metamodel mm_src with
+  | Error e -> Alcotest.failf "metamodel: %s" e
+  | Ok mm -> (
+    match S.parse_model mm model_src with
+    | Error e -> Alcotest.failf "model: %s" e
+    | Ok m -> (mm, m))
+
+let test_parse_model () =
+  let _, m = parse_both () in
+  Alcotest.(check int) "3 objects" 3 (Model.size m);
+  let bundles = Model.class_extent m (Mdl.Ident.make "Bundle") in
+  Alcotest.(check int) "one bundle" 1 (List.length bundles);
+  let b = List.hd bundles in
+  Alcotest.(check int) "2 parts" 2
+    (List.length (Model.get_refs m b (Mdl.Ident.make "parts")));
+  Alcotest.(check int) "multivalued attr" 2
+    (List.length
+       (Model.get_attr m (List.hd (Model.class_extent m (Mdl.Ident.make "Item")))
+          (Mdl.Ident.make "tags")))
+
+let test_enum_values () =
+  let _, m = parse_both () in
+  let b = List.hd (Model.class_extent m (Mdl.Ident.make "Bundle")) in
+  Alcotest.(check bool) "enum literal parsed" true
+    (match Model.get_attr1 m b (Mdl.Ident.make "size") with
+    | Some (Mdl.Value.Enum e) -> Mdl.Ident.name e = "large"
+    | _ -> false)
+
+let test_model_roundtrip () =
+  let mm, m = parse_both () in
+  let printed = S.model_to_string m in
+  match S.parse_model mm printed with
+  | Ok m' -> Alcotest.(check bool) "round-trip equal" true (Model.equal m m')
+  | Error e -> Alcotest.failf "round-trip: %s\n%s" e printed
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_error_position () =
+  match S.parse_metamodel "metamodel X {\n  class A {\n    attr ; }\n}" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e ->
+    Alcotest.(check bool) "error mentions line 3" true (contains ~affix:"line 3" e)
+
+let test_bad_enum_value () =
+  match S.parse_metamodel mm_src with
+  | Error e -> Alcotest.failf "metamodel: %s" e
+  | Ok mm -> (
+    let bad = {| model m : Shop { obj i : Item { sku = "I"; size = gigantic; price = 1; } } |} in
+    match S.parse_model mm bad with
+    | Ok _ -> Alcotest.fail "expected bad enum literal to fail"
+    | Error _ -> ())
+
+let test_unknown_label () =
+  match S.parse_metamodel mm_src with
+  | Error e -> Alcotest.failf "metamodel: %s" e
+  | Ok mm -> (
+    let bad = {| model m : Shop { obj b : Bundle { sku = "B"; size = small; price = 1; parts -> ghost; } } |} in
+    match S.parse_model mm bad with
+    | Ok _ -> Alcotest.fail "expected unknown label to fail"
+    | Error _ -> ())
+
+let test_parse_models_multi () =
+  match S.parse_metamodels (mm_src ^ "\nmetamodel Other { class O { } }") with
+  | Error e -> Alcotest.failf "metamodels: %s" e
+  | Ok mms -> (
+    Alcotest.(check int) "two metamodels" 2 (List.length mms);
+    let src = model_src ^ "\nmodel o : Other { obj x : O { } }" in
+    match S.parse_models mms src with
+    | Ok models -> Alcotest.(check int) "two models" 2 (List.length models)
+    | Error e -> Alcotest.failf "models: %s" e)
+
+let test_comments_ignored () =
+  let src = "// leading comment\nmetamodel X { class A { } } // trailing" in
+  match S.parse_metamodel src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "comments should be ignored: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "parse metamodel" `Quick test_parse_metamodel;
+    Alcotest.test_case "parse model" `Quick test_parse_model;
+    Alcotest.test_case "enum values" `Quick test_enum_values;
+    Alcotest.test_case "model round-trip" `Quick test_model_roundtrip;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "bad enum value" `Quick test_bad_enum_value;
+    Alcotest.test_case "unknown ref label" `Quick test_unknown_label;
+    Alcotest.test_case "multiple decls" `Quick test_parse_models_multi;
+    Alcotest.test_case "comments ignored" `Quick test_comments_ignored;
+  ]

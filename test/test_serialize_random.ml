@@ -1,0 +1,134 @@
+(* Property tests: random metamodels and random conforming models
+   survive the print → parse round-trip, and the encoder round-trips
+   them through the relational representation. *)
+
+module MM = Mdl.Metamodel
+module Model = Mdl.Model
+module I = Mdl.Ident
+module V = Mdl.Value
+
+(* --- random metamodels --------------------------------------------- *)
+
+(* A family of valid metamodels: an abstract root, two concrete
+   classes with random features, an enum. Randomness covers feature
+   shapes rather than arbitrary graphs (validity is Metamodel.make's
+   job, tested separately). *)
+let gen_metamodel : MM.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* with_enum = bool in
+  let* a_attrs = int_bound 3 in
+  let* b_refs = int_bound 2 in
+  let* key_first = bool in
+  let* containment = bool in
+  let enum = MM.enum_decl "Hue" [ "red"; "green"; "blue" ] in
+  let attr i =
+    let name = Printf.sprintf "a%d" i in
+    match i mod 4 with
+    | 0 -> MM.attr ~key:(key_first && i = 0) name MM.P_string
+    | 1 -> MM.attr name MM.P_int
+    | 2 -> MM.attr ~mult:MM.mult_opt name MM.P_bool
+    | _ ->
+      if with_enum then MM.attr name (MM.P_enum (I.make "Hue"))
+      else MM.attr name MM.P_string
+  in
+  let a_cls =
+    MM.cls "Alpha" ~supers:[ "Root" ]
+      ~attrs:(List.init (a_attrs + 1) attr)
+  in
+  let b_cls =
+    MM.cls "Beta" ~supers:[ "Root" ]
+      ~attrs:[ MM.attr ~mult:MM.mult_many "tags" MM.P_string ]
+      ~refs:
+        (List.init b_refs (fun i ->
+             MM.ref_ ~containment:(containment && i = 0)
+               (Printf.sprintf "r%d" i) ~target:"Root"))
+  in
+  let root = MM.cls "Root" ~abstract:true in
+  return
+    (MM.make_exn ~name:"Rand"
+       ~enums:(if with_enum then [ enum ] else [])
+       [ root; a_cls; b_cls ])
+
+(* --- random models over a metamodel -------------------------------- *)
+
+let random_value rng mm (a : MM.attribute) =
+  match a.MM.attr_type with
+  | MM.P_string -> V.Str (Printf.sprintf "s%d" (Random.State.int rng 5))
+  | MM.P_int -> V.Int (Random.State.int rng 10)
+  | MM.P_bool -> V.Bool (Random.State.bool rng)
+  | MM.P_enum e -> (
+    match MM.find_enum mm e with
+    | Some en ->
+      V.Enum
+        (List.nth en.MM.enum_literals
+           (Random.State.int rng (List.length en.MM.enum_literals)))
+    | None -> V.Str "?")
+
+let random_model rng mm =
+  let n = 1 + Random.State.int rng 5 in
+  let m = ref (Model.empty ~name:"m" mm) in
+  let ids = ref [] in
+  for _ = 1 to n do
+    let cls = if Random.State.bool rng then "Alpha" else "Beta" in
+    let m', id = Model.add_object !m ~cls:(I.make cls) in
+    m := m';
+    ids := id :: !ids;
+    List.iter
+      (fun (a : MM.attribute) ->
+        if Random.State.int rng 3 > 0 then
+          m := Model.set_attr1 !m id a.MM.attr_name (random_value rng mm a))
+      (MM.all_attributes mm (I.make cls))
+  done;
+  (* random reference edges between Beta objects and anything *)
+  List.iter
+    (fun src ->
+      if I.name (Model.class_of !m src) = "Beta" then
+        List.iter
+          (fun (r : MM.reference) ->
+            List.iter
+              (fun dst ->
+                if Random.State.int rng 4 = 0 then
+                  m := Model.add_ref !m ~src ~ref_:r.MM.ref_name ~dst)
+              !ids)
+          (MM.all_references mm (I.make "Beta")))
+    !ids;
+  !m
+
+let prop_metamodel_roundtrip =
+  QCheck.Test.make ~name:"random metamodel print/parse round-trip" ~count:200
+    (QCheck.make gen_metamodel ~print:Mdl.Serialize.metamodel_to_string)
+    (fun mm ->
+      match Mdl.Serialize.parse_metamodel (Mdl.Serialize.metamodel_to_string mm) with
+      | Ok mm' -> MM.equal mm mm'
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let prop_model_roundtrip =
+  QCheck.Test.make ~name:"random model print/parse round-trip" ~count:200
+    (QCheck.pair (QCheck.make gen_metamodel) QCheck.small_int)
+    (fun (mm, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = random_model rng mm in
+      match Mdl.Serialize.parse_model mm (Mdl.Serialize.model_to_string m) with
+      | Ok m' -> Model.equal m m'
+      | Error e ->
+        QCheck.Test.fail_reportf "parse failed: %s\n%s" e
+          (Mdl.Serialize.model_to_string m))
+
+let prop_diff_random_metamodels =
+  (* diff/apply round-trip also holds over the random metamodel family
+     (test_diff uses a fixed metamodel) *)
+  QCheck.Test.make ~name:"diff/apply on random-metamodel models" ~count:200
+    (QCheck.pair (QCheck.make gen_metamodel) (QCheck.pair QCheck.small_int QCheck.small_int))
+    (fun (mm, (s1, s2)) ->
+      let a = random_model (Random.State.make [| s1 |]) mm in
+      let b = random_model (Random.State.make [| s2 |]) mm in
+      match Mdl.Edit.apply_script a (Mdl.Diff.script a b) with
+      | Ok b' -> Model.equal b b'
+      | Error e -> QCheck.Test.fail_reportf "apply failed: %s" e)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_metamodel_roundtrip;
+    QCheck_alcotest.to_alcotest prop_model_roundtrip;
+    QCheck_alcotest.to_alcotest prop_diff_random_metamodels;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for Relog.Simplify: NNF shape, unit cases, and equivalence
+   with the evaluator on random formulas over random instances. *)
+
+module A = Relog.Ast
+module S = Relog.Simplify
+module I = Mdl.Ident
+module TS = Relog.Rel.Tupleset
+
+let universe =
+  Relog.Rel.Universe.make (List.init 3 (fun i -> I.make (Printf.sprintf "a%d" i)))
+
+(* --- unit cases ----------------------------------------------------- *)
+
+let test_constants () =
+  Alcotest.(check bool) "not true" true (S.formula (A.Not A.True) = A.False);
+  Alcotest.(check bool) "implies false" true
+    (S.formula (A.Implies (A.False, A.Some_ (A.rel "R"))) = A.True);
+  Alcotest.(check bool) "double negation" true
+    (S.formula (A.Not (A.Not (A.Some_ (A.rel "R")))) = A.Some_ (A.rel "R"));
+  Alcotest.(check bool) "some none" true (S.formula (A.Some_ A.None_) = A.False);
+  Alcotest.(check bool) "no none" true (S.formula (A.No A.None_) = A.True);
+  Alcotest.(check bool) "equal reflexive" true
+    (S.formula (A.eq (A.rel "R") (A.rel "R")) = A.True)
+
+let test_nnf_negation_pushing () =
+  let f =
+    A.Not
+      (A.Forall
+         ( [ (I.make "x", A.Univ) ],
+           A.Or [ A.in_ (A.var "x") (A.rel "S"); A.Not (A.No (A.rel "R")) ] ))
+  in
+  let s = S.formula f in
+  (* must become Exists x | not-some x ∧ no R — with Not only on atoms *)
+  let rec nnf_ok (f : A.formula) =
+    match f with
+    | A.Not (A.Subset _ | A.Equal _ | A.Some_ _ | A.No _ | A.Lone _ | A.One _) -> true
+    | A.Not _ -> false
+    | A.And fs | A.Or fs -> List.for_all nnf_ok fs
+    | A.Implies (a, b) | A.Iff (a, b) -> nnf_ok a && nnf_ok b
+    | A.Forall (_, g) | A.Exists (_, g) -> nnf_ok g
+    | A.True | A.False | A.Subset _ | A.Equal _ | A.Some_ _ | A.No _ | A.Lone _
+    | A.One _ -> true
+  in
+  Alcotest.(check bool) "negations pushed to atoms" true (nnf_ok s);
+  match s with
+  | A.Exists _ -> ()
+  | _ -> Alcotest.failf "expected an Exists, got %s" (Format.asprintf "%a" A.pp s)
+
+let test_quantifier_empty_domain () =
+  Alcotest.(check bool) "forall over none" true
+    (S.formula (A.Forall ([ (I.make "x", A.None_) ], A.False)) = A.True);
+  Alcotest.(check bool) "exists over none" true
+    (S.formula (A.Exists ([ (I.make "x", A.None_) ], A.True)) = A.False)
+
+let test_exists_true_not_collapsed () =
+  (* ∃ x : R | true means R non-empty: must NOT become True *)
+  let f = A.Exists ([ (I.make "x", A.rel "R") ], A.True) in
+  let s = S.formula f in
+  let inst = Relog.Instance.make universe in
+  Alcotest.(check bool) "kept the emptiness content" false (Relog.Eval.holds inst s)
+
+let test_expr_simplification () =
+  Alcotest.(check bool) "union none" true (S.expr (A.Union (A.None_, A.rel "R")) = A.rel "R");
+  Alcotest.(check bool) "inter none" true (S.expr (A.Inter (A.rel "R", A.None_)) = A.None_);
+  Alcotest.(check bool) "diff self" true (S.expr (A.Diff (A.rel "R", A.rel "R")) = A.None_);
+  Alcotest.(check bool) "join none" true (S.expr (A.Join (A.None_, A.rel "R")) = A.None_);
+  Alcotest.(check bool) "transpose transpose" true
+    (S.expr (A.Transpose (A.Transpose (A.rel "R"))) = A.rel "R");
+  Alcotest.(check bool) "transpose iden" true (S.expr (A.Transpose A.Iden) = A.Iden)
+
+(* --- random equivalence --------------------------------------------- *)
+
+(* Random binary relation R and unary S over the 3-atom universe. *)
+let random_instance rng =
+  let pairs =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if Random.State.bool rng then Some [| i; j |] else None) [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let singles =
+    List.filter_map (fun i -> if Random.State.bool rng then Some [| i |] else None) [ 0; 1; 2 ]
+  in
+  Relog.Instance.make universe
+  |> fun inst ->
+  Relog.Instance.set inst (I.make "R") (TS.of_list pairs)
+  |> fun inst -> Relog.Instance.set inst (I.make "S") (TS.of_list singles)
+
+let rec random_expr rng depth : A.expr =
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 0 -> A.rel "S"
+    | 1 -> A.Univ
+    | 2 -> A.None_
+    | _ -> A.atom (Printf.sprintf "a%d" (Random.State.int rng 3))
+  else
+    match Random.State.int rng 5 with
+    | 0 -> A.Union (random_expr rng (depth - 1), random_expr rng (depth - 1))
+    | 1 -> A.Inter (random_expr rng (depth - 1), random_expr rng (depth - 1))
+    | 2 -> A.Diff (random_expr rng (depth - 1), random_expr rng (depth - 1))
+    | 3 -> A.Join (random_expr rng (depth - 1), A.rel "R")
+    | _ -> random_expr rng 0
+
+let rec random_formula rng depth bound_vars : A.formula =
+  let e () =
+    (* sometimes mention a bound variable *)
+    if bound_vars <> [] && Random.State.bool rng then
+      A.Var (List.nth bound_vars (Random.State.int rng (List.length bound_vars)))
+    else random_expr rng (min depth 2)
+  in
+  if depth = 0 then
+    match Random.State.int rng 6 with
+    | 0 -> A.Subset (e (), e ())
+    | 1 -> A.Equal (e (), e ())
+    | 2 -> A.Some_ (e ())
+    | 3 -> A.No (e ())
+    | 4 -> A.Lone (e ())
+    | _ -> A.One (e ())
+  else
+    match Random.State.int rng 8 with
+    | 0 -> A.Not (random_formula rng (depth - 1) bound_vars)
+    | 1 ->
+      A.And
+        (List.init (1 + Random.State.int rng 2) (fun _ ->
+             random_formula rng (depth - 1) bound_vars))
+    | 2 ->
+      A.Or
+        (List.init (1 + Random.State.int rng 2) (fun _ ->
+             random_formula rng (depth - 1) bound_vars))
+    | 3 ->
+      A.Implies
+        (random_formula rng (depth - 1) bound_vars, random_formula rng (depth - 1) bound_vars)
+    | 4 ->
+      A.Iff
+        (random_formula rng (depth - 1) bound_vars, random_formula rng (depth - 1) bound_vars)
+    | 5 ->
+      let v = I.make (Printf.sprintf "v%d" (List.length bound_vars)) in
+      A.Forall ([ (v, A.Univ) ], random_formula rng (depth - 1) (v :: bound_vars))
+    | 6 ->
+      let v = I.make (Printf.sprintf "v%d" (List.length bound_vars)) in
+      A.Exists ([ (v, A.rel "S") ], random_formula rng (depth - 1) (v :: bound_vars))
+    | _ -> random_formula rng 0 bound_vars
+
+let prop_equivalence =
+  QCheck.Test.make ~name:"simplify preserves truth on random formulas" ~count:1000
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng 4 [] in
+      let inst = random_instance rng in
+      let before = Relog.Eval.holds inst f in
+      let after = Relog.Eval.holds inst (S.formula f) in
+      if before = after then true
+      else
+        QCheck.Test.fail_reportf "disagree on %s (simplified: %s)"
+          (Format.asprintf "%a" A.pp f)
+          (Format.asprintf "%a" A.pp (S.formula f)))
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng 4 [] in
+      let s = S.formula f in
+      S.formula s = s)
+
+let prop_nnf =
+  QCheck.Test.make ~name:"simplify yields NNF" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng 4 [] in
+      let rec nnf_ok (f : A.formula) =
+        match f with
+        | A.Not (A.Subset _ | A.Equal _ | A.Some_ _ | A.No _ | A.Lone _ | A.One _)
+          -> true
+        | A.Not _ -> false
+        | A.And fs | A.Or fs -> List.for_all nnf_ok fs
+        | A.Implies (a, b) | A.Iff (a, b) -> nnf_ok a && nnf_ok b
+        | A.Forall (_, g) | A.Exists (_, g) -> nnf_ok g
+        | A.True | A.False | A.Subset _ | A.Equal _ | A.Some_ _ | A.No _
+        | A.Lone _ | A.One _ -> true
+      in
+      nnf_ok (S.formula f))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "negation pushing" `Quick test_nnf_negation_pushing;
+    Alcotest.test_case "empty quantifier domains" `Quick test_quantifier_empty_domain;
+    Alcotest.test_case "exists-true not collapsed" `Quick test_exists_true_not_collapsed;
+    Alcotest.test_case "expression simplification" `Quick test_expr_simplification;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+    QCheck_alcotest.to_alcotest prop_idempotent;
+    QCheck_alcotest.to_alcotest prop_nnf;
+  ]

@@ -1,0 +1,402 @@
+(* Tests for Qvtr.Typecheck: pattern/predicate typing and the §2.3
+   call-direction compatibility rules. *)
+
+module P = Qvtr.Parser
+module TC = Qvtr.Typecheck
+module A = Qvtr.Ast
+module MM = Mdl.Metamodel
+module I = Mdl.Ident
+
+let mma =
+  MM.make_exn ~name:"A"
+    ~enums:[ MM.enum_decl "Color" [ "red"; "blue" ] ]
+    [
+      MM.cls "C"
+        ~attrs:
+          [
+            MM.attr "name" MM.P_string;
+            MM.attr "count" MM.P_int;
+            MM.attr "color" (MM.P_enum (I.make "Color"));
+          ]
+        ~refs:[ MM.ref_ "child" ~target:"K" ];
+      MM.cls "K" ~attrs:[ MM.attr "age" MM.P_int ];
+    ]
+
+let mmb =
+  MM.make_exn ~name:"B"
+    [ MM.cls "D" ~attrs:[ MM.attr "name" MM.P_string ] ]
+
+let metamodels = [ (I.make "A", mma); (I.make "B", mmb) ]
+
+let check src = TC.check (P.parse_exn src) ~metamodels
+
+let expect_ok src =
+  match check src with
+  | Ok _ -> ()
+  | Error errs ->
+    Alcotest.failf "unexpected errors: %s"
+      (String.concat "; " (List.map (fun e -> Format.asprintf "%a" TC.pp_error e) errs))
+
+let expect_err ~containing src =
+  match check src with
+  | Ok _ -> Alcotest.failf "expected error containing %S" containing
+  | Error errs ->
+    let all = String.concat "; " (List.map (fun e -> Format.asprintf "%a" TC.pp_error e) errs) in
+    let n = String.length containing and m = String.length all in
+    let rec go i = i + n <= m && (String.sub all i n = containing || go (i + 1)) in
+    if not (go 0) then
+      Alcotest.failf "errors %S do not mention %S" all containing
+
+let test_well_typed () =
+  expect_ok
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n, count = 3, color = #red, child = y : K { age = 1 } };
+    domain b z : D { name = n };
+    where { x.name = z.name }
+  }
+}
+|}
+
+let test_unknown_metamodel () =
+  expect_err ~containing:"unknown metamodel"
+    {|
+transformation T(a : Nope, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+  }
+}
+|}
+
+let test_unknown_class () =
+  expect_err ~containing:"unknown class"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : Ghost { name = n };
+    domain b z : D { name = n };
+  }
+}
+|}
+
+let test_unknown_feature () =
+  expect_err ~containing:"no feature"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { ghost = n };
+    domain b z : D { name = n };
+  }
+}
+|}
+
+let test_attr_type_mismatch () =
+  expect_err ~containing:"expects"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { count = n };
+    domain b z : D { name = n };
+  }
+}
+|}
+
+let test_unbound_var () =
+  expect_err ~containing:"unbound variable"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { ghost.name = n }
+  }
+}
+|}
+
+let test_nav_through_ref () =
+  expect_ok
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    k : Integer;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { x.child.age = k }
+  }
+}
+|}
+
+let test_nav_on_prim () =
+  expect_err ~containing:"non-object"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { x.name.huh = n }
+  }
+}
+|}
+
+let test_incompatible_comparison () =
+  expect_err ~containing:"incompatible"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { x.count = x.name }
+  }
+}
+|}
+
+let test_call_arity_and_types () =
+  expect_err ~containing:"expects 2 arguments"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { H(x) }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+  }
+}
+|};
+  expect_err ~containing:"expected"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { H(z, x) }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+  }
+}
+|}
+
+let test_call_direction_ok () =
+  (* callee runnable in both directions the caller needs *)
+  expect_ok
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { H(x, z) }
+    dependencies { a -> b; b -> a; }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+    dependencies { a -> b; b -> a; }
+  }
+}
+|}
+
+let test_call_direction_violation () =
+  (* caller needs b -> a but callee only supports a -> b: the paper's
+     §2.3 typing error *)
+  expect_err ~containing:"cannot run in direction"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { H(x, z) }
+    dependencies { a -> b; b -> a; }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+    dependencies { a -> b; }
+  }
+}
+|}
+
+let test_call_direction_entailed () =
+  (* the callee entails the projected direction through a chain (§2.3:
+     {M1->M2, M2->M3} |- M1->M3 with three domains) *)
+  expect_ok
+    {|
+transformation T(a : A, b : B, c : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    domain c w : D { name = n };
+    where { H(x, z, w) }
+    dependencies { a -> c; }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+    domain c r : D { name = s };
+    dependencies { a -> b; b -> c; }
+  }
+}
+|}
+
+let test_when_call_reads_targets () =
+  expect_err ~containing:"when-call"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    when { H(x, z) }
+    dependencies { a -> b; }
+  }
+  relation H {
+    s : String;
+    domain a p : C { name = s };
+    domain b q : D { name = s };
+    dependencies { a -> b; b -> a; }
+  }
+}
+|}
+
+let test_recursion_rejected () =
+  expect_err ~containing:"recursively"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { R(x, z) }
+  }
+}
+|}
+
+let test_recursion_allowed_flag () =
+  let src =
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    where { R(x, z) }
+  }
+}
+|}
+  in
+  match TC.check ~allow_recursion:true (P.parse_exn src) ~metamodels with
+  | Ok _ -> ()
+  | Error errs ->
+    Alcotest.failf "allow_recursion should pass: %s"
+      (String.concat "; " (List.map (fun e -> Format.asprintf "%a" TC.pp_error e) errs))
+
+let test_duplicate_domain () =
+  expect_err ~containing:"duplicate domain"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain a y : C { name = n };
+  }
+}
+|}
+
+let test_single_domain_rejected () =
+  expect_err ~containing:"at least two"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+  }
+}
+|}
+
+let test_bad_dependency () =
+  expect_err ~containing:"not a domain"
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+    dependencies { a -> zz; }
+  }
+}
+|}
+
+let test_infer_oexpr () =
+  let src =
+    {|
+transformation T(a : A, b : B) {
+  top relation R {
+    n : String;
+    domain a x : C { name = n };
+    domain b z : D { name = n };
+  }
+}
+|}
+  in
+  match TC.check (P.parse_exn src) ~metamodels with
+  | Error _ -> Alcotest.fail "should type-check"
+  | Ok info ->
+    let infer e = TC.infer_oexpr info (I.make "R") e in
+    Alcotest.(check bool) "var type" true (infer (A.O_var (I.make "x")) = Ok (A.T_class (I.make "a", I.make "C")));
+    Alcotest.(check bool) "nav attr" true
+      (infer (A.O_nav (A.O_var (I.make "x"), I.make "count")) = Ok A.T_int);
+    Alcotest.(check bool) "nav ref" true
+      (infer (A.O_nav (A.O_var (I.make "x"), I.make "child"))
+      = Ok (A.T_class (I.make "a", I.make "K")));
+    Alcotest.(check bool) "enum literal" true
+      (infer (A.O_enum (I.make "red")) = Ok (A.T_enum (I.make "Color")));
+    Alcotest.(check bool) "unknown literal" true
+      (Result.is_error (infer (A.O_enum (I.make "magenta"))))
+
+let suite =
+  [
+    Alcotest.test_case "well-typed" `Quick test_well_typed;
+    Alcotest.test_case "unknown metamodel" `Quick test_unknown_metamodel;
+    Alcotest.test_case "unknown class" `Quick test_unknown_class;
+    Alcotest.test_case "unknown feature" `Quick test_unknown_feature;
+    Alcotest.test_case "attribute type mismatch" `Quick test_attr_type_mismatch;
+    Alcotest.test_case "unbound variable" `Quick test_unbound_var;
+    Alcotest.test_case "navigation through reference" `Quick test_nav_through_ref;
+    Alcotest.test_case "navigation on primitive" `Quick test_nav_on_prim;
+    Alcotest.test_case "incompatible comparison" `Quick test_incompatible_comparison;
+    Alcotest.test_case "call arity and arg types" `Quick test_call_arity_and_types;
+    Alcotest.test_case "call direction ok" `Quick test_call_direction_ok;
+    Alcotest.test_case "call direction violation (paper 2.3)" `Quick test_call_direction_violation;
+    Alcotest.test_case "call direction entailed" `Quick test_call_direction_entailed;
+    Alcotest.test_case "when-call reading targets" `Quick test_when_call_reads_targets;
+    Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+    Alcotest.test_case "recursion allowed by flag" `Quick test_recursion_allowed_flag;
+    Alcotest.test_case "duplicate domain" `Quick test_duplicate_domain;
+    Alcotest.test_case "single domain rejected" `Quick test_single_domain_rejected;
+    Alcotest.test_case "bad dependency" `Quick test_bad_dependency;
+    Alcotest.test_case "infer_oexpr" `Quick test_infer_oexpr;
+  ]

@@ -1,0 +1,60 @@
+(* Unit and property tests for Mdl.Value. *)
+
+module V = Mdl.Value
+
+let arb_value =
+  QCheck.oneof
+    [
+      QCheck.map (fun s -> V.Str s) QCheck.small_string;
+      QCheck.map (fun i -> V.Int i) QCheck.small_signed_int;
+      QCheck.map (fun b -> V.Bool b) QCheck.bool;
+      QCheck.map (fun s -> V.enum ("lit_" ^ s)) (QCheck.string_of_size (QCheck.Gen.return 3));
+    ]
+
+let test_constructors () =
+  Alcotest.(check bool) "str" true (V.equal (V.str "a") (V.Str "a"));
+  Alcotest.(check bool) "int" true (V.equal (V.int 3) (V.Int 3));
+  Alcotest.(check bool) "bool" true (V.equal (V.bool true) (V.Bool true));
+  Alcotest.(check bool) "enum" true (V.equal (V.enum "red") (V.Enum (Mdl.Ident.make "red")))
+
+let test_cross_kind_inequality () =
+  Alcotest.(check bool) "Str vs Int" false (V.equal (V.str "1") (V.int 1));
+  Alcotest.(check bool) "Bool vs Enum" false (V.equal (V.bool true) (V.enum "true"));
+  Alcotest.(check bool) "Int vs Bool" false (V.equal (V.int 0) (V.bool false))
+
+let test_to_string () =
+  Alcotest.(check string) "string quoted" "\"a b\"" (V.to_string (V.str "a b"));
+  Alcotest.(check string) "int bare" "42" (V.to_string (V.int 42));
+  Alcotest.(check string) "bool bare" "false" (V.to_string (V.bool false));
+  Alcotest.(check string) "enum bare" "red" (V.to_string (V.enum "red"))
+
+let prop_equal_consistent_with_compare =
+  QCheck.Test.make ~name:"equal iff compare = 0" ~count:1000
+    (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> V.equal a b = (V.compare a b = 0))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:1000
+    (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> Int.compare (V.compare a b) 0 = -Int.compare (V.compare b a) 0)
+
+let prop_hash_respects_equal =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:1000 arb_value (fun v ->
+      V.hash v = V.hash v)
+
+let test_set_map () =
+  let s = V.Set.of_list [ V.int 1; V.int 1; V.str "1" ] in
+  Alcotest.(check int) "set dedups by compare" 2 (V.Set.cardinal s);
+  let m = V.Map.add (V.bool true) "yes" V.Map.empty in
+  Alcotest.(check (option string)) "map lookup" (Some "yes") (V.Map.find_opt (V.bool true) m)
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "cross-kind inequality" `Quick test_cross_kind_inequality;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "set and map" `Quick test_set_map;
+    QCheck_alcotest.to_alcotest prop_equal_consistent_with_compare;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_hash_respects_equal;
+  ]
