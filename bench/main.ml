@@ -5,6 +5,13 @@
    selected by id (`... e3`), and `... bench` runs the bechamel
    microbenchmark suite (one Test.make per timed table).
 
+   `--json` additionally writes a machine-readable benchmark record
+   file (default `BENCH_1.json`, override with `--out FILE`): one
+   record per executed experiment with its wall-clock time and the
+   process-wide SAT-solver counter deltas (`Sat.Solver.global_stats`)
+   it caused. This file is the perf-regression trajectory: commit one
+   per optimization PR and diff the counters.
+
    The paper (an EDBT'14 workshop paper) has one figure (Figure 1, the
    CF/FM metamodels) and no measurement tables; its "evaluation" is a
    set of semantic claims. Each claim is reified here as a numbered
@@ -485,23 +492,104 @@ let bechamel_suite () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* JSON records (the BENCH_*.json perf trajectory)                     *)
+
+let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
+  {
+    Sat.Solver.decisions = b.Sat.Solver.decisions - a.Sat.Solver.decisions;
+    propagations = b.Sat.Solver.propagations - a.Sat.Solver.propagations;
+    conflicts = b.Sat.Solver.conflicts - a.Sat.Solver.conflicts;
+    restarts = b.Sat.Solver.restarts - a.Sat.Solver.restarts;
+    learnt = b.Sat.Solver.learnt - a.Sat.Solver.learnt;
+    reduces = b.Sat.Solver.reduces - a.Sat.Solver.reduces;
+    solves = b.Sat.Solver.solves - a.Sat.Solver.solves;
+    solve_time = b.Sat.Solver.solve_time -. a.Sat.Solver.solve_time;
+  }
+
+(* Run one experiment and measure it: wall time plus the process-wide
+   solver-counter delta it caused (experiments create solvers
+   internally, so instance-level stats are unreachable from here). *)
+let run_measured (id, title, f) =
+  let before = Sat.Solver.global_stats () in
+  let (), wall = time_it f in
+  let after = Sat.Solver.global_stats () in
+  Echo.Telemetry.Obj
+    [
+      ("experiment", Echo.Telemetry.String id);
+      ("title", Echo.Telemetry.String title);
+      ("wall_time_s", Echo.Telemetry.Float wall);
+      ("solver", Echo.Telemetry.solver_json (stats_delta before after));
+    ]
+
+let write_json path records =
+  let body =
+    Echo.Telemetry.json_to_string
+      (Echo.Telemetry.Obj
+         [
+           ("schema", Echo.Telemetry.String "mdqvtr-bench/1");
+           ("records", Echo.Telemetry.List records);
+         ])
+  in
+  match open_out path with
+  | oc ->
+    output_string oc body;
+    output_string oc "\n";
+    close_out oc;
+    Format.printf "@.wrote %d benchmark record(s) to %s@." (List.length records)
+      path
+  | exception Sys_error msg ->
+    Format.eprintf "cannot write benchmark records: %s@." msg;
+    exit 2
 
 let () =
   let experiments =
-    [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-      ("e7", e7); ("e8", e8) ]
+    [ ("e1", "Figure 1 metamodels and conformance", e1);
+      ("e2", "standard semantics cannot express MF (2.1)", e2);
+      ("e3", "checking dependencies realise MF and OF (2.2)", e3);
+      ("e4", "conservativity (2.2)", e4);
+      ("e5", "Horn entailment, linear time (2.3)", e5);
+      ("e6", "enforcement shapes (3)", e6);
+      ("e7", "least change and backend agreement (3)", e7);
+      ("e8", "scaling", e8) ]
   in
-  match Sys.argv with
-  | [| _ |] ->
-    List.iter (fun (_, f) -> f ()) experiments;
-    bechamel_suite ()
-  | [| _; "bench" |] -> bechamel_suite ()
-  | [| _; id |] -> (
-    match List.assoc_opt (String.lowercase_ascii id) experiments with
-    | Some f -> f ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let rec out_file = function
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> out_file rest
+    | [] -> "BENCH_1.json"
+  in
+  let out = out_file args in
+  let rec drop_flags = function
+    | "--json" :: rest -> drop_flags rest
+    | "--out" :: _ :: rest -> drop_flags rest
+    | a :: rest -> a :: drop_flags rest
+    | [] -> []
+  in
+  let usage () =
+    Format.eprintf "usage: main.exe [e1..e8|bench] [--json] [--out FILE]@.";
+    exit 2
+  in
+  match drop_flags args with
+  | [] ->
+    if json then write_json out (List.map run_measured experiments)
+    else begin
+      List.iter (fun (_, _, f) -> f ()) experiments;
+      bechamel_suite ()
+    end
+  | [ "bench" ] -> bechamel_suite ()
+  | [ id ] -> (
+    match
+      List.find_opt
+        (fun (eid, _, _) -> eid = String.lowercase_ascii id)
+        experiments
+    with
+    | Some exp ->
+      if json then write_json out [ run_measured exp ]
+      else
+        let _, _, f = exp in
+        f ()
     | None ->
       Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
       exit 2)
-  | _ ->
-    Format.eprintf "usage: main.exe [e1..e8|bench]@.";
-    exit 2
+  | _ -> usage ()

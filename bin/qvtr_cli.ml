@@ -31,7 +31,7 @@ let mode_of_standard standard =
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let run_check trans_file mm_file models_file standard =
+let run_check trans_file mm_file models_file standard stats =
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
@@ -43,6 +43,10 @@ let run_check trans_file mm_file models_file standard =
   with
   | Ok report ->
     Format.printf "%a@." Qvtr.Check.pp_report report;
+    if stats then
+      Format.printf "stats: %d directional checks evaluated in %.3f ms@."
+        (List.length report.Qvtr.Check.verdicts)
+        (report.Qvtr.Check.elapsed *. 1000.);
     if report.Qvtr.Check.consistent then 0 else 1
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -51,7 +55,12 @@ let run_check trans_file mm_file models_file standard =
 (* ------------------------------------------------------------------ *)
 (* enforce                                                             *)
 
-let run_enforce_all trans_file mm_file models_file targets standard slack =
+let pp_stats_block stats r =
+  if stats then
+    Format.printf "@.--- stats ---@.%a@." Echo.Telemetry.pp
+      r.Echo.Engine.stats
+
+let run_enforce_all trans_file mm_file models_file targets standard slack stats =
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
@@ -85,12 +94,16 @@ let run_enforce_all trans_file mm_file models_file targets standard slack =
                 Format.printf "%s@." (Mdl.Serialize.model_to_string m))
             r.Echo.Engine.repaired)
         repairs;
+      (* the enumeration shares one encoding: every repair carries the
+         same cumulative roll-up, print it once *)
+      (match repairs with r :: _ -> pp_stats_block stats r | [] -> ());
       0
     end
 
 let run_enforce trans_file mm_file models_file targets standard backend
-    slack all out_file =
-  if all then run_enforce_all trans_file mm_file models_file targets standard slack
+    slack all stats out_file =
+  if all then
+    run_enforce_all trans_file mm_file models_file targets standard slack stats
   else
   match
     let* trans, metamodels, models =
@@ -121,6 +134,7 @@ let run_enforce trans_file mm_file models_file targets standard backend
       close_out oc;
       Format.printf "repaired models written to %s@." path
     | None -> Format.printf "%s@." rendered);
+    pp_stats_block stats r;
     0
   | Ok Echo.Engine.Cannot_restore ->
     Format.printf "%a@." Echo.Engine.pp_outcome Echo.Engine.Cannot_restore;
@@ -243,11 +257,21 @@ let standard_arg =
         ~doc:
           "Use the standard OMG checking semantics (ignore dependencies blocks).")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-phase telemetry: translation size (vars/clauses), solver \
+           counters, distance iterations, wall-clock timings.")
+
 let check_cmd =
   let doc = "check consistency of models under a QVT-R transformation" in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const run_check $ trans_arg $ mm_arg $ models_arg $ standard_arg)
+    Term.(
+      const run_check $ trans_arg $ mm_arg $ models_arg $ standard_arg
+      $ stats_arg)
 
 let targets_arg =
   Arg.(
@@ -285,7 +309,7 @@ let enforce_cmd =
     (Cmd.info "enforce" ~doc)
     Term.(
       const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
-      $ standard_arg $ backend_arg $ slack_arg $ all_arg $ out_arg)
+      $ standard_arg $ backend_arg $ slack_arg $ all_arg $ stats_arg $ out_arg)
 
 let fmt_cmd =
   let doc = "parse and pretty-print a QVT-R transformation" in

@@ -8,6 +8,7 @@ type enforce_result = {
   edit_distance : int;
   iterations : int;
   backend : backend;
+  stats : Telemetry.t;
 }
 
 type enforce_outcome =
@@ -43,6 +44,7 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
              edit_distance = r.Repair.edit_distance;
              iterations = r.Repair.iterations;
              backend;
+             stats = r.Repair.stats;
            })
 
 let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
@@ -69,6 +71,7 @@ let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
                  edit_distance = r.Repair.edit_distance;
                  iterations = r.Repair.iterations;
                  backend = Iterative;
+                 stats = r.Repair.stats;
                })
            rs)
 

@@ -16,6 +16,9 @@ type enforce_result = {
   edit_distance : int;
   iterations : int;
   backend : backend;
+  stats : Telemetry.t;
+      (** instrumentation roll-up of the repair: translation size,
+          solver counters, per-distance iterations, timings *)
 }
 
 type enforce_outcome =

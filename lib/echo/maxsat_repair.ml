@@ -2,6 +2,7 @@ type outcome = Repair.outcome
 
 let run space =
   try
+    let started = Sat.Telemetry.now () in
     let maxsat = Sat.Maxsat.create () in
     let trans =
       Relog.Translate.create ~solver:(Sat.Maxsat.solver maxsat) (Space.bounds space)
@@ -11,11 +12,31 @@ let run space =
       (Relog.Bounds.relations (Space.bounds space));
     List.iter (Relog.Translate.assert_formula trans) (Space.formulas space);
     (* Soft clauses: keep every optional tuple at its original value. *)
+    let changes = Space.change_literals space trans in
     List.iter
       (fun (change_lit, w) ->
         Sat.Maxsat.add_soft maxsat ~weight:w [ Sat.Lit.neg change_lit ])
-      (Space.change_literals space trans);
+      changes;
+    let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 changes in
     let iterations = ref 0 in
+    let blocked = ref 0 in
+    let telemetry () =
+      let counts = Sat.Maxsat.clause_counts maxsat in
+      let solver_stats = Sat.Solver.stats (Sat.Maxsat.solver maxsat) in
+      {
+        Telemetry.backend = "maxsat";
+        translation = Relog.Translate.stats trans;
+        solver = solver_stats;
+        solver_calls = solver_stats.Sat.Solver.solves;
+        solve_time = solver_stats.Sat.Solver.solve_time;
+        distance_levels = [];
+        blocked_nonconformant = !blocked;
+        cardinality_inputs = total_weight;
+        cardinality_aux_vars = counts.Sat.Maxsat.aux_vars;
+        cardinality_clauses = counts.Sat.Maxsat.aux;
+        total_time = Sat.Telemetry.now () -. started;
+      }
+    in
     let rec solve () =
       incr iterations;
       match Sat.Maxsat.solve maxsat with
@@ -31,10 +52,12 @@ let run space =
                  relational_distance = Space.relational_distance space inst;
                  edit_distance = Space.edit_distance space repaired;
                  iterations = !iterations;
+                 stats = telemetry ();
                })
         | Error _ ->
           (* Conformance approximation: exclude this instance (as a
              hard clause) and re-optimize. *)
+          incr blocked;
           let clause =
             Relog.Translate.fold_primaries trans
               (fun _ _ v acc ->

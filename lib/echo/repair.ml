@@ -3,29 +3,73 @@ type success = {
   relational_distance : int;
   edit_distance : int;
   iterations : int;
+  stats : Telemetry.t;
 }
 
 type outcome =
   | Repaired of success
   | Cannot_restore
 
+(* Shared setup of the iterative search: finder, totalizer over the
+   change literals, and the telemetry accumulators. *)
+type search = {
+  finder : Relog.Finder.t;
+  card : Sat.Cardinality.t;
+  total : int;  (* total weight = totalizer input count *)
+  started : float;
+  mutable iterations : int;
+  mutable blocked : int;  (* non-conformant instances excluded *)
+  mutable levels : (int * int) list;  (* (distance, solver calls), reversed *)
+}
+
+let start space =
+  let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
+  let trans = Relog.Finder.translation finder in
+  let changes = Space.change_literals space trans in
+  let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
+  let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
+  {
+    finder;
+    card;
+    total = List.length inputs;
+    started = Sat.Telemetry.now ();
+    iterations = 0;
+    blocked = 0;
+    levels = [];
+  }
+
+let step sc k =
+  sc.iterations <- sc.iterations + 1;
+  (sc.levels <-
+     (match sc.levels with
+     | (k', n) :: rest when k' = k -> (k', n + 1) :: rest
+     | levels -> (k, 1) :: levels));
+  Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most sc.card k) sc.finder
+
+let telemetry sc =
+  let fs = Relog.Finder.stats sc.finder in
+  {
+    Telemetry.backend = "iterative";
+    translation = fs.Relog.Finder.translation;
+    solver = fs.Relog.Finder.solver;
+    solver_calls = fs.Relog.Finder.solves;
+    solve_time = fs.Relog.Finder.solve_time;
+    distance_levels = List.rev sc.levels;
+    blocked_nonconformant = sc.blocked;
+    cardinality_inputs = sc.total;
+    cardinality_aux_vars = Sat.Cardinality.aux_vars sc.card;
+    cardinality_clauses = Sat.Cardinality.aux_clauses sc.card;
+    total_time = Sat.Telemetry.now () -. sc.started;
+  }
+
 let run ?max_distance space =
   try
-    let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
-    let trans = Relog.Finder.translation finder in
-    let changes = Space.change_literals space trans in
-    let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
-    let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
-    let total = List.length inputs in
-    let cap = Option.value ~default:total max_distance in
-    let iterations = ref 0 in
+    let sc = start space in
+    let cap = Option.value ~default:sc.total max_distance in
     let rec at_distance k =
       if k > cap then Ok Cannot_restore
-      else begin
-        incr iterations;
-        match
-          Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most card k) finder
-        with
+      else
+        match step sc k with
         | Relog.Finder.Unsat -> at_distance (k + 1)
         | Relog.Finder.Sat inst -> (
           match Space.decode_targets space inst with
@@ -36,16 +80,17 @@ let run ?max_distance space =
                    repaired;
                    relational_distance = Space.relational_distance space inst;
                    edit_distance = Space.edit_distance space repaired;
-                   iterations = !iterations;
+                   iterations = sc.iterations;
+                   stats = telemetry sc;
                  })
           | Error _ ->
             (* The relational instance passed the encoded constraints
                but the decoded model fails full conformance (the
                encoding approximates multiplicity lower bounds > 1):
                exclude it and keep searching at the same distance. *)
-            Relog.Finder.block finder;
+            sc.blocked <- sc.blocked + 1;
+            Relog.Finder.block sc.finder;
             at_distance k)
-      end
     in
     at_distance 0
   with
@@ -54,62 +99,54 @@ let run ?max_distance space =
 
 let run_all ?max_distance ?(limit = 16) space =
   try
-    let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
-    let trans = Relog.Finder.translation finder in
-    let changes = Space.change_literals space trans in
-    let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
-    let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
-    let total = List.length inputs in
-    let cap = Option.value ~default:total max_distance in
-    let iterations = ref 0 in
-    (* Collect every (conformant) instance at distance k. *)
+    let sc = start space in
+    let cap = Option.value ~default:sc.total max_distance in
+    (* Collect every (conformant) instance at distance k; [n] carries
+       the count so the limit check is O(1) per iteration. *)
     let collect_at k =
-      let rec go acc =
-        if List.length acc >= limit then List.rev acc
-        else begin
-          incr iterations;
-          match
-            Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most card k) finder
-          with
+      let rec go acc n =
+        if n >= limit then List.rev acc
+        else
+          match step sc k with
           | Relog.Finder.Unsat -> List.rev acc
           | Relog.Finder.Sat inst -> (
-            Relog.Finder.block finder;
+            Relog.Finder.block sc.finder;
             match Space.decode_targets space inst with
-            | Error _ -> go acc
+            | Error _ ->
+              sc.blocked <- sc.blocked + 1;
+              go acc n
             | Ok repaired ->
               let r =
                 {
                   repaired;
                   relational_distance = Space.relational_distance space inst;
                   edit_distance = Space.edit_distance space repaired;
-                  iterations = !iterations;
+                  iterations = sc.iterations;
+                  stats = telemetry sc;
                 }
               in
-              go (r :: acc))
-        end
+              go (r :: acc) (n + 1))
       in
-      go []
+      go [] 0
     in
     (* Distinct SAT assignments can decode to identical models (e.g.
        symmetric uses of slack atoms not covered by the symmetry
-       chain); deduplicate on the decoded states. *)
+       chain); deduplicate on a canonical serialization of the decoded
+       states, hashed — not pairwise Model.equal over all seen keys. *)
     let dedup repairs =
-      let seen = ref [] in
+      let seen = Hashtbl.create 16 in
       List.filter
         (fun (r : success) ->
           let key =
-            List.map (fun (p, m) -> (Mdl.Ident.name p, m)) r.repaired
+            String.concat "\x00"
+              (List.map
+                 (fun (p, m) ->
+                   Mdl.Ident.name p ^ "\x01" ^ Mdl.Serialize.model_to_string m)
+                 r.repaired)
           in
-          if
-            List.exists
-              (fun k ->
-                List.for_all2
-                  (fun (n1, m1) (n2, m2) -> n1 = n2 && Mdl.Model.equal m1 m2)
-                  k key)
-              !seen
-          then false
+          if Hashtbl.mem seen key then false
           else begin
-            seen := key :: !seen;
+            Hashtbl.add seen key ();
             true
           end)
         repairs
@@ -123,7 +160,8 @@ let run_all ?max_distance ?(limit = 16) space =
           (* [collect_at] also sees instances strictly below k that
              earlier iterations proved absent, so everything returned
              is at the minimal distance. *)
-          Ok (dedup repairs)
+          let final = telemetry sc in
+          Ok (List.map (fun r -> { r with stats = final }) (dedup repairs))
     in
     at_distance 0
   with

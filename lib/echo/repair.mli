@@ -14,6 +14,10 @@ type success = {
   relational_distance : int;
   edit_distance : int;
   iterations : int;  (** number of solver calls *)
+  stats : Telemetry.t;
+      (** instrumentation roll-up for the run; for {!run_all} every
+          returned repair carries the cumulative stats of the whole
+          enumeration *)
 }
 
 type outcome =

@@ -1,0 +1,153 @@
+(* Per-repair instrumentation roll-up plus a dependency-free JSON
+   emitter (no JSON library in the toolchain; the bench driver and CI
+   smoke test parse what [json_to_string] emits). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* JSON has no NaN/Infinity; clamp to null (never hit in practice) *)
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6f" f)
+    else Buffer.add_string buf "null"
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  emit buf j;
+  Buffer.contents buf
+
+let solver_json (st : Sat.Solver.stats) =
+  Obj
+    [
+      ("decisions", Int st.Sat.Solver.decisions);
+      ("propagations", Int st.Sat.Solver.propagations);
+      ("conflicts", Int st.Sat.Solver.conflicts);
+      ("restarts", Int st.Sat.Solver.restarts);
+      ("learnt", Int st.Sat.Solver.learnt);
+      ("reduces", Int st.Sat.Solver.reduces);
+      ("solves", Int st.Sat.Solver.solves);
+      ("solve_time_s", Float st.Sat.Solver.solve_time);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  backend : string;
+  translation : Relog.Translate.stats;
+  solver : Sat.Solver.stats;
+  solver_calls : int;
+  solve_time : float;
+  distance_levels : (int * int) list;
+  blocked_nonconformant : int;
+  cardinality_inputs : int;
+  cardinality_aux_vars : int;
+  cardinality_clauses : int;
+  total_time : float;
+}
+
+let to_json t =
+  Obj
+    [
+      ("backend", String t.backend);
+      ( "translation",
+        Obj
+          [
+            ("primary_vars", Int t.translation.Relog.Translate.primary_vars);
+            ("vars", Int t.translation.Relog.Translate.vars);
+            ("clauses", Int t.translation.Relog.Translate.clauses);
+            ("relations", Int t.translation.Relog.Translate.relations);
+            ("formulas", Int t.translation.Relog.Translate.formulas);
+            ( "translate_time_s",
+              Float t.translation.Relog.Translate.translate_time );
+          ] );
+      ("solver", solver_json t.solver);
+      ("solver_calls", Int t.solver_calls);
+      ("solve_time_s", Float t.solve_time);
+      ( "distance_levels",
+        List
+          (List.map
+             (fun (d, n) -> Obj [ ("distance", Int d); ("solver_calls", Int n) ])
+             t.distance_levels) );
+      ("blocked_nonconformant", Int t.blocked_nonconformant);
+      ( "cardinality",
+        Obj
+          [
+            ("inputs", Int t.cardinality_inputs);
+            ("aux_vars", Int t.cardinality_aux_vars);
+            ("clauses", Int t.cardinality_clauses);
+          ] );
+      ("total_time_s", Float t.total_time);
+    ]
+
+let pp ppf t =
+  let tr = t.translation in
+  Format.fprintf ppf "@[<v>backend: %s" t.backend;
+  Format.fprintf ppf
+    "@,translation: %d vars (%d primary), %d clauses, %d relations, %.3f ms"
+    tr.Relog.Translate.vars tr.Relog.Translate.primary_vars
+    tr.Relog.Translate.clauses tr.Relog.Translate.relations
+    (tr.Relog.Translate.translate_time *. 1000.);
+  Format.fprintf ppf
+    "@,cardinality: %d inputs, %d aux vars, %d clauses"
+    t.cardinality_inputs t.cardinality_aux_vars t.cardinality_clauses;
+  Format.fprintf ppf "@,solve: %d calls, %.3f ms" t.solver_calls
+    (t.solve_time *. 1000.);
+  if t.distance_levels <> [] then begin
+    Format.fprintf ppf "@,distance iterations:";
+    List.iter
+      (fun (d, n) -> Format.fprintf ppf " d=%d:%d" d n)
+      t.distance_levels
+  end;
+  if t.blocked_nonconformant > 0 then
+    Format.fprintf ppf "@,blocked non-conformant instances: %d"
+      t.blocked_nonconformant;
+  Format.fprintf ppf "@,solver: %a" Sat.Solver.pp_stats t.solver;
+  Format.fprintf ppf "@,total: %.3f ms@]" (t.total_time *. 1000.)

@@ -1,0 +1,47 @@
+(** Per-repair instrumentation roll-up (SAT → relog → echo).
+
+    Aggregates the measurements of a single enforcement run: the
+    translation size ({!Relog.Translate.stats}), the SAT search
+    counters ({!Sat.Solver.stats}), the repair loop's own shape
+    (iterations per distance level, blocked non-conformant instances,
+    cardinality-circuit size) and wall-clock timings. Exposed on
+    {!Engine.enforce_result}, printed by the CLI's [--stats] flag and
+    serialized into the bench trajectory ([BENCH_*.json]). *)
+
+type t = {
+  backend : string;  (** ["iterative"] or ["maxsat"] *)
+  translation : Relog.Translate.stats;
+  solver : Sat.Solver.stats;
+  solver_calls : int;  (** SAT [solve] calls made by the repair loop *)
+  solve_time : float;  (** wall seconds spent solving *)
+  distance_levels : (int * int) list;
+      (** iterative backend: [(distance bound, solver calls at that
+          bound)] in search order; empty for the MaxSAT backend *)
+  blocked_nonconformant : int;
+      (** instances that satisfied the encoding but failed full
+          conformance and were excluded by a blocking clause *)
+  cardinality_inputs : int;  (** change literals (weight-expanded) *)
+  cardinality_aux_vars : int;  (** totalizer variables *)
+  cardinality_clauses : int;  (** totalizer clauses *)
+  total_time : float;  (** wall seconds for the whole repair *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Minimal JSON}
+
+    A dependency-free JSON value and printer, shared by {!to_json}
+    and the bench driver's [BENCH_*.json] emitter. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+val solver_json : Sat.Solver.stats -> json
+val to_json : t -> json

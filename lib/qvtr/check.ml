@@ -10,6 +10,7 @@ type verdict = {
 type report = {
   consistent : bool;
   verdicts : verdict list;
+  elapsed : float;
 }
 
 let pp_report ppf r =
@@ -30,6 +31,7 @@ let pp_report ppf r =
   Format.fprintf ppf "@]"
 
 let run ?mode trans ~metamodels ~models =
+  let started = Sat.Telemetry.now () in
   match Typecheck.check trans ~metamodels with
   | Error errs ->
     Error
@@ -68,6 +70,7 @@ let run ?mode trans ~metamodels ~models =
           {
             consistent = List.for_all (fun v -> v.v_holds) verdicts;
             verdicts;
+            elapsed = Sat.Telemetry.now () -. started;
           }
       with
       | Semantics.Compile_error msg -> Error msg

@@ -20,6 +20,9 @@ type verdict = {
 type report = {
   consistent : bool;
   verdicts : verdict list;
+  elapsed : float;
+      (** wall seconds for the whole check: type checking, encoding,
+          semantics compilation and evaluation *)
 }
 
 val pp_report : Format.formatter -> report -> unit

@@ -2,13 +2,25 @@ type t = {
   trans : Translate.t;
   mutable last : (Sat.Lit.var * bool) list option;
       (* primary assignment of the last model, for blocking *)
+  (* telemetry *)
+  solve_span : Sat.Telemetry.span;
+  mutable n_sat : int;
+  mutable n_unsat : int;
+  mutable n_blocked : int;
 }
 
 let prepare bnds formulas =
   let trans = Translate.create bnds in
   List.iter (Translate.materialize trans) (Bounds.relations bnds);
   List.iter (Translate.assert_formula trans) formulas;
-  { trans; last = None }
+  {
+    trans;
+    last = None;
+    solve_span = Sat.Telemetry.span ();
+    n_sat = 0;
+    n_unsat = 0;
+    n_blocked = 0;
+  }
 
 let translation t = t.trans
 let solver t = Translate.solver t.trans
@@ -18,9 +30,13 @@ type outcome =
   | Unsat
 
 let solve ?(assumptions = []) t =
-  match Sat.Solver.solve ~assumptions (solver t) with
+  match
+    Sat.Telemetry.timed t.solve_span (fun () ->
+        Sat.Solver.solve ~assumptions (solver t))
+  with
   | Sat.Solver.Unsat ->
     t.last <- None;
+    t.n_unsat <- t.n_unsat + 1;
     Unsat
   | Sat.Solver.Sat ->
     let assignment =
@@ -29,6 +45,7 @@ let solve ?(assumptions = []) t =
         []
     in
     t.last <- Some assignment;
+    t.n_sat <- t.n_sat + 1;
     Sat (Translate.decode t.trans)
 
 let block t =
@@ -41,6 +58,7 @@ let block t =
         assignment
     in
     Sat.Solver.add_clause (solver t) clause;
+    t.n_blocked <- t.n_blocked + 1;
     t.last <- None
 
 let enumerate ?limit t =
@@ -57,3 +75,24 @@ let enumerate ?limit t =
   go [] 0
 
 let count ?limit t = List.length (enumerate ?limit t)
+
+type stats = {
+  translation : Translate.stats;
+  solver : Sat.Solver.stats;
+  solves : int;
+  sat : int;
+  unsat : int;
+  blocked : int;
+  solve_time : float;
+}
+
+let stats t =
+  {
+    translation = Translate.stats t.trans;
+    solver = Sat.Solver.stats (solver t);
+    solves = t.n_sat + t.n_unsat;
+    sat = t.n_sat;
+    unsat = t.n_unsat;
+    blocked = t.n_blocked;
+    solve_time = Sat.Telemetry.seconds t.solve_span;
+  }

@@ -33,3 +33,16 @@ val enumerate : ?limit:int -> t -> Instance.t list
 
 val count : ?limit:int -> t -> int
 (** Number of satisfying instances, counted by enumeration. *)
+
+type stats = {
+  translation : Translate.stats;  (** size/time of the encoding *)
+  solver : Sat.Solver.stats;  (** search counters of the backend *)
+  solves : int;  (** {!solve} calls through this finder *)
+  sat : int;  (** ... of which satisfiable *)
+  unsat : int;  (** ... of which unsatisfiable *)
+  blocked : int;  (** blocking clauses added via {!block} *)
+  solve_time : float;  (** wall seconds inside {!solve} *)
+}
+
+val stats : t -> stats
+(** Per-finder telemetry: translation size vs. solve effort. *)

@@ -27,6 +27,8 @@ type t = {
   primaries : (Ident.t * Rel.Tuple.t, Sat.Lit.var) Hashtbl.t;
   (* memoized relation matrices *)
   rel_matrices : (Ident.t, matrix) Hashtbl.t;
+  (* telemetry: wall time spent translating, formulas translated *)
+  translate_span : Sat.Telemetry.span;
 }
 
 let create ?solver bnds =
@@ -38,6 +40,7 @@ let create ?solver bnds =
     bnds;
     primaries = Hashtbl.create 256;
     rel_matrices = Hashtbl.create 64;
+    translate_span = Sat.Telemetry.span ();
   }
 
 let solver t = t.sat
@@ -291,15 +294,19 @@ and quantify t env decls body ~universal =
     if universal then C.and_ b branches else C.or_ b branches
 
 let assert_formula t f =
-  let node = formula t Ident.Map.empty f in
-  Sat.Tseitin.assert_true t.tseitin node
+  Sat.Telemetry.timed t.translate_span (fun () ->
+      let node = formula t Ident.Map.empty f in
+      Sat.Tseitin.assert_true t.tseitin node)
 
 let formula_lit t f =
-  let node = formula t Ident.Map.empty f in
-  Sat.Tseitin.lit_of t.tseitin node
+  Sat.Telemetry.timed t.translate_span (fun () ->
+      let node = formula t Ident.Map.empty f in
+      Sat.Tseitin.lit_of t.tseitin node)
 
 let primary_var t r tuple = Hashtbl.find_opt t.primaries (r, tuple)
-let materialize t r = ignore (matrix_of_rel t r)
+
+let materialize t r =
+  Sat.Telemetry.timed t.translate_span (fun () -> ignore (matrix_of_rel t r))
 
 let fold_primaries t f acc =
   Hashtbl.fold (fun (r, tuple) v acc -> f r tuple v acc) t.primaries acc
@@ -324,4 +331,28 @@ let decode_with t value_of =
 
 let decode t = decode_with t (Sat.Solver.value t.sat)
 
-let stats t = (Hashtbl.length t.primaries, Sat.Solver.nb_vars t.sat)
+type stats = {
+  primary_vars : int;
+  vars : int;
+  clauses : int;
+  relations : int;
+  formulas : int;
+  translate_time : float;
+}
+
+let stats t =
+  {
+    primary_vars = Hashtbl.length t.primaries;
+    vars = Sat.Solver.nb_vars t.sat;
+    clauses = Sat.Solver.nb_clauses t.sat;
+    relations = Hashtbl.length t.rel_matrices;
+    formulas = Sat.Telemetry.events t.translate_span;
+    translate_time = Sat.Telemetry.seconds t.translate_span;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<h>%d vars (%d primary); %d clauses; %d relations materialized; \
+     translation %.3f ms@]"
+    st.vars st.primary_vars st.clauses st.relations
+    (st.translate_time *. 1000.)

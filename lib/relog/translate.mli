@@ -55,5 +55,18 @@ val decode_with : t -> (Sat.Lit.var -> bool) -> Instance.t
 (** Like {!decode} with an explicit valuation (e.g. a MaxSAT model
     snapshot). *)
 
-val stats : t -> int * int
-(** (number of primary variables, total SAT variables). *)
+type stats = {
+  primary_vars : int;  (** free tuples, i.e. the search space bits *)
+  vars : int;  (** total SAT variables (primaries + Tseitin + shared) *)
+  clauses : int;  (** problem clauses in the underlying solver *)
+  relations : int;  (** relation matrices materialized *)
+  formulas : int;  (** translation entry points run (materialize/assert) *)
+  translate_time : float;  (** wall seconds spent translating *)
+}
+
+val stats : t -> stats
+(** Translation-size and -time telemetry. [vars]/[clauses] read the
+    underlying solver, so with a shared solver they cover everything
+    encoded into it. *)
+
+val pp_stats : Format.formatter -> stats -> unit

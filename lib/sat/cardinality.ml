@@ -1,6 +1,8 @@
 type t = {
   inputs : int;
   outputs : Lit.t array;  (* outputs.(k-1) = o_k *)
+  aux_vars : int;  (* solver variables allocated by [build] *)
+  aux_clauses : int;  (* solver clauses added by [build] *)
 }
 
 (* Merge two sorted unary counters [a] and [b] into [r], adding the
@@ -34,10 +36,18 @@ let rec totalize solver inputs =
 
 let build solver lits =
   let inputs = Array.of_list lits in
+  let vars0 = Solver.nb_vars solver and clauses0 = Solver.nb_clauses solver in
   let outputs = totalize solver inputs in
-  { inputs = Array.length inputs; outputs }
+  {
+    inputs = Array.length inputs;
+    outputs;
+    aux_vars = Solver.nb_vars solver - vars0;
+    aux_clauses = Solver.nb_clauses solver - clauses0;
+  }
 
 let count t = t.inputs
+let aux_vars t = t.aux_vars
+let aux_clauses t = t.aux_clauses
 
 let output t k =
   if k < 1 || k > t.inputs then invalid_arg "Cardinality.output: index out of range";

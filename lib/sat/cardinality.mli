@@ -20,6 +20,13 @@ val build : Solver.t -> Lit.t list -> t
 val count : t -> int
 (** Number of inputs [n]. *)
 
+val aux_vars : t -> int
+(** Auxiliary solver variables allocated by {!build} for this
+    totalizer (circuit-size telemetry). *)
+
+val aux_clauses : t -> int
+(** Solver clauses added by {!build} for this totalizer. *)
+
 val output : t -> int -> Lit.t
 (** [output t k] (1-based, [1 <= k <= count t]) is [oₖ]: true when at
     least [k] inputs are true. *)

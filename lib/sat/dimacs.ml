@@ -12,39 +12,65 @@ let to_string ~nvars clauses =
 let parse src =
   let lines = String.split_on_char '\n' src in
   let nvars = ref 0 in
+  let declared = ref None in  (* (vars, clauses) from the [p cnf] header *)
+  let max_var = ref 0 in  (* highest 1-based variable used in the body *)
   let clauses = ref [] in
+  let n_clauses = ref 0 in
   let current = ref [] in
   let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> error := Some s) fmt in
   let handle_token tok =
     match int_of_string_opt tok with
-    | None -> error := Some (Printf.sprintf "bad token %S" tok)
+    | None -> fail "bad token %S" tok
     | Some 0 ->
       clauses := List.rev !current :: !clauses;
+      incr n_clauses;
       current := []
-    | Some n -> current := Lit.of_int n :: !current
+    | Some n ->
+      if abs n > !max_var then max_var := abs n;
+      current := Lit.of_int n :: !current
   in
   List.iter
     (fun line ->
       if !error = None then
         let line = String.trim line in
         if line = "" || line.[0] = 'c' then ()
-        else if String.length line > 1 && line.[0] = 'p' then begin
+        else if line.[0] = 'p' then begin
+          (* Any line starting with 'p' is a problem line — including a
+             bare "p", which must not fall through to the token loop. *)
           match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-          | [ "p"; "cnf"; v; _ ] -> (
-            match int_of_string_opt v with
-            | Some v -> nvars := v
-            | None -> error := Some "bad p header")
-          | _ -> error := Some "bad p header"
+          | [ "p"; "cnf"; v; c ] -> (
+            if !declared <> None then fail "duplicate p header %S" line
+            else
+              match (int_of_string_opt v, int_of_string_opt c) with
+              | Some v, Some c when v >= 0 && c >= 0 ->
+                nvars := v;
+                declared := Some (v, c)
+              | Some _, Some _ ->
+                fail "bad p header %S: negative variable or clause count" line
+              | _ -> fail "bad p header %S: counts must be integers" line)
+          | _ -> fail "bad p header %S: expected \"p cnf <vars> <clauses>\"" line
         end
         else
           String.split_on_char ' ' line
           |> List.filter (fun s -> s <> "")
           |> List.iter handle_token)
     lines;
+  (match (!error, !current) with
+  | None, _ :: _ ->
+    fail "unterminated clause at end of input (missing terminating 0)"
+  | _ -> ());
+  (match (!error, !declared) with
+  | None, Some (v, c) ->
+    if !n_clauses <> c then
+      fail "header declares %d clauses but the body has %d" c !n_clauses
+    else if !max_var > v then
+      fail "clause uses variable %d but the header declares only %d" !max_var v
+  | _ -> ());
   match !error with
   | Some e -> Error e
   | None ->
-    if !current <> [] then clauses := List.rev !current :: !clauses;
+    if !max_var > !nvars then nvars := !max_var;
     Ok (!nvars, List.rev !clauses)
 
 let load_into solver src =

@@ -6,7 +6,11 @@ val to_string : nvars:int -> Lit.t list list -> string
 val parse : string -> (int * Lit.t list list, string) result
 (** Parse DIMACS CNF; returns (variable count, clauses). Accepts
     comment lines and a standard [p cnf] header; clauses may span
-    lines and are 0-terminated. *)
+    lines and are 0-terminated. Errors (with precise messages) on
+    malformed or duplicate [p] lines, on an unterminated trailing
+    clause, and when the body disagrees with the declared variable or
+    clause counts. Without a header the variable count is inferred
+    from the clauses. *)
 
 val load_into : Solver.t -> string -> (unit, string) result
 (** Parse and add every clause to the solver, allocating variables as

@@ -3,12 +3,37 @@ type t = {
   mutable relax : (Lit.t * int) list;  (* relaxation literal, weight *)
   mutable n_soft : int;
   mutable model : bool array;  (* snapshot of the best model found *)
+  (* Clause accounting. [Solver.nb_clauses] counts every clause in the
+     database, including the relaxed soft clauses and the totalizer
+     clauses added during [solve]; these explicit counters keep the
+     hard/soft/auxiliary split exact across repeated solves. *)
+  mutable soft_clauses : int;  (* database clauses added by [add_soft] *)
+  mutable aux_clauses : int;  (* totalizer clauses added by [solve] *)
+  mutable aux_vars : int;  (* totalizer variables added by [solve] *)
 }
 
 let create () =
-  { solver = Solver.create (); relax = []; n_soft = 0; model = [||] }
+  {
+    solver = Solver.create ();
+    relax = [];
+    n_soft = 0;
+    model = [||];
+    soft_clauses = 0;
+    aux_clauses = 0;
+    aux_vars = 0;
+  }
 
-let of_solver solver = { solver; relax = []; n_soft = 0; model = [||] }
+let of_solver solver =
+  {
+    solver;
+    relax = [];
+    n_soft = 0;
+    model = [||];
+    soft_clauses = 0;
+    aux_clauses = 0;
+    aux_vars = 0;
+  }
+
 let solver t = t.solver
 let new_var t = Solver.new_var t.solver
 let add_hard t lits = Solver.add_clause t.solver lits
@@ -16,7 +41,9 @@ let add_hard t lits = Solver.add_clause t.solver lits
 let add_soft t ~weight lits =
   if weight <= 0 then invalid_arg "Maxsat.add_soft: weight must be positive";
   let r = Lit.pos (Solver.new_var t.solver) in
+  let clauses0 = Solver.nb_clauses t.solver in
   Solver.add_clause t.solver (r :: lits);
+  t.soft_clauses <- t.soft_clauses + (Solver.nb_clauses t.solver - clauses0);
   t.relax <- (r, weight) :: t.relax;
   t.n_soft <- t.n_soft + 1
 
@@ -50,6 +77,8 @@ let solve t =
         List.concat_map (fun (r, w) -> List.init w (fun _ -> r)) t.relax
       in
       let card = Cardinality.build t.solver inputs in
+      t.aux_clauses <- t.aux_clauses + Cardinality.aux_clauses card;
+      t.aux_vars <- t.aux_vars + Cardinality.aux_vars card;
       (* SAT-driven descent from the initial model's cost: each SAT
          tightens the bound, the final UNSAT proves optimality. *)
       let rec descend best =
@@ -69,4 +98,19 @@ let solve t =
 
 let value t v = v < Array.length t.model && t.model.(v)
 let soft_count t = t.n_soft
-let hard_count t = Solver.nb_clauses t.solver - t.n_soft
+let hard_count t = Solver.nb_clauses t.solver - t.soft_clauses - t.aux_clauses
+
+type clause_counts = {
+  hard : int;
+  soft : int;
+  aux : int;
+  aux_vars : int;
+}
+
+let clause_counts t =
+  {
+    hard = hard_count t;
+    soft = t.soft_clauses;
+    aux = t.aux_clauses;
+    aux_vars = t.aux_vars;
+  }

@@ -41,4 +41,20 @@ val value : t -> Lit.var -> bool
 (** Model access after [Optimum]. *)
 
 val soft_count : t -> int
+(** Number of soft constraints added with {!add_soft}. *)
+
 val hard_count : t -> int
+(** Hard clauses currently in the solver database: everything that is
+    neither a relaxed soft clause nor a totalizer clause added during
+    {!solve}. Stable across solves — the auxiliary cardinality
+    clauses are accounted separately (see {!clause_counts}). *)
+
+type clause_counts = {
+  hard : int;  (** hard clauses (consistency + structure + blocking) *)
+  soft : int;  (** relaxed soft clauses in the database *)
+  aux : int;  (** totalizer clauses added by {!solve} *)
+  aux_vars : int;  (** totalizer variables added by {!solve} *)
+}
+
+val clause_counts : t -> clause_counts
+(** The exact hard/soft/auxiliary split of the clause database. *)

@@ -72,6 +72,9 @@ type t = {
   mutable n_conflicts : int;
   mutable n_restarts : int;
   mutable n_reduces : int;
+  mutable n_learnt_total : int;  (* learnt clauses ever recorded *)
+  mutable n_solves : int;
+  mutable solve_time : float;  (* wall seconds spent inside [solve] *)
 }
 
 let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; removed = false }
@@ -102,6 +105,9 @@ let create () =
     n_conflicts = 0;
     n_restarts = 0;
     n_reduces = 0;
+    n_learnt_total = 0;
+    n_solves = 0;
+    solve_time = 0.0;
   }
 
 let nb_vars s = s.nvars
@@ -492,6 +498,7 @@ let record_learnt s learnt btlevel =
     let c = { lits = arr; learnt = true; activity = 0.0; removed = false } in
     bump_clause c;
     Vec.push s.learnts c;
+    s.n_learnt_total <- s.n_learnt_total + 1;
     attach_clause s c;
     enqueue s first (Some c)
 
@@ -553,7 +560,19 @@ let pick_branch_var s =
   in
   go ()
 
-let solve ?(assumptions = []) s =
+(* Process-wide cumulative counters across every solver instance, so
+   callers that create many solvers (bench experiments, enumeration
+   loops) can still measure total search effort by snapshot/diff. *)
+let g_decisions = ref 0
+let g_propagations = ref 0
+let g_conflicts = ref 0
+let g_restarts = ref 0
+let g_reduces = ref 0
+let g_learnt = ref 0
+let g_solves = ref 0
+let g_time = ref 0.0
+
+let solve_inner ~assumptions s =
   s.conflict_core <- [];
   if not s.ok then Unsat
   else begin
@@ -642,6 +661,28 @@ let solve ?(assumptions = []) s =
     r
   end
 
+let solve ?(assumptions = []) s =
+  let t0 = Telemetry.now () in
+  let d0 = s.n_decisions
+  and p0 = s.n_propagations
+  and c0 = s.n_conflicts
+  and r0 = s.n_restarts
+  and rd0 = s.n_reduces
+  and l0 = s.n_learnt_total in
+  let result = solve_inner ~assumptions s in
+  let dt = Telemetry.now () -. t0 in
+  s.n_solves <- s.n_solves + 1;
+  s.solve_time <- s.solve_time +. dt;
+  g_decisions := !g_decisions + (s.n_decisions - d0);
+  g_propagations := !g_propagations + (s.n_propagations - p0);
+  g_conflicts := !g_conflicts + (s.n_conflicts - c0);
+  g_restarts := !g_restarts + (s.n_restarts - r0);
+  g_reduces := !g_reduces + (s.n_reduces - rd0);
+  g_learnt := !g_learnt + (s.n_learnt_total - l0);
+  g_solves := !g_solves + 1;
+  g_time := !g_time +. dt;
+  result
+
 let value s v = if v < s.nvars then s.assign.(v) = 1 else false
 
 let lit_value s l = if Lit.sign l then value s (Lit.var l) else not (value s (Lit.var l))
@@ -655,6 +696,8 @@ type stats = {
   restarts : int;
   learnt : int;
   reduces : int;
+  solves : int;
+  solve_time : float;
 }
 
 let stats s =
@@ -665,4 +708,35 @@ let stats s =
     restarts = s.n_restarts;
     learnt = Vec.size s.learnts;
     reduces = s.n_reduces;
+    solves = s.n_solves;
+    solve_time = s.solve_time;
   }
+
+let global_stats () =
+  {
+    decisions = !g_decisions;
+    propagations = !g_propagations;
+    conflicts = !g_conflicts;
+    restarts = !g_restarts;
+    learnt = !g_learnt;
+    reduces = !g_reduces;
+    solves = !g_solves;
+    solve_time = !g_time;
+  }
+
+let reset_global_stats () =
+  g_decisions := 0;
+  g_propagations := 0;
+  g_conflicts := 0;
+  g_restarts := 0;
+  g_reduces := 0;
+  g_learnt := 0;
+  g_solves := 0;
+  g_time := 0.0
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<h>solves %d; decisions %d; propagations %d; conflicts %d; restarts %d; \
+     learnt %d; reduces %d; solve time %.3f ms@]"
+    st.solves st.decisions st.propagations st.conflicts st.restarts st.learnt
+    st.reduces (st.solve_time *. 1000.)

@@ -51,7 +51,21 @@ type stats = {
   conflicts : int;
   restarts : int;
   learnt : int;
+      (** for {!stats}: current learnt-clause database size; for
+          {!global_stats}: learnt clauses ever recorded *)
   reduces : int;  (** learnt-clause database reductions performed *)
+  solves : int;  (** completed [solve] calls *)
+  solve_time : float;  (** wall seconds spent inside [solve] *)
 }
 
 val stats : t -> stats
+
+val global_stats : unit -> stats
+(** Cumulative counters across every solver instance of the process
+    (deltas accumulated per [solve] call). Bench drivers snapshot
+    this before/after a workload to measure total search effort even
+    when many solvers are created internally. *)
+
+val reset_global_stats : unit -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

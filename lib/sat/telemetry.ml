@@ -1,0 +1,25 @@
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+type span = {
+  mutable seconds : float;
+  mutable events : int;
+}
+
+let span () = { seconds = 0.0; events = 0 }
+
+let record sp dt =
+  sp.seconds <- sp.seconds +. dt;
+  sp.events <- sp.events + 1
+
+let timed sp f =
+  let r, dt = time f in
+  record sp dt;
+  r
+
+let seconds sp = sp.seconds
+let events sp = sp.events

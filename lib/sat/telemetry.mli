@@ -1,0 +1,22 @@
+(** Wall-clock plumbing for the instrumentation layer.
+
+    Every phase of the stack (translation, solving, repair) measures
+    itself with these helpers so that {!Solver.stats},
+    {!Relog.Translate.stats} and the Echo roll-up all report wall
+    time on the same clock. *)
+
+val now : unit -> float
+(** Wall-clock seconds (epoch-based, monotonic enough for spans). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed wall
+    time in seconds. *)
+
+type span
+(** An accumulator of timed events: total seconds and event count. *)
+
+val span : unit -> span
+val record : span -> float -> unit
+val timed : span -> (unit -> 'a) -> 'a
+val seconds : span -> float
+val events : span -> int

@@ -47,6 +47,53 @@ let test_bad_input () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad token accepted"
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_error ~msg ~sub src =
+  match D.parse src with
+  | Ok _ -> Alcotest.failf "%s: accepted" msg
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S mentions %S" msg e sub)
+      true (contains ~sub e)
+
+let test_bare_p_line () =
+  (* a bare "p" (or truncated header) is a malformed problem line, not
+     a clause token *)
+  expect_error ~msg:"bare p" ~sub:"p header" "p\n1 0\n";
+  expect_error ~msg:"truncated header" ~sub:"p header" "p cnf 2\n1 0\n";
+  expect_error ~msg:"duplicate header" ~sub:"duplicate"
+    "p cnf 1 1\np cnf 1 1\n1 0\n"
+
+let test_unterminated_clause () =
+  expect_error ~msg:"unterminated clause" ~sub:"unterminated"
+    "p cnf 2 1\n1 2\n";
+  (* terminating 0 on a later line is fine *)
+  match D.parse "p cnf 2 1\n1 2\n0\n" with
+  | Ok (_, [ [ _; _ ] ]) -> ()
+  | Ok _ -> Alcotest.fail "expected one binary clause"
+  | Error e -> Alcotest.failf "split terminator rejected: %s" e
+
+let test_header_count_validation () =
+  expect_error ~msg:"too few clauses" ~sub:"declares 2 clauses"
+    "p cnf 2 2\n1 0\n";
+  expect_error ~msg:"too many clauses" ~sub:"declares 1 clauses"
+    "p cnf 2 1\n1 0\n2 0\n";
+  expect_error ~msg:"variable overflow" ~sub:"declares only 2"
+    "p cnf 2 1\n1 3 0\n";
+  expect_error ~msg:"negative counts" ~sub:"negative" "p cnf -1 1\n1 0\n"
+
+let test_headerless () =
+  (* without a header the variable count is inferred from the body *)
+  match D.parse "1 -3 0\n2 0\n" with
+  | Ok (nvars, clauses) ->
+    Alcotest.(check int) "inferred nvars" 3 nvars;
+    Alcotest.(check int) "clauses" 2 (List.length clauses)
+  | Error e -> Alcotest.failf "headerless parse: %s" e
+
 let suite =
   [
     Alcotest.test_case "print" `Quick test_print;
@@ -55,4 +102,9 @@ let suite =
     Alcotest.test_case "multiline clause" `Quick test_multiline_clause;
     Alcotest.test_case "load into solver" `Quick test_load_into;
     Alcotest.test_case "bad input" `Quick test_bad_input;
+    Alcotest.test_case "bare p line" `Quick test_bare_p_line;
+    Alcotest.test_case "unterminated clause" `Quick test_unterminated_clause;
+    Alcotest.test_case "header count validation" `Quick
+      test_header_count_validation;
+    Alcotest.test_case "headerless input" `Quick test_headerless;
   ]

@@ -27,6 +27,7 @@ let () =
       ("qvtr.encode", Test_encode.suite);
       ("qvtr.semantics", Test_semantics.suite);
       ("echo.engine", Test_echo.suite);
+      ("echo.telemetry", Test_telemetry.suite);
       ("featuremodel", Test_featuremodel.suite);
       ("extensions", Test_extensions.suite);
       ("internals", Test_internals.suite);

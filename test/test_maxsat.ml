@@ -116,10 +116,49 @@ let prop_random_weighted =
       | M.Optimum c, Some b -> c = b
       | M.Optimum _, None | M.Hard_unsat, Some _ -> false)
 
+let test_hard_count_stable () =
+  (* hard_count must not absorb the totalizer clauses built by solve:
+     before the fix it was [nb_clauses - n_soft], which inflated after
+     the first solve *)
+  let m = M.create () in
+  let p = M.new_var m and q = M.new_var m in
+  M.add_hard m [ L.neg_of p; L.neg_of q ];
+  M.add_soft m ~weight:1 [ L.pos p ];
+  M.add_soft m ~weight:2 [ L.pos q ];
+  let before = M.hard_count m in
+  Alcotest.(check int) "one hard clause" 1 before;
+  ignore (M.solve m);
+  Alcotest.(check int) "stable after solve" before (M.hard_count m);
+  ignore (M.solve m);
+  Alcotest.(check int) "stable after resolve" before (M.hard_count m)
+
+let test_clause_counts () =
+  let m = M.create () in
+  let p = M.new_var m and q = M.new_var m in
+  M.add_hard m [ L.neg_of p; L.neg_of q ];
+  M.add_soft m ~weight:1 [ L.pos p ];
+  M.add_soft m ~weight:1 [ L.pos q ];
+  let c0 = M.clause_counts m in
+  Alcotest.(check int) "hard before solve" 1 c0.M.hard;
+  Alcotest.(check int) "soft before solve" 2 c0.M.soft;
+  Alcotest.(check int) "no aux before solve" 0 c0.M.aux;
+  ignore (M.solve m);
+  let c1 = M.clause_counts m in
+  Alcotest.(check int) "hard unchanged" 1 c1.M.hard;
+  Alcotest.(check int) "soft unchanged" 2 c1.M.soft;
+  Alcotest.(check bool) "totalizer clauses counted" true (c1.M.aux > 0);
+  Alcotest.(check bool) "totalizer vars counted" true (c1.M.aux_vars > 0);
+  (* the split covers the whole database *)
+  Alcotest.(check int) "split is exhaustive"
+    (Sat.Solver.nb_clauses (M.solver m))
+    (c1.M.hard + c1.M.soft + c1.M.aux)
+
 let suite =
   [
     Alcotest.test_case "no softs" `Quick test_no_softs;
     Alcotest.test_case "hard unsat" `Quick test_hard_unsat;
+    Alcotest.test_case "hard count stable" `Quick test_hard_count_stable;
+    Alcotest.test_case "clause counts" `Quick test_clause_counts;
     Alcotest.test_case "weighted choice" `Quick test_weighted_choice;
     Alcotest.test_case "all softs satisfiable" `Quick test_all_softs_satisfiable;
     Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion_chain;
