@@ -6,11 +6,20 @@
    microbenchmark suite (one Test.make per timed table).
 
    `--json` additionally writes a machine-readable benchmark record
-   file (default `BENCH_1.json`, override with `--out FILE`): one
-   record per executed experiment with its wall-clock time and the
-   process-wide SAT-solver counter deltas (`Sat.Solver.global_stats`)
-   it caused. This file is the perf-regression trajectory: commit one
-   per optimization PR and diff the counters.
+   file (default `BENCH_2.json`, override with `--out FILE`): one
+   record per executed experiment *per jobs value* with its wall-clock
+   time, the process-wide SAT-solver counter deltas
+   (`Sat.Solver.global_stats`) it caused, the `jobs` value it ran at,
+   and its `speedup` relative to the same experiment at the sweep's
+   baseline (jobs = 1). This file is the perf-regression trajectory:
+   commit one per optimization PR and diff the counters.
+
+   `--jobs SPEC` sets the sweep: a comma list (`--jobs 1,2,4`) is used
+   verbatim; a bare N expands to powers of two up to N (`--jobs 4` =
+   `1,2,4`). Default sweep: 1,2,4 in `--json` mode; plain runs use the
+   largest value (default 1). Only E6/E7/E8 drive the parallel
+   enforcement paths; the other experiments ignore jobs and are
+   re-measured per sweep point anyway so the record set is uniform.
 
    The paper (an EDBT'14 workshop paper) has one figure (Figure 1, the
    CF/FM metamodels) and no measurement tables; its "evaluation" is a
@@ -194,7 +203,7 @@ let shapes =
     ("CF1 -> FMxCF", [ "fm"; "cf2" ]);
   ]
 
-let e6 () =
+let e6 ~jobs =
   section "E6" "enforcement shapes: who can restore consistency (3)";
   let trans = F.transformation ~k:2 in
   Format.printf "  %-26s" "scenario";
@@ -207,7 +216,7 @@ let e6 () =
         (fun (_, targets) ->
           let cell =
             match
-              Echo.Engine.enforce trans ~metamodels:F.metamodels
+              Echo.Engine.enforce ~jobs trans ~metamodels:F.metamodels
                 ~models:(F.bind ~cfs:s.S.cfs ~fm:s.S.fm)
                 ~targets:(Echo.Target.of_list targets)
             with
@@ -242,7 +251,7 @@ let e6 () =
 (* ------------------------------------------------------------------ *)
 (* E7: §3 — least change, backend agreement                            *)
 
-let e7 () =
+let e7 ~jobs =
   section "E7" "least-change optimality and backend agreement (3)";
   let trans = F.transformation ~k:2 in
   let rng = G.rng 42 in
@@ -259,7 +268,7 @@ let e7 () =
         incr cases;
         let run backend =
           match
-            Echo.Engine.enforce ~backend trans ~metamodels:F.metamodels
+            Echo.Engine.enforce ~backend ~jobs trans ~metamodels:F.metamodels
               ~models:(F.bind ~cfs ~fm)
               ~targets:(Echo.Target.of_list [ "cf1"; "cf2"; "fm" ])
           with
@@ -288,12 +297,48 @@ let e7 () =
           (show it) (show mx) agree
       end
   done;
-  Format.printf "  backends agree on the optimum: %d/%d cases@." !agreements !cases
+  Format.printf "  backends agree on the optimum: %d/%d cases@." !agreements !cases;
+  (* A deep repair: m new mandatory features force a distance-4m
+     optimum. This is the regime the speculative distance ladder
+     targets — one high-level UNSAT retires [jobs] levels at once —
+     so the iterative column shrinks as jobs grows while the
+     (inherently sequential) MaxSAT descent is the jobs-invariant
+     reference it must still agree with. *)
+  let deep_m = 3 in
+  let pool = G.feature_names 4 in
+  let cfs = [ F.configuration ~name:"cf1" pool; F.configuration ~name:"cf2" pool ] in
+  let fm =
+    F.feature_model ~name:"fm"
+      (List.map (fun f -> (f, true)) pool
+      @ List.init deep_m (fun i -> (Printf.sprintf "N%d" i, true)))
+  in
+  let run backend =
+    let r, dt =
+      time_it (fun () ->
+          Echo.Engine.enforce ~backend ~jobs ~slack_objects:deep_m trans
+            ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm)
+            ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ]))
+    in
+    match r with
+    | Ok (Echo.Engine.Enforced r) ->
+      (Some (r.Echo.Engine.relational_distance, r.Echo.Engine.iterations), dt)
+    | _ -> (None, dt)
+  in
+  let it, it_dt = run Echo.Engine.Iterative in
+  let mx, mx_dt = run Echo.Engine.Maxsat in
+  let show = function Some (d, i) -> Printf.sprintf "d=%d it=%d" d i | None -> "-" in
+  Format.printf
+    "  deep case (%d new mandatory features): iter %s (%.0f ms) | maxsat %s (%.0f ms) | agree %b@."
+    deep_m (show it) (it_dt *. 1000.) (show mx) (mx_dt *. 1000.)
+    (match (it, mx) with
+    | Some (d1, _), Some (d2, _) -> d1 = d2
+    | None, None -> true
+    | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* E8: scaling                                                         *)
 
-let e8 () =
+let e8 ~jobs =
   section "E8" "scaling: checkonly and enforcement wall time";
   let trans = F.transformation ~k:2 in
   Format.printf "  checkonly (direct evaluation), k = 2:@.";
@@ -335,7 +380,7 @@ let e8 () =
       let run backend =
         let _, dt =
           time_it (fun () ->
-              Echo.Engine.enforce ~backend trans ~metamodels:F.metamodels
+              Echo.Engine.enforce ~backend ~jobs trans ~metamodels:F.metamodels
                 ~models:(F.bind ~cfs ~fm)
                 ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ]))
         in
@@ -344,6 +389,38 @@ let e8 () =
       Format.printf "  %10d | %12.1f | %12.1f@." n (run Echo.Engine.Iterative)
         (run Echo.Engine.Maxsat))
     [ 2; 4; 6; 8 ];
+  (* Deep repairs (distance 4m): the speculative ladder's home turf.
+     With jobs levels probed per window, one high UNSAT replaces a run
+     of cheap low-level UNSATs, and solver-call count drops from
+     d* + 1 towards d*/jobs — the per-jobs walls of this table are
+     the speedup the BENCH records track. *)
+  Format.printf
+    "  deep repair (m new mandatory features, 4-feature pool, iterative, jobs=%d):@."
+    jobs;
+  Format.printf "  %10s | %10s | %10s | %12s@." "m" "distance" "solves" "iter (ms)";
+  List.iter
+    (fun m ->
+      let pool = G.feature_names 4 in
+      let cfs =
+        [ F.configuration ~name:"cf1" pool; F.configuration ~name:"cf2" pool ]
+      in
+      let fm =
+        F.feature_model ~name:"fm"
+          (List.map (fun f -> (f, true)) pool
+          @ List.init m (fun i -> (Printf.sprintf "N%d" i, true)))
+      in
+      let r, dt =
+        time_it (fun () ->
+            Echo.Engine.enforce ~jobs ~slack_objects:(max 2 m) trans
+              ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm)
+              ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ]))
+      in
+      match r with
+      | Ok (Echo.Engine.Enforced r) ->
+        Format.printf "  %10d | %10d | %10d | %12.1f@." m
+          r.Echo.Engine.relational_distance r.Echo.Engine.iterations (dt *. 1000.)
+      | _ -> Format.printf "  %10d | %10s | %10s | %12.1f@." m "-" "-" (dt *. 1000.))
+    [ 1; 2; 3 ];
   (* ablation: direct evaluation vs SAT-based checking *)
   Format.printf "  ablation: checkonly via evaluation vs via model finder (8 features):@.";
   let pool = G.feature_names 8 in
@@ -506,27 +583,60 @@ let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
     solve_time = b.Sat.Solver.solve_time -. a.Sat.Solver.solve_time;
   }
 
-(* Run one experiment and measure it: wall time plus the process-wide
-   solver-counter delta it caused (experiments create solvers
-   internally, so instance-level stats are unreachable from here). *)
-let run_measured (id, title, f) =
+(* Run one experiment at one jobs value and measure it: wall time plus
+   the process-wide solver-counter delta it caused (experiments create
+   solvers internally, so instance-level stats are unreachable from
+   here; the global counters are atomic, so worker-domain solves are
+   included). [speedup] is wall at the sweep baseline / this wall. *)
+let run_measured ~jobs ~reps ?baseline (id, title, f) =
+  (* Measurement isolation: records run back-to-back in one process,
+     and a heap grown by earlier records slows later allocation-heavy
+     solves by 2-3x. Compact before each record so the sweep measures
+     the experiment, not the GC state it inherited. *)
+  Gc.compact ();
   let before = Sat.Solver.global_stats () in
-  let (), wall = time_it f in
+  let (), wall0 = time_it (fun () -> f ~jobs) in
   let after = Sat.Solver.global_stats () in
-  Echo.Telemetry.Obj
-    [
-      ("experiment", Echo.Telemetry.String id);
-      ("title", Echo.Telemetry.String title);
-      ("wall_time_s", Echo.Telemetry.Float wall);
-      ("solver", Echo.Telemetry.solver_json (stats_delta before after));
-    ]
+  (* Wall is the minimum over [reps] runs: CDCL solve times are
+     heavy-tailed and the box shares its core, so the minimum is the
+     standard noise-robust estimator for deterministic workloads. The
+     solver-counter delta covers the first run only. *)
+  let wall = ref wall0 in
+  for _ = 2 to max 1 reps do
+    let (), w = time_it (fun () -> f ~jobs) in
+    if w < !wall then wall := w
+  done;
+  let wall = !wall in
+  let speedup = match baseline with Some b -> b /. wall | None -> 1.0 in
+  ( Echo.Telemetry.Obj
+      [
+        ("experiment", Echo.Telemetry.String id);
+        ("title", Echo.Telemetry.String title);
+        ("jobs", Echo.Telemetry.Int jobs);
+        ("wall_time_s", Echo.Telemetry.Float wall);
+        ("speedup", Echo.Telemetry.Float speedup);
+        ("solver", Echo.Telemetry.solver_json (stats_delta before after));
+      ],
+    wall )
+
+(* Measure one experiment across the whole jobs sweep; the first sweep
+   point is the speedup baseline (the default sweep starts at 1). *)
+let measure_sweep ~reps sweep exp =
+  let rec go baseline acc = function
+    | [] -> List.rev acc
+    | j :: rest ->
+      let record, wall = run_measured ~jobs:j ~reps ?baseline exp in
+      let baseline = Some (Option.value baseline ~default:wall) in
+      go baseline (record :: acc) rest
+  in
+  go None [] sweep
 
 let write_json path records =
   let body =
     Echo.Telemetry.json_to_string
       (Echo.Telemetry.Obj
          [
-           ("schema", Echo.Telemetry.String "mdqvtr-bench/1");
+           ("schema", Echo.Telemetry.String "mdqvtr-bench/2");
            ("records", Echo.Telemetry.List records);
          ])
   in
@@ -542,54 +652,95 @@ let write_json path records =
     exit 2
 
 let () =
+  let fixed f ~jobs:_ = f () in
   let experiments =
-    [ ("e1", "Figure 1 metamodels and conformance", e1);
-      ("e2", "standard semantics cannot express MF (2.1)", e2);
-      ("e3", "checking dependencies realise MF and OF (2.2)", e3);
-      ("e4", "conservativity (2.2)", e4);
-      ("e5", "Horn entailment, linear time (2.3)", e5);
-      ("e6", "enforcement shapes (3)", e6);
-      ("e7", "least change and backend agreement (3)", e7);
-      ("e8", "scaling", e8) ]
+    [ ("e1", "Figure 1 metamodels and conformance", fixed e1);
+      ("e2", "standard semantics cannot express MF (2.1)", fixed e2);
+      ("e3", "checking dependencies realise MF and OF (2.2)", fixed e3);
+      ("e4", "conservativity (2.2)", fixed e4);
+      ("e5", "Horn entailment, linear time (2.3)", fixed e5);
+      ("e6", "enforcement shapes (3)", fun ~jobs -> e6 ~jobs);
+      ("e7", "least change and backend agreement (3)", fun ~jobs -> e7 ~jobs);
+      ("e8", "scaling", fun ~jobs -> e8 ~jobs) ]
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   let rec out_file = function
     | "--out" :: path :: _ -> path
     | _ :: rest -> out_file rest
-    | [] -> "BENCH_1.json"
+    | [] -> "BENCH_2.json"
   in
   let out = out_file args in
+  let usage () =
+    Format.eprintf
+      "usage: main.exe [e1..e8|bench] [--json] [--out FILE] [--jobs SPEC] \
+       [--reps N]@.";
+    exit 2
+  in
+  let parse_jobs spec =
+    let int s = match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> usage ()
+    in
+    if String.contains spec ',' then
+      List.map int (String.split_on_char ',' spec)
+    else
+      (* bare N: powers of two up to N, e.g. 4 -> 1,2,4 *)
+      let n = int spec in
+      let rec pows p acc = if p >= n then List.rev (n :: acc) else pows (2 * p) (p :: acc) in
+      pows 1 []
+  in
+  let rec jobs_spec = function
+    | "--jobs" :: spec :: _ -> Some (parse_jobs spec)
+    | _ :: rest -> jobs_spec rest
+    | [] -> None
+  in
+  let sweep = Option.value (jobs_spec args) ~default:[ 1; 2; 4 ] in
+  let rec reps_spec = function
+    | "--reps" :: n :: _ -> (
+      match int_of_string_opt (String.trim n) with
+      | Some r when r >= 1 -> r
+      | _ -> usage ())
+    | _ :: rest -> reps_spec rest
+    | [] -> 1
+  in
+  let reps = reps_spec args in
+  (* plain (non-JSON) runs execute once, at the largest requested jobs *)
+  let run_jobs =
+    match jobs_spec args with
+    | Some js -> List.fold_left max 1 js
+    | None -> 1
+  in
   let rec drop_flags = function
     | "--json" :: rest -> drop_flags rest
     | "--out" :: _ :: rest -> drop_flags rest
+    | "--jobs" :: _ :: rest -> drop_flags rest
+    | "--reps" :: _ :: rest -> drop_flags rest
     | a :: rest -> a :: drop_flags rest
     | [] -> []
   in
-  let usage () =
-    Format.eprintf "usage: main.exe [e1..e8|bench] [--json] [--out FILE]@.";
-    exit 2
-  in
   match drop_flags args with
   | [] ->
-    if json then write_json out (List.map run_measured experiments)
+    if json then write_json out (List.concat_map (measure_sweep ~reps sweep) experiments)
     else begin
-      List.iter (fun (_, _, f) -> f ()) experiments;
+      List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
       bechamel_suite ()
     end
   | [ "bench" ] -> bechamel_suite ()
-  | [ id ] -> (
-    match
-      List.find_opt
-        (fun (eid, _, _) -> eid = String.lowercase_ascii id)
-        experiments
-    with
-    | Some exp ->
-      if json then write_json out [ run_measured exp ]
-      else
-        let _, _, f = exp in
-        f ()
-    | None ->
-      Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
-      exit 2)
-  | _ -> usage ()
+  | ids ->
+    let selected =
+      List.map
+        (fun id ->
+          match
+            List.find_opt
+              (fun (eid, _, _) -> eid = String.lowercase_ascii id)
+              experiments
+          with
+          | Some exp -> exp
+          | None ->
+            Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
+            exit 2)
+        ids
+    in
+    if json then write_json out (List.concat_map (measure_sweep ~reps sweep) selected)
+    else List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected

@@ -60,13 +60,14 @@ let pp_stats_block stats r =
     Format.printf "@.--- stats ---@.%a@." Echo.Telemetry.pp
       r.Echo.Engine.stats
 
-let run_enforce_all trans_file mm_file models_file targets standard slack stats =
+let run_enforce_all trans_file mm_file models_file targets standard slack jobs
+    stats =
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
     in
     Echo.Engine.enforce_all ~mode:(mode_of_standard standard)
-      ~slack_objects:slack trans ~metamodels ~models
+      ~slack_objects:slack ~jobs trans ~metamodels ~models
       ~targets:(Echo.Target.of_list targets)
   with
   | Error msg ->
@@ -101,9 +102,10 @@ let run_enforce_all trans_file mm_file models_file targets standard slack stats 
     end
 
 let run_enforce trans_file mm_file models_file targets standard backend
-    slack all stats out_file =
+    slack jobs all stats out_file =
   if all then
-    run_enforce_all trans_file mm_file models_file targets standard slack stats
+    run_enforce_all trans_file mm_file models_file targets standard slack jobs
+      stats
   else
   match
     let* trans, metamodels, models =
@@ -112,11 +114,12 @@ let run_enforce trans_file mm_file models_file targets standard backend
     let backend =
       match backend with
       | "maxsat" -> Echo.Engine.Maxsat
+      | "portfolio" -> Echo.Engine.Portfolio
       | _ -> Echo.Engine.Iterative
     in
     let* outcome =
       Echo.Engine.enforce ~backend ~mode:(mode_of_standard standard)
-        ~slack_objects:slack trans ~metamodels ~models
+        ~slack_objects:slack ~jobs trans ~metamodels ~models
         ~targets:(Echo.Target.of_list targets)
     in
     Ok outcome
@@ -283,8 +286,25 @@ let targets_arg =
 let backend_arg =
   Arg.(
     value
-    & opt (enum [ ("iterative", "iterative"); ("maxsat", "maxsat") ]) "iterative"
-    & info [ "backend" ] ~doc:"Repair backend: iterative (Echo) or maxsat.")
+    & opt
+        (enum
+           [ ("iterative", "iterative");
+             ("maxsat", "maxsat");
+             ("portfolio", "portfolio") ])
+        "iterative"
+    & info [ "backend" ]
+        ~doc:
+          "Repair backend: iterative (Echo), maxsat, or portfolio (race both \
+           on worker domains; needs --jobs >= 2).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallelism budget: the iterative backend probes N distance levels \
+           speculatively on worker domains; the portfolio races its lanes. \
+           The repair distance is identical for every N.")
 
 let slack_arg =
   Arg.(
@@ -309,7 +329,8 @@ let enforce_cmd =
     (Cmd.info "enforce" ~doc)
     Term.(
       const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
-      $ standard_arg $ backend_arg $ slack_arg $ all_arg $ stats_arg $ out_arg)
+      $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg $ stats_arg
+      $ out_arg)
 
 let fmt_cmd =
   let doc = "parse and pretty-print a QVT-R transformation" in

@@ -1,6 +1,7 @@
 type backend =
   | Iterative
   | Maxsat
+  | Portfolio
 
 type enforce_result = {
   repaired : (Mdl.Ident.t * Mdl.Model.t) list;
@@ -18,8 +19,61 @@ type enforce_outcome =
 
 let check = Qvtr.Check.run
 
+(* Race the iterative ladder against the MaxSAT descent on two pool
+   lanes; the first usable outcome wins and the loser is cancelled
+   (its solver interrupted). Both backends compute the same minimal
+   distance, so the result is deterministic even though the winning
+   lane is not. Both futures are awaited before returning — no work
+   leaks past the call. *)
+let race_portfolio ?max_distance space =
+  let pool = Parallel.Pool.global ~jobs:2 in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let published = ref [] in  (* (lane, result) in completion order *)
+  let publish tag r =
+    Mutex.lock mu;
+    published := !published @ [ (tag, r) ];
+    Condition.signal cond;
+    Mutex.unlock mu
+  in
+  let submit tag lane =
+    Parallel.Pool.submit pool (fun token ->
+        let r = try lane token with e -> Error (Printexc.to_string e) in
+        publish tag r)
+  in
+  let fi =
+    submit Iterative (fun token -> Repair.run ?max_distance ~jobs:1 ~token space)
+  in
+  let fm = submit Maxsat (fun token -> Maxsat_repair.run ~token space) in
+  (* First usable outcome wins; if a lane fails, wait out the other. *)
+  let winner =
+    Mutex.lock mu;
+    let rec wait () =
+      match List.find_opt (fun (_, r) -> Result.is_ok r) !published with
+      | Some w -> w
+      | None ->
+        if List.length !published >= 2 then List.hd !published
+        else begin
+          Condition.wait cond mu;
+          wait ()
+        end
+    in
+    let w = wait () in
+    Mutex.unlock mu;
+    w
+  in
+  Parallel.Pool.cancel fi;
+  Parallel.Pool.cancel fm;
+  ignore (Parallel.Pool.result fi);
+  ignore (Parallel.Pool.result fm);
+  match winner with
+  | tag, Ok outcome -> Ok (outcome, tag)
+  | _, Error e -> Error e
+
 let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
-    ?model_weights ?max_distance transformation ~metamodels ~models ~targets =
+    ?model_weights ?max_distance ?(jobs = 1) transformation ~metamodels ~models
+    ~targets =
+  if jobs < 1 then invalid_arg "Engine.enforce: jobs must be >= 1";
   let ( let* ) = Result.bind in
   let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
   if report.Qvtr.Check.consistent then Ok Already_consistent
@@ -28,10 +82,16 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
       Space.build ?mode ?slack_objects ?extra_values ?model_weights
         ~transformation ~metamodels ~models ~targets ()
     in
-    let* outcome =
+    let* outcome, winner =
       match backend with
-      | Iterative -> Repair.run ?max_distance space
-      | Maxsat -> Maxsat_repair.run space
+      | Iterative ->
+        Result.map (fun o -> (o, Iterative)) (Repair.run ?max_distance ~jobs space)
+      | Maxsat -> Result.map (fun o -> (o, Maxsat)) (Maxsat_repair.run ~jobs space)
+      | Portfolio ->
+        if jobs < 2 then
+          (* A portfolio needs two lanes; degrade to the ladder. *)
+          Result.map (fun o -> (o, Iterative)) (Repair.run ?max_distance ~jobs space)
+        else race_portfolio ?max_distance space
     in
     match outcome with
     | Repair.Cannot_restore -> Ok Cannot_restore
@@ -43,12 +103,13 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
              relational_distance = r.Repair.relational_distance;
              edit_distance = r.Repair.edit_distance;
              iterations = r.Repair.iterations;
-             backend;
+             backend = winner;
              stats = r.Repair.stats;
            })
 
 let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
-    ?max_distance transformation ~metamodels ~models ~targets =
+    ?max_distance ?(jobs = 1) transformation ~metamodels ~models ~targets =
+  if jobs < 1 then invalid_arg "Engine.enforce_all: jobs must be >= 1";
   let ( let* ) = Result.bind in
   let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
   if report.Qvtr.Check.consistent then Ok [ Already_consistent ]
@@ -57,7 +118,7 @@ let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
       Space.build ?mode ?slack_objects ?extra_values ?model_weights
         ~transformation ~metamodels ~models ~targets ()
     in
-    let* repairs = Repair.run_all ?max_distance ~limit space in
+    let* repairs = Repair.run_all ?max_distance ~limit ~jobs space in
     match repairs with
     | [] -> Ok [ Cannot_restore ]
     | rs ->

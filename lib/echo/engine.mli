@@ -9,6 +9,11 @@
 type backend =
   | Iterative  (** increasing-distance search (Echo FASE'13) *)
   | Maxsat  (** weighted partial MaxSAT (FASE'14 extension) *)
+  | Portfolio
+      (** race both backends on worker domains, first usable outcome
+          wins and the loser is cancelled; requires [jobs >= 2]
+          (degrades to {!Iterative} otherwise). The
+          {!enforce_result.backend} field reports the winning lane. *)
 
 type enforce_result = {
   repaired : (Mdl.Ident.t * Mdl.Model.t) list;
@@ -43,6 +48,7 @@ val enforce :
   ?extra_values:Mdl.Value.t list ->
   ?model_weights:(Mdl.Ident.t * int) list ->
   ?max_distance:int ->
+  ?jobs:int ->
   Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -51,7 +57,13 @@ val enforce :
 (** Default backend {!Iterative}; [slack_objects] fresh objects are
     available per target model (default 2); [extra_values] widens the
     value universe available to repairs; [model_weights] prioritises
-    models in the aggregated distance. *)
+    models in the aggregated distance.
+
+    [jobs] (default 1) is the parallelism budget: the iterative
+    backend probes that many distance levels speculatively
+    ({!Repair.run}); the portfolio uses it to race lanes. The
+    relational distance of the result is identical for every [jobs]
+    value. *)
 
 val enforce_all :
   ?limit:int ->
@@ -60,15 +72,18 @@ val enforce_all :
   ?extra_values:Mdl.Value.t list ->
   ?model_weights:(Mdl.Ident.t * int) list ->
   ?max_distance:int ->
+  ?jobs:int ->
   Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
   targets:Target.t ->
   (enforce_outcome list, string) result
 (** All distinct minimal repairs (iterative backend), up to [limit]
-    (default 16): a singleton [Already_consistent] or
+    (default 16), in the canonical order of {!Repair.run_all}
+    (jobs-invariant): a singleton [Already_consistent] or
     [Cannot_restore], or one [Enforced] per repair — the menu a
-    multidirectional Echo UI would offer the user (paper §4). *)
+    multidirectional Echo UI would offer the user (paper §4).
+    [jobs >= 2] shards the enumeration across worker domains. *)
 
 type diagnosis = {
   d_relation : Mdl.Ident.t;

@@ -1,9 +1,15 @@
 type outcome = Repair.outcome
 
-let run space =
+let run ?(jobs = 1) ?token space =
+  if jobs < 1 then invalid_arg "Maxsat_repair.run: jobs must be >= 1";
   try
     let started = Sat.Telemetry.now () in
     let maxsat = Sat.Maxsat.create () in
+    Option.iter
+      (fun tok ->
+        Parallel.Pool.on_cancel tok (fun () ->
+            Sat.Solver.interrupt (Sat.Maxsat.solver maxsat)))
+      token;
     let trans =
       Relog.Translate.create ~solver:(Sat.Maxsat.solver maxsat) (Space.bounds space)
     in
@@ -24,7 +30,12 @@ let run space =
       let counts = Sat.Maxsat.clause_counts maxsat in
       let solver_stats = Sat.Solver.stats (Sat.Maxsat.solver maxsat) in
       {
+        (* The MaxSAT descent is inherently sequential (each bound
+           depends on the previous model), so [jobs] is recorded but
+           adds no workers here; parallelism arrives via the backend
+           portfolio racing this against the iterative ladder. *)
         Telemetry.backend = "maxsat";
+        jobs;
         translation = Relog.Translate.stats trans;
         solver = solver_stats;
         solver_calls = solver_stats.Sat.Solver.solves;
@@ -34,6 +45,8 @@ let run space =
         cardinality_inputs = total_weight;
         cardinality_aux_vars = counts.Sat.Maxsat.aux_vars;
         cardinality_clauses = counts.Sat.Maxsat.aux;
+        cardinality_saved_vars = counts.Sat.Maxsat.saved_vars;
+        cardinality_saved_clauses = counts.Sat.Maxsat.saved_clauses;
         total_time = Sat.Telemetry.now () -. started;
       }
     in
@@ -71,7 +84,7 @@ let run space =
           Sat.Maxsat.add_hard maxsat clause;
           solve ())
     in
-    solve ()
+    (try solve () with Sat.Solver.Interrupted -> Error "interrupted")
   with
   | Relog.Translate.Unsupported msg -> Error msg
   | Invalid_argument msg -> Error msg

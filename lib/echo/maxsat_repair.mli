@@ -10,4 +10,14 @@
 
 type outcome = Repair.outcome
 
-val run : Space.t -> (outcome, string) result
+val run :
+  ?jobs:int ->
+  ?token:Parallel.Pool.token ->
+  Space.t ->
+  (outcome, string) result
+(** The SAT-driven descent is inherently sequential, so [jobs]
+    (default 1) is only recorded in the telemetry; parallel speedups
+    for this backend come from the {!Engine} portfolio, which races it
+    against the iterative ladder and cancels the loser via [token]
+    (cancellation interrupts the underlying solver and yields
+    [Error "interrupted"]). *)

@@ -11,159 +11,594 @@ type outcome =
   | Cannot_restore
 
 (* Shared setup of the iterative search: finder, totalizer over the
-   change literals, and the telemetry accumulators. *)
+   change literals, and the telemetry accumulators. The counters are
+   atomics so worker domains may bump them concurrently. *)
 type search = {
   finder : Relog.Finder.t;
   card : Sat.Cardinality.t;
   total : int;  (* total weight = totalizer input count *)
   started : float;
-  mutable iterations : int;
-  mutable blocked : int;  (* non-conformant instances excluded *)
-  mutable levels : (int * int) list;  (* (distance, solver calls), reversed *)
+  iterations : int Atomic.t;
+  blocked : int Atomic.t;  (* non-conformant instances excluded *)
+  mutable levels : (int * int) list;  (* (distance, solver calls), reversed;
+                                         serial path only — the parallel
+                                         ladder keeps its own table *)
 }
 
-let start space =
+let start ?cap space =
   let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
   let trans = Relog.Finder.translation finder in
   let changes = Space.change_literals space trans in
   let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
-  let card = Sat.Cardinality.build (Relog.Finder.solver finder) inputs in
+  let card = Sat.Cardinality.build ?cap (Relog.Finder.solver finder) inputs in
   {
     finder;
     card;
     total = List.length inputs;
     started = Sat.Telemetry.now ();
-    iterations = 0;
-    blocked = 0;
+    iterations = Atomic.make 0;
+    blocked = Atomic.make 0;
     levels = [];
   }
 
 let step sc k =
-  sc.iterations <- sc.iterations + 1;
+  Atomic.incr sc.iterations;
   (sc.levels <-
      (match sc.levels with
      | (k', n) :: rest when k' = k -> (k', n + 1) :: rest
      | levels -> (k, 1) :: levels));
   Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most sc.card k) sc.finder
 
-let telemetry sc =
+let zero_stats =
+  {
+    Sat.Solver.decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learnt = 0;
+    reduces = 0;
+    solves = 0;
+    solve_time = 0.0;
+  }
+
+let add_stats a b =
+  {
+    Sat.Solver.decisions = a.Sat.Solver.decisions + b.Sat.Solver.decisions;
+    propagations = a.Sat.Solver.propagations + b.Sat.Solver.propagations;
+    conflicts = a.Sat.Solver.conflicts + b.Sat.Solver.conflicts;
+    restarts = a.Sat.Solver.restarts + b.Sat.Solver.restarts;
+    learnt = a.Sat.Solver.learnt + b.Sat.Solver.learnt;
+    reduces = a.Sat.Solver.reduces + b.Sat.Solver.reduces;
+    solves = a.Sat.Solver.solves + b.Sat.Solver.solves;
+    solve_time = a.Sat.Solver.solve_time +. b.Sat.Solver.solve_time;
+  }
+
+let telemetry_of sc ~jobs ~solver ~solver_calls ~solve_time ~levels =
   let fs = Relog.Finder.stats sc.finder in
   {
     Telemetry.backend = "iterative";
+    jobs;
     translation = fs.Relog.Finder.translation;
-    solver = fs.Relog.Finder.solver;
-    solver_calls = fs.Relog.Finder.solves;
-    solve_time = fs.Relog.Finder.solve_time;
-    distance_levels = List.rev sc.levels;
-    blocked_nonconformant = sc.blocked;
+    solver;
+    solver_calls;
+    solve_time;
+    distance_levels = levels;
+    blocked_nonconformant = Atomic.get sc.blocked;
     cardinality_inputs = sc.total;
     cardinality_aux_vars = Sat.Cardinality.aux_vars sc.card;
     cardinality_clauses = Sat.Cardinality.aux_clauses sc.card;
+    cardinality_saved_vars = Sat.Cardinality.saved_vars sc.card;
+    cardinality_saved_clauses = Sat.Cardinality.saved_clauses sc.card;
     total_time = Sat.Telemetry.now () -. sc.started;
   }
 
-let run ?max_distance space =
-  try
-    let sc = start space in
-    let cap = Option.value ~default:sc.total max_distance in
-    let rec at_distance k =
-      if k > cap then Ok Cannot_restore
-      else
-        match step sc k with
-        | Relog.Finder.Unsat -> at_distance (k + 1)
-        | Relog.Finder.Sat inst -> (
-          match Space.decode_targets space inst with
-          | Ok repaired ->
-            Ok
-              (Repaired
-                 {
-                   repaired;
-                   relational_distance = Space.relational_distance space inst;
-                   edit_distance = Space.edit_distance space repaired;
-                   iterations = sc.iterations;
-                   stats = telemetry sc;
-                 })
-          | Error _ ->
-            (* The relational instance passed the encoded constraints
-               but the decoded model fails full conformance (the
-               encoding approximates multiplicity lower bounds > 1):
-               exclude it and keep searching at the same distance. *)
-            sc.blocked <- sc.blocked + 1;
-            Relog.Finder.block sc.finder;
-            at_distance k)
+let telemetry ?(jobs = 1) sc =
+  let fs = Relog.Finder.stats sc.finder in
+  telemetry_of sc ~jobs ~solver:fs.Relog.Finder.solver
+    ~solver_calls:fs.Relog.Finder.solves ~solve_time:fs.Relog.Finder.solve_time
+    ~levels:(List.rev sc.levels)
+
+(* Canonical serialization of a repair, used both as the dedup key and
+   as the deterministic result order of [run_all]. *)
+let repair_key repaired =
+  String.concat "\x00"
+    (List.map
+       (fun (p, m) -> Mdl.Ident.name p ^ "\x01" ^ Mdl.Serialize.model_to_string m)
+       repaired)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel ladder                                                      *)
+
+(* Speculative probing of the distance ladder on a shared board.
+
+   Levels [floor+1 .. floor+window] are claimed highest-first by the
+   worker domains, each solving its level on a private solver clone.
+   Soundness rests on the monotonicity of the level predicate
+   "some conformant instance has distance <= k":
+
+   - UNSAT at level l (after blocking only non-conformant instances)
+     proves every level <= l conformant-free, so [floor] jumps to l —
+     one high probe can retire a whole window, which is also where the
+     jobs >= 2 speedup on few-core machines comes from;
+   - a conformant witness at distance d improves [best] and makes all
+     levels >= d irrelevant.
+
+   Workers holding a now-dead level are interrupted. The search is
+   done when [floor >= best - 1]: the committed distance is exactly
+   the minimal conformant distance, for every schedule, worker count
+   and window width — minimality is decided by level, never by
+   arrival order. (The witness model itself may differ between
+   schedules when several equally-minimal repairs exist; [run_all]
+   is the jobs-invariant enumeration of all of them.) *)
+
+type probe = {
+  p_repaired : (Mdl.Ident.t * Mdl.Model.t) list;
+  p_rel : int;
+  p_edit : int;
+}
+
+type board = {
+  bmu : Mutex.t;
+  mutable floor : int;  (* all levels <= floor proven conformant-free *)
+  mutable best : (int * probe) option;  (* least witnessed distance *)
+  claimed : (int, unit) Hashtbl.t;
+  active : int option array;  (* worker -> level being solved *)
+  clones : Sat.Solver.t option array;
+  level_counts : (int, int) Hashtbl.t;
+  mutable aborted : bool;
+}
+
+let block_clone trans clone =
+  let clause =
+    Relog.Translate.fold_primaries trans
+      (fun _ _ v acc ->
+        (if Sat.Solver.value clone v then Sat.Lit.neg_of v else Sat.Lit.pos v)
+        :: acc)
+      []
+  in
+  Sat.Solver.add_clause clone clause
+
+(* Number of worker domains for a requested parallelism: never more
+   than the hardware offers — the window width stays [jobs], so the
+   level schedule (and the result) does not depend on the core
+   count. *)
+let worker_count jobs = max 1 (min jobs (Parallel.Pool.default_jobs ()))
+
+let interrupt_dead_locked board ~self =
+  Array.iteri
+    (fun i level ->
+      if i <> self then
+        match (level, board.clones.(i)) with
+        | Some l, Some solver ->
+          let dead =
+            l <= board.floor
+            || match board.best with Some (b, _) -> l >= b | None -> false
+          in
+          if dead then Sat.Solver.interrupt solver
+        | _ -> ())
+    board.active
+
+let ladder ~window ~cap sc space board wi =
+  let trans = Relog.Finder.translation sc.finder in
+  let clone = Relog.Finder.clone_solver sc.finder in
+  Mutex.lock board.bmu;
+  board.clones.(wi) <- Some clone;
+  Mutex.unlock board.bmu;
+  (* Highest unclaimed level in [floor+1, hi], with bmu held. *)
+  let claim_locked () =
+    let hi =
+      min cap
+        (match board.best with
+        | Some (b, _) -> b - 1
+        | None -> board.floor + window)
     in
-    at_distance 0
+    let rec find l =
+      if l <= board.floor then None
+      else if Hashtbl.mem board.claimed l then find (l - 1)
+      else Some l
+    in
+    find hi
+  in
+  let rec next () =
+    Mutex.lock board.bmu;
+    if board.aborted then begin
+      board.active.(wi) <- None;
+      Mutex.unlock board.bmu;
+      raise Parallel.Pool.Cancelled
+    end;
+    match claim_locked () with
+    | None ->
+      board.active.(wi) <- None;
+      Mutex.unlock board.bmu;
+      Sat.Solver.stats clone
+    | Some l ->
+      Hashtbl.replace board.claimed l ();
+      board.active.(wi) <- Some l;
+      Mutex.unlock board.bmu;
+      solve_level l
+  and solve_level l =
+    Atomic.incr sc.iterations;
+    Mutex.lock board.bmu;
+    Hashtbl.replace board.level_counts l
+      (1 + Option.value ~default:0 (Hashtbl.find_opt board.level_counts l));
+    Mutex.unlock board.bmu;
+    match
+      Sat.Solver.solve ~assumptions:(Sat.Cardinality.at_most sc.card l) clone
+    with
+    | exception Sat.Solver.Interrupted ->
+      Mutex.lock board.bmu;
+      let abort = board.aborted in
+      let dead =
+        l <= board.floor
+        || match board.best with Some (b, _) -> l >= b | None -> false
+      in
+      Mutex.unlock board.bmu;
+      if abort then raise Parallel.Pool.Cancelled
+      else if dead then next ()  (* abandon: the level no longer matters *)
+      else solve_level l  (* spurious (stale interrupt): retry *)
+    | Sat.Solver.Unsat ->
+      (* No conformant instance at any level <= l (monotone skip). *)
+      Mutex.lock board.bmu;
+      if l > board.floor then board.floor <- l;
+      interrupt_dead_locked board ~self:wi;
+      Mutex.unlock board.bmu;
+      next ()
+    | Sat.Solver.Sat -> (
+      let inst = Relog.Finder.decode_with sc.finder (Sat.Solver.value clone) in
+      match Space.decode_targets space inst with
+      | Error _ ->
+        Atomic.incr sc.blocked;
+        block_clone trans clone;
+        solve_level l
+      | Ok repaired ->
+        let d = Space.relational_distance space inst in
+        let probe =
+          { p_repaired = repaired; p_rel = d; p_edit = Space.edit_distance space repaired }
+        in
+        Mutex.lock board.bmu;
+        (match board.best with
+        | Some (b, _) when b <= d -> ()
+        | _ -> board.best <- Some (d, probe));
+        interrupt_dead_locked board ~self:wi;
+        Mutex.unlock board.bmu;
+        next ())
+  in
+  next ()
+
+(* Run the parallel ladder to the minimal conformant distance.
+   Returns the board (with [best]/[floor] final) and the merged
+   per-worker solver statistics. *)
+let parallel_minimal ~jobs ?token ~cap sc space =
+  let nworkers = worker_count jobs in
+  let pool = Parallel.Pool.global ~jobs:nworkers in
+  let board =
+    {
+      bmu = Mutex.create ();
+      floor = -1;
+      best = None;
+      claimed = Hashtbl.create 16;
+      active = Array.make nworkers None;
+      clones = Array.make nworkers None;
+      level_counts = Hashtbl.create 16;
+      aborted = false;
+    }
+  in
+  Option.iter
+    (fun tok ->
+      Parallel.Pool.on_cancel tok (fun () ->
+          Mutex.lock board.bmu;
+          board.aborted <- true;
+          Array.iter (Option.iter Sat.Solver.interrupt) board.clones;
+          Mutex.unlock board.bmu))
+    token;
+  let futures =
+    List.init nworkers (fun wi ->
+        Parallel.Pool.submit pool (fun _ -> ladder ~window:jobs ~cap sc space board wi))
+  in
+  let results = List.map Parallel.Pool.result futures in
+  if board.aborted then Error `Interrupted
+  else begin
+    (* Re-raise any real worker failure (after all workers joined). *)
+    List.iter
+      (function
+        | Ok _ | Error Parallel.Pool.Cancelled -> ()
+        | Error e -> raise e)
+      results;
+    let stats =
+      List.fold_left
+        (fun acc -> function Ok st -> add_stats acc st | Error _ -> acc)
+        zero_stats results
+    in
+    let levels =
+      List.sort compare
+        (Hashtbl.fold (fun l n acc -> (l, n) :: acc) board.level_counts [])
+    in
+    Ok (board, stats, levels)
+  end
+
+let run_parallel ~jobs ?token ~cap sc space =
+  match parallel_minimal ~jobs ?token ~cap sc space with
+  | Error `Interrupted -> Error "interrupted"
+  | Ok (board, stats, levels) -> (
+    let tele () =
+      telemetry_of sc ~jobs ~solver:stats ~solver_calls:stats.Sat.Solver.solves
+        ~solve_time:stats.Sat.Solver.solve_time ~levels
+    in
+    match board.best with
+    | None -> Ok Cannot_restore
+    | Some (d, p) ->
+      Ok
+        (Repaired
+           {
+             repaired = p.p_repaired;
+             relational_distance = d;
+             edit_distance = p.p_edit;
+             iterations = Atomic.get sc.iterations;
+             stats = tele ();
+           }))
+
+(* ------------------------------------------------------------------ *)
+
+let run_serial ?token sc ~cap space =
+  Option.iter
+    (fun tok ->
+      Parallel.Pool.on_cancel tok (fun () -> Relog.Finder.interrupt sc.finder))
+    token;
+  let rec at_distance k =
+    if k > cap then Ok Cannot_restore
+    else
+      match step sc k with
+      | Relog.Finder.Unsat -> at_distance (k + 1)
+      | Relog.Finder.Sat inst -> (
+        match Space.decode_targets space inst with
+        | Ok repaired ->
+          Ok
+            (Repaired
+               {
+                 repaired;
+                 relational_distance = Space.relational_distance space inst;
+                 edit_distance = Space.edit_distance space repaired;
+                 iterations = Atomic.get sc.iterations;
+                 stats = telemetry sc;
+               })
+        | Error _ ->
+          (* The relational instance passed the encoded constraints
+             but the decoded model fails full conformance (the
+             encoding approximates multiplicity lower bounds > 1):
+             exclude it and keep searching at the same distance. *)
+          Atomic.incr sc.blocked;
+          Relog.Finder.block sc.finder;
+          at_distance k)
+  in
+  try at_distance 0 with Sat.Solver.Interrupted -> Error "interrupted"
+
+let run ?max_distance ?(jobs = 1) ?token space =
+  if jobs < 1 then invalid_arg "Repair.run: jobs must be >= 1";
+  try
+    let sc = start ?cap:max_distance space in
+    let cap = Option.value ~default:sc.total max_distance in
+    if jobs = 1 then run_serial ?token sc ~cap space
+    else run_parallel ~jobs ?token ~cap sc space
   with
   | Relog.Translate.Unsupported msg -> Error msg
   | Invalid_argument msg -> Error msg
 
-let run_all ?max_distance ?(limit = 16) space =
-  try
-    let sc = start space in
-    let cap = Option.value ~default:sc.total max_distance in
-    (* Collect every (conformant) instance at distance k; [n] carries
-       the count so the limit check is O(1) per iteration. *)
-    let collect_at k =
-      let rec go acc n =
-        if n >= limit then List.rev acc
-        else
-          match step sc k with
-          | Relog.Finder.Unsat -> List.rev acc
-          | Relog.Finder.Sat inst -> (
-            Relog.Finder.block sc.finder;
-            match Space.decode_targets space inst with
-            | Error _ ->
-              sc.blocked <- sc.blocked + 1;
-              go acc n
-            | Ok repaired ->
-              let r =
-                {
-                  repaired;
-                  relational_distance = Space.relational_distance space inst;
-                  edit_distance = Space.edit_distance space repaired;
-                  iterations = sc.iterations;
-                  stats = telemetry sc;
-                }
-              in
-              go (r :: acc) (n + 1))
-      in
-      go [] 0
-    in
-    (* Distinct SAT assignments can decode to identical models (e.g.
-       symmetric uses of slack atoms not covered by the symmetry
-       chain); deduplicate on a canonical serialization of the decoded
-       states, hashed — not pairwise Model.equal over all seen keys. *)
-    let dedup repairs =
-      let seen = Hashtbl.create 16 in
-      List.filter
-        (fun (r : success) ->
-          let key =
-            String.concat "\x00"
-              (List.map
-                 (fun (p, m) ->
-                   Mdl.Ident.name p ^ "\x01" ^ Mdl.Serialize.model_to_string m)
-                 r.repaired)
-          in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.add seen key ();
-            true
-          end)
-        repairs
-    in
-    let rec at_distance k =
-      if k > cap then Ok []
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                          *)
+
+(* Distinct SAT assignments can decode to identical models (e.g.
+   symmetric uses of slack atoms not covered by the symmetry chain);
+   deduplicate on a canonical serialization of the decoded states,
+   hashed — not pairwise Model.equal over all seen keys. *)
+let dedup repairs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (r : success) ->
+      let key = repair_key r.repaired in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    repairs
+
+(* Deterministic result order, independent of discovery order (and so
+   of the jobs value): sort on the canonical serialization. *)
+let canonical_sort repairs =
+  List.sort
+    (fun (a : success) (b : success) ->
+      String.compare (repair_key a.repaired) (repair_key b.repaired))
+    repairs
+
+let run_all_serial sc ~cap ~limit space =
+  (* Collect every (conformant) instance at distance k; [n] carries
+     the count so the limit check is O(1) per iteration. *)
+  let collect_at k =
+    let rec go acc n =
+      if n >= limit then List.rev acc
       else
-        match collect_at k with
-        | [] -> at_distance (k + 1)
-        | repairs ->
-          (* [collect_at] also sees instances strictly below k that
-             earlier iterations proved absent, so everything returned
-             is at the minimal distance. *)
-          let final = telemetry sc in
-          Ok (List.map (fun r -> { r with stats = final }) (dedup repairs))
+        match step sc k with
+        | Relog.Finder.Unsat -> List.rev acc
+        | Relog.Finder.Sat inst -> (
+          Relog.Finder.block sc.finder;
+          match Space.decode_targets space inst with
+          | Error _ ->
+            Atomic.incr sc.blocked;
+            go acc n
+          | Ok repaired ->
+            let r =
+              {
+                repaired;
+                relational_distance = Space.relational_distance space inst;
+                edit_distance = Space.edit_distance space repaired;
+                iterations = Atomic.get sc.iterations;
+                stats = telemetry sc;
+              }
+            in
+            go (r :: acc) (n + 1))
     in
-    at_distance 0
+    go [] 0
+  in
+  let rec at_distance k =
+    if k > cap then Ok []
+    else
+      match collect_at k with
+      | [] -> at_distance (k + 1)
+      | repairs ->
+        (* [collect_at] also sees instances strictly below k that
+           earlier iterations proved absent, so everything returned
+           is at the minimal distance. *)
+        let final = telemetry sc in
+        Ok
+          (List.map
+             (fun r -> { r with stats = final })
+             (canonical_sort (dedup repairs)))
+  in
+  at_distance 0
+
+(* Shard the enumeration at the minimal distance into disjoint cubes:
+   sign patterns over the first [bits] change literals partition the
+   assignment space, so workers enumerate disjoint subspaces with
+   purely local blocking clauses. A worker's full-assignment blocks
+   are no-ops in every other cube, and cross-cube duplicates at the
+   model level (assignments decoding to the same state) fall to the
+   global dedup. *)
+let run_all_parallel ~jobs ~token ~cap ~limit sc space =
+  match parallel_minimal ~jobs ?token ~cap sc space with
+  | Error `Interrupted -> Error "interrupted"
+  | Ok (board, ladder_stats, levels) -> (
+    match board.best with
+    | None -> Ok []
+    | Some (dstar, _) ->
+      let trans = Relog.Finder.translation sc.finder in
+      let change_lits =
+        List.map fst (Space.change_literals space trans)
+      in
+      let nworkers = worker_count jobs in
+      let bits =
+        let rec go b = if 1 lsl b >= jobs then b else go (b + 1) in
+        min (go 0) (List.length change_lits)
+      in
+      let cube_lits = Array.of_list (List.filteri (fun i _ -> i < bits) change_lits) in
+      let ncubes = 1 lsl bits in
+      let cube i =
+        List.init bits (fun b ->
+            if i land (1 lsl b) <> 0 then cube_lits.(b) else Sat.Lit.neg cube_lits.(b))
+      in
+      let next_cube = Atomic.make 0 in
+      let base = Sat.Cardinality.at_most sc.card dstar in
+      let enumerate_cubes tok =
+        let clone = Relog.Finder.clone_solver sc.finder in
+        Parallel.Pool.on_cancel tok (fun () -> Sat.Solver.interrupt clone);
+        let collected = ref [] in
+        let rec cubes () =
+          if Parallel.Pool.cancelled tok then raise Parallel.Pool.Cancelled;
+          let c = Atomic.fetch_and_add next_cube 1 in
+          if c >= ncubes then (!collected, Sat.Solver.stats clone)
+          else begin
+            let assumptions = base @ cube c in
+            let rec go n =
+              if n >= limit then ()
+              else begin
+                Atomic.incr sc.iterations;
+                match Sat.Solver.solve ~assumptions clone with
+                | exception Sat.Solver.Interrupted -> raise Parallel.Pool.Cancelled
+                | Sat.Solver.Unsat -> ()
+                | Sat.Solver.Sat -> (
+                  let inst =
+                    Relog.Finder.decode_with sc.finder (Sat.Solver.value clone)
+                  in
+                  block_clone trans clone;
+                  match Space.decode_targets space inst with
+                  | Error _ ->
+                    Atomic.incr sc.blocked;
+                    go n
+                  | Ok repaired ->
+                    let r =
+                      {
+                        repaired;
+                        relational_distance =
+                          Space.relational_distance space inst;
+                        edit_distance = Space.edit_distance space repaired;
+                        iterations = 0;
+                        stats = telemetry sc;
+                      }
+                    in
+                    collected := r :: !collected;
+                    go (n + 1))
+              end
+            in
+            go 0;
+            cubes ()
+          end
+        in
+        cubes ()
+      in
+      let pool = Parallel.Pool.global ~jobs:nworkers in
+      let futures =
+        List.init nworkers (fun _ -> Parallel.Pool.submit pool enumerate_cubes)
+      in
+      (match token with
+      | Some tok when Parallel.Pool.cancelled tok ->
+        List.iter Parallel.Pool.cancel futures
+      | Some tok ->
+        Parallel.Pool.on_cancel tok (fun () ->
+            List.iter Parallel.Pool.cancel futures)
+      | None -> ());
+      let results = List.map Parallel.Pool.result futures in
+      let interrupted =
+        (match token with Some tok -> Parallel.Pool.cancelled tok | None -> false)
+        || List.exists
+             (function
+               | Error (Parallel.Pool.Cancelled | Sat.Solver.Interrupted) -> true
+               | _ -> false)
+             results
+      in
+      if interrupted then Error "interrupted"
+      else begin
+        List.iter (function Ok _ -> () | Error e -> raise e) results;
+        let repairs =
+          List.concat_map (function Ok (rs, _) -> rs | Error _ -> []) results
+        in
+        let stats =
+          List.fold_left
+            (fun acc -> function Ok (_, st) -> add_stats acc st | Error _ -> acc)
+            ladder_stats results
+        in
+        let final =
+          telemetry_of sc ~jobs ~solver:stats
+            ~solver_calls:stats.Sat.Solver.solves
+            ~solve_time:stats.Sat.Solver.solve_time ~levels
+        in
+        let out =
+          canonical_sort (dedup repairs)
+          |> List.map (fun r ->
+                 { r with iterations = Atomic.get sc.iterations; stats = final })
+        in
+        (* Per-cube limits can over-collect; enforce the global cap on
+           the canonical order. *)
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        Ok (take limit out)
+      end)
+
+let run_all ?max_distance ?(limit = 16) ?(jobs = 1) ?token space =
+  if jobs < 1 then invalid_arg "Repair.run_all: jobs must be >= 1";
+  try
+    let sc = start ?cap:max_distance space in
+    let cap = Option.value ~default:sc.total max_distance in
+    if jobs = 1 then begin
+      Option.iter
+        (fun tok ->
+          Parallel.Pool.on_cancel tok (fun () -> Relog.Finder.interrupt sc.finder))
+        token;
+      try run_all_serial sc ~cap ~limit space
+      with Sat.Solver.Interrupted -> Error "interrupted"
+    end
+    else run_all_parallel ~jobs ~token ~cap ~limit sc space
   with
   | Relog.Translate.Unsupported msg -> Error msg
   | Invalid_argument msg -> Error msg

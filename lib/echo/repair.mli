@@ -26,16 +26,53 @@ type outcome =
       (** no consistent instance exists within the bounded space for
           this target set *)
 
-val run : ?max_distance:int -> Space.t -> (outcome, string) result
+val run :
+  ?max_distance:int ->
+  ?jobs:int ->
+  ?token:Parallel.Pool.token ->
+  Space.t ->
+  (outcome, string) result
 (** [max_distance] caps the search (default: total weight of the
-    space's change literals). [Error] on internal decode failures. *)
+    space's change literals) — the cap also k-bounds the totalizer
+    encoding. [Error] on internal decode failures.
+
+    [jobs] (default 1) parallelises the distance ladder: levels
+    [k .. k+jobs-1] are probed speculatively on worker domains (at
+    most the hardware core count; [jobs] always sets the speculation
+    window), each on a {!Sat.Solver.clone} of the shared encoding.
+    The committed relational distance is the exact minimum for every
+    [jobs] value — minimality is decided by level, not arrival order;
+    an UNSAT probe at level [l] retires all levels [<= l] at once.
+    With several equally-minimal repairs the particular witness model
+    may depend on the schedule; {!run_all} enumerates the full
+    jobs-invariant set.
+
+    [token] supports cooperative cancellation (backend portfolio):
+    when cancelled, solvers are interrupted and the result is
+    [Error "interrupted"]. *)
 
 val run_all :
-  ?max_distance:int -> ?limit:int -> Space.t -> (success list, string) result
+  ?max_distance:int ->
+  ?limit:int ->
+  ?jobs:int ->
+  ?token:Parallel.Pool.token ->
+  Space.t ->
+  (success list, string) result
 (** All distinct minimal repairs (every consistent instance at the
-    optimal distance), up to [limit] (default 16). The empty list
-    means consistency cannot be restored. This realises the workflow
-    the paper's §4 sketches for the multidirectional Echo: "when
+    optimal distance), up to [limit] (default 16), in a canonical
+    deterministic order (sorted on the serialized repair, independent
+    of discovery order and of [jobs]). The empty list means
+    consistency cannot be restored. This realises the workflow the
+    paper's §4 sketches for the multidirectional Echo: "when
     inconsistencies are found, [users] select which models are to be
     updated" — and here, also which of the equally-minimal repairs to
-    take. *)
+    take.
+
+    With [jobs >= 2] the minimal distance is found by the parallel
+    ladder of {!run} and the enumeration is sharded across workers by
+    disjoint sign-pattern cubes over the first change literals, with
+    purely clone-local blocking clauses, merged through the hash-set
+    dedup. The returned set equals the serial one whenever the number
+    of distinct minimal repairs is at most [limit] (each shard applies
+    [limit] locally before the global cap, so an overfull result may
+    select a different — still canonical-least — subset). *)

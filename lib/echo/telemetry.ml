@@ -81,6 +81,7 @@ let solver_json (st : Sat.Solver.stats) =
 
 type t = {
   backend : string;
+  jobs : int;
   translation : Relog.Translate.stats;
   solver : Sat.Solver.stats;
   solver_calls : int;
@@ -90,6 +91,8 @@ type t = {
   cardinality_inputs : int;
   cardinality_aux_vars : int;
   cardinality_clauses : int;
+  cardinality_saved_vars : int;
+  cardinality_saved_clauses : int;
   total_time : float;
 }
 
@@ -97,6 +100,7 @@ let to_json t =
   Obj
     [
       ("backend", String t.backend);
+      ("jobs", Int t.jobs);
       ( "translation",
         Obj
           [
@@ -123,6 +127,8 @@ let to_json t =
             ("inputs", Int t.cardinality_inputs);
             ("aux_vars", Int t.cardinality_aux_vars);
             ("clauses", Int t.cardinality_clauses);
+            ("saved_vars", Int t.cardinality_saved_vars);
+            ("saved_clauses", Int t.cardinality_saved_clauses);
           ] );
       ("total_time_s", Float t.total_time);
     ]
@@ -130,6 +136,7 @@ let to_json t =
 let pp ppf t =
   let tr = t.translation in
   Format.fprintf ppf "@[<v>backend: %s" t.backend;
+  if t.jobs > 1 then Format.fprintf ppf " (jobs: %d)" t.jobs;
   Format.fprintf ppf
     "@,translation: %d vars (%d primary), %d clauses, %d relations, %.3f ms"
     tr.Relog.Translate.vars tr.Relog.Translate.primary_vars
@@ -138,6 +145,9 @@ let pp ppf t =
   Format.fprintf ppf
     "@,cardinality: %d inputs, %d aux vars, %d clauses"
     t.cardinality_inputs t.cardinality_aux_vars t.cardinality_clauses;
+  if t.cardinality_saved_vars > 0 || t.cardinality_saved_clauses > 0 then
+    Format.fprintf ppf " (cap saved %d vars, %d clauses)"
+      t.cardinality_saved_vars t.cardinality_saved_clauses;
   Format.fprintf ppf "@,solve: %d calls, %.3f ms" t.solver_calls
     (t.solve_time *. 1000.);
   if t.distance_levels <> [] then begin

@@ -10,10 +10,14 @@
 
 type t = {
   backend : string;  (** ["iterative"] or ["maxsat"] *)
+  jobs : int;  (** requested parallelism of the run (1 = serial) *)
   translation : Relog.Translate.stats;
   solver : Sat.Solver.stats;
+      (** for parallel runs: counters summed over all worker clones *)
   solver_calls : int;  (** SAT [solve] calls made by the repair loop *)
-  solve_time : float;  (** wall seconds spent solving *)
+  solve_time : float;
+      (** wall seconds spent solving; for parallel runs the sum over
+          workers (aggregate solver effort, not elapsed wall time) *)
   distance_levels : (int * int) list;
       (** iterative backend: [(distance bound, solver calls at that
           bound)] in search order; empty for the MaxSAT backend *)
@@ -23,6 +27,10 @@ type t = {
   cardinality_inputs : int;  (** change literals (weight-expanded) *)
   cardinality_aux_vars : int;  (** totalizer variables *)
   cardinality_clauses : int;  (** totalizer clauses *)
+  cardinality_saved_vars : int;
+      (** variables avoided by the k-bounded totalizer truncation *)
+  cardinality_saved_clauses : int;
+      (** clauses avoided by the k-bounded totalizer truncation *)
   total_time : float;  (** wall seconds for the whole repair *)
 }
 

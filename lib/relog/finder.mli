@@ -17,6 +17,21 @@ val prepare : Bounds.t -> Ast.formula list -> t
 val translation : t -> Translate.t
 val solver : t -> Sat.Solver.t
 
+val clone_solver : t -> Sat.Solver.t
+(** {!Sat.Solver.clone} of the backend solver: an independent solver
+    over the same encoding (same variable numbering, so the
+    translation's primary-variable maps decode its models). Worker
+    domains each take a clone and solve concurrently; the translation
+    itself is only read after {!prepare}, which is safe. *)
+
+val interrupt : t -> unit
+(** {!Sat.Solver.interrupt} on the backend solver (not on clones). *)
+
+val decode_with : t -> (Sat.Lit.var -> bool) -> Instance.t
+(** Decode an instance from an explicit model valuation — typically
+    [Sat.Solver.value clone] for a clone obtained from
+    {!clone_solver}. Read-only on the finder, safe from any domain. *)
+
 type outcome =
   | Sat of Instance.t
   | Unsat

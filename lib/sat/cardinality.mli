@@ -13,12 +13,24 @@
 
 type t
 
-val build : Solver.t -> Lit.t list -> t
+val build : ?cap:int -> Solver.t -> Lit.t list -> t
 (** Encode the totalizer tree for these inputs. O(n log n) auxiliary
-    variables and O(n²) clauses. *)
+    variables and O(n²) clauses.
+
+    [?cap] builds the k-bounded variant: callers that will never ask
+    for a bound above [cap] (e.g. a repair search with a distance
+    cap) get every unary counter truncated at [cap + 1] outputs —
+    counts beyond the cap are detected but not distinguished — which
+    drops aux variables and merge clauses; the savings are reported
+    by {!saved_vars}/{!saved_clauses}. Bounds above [cap] are then
+    rejected by {!at_most}/{!assert_at_most}/{!output}. *)
 
 val count : t -> int
 (** Number of inputs [n]. *)
+
+val cap : t -> int
+(** Largest bound the encoding can express ([n - 1] when built
+    without [?cap]). *)
 
 val aux_vars : t -> int
 (** Auxiliary solver variables allocated by {!build} for this
@@ -26,6 +38,13 @@ val aux_vars : t -> int
 
 val aux_clauses : t -> int
 (** Solver clauses added by {!build} for this totalizer. *)
+
+val saved_vars : t -> int
+(** Auxiliary variables the [?cap] truncation avoided relative to the
+    full-width build (0 when built uncapped). *)
+
+val saved_clauses : t -> int
+(** Merge clauses the [?cap] truncation avoided. *)
 
 val output : t -> int -> Lit.t
 (** [output t k] (1-based, [1 <= k <= count t]) is [oₖ]: true when at

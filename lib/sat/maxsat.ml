@@ -10,6 +10,8 @@ type t = {
   mutable soft_clauses : int;  (* database clauses added by [add_soft] *)
   mutable aux_clauses : int;  (* totalizer clauses added by [solve] *)
   mutable aux_vars : int;  (* totalizer variables added by [solve] *)
+  mutable saved_vars : int;  (* avoided by the k-bounded truncation *)
+  mutable saved_clauses : int;
 }
 
 let create () =
@@ -21,6 +23,8 @@ let create () =
     soft_clauses = 0;
     aux_clauses = 0;
     aux_vars = 0;
+    saved_vars = 0;
+    saved_clauses = 0;
   }
 
 let of_solver solver =
@@ -32,6 +36,8 @@ let of_solver solver =
     soft_clauses = 0;
     aux_clauses = 0;
     aux_vars = 0;
+    saved_vars = 0;
+    saved_clauses = 0;
   }
 
 let solver t = t.solver
@@ -69,16 +75,22 @@ let solve t =
   | Solver.Unsat -> Hard_unsat
   | Solver.Sat ->
     snapshot t;
-    if t.relax = [] then Optimum 0
+    let cost0 = snapshot_cost t in
+    if t.relax = [] || cost0 = 0 then Optimum 0
     else begin
       (* Weighted inputs expand into [weight] copies, so totalizer
-         outputs count total weight. *)
+         outputs count total weight. The descent only ever probes
+         bounds below the initial cost, so the totalizer can be
+         k-bounded there — a large saving when the first model is
+         already near-optimal. *)
       let inputs =
         List.concat_map (fun (r, w) -> List.init w (fun _ -> r)) t.relax
       in
-      let card = Cardinality.build t.solver inputs in
+      let card = Cardinality.build ~cap:(cost0 - 1) t.solver inputs in
       t.aux_clauses <- t.aux_clauses + Cardinality.aux_clauses card;
       t.aux_vars <- t.aux_vars + Cardinality.aux_vars card;
+      t.saved_vars <- t.saved_vars + Cardinality.saved_vars card;
+      t.saved_clauses <- t.saved_clauses + Cardinality.saved_clauses card;
       (* SAT-driven descent from the initial model's cost: each SAT
          tightens the bound, the final UNSAT proves optimality. *)
       let rec descend best =
@@ -93,7 +105,7 @@ let solve t =
             let cost = snapshot_cost t in
             descend (min cost (best - 1))
       in
-      descend (snapshot_cost t)
+      descend cost0
     end
 
 let value t v = v < Array.length t.model && t.model.(v)
@@ -105,6 +117,8 @@ type clause_counts = {
   soft : int;
   aux : int;
   aux_vars : int;
+  saved_vars : int;
+  saved_clauses : int;
 }
 
 let clause_counts t =
@@ -113,4 +127,6 @@ let clause_counts t =
     soft = t.soft_clauses;
     aux = t.aux_clauses;
     aux_vars = t.aux_vars;
+    saved_vars = t.saved_vars;
+    saved_clauses = t.saved_clauses;
   }

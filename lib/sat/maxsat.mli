@@ -54,6 +54,10 @@ type clause_counts = {
   soft : int;  (** relaxed soft clauses in the database *)
   aux : int;  (** totalizer clauses added by {!solve} *)
   aux_vars : int;  (** totalizer variables added by {!solve} *)
+  saved_vars : int;
+      (** totalizer variables avoided by k-bounding at the initial
+          model's cost *)
+  saved_clauses : int;  (** totalizer clauses avoided likewise *)
 }
 
 val clause_counts : t -> clause_counts

@@ -39,6 +39,7 @@ module Vec = struct
   let set v i x = v.data.(i) <- x
   let size v = v.size
   let shrink v n = v.size <- n
+  let copy v = { data = Array.copy v.data; size = v.size; dummy = v.dummy }
 end
 
 type t = {
@@ -59,6 +60,7 @@ type t = {
   (* branching *)
   mutable activity : float array;
   mutable var_inc : float;
+  mutable cla_inc : float;
   mutable heap : int array;  (* binary max-heap of vars *)
   mutable heap_size : int;
   mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
@@ -66,6 +68,9 @@ type t = {
   mutable nvars : int;
   mutable ok : bool;  (* false once the clause set is unsat at level 0 *)
   mutable conflict_core : int list;  (* assumption literals of the last final conflict *)
+  (* cooperative interruption: set from another domain, checked at the
+     top of the CDCL loop *)
+  stop : bool Atomic.t;
   (* statistics *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -93,6 +98,7 @@ let create () =
     qhead = 0;
     activity = Array.make 1 0.0;
     var_inc = 1.0;
+    cla_inc = 1.0;
     heap = Array.make 1 0;
     heap_size = 0;
     heap_pos = Array.make 1 (-1);
@@ -100,6 +106,7 @@ let create () =
     nvars = 0;
     ok = true;
     conflict_core = [];
+    stop = Atomic.make false;
     n_decisions = 0;
     n_propagations = 0;
     n_conflicts = 0;
@@ -305,7 +312,6 @@ let propagate s =
 
 let var_decay = 0.95
 let clause_decay = 0.999
-let cla_inc = ref 1.0
 
 let bump_var s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
@@ -319,10 +325,10 @@ let bump_var s v =
 
 let decay_activities s =
   s.var_inc <- s.var_inc /. var_decay;
-  cla_inc := !cla_inc /. clause_decay
+  s.cla_inc <- s.cla_inc /. clause_decay
 
-let bump_clause (c : clause) =
-  c.activity <- c.activity +. !cla_inc;
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
   if c.activity > 1e20 then c.activity <- c.activity *. 1e-20
 
 (* ----------------------------------------------------------------- *)
@@ -387,7 +393,7 @@ let analyze s confl =
   let confl = ref confl in
   let continue = ref true in
   while !continue do
-    bump_clause !confl;
+    bump_clause s !confl;
     let lits = !confl.lits in
     let start = if !p = -1 then 0 else 1 in
     for j = start to Array.length lits - 1 do
@@ -496,7 +502,7 @@ let record_learnt s learnt btlevel =
     arr.(1) <- arr.(!max_i);
     arr.(!max_i) <- tmp;
     let c = { lits = arr; learnt = true; activity = 0.0; removed = false } in
-    bump_clause c;
+    bump_clause s c;
     Vec.push s.learnts c;
     s.n_learnt_total <- s.n_learnt_total + 1;
     attach_clause s c;
@@ -562,15 +568,20 @@ let pick_branch_var s =
 
 (* Process-wide cumulative counters across every solver instance, so
    callers that create many solvers (bench experiments, enumeration
-   loops) can still measure total search effort by snapshot/diff. *)
-let g_decisions = ref 0
-let g_propagations = ref 0
-let g_conflicts = ref 0
-let g_restarts = ref 0
-let g_reduces = ref 0
-let g_learnt = ref 0
-let g_solves = ref 0
-let g_time = ref 0.0
+   loops) can still measure total search effort by snapshot/diff.
+   Atomics: solver instances run concurrently on worker domains. *)
+let g_decisions = Atomic.make 0
+let g_propagations = Atomic.make 0
+let g_conflicts = Atomic.make 0
+let g_restarts = Atomic.make 0
+let g_reduces = Atomic.make 0
+let g_learnt = Atomic.make 0
+let g_solves = Atomic.make 0
+let g_time = Atomic.make 0.0
+
+exception Interrupted
+
+let interrupt s = Atomic.set s.stop true
 
 let solve_inner ~assumptions s =
   s.conflict_core <- [];
@@ -589,6 +600,13 @@ let solve_inner ~assumptions s =
          cancel_until s 0;
          (try
             while true do
+              if Atomic.get s.stop then begin
+                (* Leave the solver reusable: clear the flag and return
+                   to the root level before unwinding. *)
+                Atomic.set s.stop false;
+                cancel_until s 0;
+                raise Interrupted
+              end;
               (try
                  propagate s;
                  (* No conflict: decide. *)
@@ -669,19 +687,22 @@ let solve ?(assumptions = []) s =
   and r0 = s.n_restarts
   and rd0 = s.n_reduces
   and l0 = s.n_learnt_total in
-  let result = solve_inner ~assumptions s in
-  let dt = Telemetry.now () -. t0 in
-  s.n_solves <- s.n_solves + 1;
-  s.solve_time <- s.solve_time +. dt;
-  g_decisions := !g_decisions + (s.n_decisions - d0);
-  g_propagations := !g_propagations + (s.n_propagations - p0);
-  g_conflicts := !g_conflicts + (s.n_conflicts - c0);
-  g_restarts := !g_restarts + (s.n_restarts - r0);
-  g_reduces := !g_reduces + (s.n_reduces - rd0);
-  g_learnt := !g_learnt + (s.n_learnt_total - l0);
-  g_solves := !g_solves + 1;
-  g_time := !g_time +. dt;
-  result
+  (* The finally block also runs when the solve is interrupted: the
+     effort spent before the interrupt still counts. *)
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Telemetry.now () -. t0 in
+      s.n_solves <- s.n_solves + 1;
+      s.solve_time <- s.solve_time +. dt;
+      ignore (Atomic.fetch_and_add g_decisions (s.n_decisions - d0));
+      ignore (Atomic.fetch_and_add g_propagations (s.n_propagations - p0));
+      ignore (Atomic.fetch_and_add g_conflicts (s.n_conflicts - c0));
+      ignore (Atomic.fetch_and_add g_restarts (s.n_restarts - r0));
+      ignore (Atomic.fetch_and_add g_reduces (s.n_reduces - rd0));
+      ignore (Atomic.fetch_and_add g_learnt (s.n_learnt_total - l0));
+      ignore (Atomic.fetch_and_add g_solves 1);
+      Telemetry.add_float g_time dt)
+    (fun () -> solve_inner ~assumptions s)
 
 let value s v = if v < s.nvars then s.assign.(v) = 1 else false
 
@@ -714,25 +735,25 @@ let stats s =
 
 let global_stats () =
   {
-    decisions = !g_decisions;
-    propagations = !g_propagations;
-    conflicts = !g_conflicts;
-    restarts = !g_restarts;
-    learnt = !g_learnt;
-    reduces = !g_reduces;
-    solves = !g_solves;
-    solve_time = !g_time;
+    decisions = Atomic.get g_decisions;
+    propagations = Atomic.get g_propagations;
+    conflicts = Atomic.get g_conflicts;
+    restarts = Atomic.get g_restarts;
+    learnt = Atomic.get g_learnt;
+    reduces = Atomic.get g_reduces;
+    solves = Atomic.get g_solves;
+    solve_time = Atomic.get g_time;
   }
 
 let reset_global_stats () =
-  g_decisions := 0;
-  g_propagations := 0;
-  g_conflicts := 0;
-  g_restarts := 0;
-  g_reduces := 0;
-  g_learnt := 0;
-  g_solves := 0;
-  g_time := 0.0
+  Atomic.set g_decisions 0;
+  Atomic.set g_propagations 0;
+  Atomic.set g_conflicts 0;
+  Atomic.set g_restarts 0;
+  Atomic.set g_reduces 0;
+  Atomic.set g_learnt 0;
+  Atomic.set g_solves 0;
+  Atomic.set g_time 0.0
 
 let pp_stats ppf st =
   Format.fprintf ppf
@@ -740,3 +761,74 @@ let pp_stats ppf st =
      learnt %d; reduces %d; solve time %.3f ms@]"
     st.solves st.decisions st.propagations st.conflicts st.restarts st.learnt
     st.reduces (st.solve_time *. 1000.)
+
+(* ----------------------------------------------------------------- *)
+(* Cloning                                                             *)
+
+(* Snapshot [s] into an independent solver: problem clauses, learnt
+   clauses, the level-0 trail and the VSIDS/phase state all carry
+   over, so a clone resumes with everything the original has already
+   deduced. Must be called between solves (the original at rest, not
+   mid-search); the original is only read.
+
+   Invariants restored on the copy:
+   - clause literal arrays are copied, so watch positions 0/1 — and
+     with them the two-watch invariant — carry over; watch lists are
+     rebuilt in database order;
+   - reasons are dropped: after [cancel_until 0] only level-0
+     assignments remain, and neither [analyze] nor [analyze_final]
+     ever dereferences a level-0 reason;
+   - the level-0 trail segment is propagation-closed (every level-0
+     literal was processed through [propagate] while at level 0), so
+     [qhead] can start at the trail end. *)
+let clone s =
+  let copy_vec_of_clauses v =
+    let out = Vec.create dummy_clause in
+    for i = 0 to Vec.size v - 1 do
+      let c = Vec.get v i in
+      Vec.push out { c with lits = Array.copy c.lits }
+    done;
+    out
+  in
+  let t =
+    {
+      clauses = copy_vec_of_clauses s.clauses;
+      learnts = copy_vec_of_clauses s.learnts;
+      watches = Array.init (Array.length s.watches) (fun _ -> Vec.create dummy_clause);
+      assign = Array.copy s.assign;
+      level = Array.copy s.level;
+      reason = Array.make (Array.length s.reason) None;
+      phase = Array.copy s.phase;
+      trail = Vec.copy s.trail;
+      trail_lim = Vec.copy s.trail_lim;
+      qhead = 0;
+      activity = Array.copy s.activity;
+      var_inc = s.var_inc;
+      cla_inc = s.cla_inc;
+      heap = Array.copy s.heap;
+      heap_size = s.heap_size;
+      heap_pos = Array.copy s.heap_pos;
+      seen = Array.make (Array.length s.seen) false;
+      nvars = s.nvars;
+      ok = s.ok;
+      conflict_core = [];
+      stop = Atomic.make false;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_conflicts = 0;
+      n_restarts = 0;
+      n_reduces = 0;
+      n_learnt_total = 0;
+      n_solves = 0;
+      solve_time = 0.0;
+    }
+  in
+  for i = 0 to Vec.size t.clauses - 1 do
+    attach_clause t (Vec.get t.clauses i)
+  done;
+  for i = 0 to Vec.size t.learnts - 1 do
+    attach_clause t (Vec.get t.learnts i)
+  done;
+  cancel_until t 0;
+  t.qhead <- Vec.size t.trail;
+  t

@@ -30,7 +30,26 @@ type result =
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve under the given assumption literals. The solver is
     incremental: more clauses and variables may be added after a call
-    and [solve] called again. *)
+    and [solve] called again.
+    @raise Interrupted if {!interrupt} was called while solving; the
+    solver stays usable (backtracked to the root level, flag cleared)
+    and [solve] may simply be called again. *)
+
+exception Interrupted
+
+val interrupt : t -> unit
+(** Ask a running [solve] to stop at its next CDCL iteration. Safe to
+    call from any domain; a flag set while no solve is running makes
+    the next solve raise immediately. Cheap (one atomic store). *)
+
+val clone : t -> t
+(** An independent snapshot of the solver: problem clauses, learnt
+    clauses, level-0 assignments and VSIDS/phase heuristic state all
+    carry over, so the clone resumes with everything the original
+    already deduced. The original is only read, so several clones may
+    be taken concurrently — but only while the original is at rest
+    (between solves, as for {!add_clause}). The clone starts with
+    fresh per-instance {!stats} and no pending {!interrupt}. *)
 
 val value : t -> Lit.var -> bool
 (** Value of a variable in the model found by the last [solve] that

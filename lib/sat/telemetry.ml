@@ -5,21 +5,32 @@ let time f =
   let r = f () in
   (r, now () -. t0)
 
+(* Lock-free float accumulation: floats have no fetch-and-add, so CAS
+   until the addition lands. Contention is low (a handful of worker
+   domains recording coarse spans). *)
+let add_float cell dt =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. dt)) then go ()
+  in
+  go ()
+
 type span = {
-  mutable seconds : float;
-  mutable events : int;
+  span_seconds : float Atomic.t;
+  span_events : int Atomic.t;
 }
 
-let span () = { seconds = 0.0; events = 0 }
+let span () = { span_seconds = Atomic.make 0.0; span_events = Atomic.make 0 }
 
 let record sp dt =
-  sp.seconds <- sp.seconds +. dt;
-  sp.events <- sp.events + 1
+  add_float sp.span_seconds dt;
+  Atomic.incr sp.span_events
 
 let timed sp f =
-  let r, dt = time f in
-  record sp dt;
-  r
+  (* Record even when [f] raises: interruption of a solve must not
+     lose the time it burned. *)
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> record sp (now () -. t0)) f
 
-let seconds sp = sp.seconds
-let events sp = sp.events
+let seconds sp = Atomic.get sp.span_seconds
+let events sp = Atomic.get sp.span_events

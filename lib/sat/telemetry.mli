@@ -13,10 +13,20 @@ val time : (unit -> 'a) -> 'a * float
     time in seconds. *)
 
 type span
-(** An accumulator of timed events: total seconds and event count. *)
+(** An accumulator of timed events: total seconds and event count.
+    Domain-safe: the counters are atomics, so worker domains may
+    record into one shared span concurrently. *)
 
 val span : unit -> span
 val record : span -> float -> unit
+
 val timed : span -> (unit -> 'a) -> 'a
+(** Runs [f], recording its wall time — also when [f] raises (an
+    interrupted solve must not lose the time it burned). *)
+
 val seconds : span -> float
 val events : span -> int
+
+val add_float : float Atomic.t -> float -> unit
+(** Lock-free [cell <- cell + dt] via a CAS loop; shared by every
+    float accumulator in the stack that domains update concurrently. *)

@@ -12,6 +12,7 @@ let () =
       ("mdl.serialize", Test_serialize.suite);
       ("mdl.serialize_random", Test_serialize_random.suite);
       ("sat.solver", Test_sat.suite);
+      ("parallel", Test_parallel.suite);
       ("sat.circuit", Test_circuit.suite);
       ("sat.cardinality", Test_cardinality.suite);
       ("sat.maxsat", Test_maxsat.suite);
