@@ -569,6 +569,244 @@ let bechamel_suite () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E9/E10: incremental sessions (lib/incr) vs from-scratch runs.
+   These two emit the per-step records of BENCH_3.json: E9 replays an
+   edit script and compares every warm recheck against a cold one; E10
+   runs the repair loop (edit -> rerepair -> commit) and compares each
+   rerepair against a fresh Engine.enforce_all over the same state. *)
+
+module Sess = Incr.Session
+
+let step_stats_json (s : Sess.step_stats) =
+  Echo.Telemetry.Obj
+    [
+      ("wall_time_s", Echo.Telemetry.Float s.Sess.wall);
+      ("solver_calls", Echo.Telemetry.Int s.Sess.solver_calls);
+      ("conflicts", Echo.Telemetry.Int s.Sess.conflicts);
+      ("propagations", Echo.Telemetry.Int s.Sess.propagations);
+      ("decisions", Echo.Telemetry.Int s.Sess.decisions);
+      ("translated", Echo.Telemetry.Bool s.Sess.translated);
+    ]
+
+(* The E9/E10 base state: ten features, three mandatory, two
+   configurations agreeing exactly on the mandatory core. Both truth
+   values and every feature name appear in the initial state, so
+   single-attribute edits never force a re-encode. *)
+let incr_pool = G.feature_names 10
+let incr_mandatory = [ "F1"; "F2"; "F3" ]
+
+let incr_base () =
+  let fm =
+    F.feature_model ~name:"fm"
+      (List.map (fun n -> (n, List.mem n incr_mandatory)) incr_pool)
+  in
+  let cfs =
+    [
+      F.configuration ~name:"cf1" (incr_mandatory @ [ "F4" ]);
+      F.configuration ~name:"cf2" (incr_mandatory @ [ "F5" ]);
+    ]
+  in
+  (cfs, fm)
+
+let e9 () =
+  section "E9" "incremental recheck: edit replay, warm vs from-scratch";
+  let cfs, fm = incr_base () in
+  let base = F.bind ~cfs ~fm in
+  (* snapshots keep the pool's object order, so a single flag flip
+     diffs to a single Set_attr edit *)
+  let fm_with flips =
+    F.feature_model ~name:"fm"
+      (List.map
+         (fun n ->
+           let m = List.mem n incr_mandatory in
+           (n, if List.mem n flips then not m else m))
+         incr_pool)
+  in
+  let fm_key = I.make "fm" in
+  let snapshots =
+    [
+      ("flip F4 mandatory", [ (fm_key, fm_with [ "F4" ]) ]);
+      ("flip F4 back", [ (fm_key, fm_with []) ]);
+      ("flip F10 mandatory", [ (fm_key, fm_with [ "F10" ]) ]);
+      ("flip F10 back", [ (fm_key, fm_with []) ]);
+      ("flip F5 mandatory", [ (fm_key, fm_with [ "F5" ]) ]);
+      ("flip F5 back", [ (fm_key, fm_with []) ]);
+      (* the honest counterpoint: a bulk rewrite flips every flag, so
+         almost no assumption prefix survives and warm ~ scratch *)
+      ("bulk flip all", [ (fm_key, fm_with incr_pool) ]);
+    ]
+  in
+  let steps = Incr.Replay.steps_of_snapshots ~base snapshots in
+  let records =
+    match
+      Incr.Replay.run ~transformation:(F.transformation ~k:2)
+        ~metamodels:F.metamodels ~models:base
+        ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ])
+        steps
+    with
+    | Ok rs -> rs
+    | Error e -> failwith ("E9: " ^ e)
+  in
+  Format.printf "%-20s %5s %5s  %10s %10s %10s %10s@." "step" "edits" "match"
+    "warm c+p" "cold c+p" "warm ms" "cold ms";
+  List.iter
+    (fun (r : Incr.Replay.step_record) ->
+      let cp (s : Sess.step_stats) = s.Sess.conflicts + s.Sess.propagations in
+      Format.printf "%-20s %5d %5s  %10d %10d %10.2f %10.2f@."
+        r.Incr.Replay.sr_label r.Incr.Replay.sr_edits
+        (if r.Incr.Replay.sr_verdicts_match then "yes" else "NO")
+        (cp r.Incr.Replay.sr_session)
+        (cp r.Incr.Replay.sr_scratch)
+        (r.Incr.Replay.sr_session.Sess.wall *. 1000.)
+        (r.Incr.Replay.sr_scratch.Sess.wall *. 1000.))
+    records;
+  List.map
+    (fun (r : Incr.Replay.step_record) ->
+      Echo.Telemetry.Obj
+        [
+          ("experiment", Echo.Telemetry.String "E9");
+          ("step", Echo.Telemetry.String r.Incr.Replay.sr_label);
+          ("edits", Echo.Telemetry.Int r.Incr.Replay.sr_edits);
+          ("rebuilt", Echo.Telemetry.Bool r.Incr.Replay.sr_rebuilt);
+          ("verdict_match", Echo.Telemetry.Bool r.Incr.Replay.sr_verdicts_match);
+          ("session", step_stats_json r.Incr.Replay.sr_session);
+          ("scratch", step_stats_json r.Incr.Replay.sr_scratch);
+        ])
+    records
+
+(* Canonical serialization of a repair menu restricted to the target
+   models, for cross-checking session and engine menus. *)
+let menu_keys tgts model_lists =
+  List.map
+    (fun models ->
+      models
+      |> List.filter (fun (p, _) -> Mdl.Ident.Set.mem p tgts)
+      |> List.map (fun (p, m) -> (I.name p, Mdl.Serialize.model_to_string m))
+      |> List.sort compare
+      |> List.concat_map (fun (n, s) -> [ n; s ])
+      |> String.concat "\x00")
+    model_lists
+  |> List.sort_uniq compare
+
+let e10 ~jobs =
+  section "E10" "incremental rerepair: repair loop vs fresh enforce_all";
+  let cfs, fm = incr_base () in
+  let trans = F.transformation ~k:2 in
+  let targets = Echo.Target.of_list [ "cf1"; "cf2" ] in
+  let sess =
+    match
+      Sess.open_session ~transformation:trans ~metamodels:F.metamodels
+        ~models:(F.bind ~cfs ~fm) ~targets ()
+    with
+    | Ok s -> s
+    | Error e -> failwith ("E10: " ^ e)
+  in
+  let feature = I.make "Feature" in
+  let name_attr = I.make "name" in
+  let mand_attr = I.make "mandatory" in
+  let set_mand id v =
+    Mdl.Edit.Set_attr
+      {
+        id;
+        attr = mand_attr;
+        before = [ Mdl.Value.Bool (not v) ];
+        after = [ Mdl.Value.Bool v ];
+      }
+  in
+  (* cf objects are positional: mandatory core first, extra last; fm
+     objects follow the F1..F10 pool order *)
+  let steps =
+    [
+      ("cf2 drops F1", [ (I.make "cf2", [ Mdl.Edit.Delete_object { id = 0 } ]) ]);
+      ("F6 made mandatory", [ (I.make "fm", [ set_mand 5 true ]) ]);
+      ( "cf1 selects unknown G1",
+        [
+          ( I.make "cf1",
+            [
+              Mdl.Edit.Add_object { id = 9; cls = feature };
+              Mdl.Edit.Set_attr
+                {
+                  id = 9;
+                  attr = name_attr;
+                  before = [];
+                  after = [ Mdl.Value.Str "G1" ];
+                };
+            ] );
+        ] );
+      ("cf2 drops F2", [ (I.make "cf2", [ Mdl.Edit.Delete_object { id = 1 } ]) ]);
+    ]
+  in
+  Format.printf "%-22s %5s %6s %6s  %10s %10s@." "step" "menu" "match" "dist"
+    "warm ms" "engine ms";
+  List.map
+    (fun (label, batch) ->
+      (match Sess.apply_edits sess batch with
+      | Ok () -> ()
+      | Error e -> failwith ("E10 " ^ label ^ ": " ^ e));
+      let rebuilds0 = Sess.rebuilds sess in
+      let rep =
+        match Sess.rerepair ~limit:16 sess with
+        | Ok r -> r
+        | Error e -> failwith ("E10 " ^ label ^ ": " ^ e)
+      in
+      let outcomes, engine_wall =
+        time_it (fun () ->
+            match
+              Echo.Engine.enforce_all ~limit:16 ~jobs
+                ~slack_objects:(Sess.slack_budget sess)
+                ~extra_values:(Sess.value_universe sess) trans
+                ~metamodels:F.metamodels ~models:(Sess.models sess) ~targets
+            with
+            | Ok o -> o
+            | Error e -> failwith ("E10 " ^ label ^ ": " ^ e))
+      in
+      let menu_sess, menu_eng, distance =
+        match (rep.Sess.outcome, outcomes) with
+        | Sess.Repaired reps, outs ->
+          ( menu_keys targets (List.map (fun r -> r.Sess.r_models) reps),
+            menu_keys targets
+              (List.filter_map
+                 (function
+                   | Echo.Engine.Enforced r -> Some r.Echo.Engine.repaired
+                   | _ -> None)
+                 outs),
+            (match reps with
+            | r :: _ -> r.Sess.r_relational_distance
+            | [] -> -1) )
+        | Sess.Already_consistent, [ Echo.Engine.Already_consistent ] ->
+          ([], [], 0)
+        | Sess.Cannot_restore, [ Echo.Engine.Cannot_restore ] -> ([], [], -1)
+        | _ -> failwith ("E10 " ^ label ^ ": outcome shapes disagree")
+      in
+      let menus_match = menu_sess = menu_eng in
+      Format.printf "%-22s %5d %6s %6d  %10.2f %10.2f@." label
+        (List.length menu_sess)
+        (if menus_match then "yes" else "NO")
+        distance
+        (rep.Sess.repair_stats.Sess.wall *. 1000.)
+        (engine_wall *. 1000.);
+      (* land the first repair so the next step edits a consistent
+         state, as an editor session would *)
+      (match rep.Sess.outcome with
+      | Sess.Repaired (r :: _) -> (
+        match Sess.commit sess r with
+        | Ok () -> ()
+        | Error e -> failwith ("E10 " ^ label ^ ": " ^ e))
+      | _ -> ());
+      Echo.Telemetry.Obj
+        [
+          ("experiment", Echo.Telemetry.String "E10");
+          ("step", Echo.Telemetry.String label);
+          ("rebuilt", Echo.Telemetry.Bool (Sess.rebuilds sess > rebuilds0));
+          ("menu_match", Echo.Telemetry.Bool menus_match);
+          ("menu_size", Echo.Telemetry.Int (List.length menu_sess));
+          ("relational_distance", Echo.Telemetry.Int distance);
+          ("session", step_stats_json rep.Sess.repair_stats);
+          ("engine_wall_s", Echo.Telemetry.Float engine_wall);
+        ])
+    steps
+
+(* ------------------------------------------------------------------ *)
 (* JSON records (the BENCH_*.json perf trajectory)                     *)
 
 let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
@@ -631,12 +869,12 @@ let measure_sweep ~reps sweep exp =
   in
   go None [] sweep
 
-let write_json path records =
+let write_json ?(schema = "mdqvtr-bench/2") path records =
   let body =
     Echo.Telemetry.json_to_string
       (Echo.Telemetry.Obj
          [
-           ("schema", Echo.Telemetry.String "mdqvtr-bench/2");
+           ("schema", Echo.Telemetry.String schema);
            ("records", Echo.Telemetry.List records);
          ])
   in
@@ -661,7 +899,9 @@ let () =
       ("e5", "Horn entailment, linear time (2.3)", fixed e5);
       ("e6", "enforcement shapes (3)", fun ~jobs -> e6 ~jobs);
       ("e7", "least change and backend agreement (3)", fun ~jobs -> e7 ~jobs);
-      ("e8", "scaling", fun ~jobs -> e8 ~jobs) ]
+      ("e8", "scaling", fun ~jobs -> e8 ~jobs);
+      ("e9", "incremental recheck vs from-scratch", fun ~jobs:_ -> ignore (e9 ()));
+      ("e10", "incremental rerepair vs enforce_all", fun ~jobs -> ignore (e10 ~jobs)) ]
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
@@ -719,9 +959,18 @@ let () =
     | a :: rest -> a :: drop_flags rest
     | [] -> []
   in
+  (* the per-step incremental-session records live in their own file,
+     BENCH_3.json (schema mdqvtr-bench/3), next to the --out target *)
+  let write_bench3 () =
+    let path = Filename.concat (Filename.dirname out) "BENCH_3.json" in
+    write_json ~schema:"mdqvtr-bench/3" path (e9 () @ e10 ~jobs:run_jobs)
+  in
   match drop_flags args with
   | [] ->
-    if json then write_json out (List.concat_map (measure_sweep ~reps sweep) experiments)
+    if json then begin
+      write_json out (List.concat_map (measure_sweep ~reps sweep) experiments);
+      write_bench3 ()
+    end
     else begin
       List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
       bechamel_suite ()
@@ -742,5 +991,9 @@ let () =
             exit 2)
         ids
     in
-    if json then write_json out (List.concat_map (measure_sweep ~reps sweep) selected)
+    if json then begin
+      write_json out (List.concat_map (measure_sweep ~reps sweep) selected);
+      if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
+      then write_bench3 ()
+    end
     else List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected

@@ -166,6 +166,68 @@ let run_enforce trans_file mm_file models_file targets standard backend
     2
 
 (* ------------------------------------------------------------------ *)
+(* session: replay an edit script on a long-lived incremental session *)
+
+let run_session trans_file mm_file models_file edits_file targets standard
+    slack headroom stats =
+  match
+    let* trans = Qvtr.Parser.parse (read_file trans_file) in
+    let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
+    let* models = Mdl.Serialize.parse_models mms (read_file models_file) in
+    let metamodels = List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms in
+    let bound = List.map (fun m -> (Mdl.Model.name m, m)) models in
+    let targets =
+      match targets with
+      | [] ->
+        (* default: the fully multidirectional shape — every parameter
+           may change *)
+        Echo.Target.of_list
+          (List.map
+             (fun (p, _) -> Mdl.Ident.name p)
+             trans.Qvtr.Ast.t_params)
+      | ts -> Echo.Target.of_list ts
+    in
+    let* steps =
+      Incr.Replay.parse ~metamodels:mms ~base:bound (read_file edits_file)
+    in
+    Incr.Replay.run ~mode:(mode_of_standard standard) ~slack_budget:slack
+      ~headroom ~transformation:trans ~metamodels ~models:bound ~targets steps
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+  | Ok records ->
+    Format.printf "%-28s %5s %6s %6s %5s  %-26s %-26s@." "step" "edits"
+      "re-enc" "consis" "match" "session (ms/confl/props)"
+      "scratch (ms/confl/props)";
+    let pp_side (s : Incr.Session.step_stats) =
+      Printf.sprintf "%8.2f %6d %9d" (s.Incr.Session.wall *. 1000.)
+        s.Incr.Session.conflicts s.Incr.Session.propagations
+    in
+    List.iter
+      (fun (r : Incr.Replay.step_record) ->
+        Format.printf "%-28s %5d %6s %6s %5s  %-26s %-26s@."
+          r.Incr.Replay.sr_label r.Incr.Replay.sr_edits
+          (if r.Incr.Replay.sr_rebuilt then "yes" else "-")
+          (if r.Incr.Replay.sr_session_consistent then "yes" else "no")
+          (if r.Incr.Replay.sr_verdicts_match then "yes" else "NO")
+          (pp_side r.Incr.Replay.sr_session)
+          (pp_side r.Incr.Replay.sr_scratch))
+      records;
+    if stats then begin
+      let sum f =
+        List.fold_left (fun (a, b) r -> (a + f r.Incr.Replay.sr_session, b + f r.Incr.Replay.sr_scratch)) (0, 0) records
+      in
+      let c_s, c_c = sum (fun s -> s.Incr.Session.conflicts) in
+      let p_s, p_c = sum (fun s -> s.Incr.Session.propagations) in
+      Format.printf
+        "totals: session %d conflicts / %d propagations; from-scratch %d / %d@."
+        c_s p_s c_c p_c
+    end;
+    if List.for_all (fun r -> r.Incr.Replay.sr_verdicts_match) records then 0
+    else 1
+
+(* ------------------------------------------------------------------ *)
 (* traces                                                              *)
 
 let run_traces trans_file mm_file models_file standard =
@@ -222,12 +284,36 @@ let run_demo dir =
     (String.concat "\n\n"
        (List.map (fun (_, m) -> Mdl.Serialize.model_to_string m) models)
     ^ "\n");
+  (* an edit-replay script for `qvtr session`: demote every feature to
+     optional, then restore the original feature model *)
+  let fm_bound =
+    match
+      List.find_opt
+        (fun (p, _) -> Mdl.Ident.equal p (Mdl.Ident.make "fm"))
+        models
+    with
+    | Some (_, m) -> m
+    | None -> assert false
+  in
+  let all_optional =
+    Featuremodel.Fm.feature_model ~name:"fm"
+      (List.map
+         (fun (n, _) -> (n, false))
+         (Featuremodel.Fm.fm_features fm_bound))
+  in
+  write "edits.replay"
+    ("== all features optional\n"
+    ^ Mdl.Serialize.model_to_string all_optional
+    ^ "\n\n== restore the feature model\n"
+    ^ Mdl.Serialize.model_to_string fm_bound
+    ^ "\n");
   Format.printf
-    "wrote %s/{featureconfig.qvtr, metamodels.mdl, models.mdl}@.try:@.  qvtr check -t \
+    "wrote %s/{featureconfig.qvtr, metamodels.mdl, models.mdl, edits.replay}@.try:@.  qvtr check -t \
      %s/featureconfig.qvtr -M %s/metamodels.mdl -m %s/models.mdl@.  qvtr enforce -t \
      %s/featureconfig.qvtr -M %s/metamodels.mdl -m %s/models.mdl --target cf1 \
-     --target cf2@."
-    dir dir dir dir dir dir dir;
+     --target cf2@.  qvtr session -t %s/featureconfig.qvtr -M %s/metamodels.mdl \
+     -m %s/models.mdl --edits %s/edits.replay@."
+    dir dir dir dir dir dir dir dir dir dir dir;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -332,6 +418,44 @@ let enforce_cmd =
       $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg $ stats_arg
       $ out_arg)
 
+let edits_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "edits" ] ~docv:"FILE"
+        ~doc:
+          "Edit-replay script: blocks of models separated by `== <label>' \
+           lines; each block is diffed against the running state to form \
+           one edit batch.")
+
+let session_targets_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "target" ] ~docv:"PARAM"
+        ~doc:
+          "Model parameter the session may repair (repeatable; default: all \
+           parameters).")
+
+let headroom_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "headroom" ]
+        ~doc:
+          "Object creations absorbed by edits before the universe is \
+           re-encoded.")
+
+let session_cmd =
+  let doc =
+    "replay an edit script on a long-lived incremental session, comparing \
+     every re-check against a from-scratch run"
+  in
+  Cmd.v
+    (Cmd.info "session" ~doc)
+    Term.(
+      const run_session $ trans_arg $ mm_arg $ models_arg $ edits_arg
+      $ session_targets_arg $ standard_arg $ slack_arg $ headroom_arg
+      $ stats_arg)
+
 let fmt_cmd =
   let doc = "parse and pretty-print a QVT-R transformation" in
   Cmd.v (Cmd.info "fmt" ~doc) Term.(const run_fmt $ trans_arg)
@@ -353,6 +477,6 @@ let main =
   let doc = "multidirectional QVT-R transformations (EDBT'14 reproduction)" in
   Cmd.group
     (Cmd.info "qvtr" ~version:"1.0.0" ~doc)
-    [ check_cmd; enforce_cmd; traces_cmd; fmt_cmd; demo_cmd ]
+    [ check_cmd; enforce_cmd; session_cmd; traces_cmd; fmt_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,129 @@
+module Ident = Mdl.Ident
+module Model = Mdl.Model
+
+type step = {
+  s_label : string;
+  s_batch : (Ident.t * Mdl.Edit.t list) list;
+}
+
+type step_record = {
+  sr_label : string;
+  sr_edits : int;
+  sr_rebuilt : bool;
+  sr_session_consistent : bool;
+  sr_scratch_consistent : bool;
+  sr_verdicts_match : bool;
+  sr_session : Session.step_stats;
+  sr_scratch : Session.step_stats;
+}
+
+let steps_of_snapshots ~base snapshots =
+  let step_of state (label, snap) =
+    let batch =
+      List.filter_map
+        (fun (p, after) ->
+          match List.assoc_opt p state with
+          | None -> None
+          | Some before -> (
+            match Mdl.Diff.script before after with
+            | [] -> None
+            | edits -> Some (p, edits)))
+        snap
+    in
+    let state =
+      List.map
+        (fun (p, m) ->
+          match List.assoc_opt p snap with Some m' -> (p, m') | None -> (p, m))
+        state
+    in
+    (state, { s_label = label; s_batch = batch })
+  in
+  let _, steps = List.fold_left_map step_of base snapshots in
+  steps
+
+let parse_exn ~metamodels ~base text =
+  let lines = String.split_on_char '\n' text in
+  (* blocks delimited by lines starting with "=="; the marker line's
+     remainder is the label *)
+  let blocks =
+    List.fold_left
+      (fun blocks line ->
+        if String.length line >= 2 && String.sub line 0 2 = "==" then begin
+          let label =
+            String.trim (String.sub line 2 (String.length line - 2))
+          in
+          (label, Buffer.create 256) :: blocks
+        end
+        else begin
+          (match blocks with
+          | (_, buf) :: _ ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n'
+          | [] ->
+            if String.trim line <> "" then
+              failwith "replay script: text before the first == marker");
+          blocks
+        end)
+      [] lines
+    |> List.rev
+  in
+  let snapshots =
+    List.map
+      (fun (label, buf) ->
+        match Mdl.Serialize.parse_models metamodels (Buffer.contents buf) with
+        | Ok ms -> (label, List.map (fun m -> (Model.name m, m)) ms)
+        | Error e -> failwith (Printf.sprintf "step %S: %s" label e))
+      blocks
+  in
+  steps_of_snapshots ~base snapshots
+
+let parse ~metamodels ~base text =
+  match parse_exn ~metamodels ~base text with
+  | steps -> Ok steps
+  | exception Failure msg -> Error msg
+
+let verdicts_match (a : Session.check_report) (b : Session.check_report) =
+  List.length a.Session.verdicts = List.length b.Session.verdicts
+  && List.for_all2
+       (fun (x : Session.verdict) (y : Session.verdict) ->
+         Ident.equal x.Session.v_relation y.Session.v_relation
+         && x.Session.v_direction = y.Session.v_direction
+         && x.Session.v_holds = y.Session.v_holds)
+       a.Session.verdicts b.Session.verdicts
+
+let run ?mode ?slack_budget ?headroom ~transformation ~metamodels ~models
+    ~targets steps =
+  let ( let* ) = Result.bind in
+  let open_fresh models =
+    Session.open_session ?mode ?slack_budget ?headroom ~transformation
+      ~metamodels ~models ~targets ()
+  in
+  let* sess = open_fresh models in
+  (* warm-up: pay the session's own translation before step 1 *)
+  let* _ = Session.recheck sess in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | st :: rest ->
+      let rebuilds0 = Session.rebuilds sess in
+      let* () = Session.apply_edits sess st.s_batch in
+      let* warm = Session.recheck sess in
+      (* the from-scratch baseline: a cold session over the same
+         post-edit models, paying translation plus cold solves *)
+      let* scratch_sess = open_fresh (Session.models sess) in
+      let* scratch = Session.recheck scratch_sess in
+      let record =
+        {
+          sr_label = st.s_label;
+          sr_edits =
+            List.fold_left (fun n (_, es) -> n + List.length es) 0 st.s_batch;
+          sr_rebuilt = Session.rebuilds sess > rebuilds0;
+          sr_session_consistent = warm.Session.consistent;
+          sr_scratch_consistent = scratch.Session.consistent;
+          sr_verdicts_match = verdicts_match warm scratch;
+          sr_session = warm.Session.check_stats;
+          sr_scratch = scratch.Session.check_stats;
+        }
+      in
+      go (record :: acc) rest
+  in
+  go [] steps

@@ -246,10 +246,19 @@ let model_of_param t p = fst (lookup_param t p)
 let metamodel_of_param t p = snd (lookup_param t p)
 let params t = List.map fst t.trans.Ast.t_params
 
+let slack_atom_names t p =
+  Option.value ~default:[] (Ident.Map.find_opt p t.slack)
+
+let has_value t v = Value.Map.mem v t.value_index
+
+let values t = List.map fst (Value.Map.bindings t.value_index)
+
 let atom_idx t name =
   match Ident.Map.find_opt name t.obj_index with
   | Some i -> i
   | None -> invalid_arg (Printf.sprintf "Encode: unknown atom %s" (Ident.name name))
+
+let atom_index = atom_idx
 
 let value_idx t v =
   match Value.Map.find_opt v t.value_index with
@@ -261,9 +270,9 @@ let value_idx t v =
 (* ------------------------------------------------------------------ *)
 (* Exact encoding of models                                            *)
 
-let model_tuples t p model =
-  (* (relation name, tuple) pairs for one model. *)
-  let obj i = atom_idx t (obj_atom_name p i) in
+let tuples_with t p model ~obj =
+  (* (relation name, tuple) pairs for one model, object atoms resolved
+     through [obj]. *)
   let cls_tuples =
     Model.fold_objects
       (fun id cls acc ->
@@ -284,6 +293,24 @@ let model_tuples t p model =
       model []
   in
   cls_tuples @ attr_tuples @ ref_tuples
+
+let model_tuples t p model =
+  tuples_with t p model ~obj:(fun i -> atom_idx t (obj_atom_name p i))
+
+let model_facts t ?atom_of_id ~param model =
+  let p = param in
+  let obj i =
+    match Ident.Map.find_opt (obj_atom_name p i) t.obj_index with
+    | Some idx -> idx
+    | None -> (
+      match Option.bind atom_of_id (fun f -> f i) with
+      | Some a -> atom_idx t a
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Encode.model_facts: no atom for object #%d of %s" i
+             (Ident.name p)))
+  in
+  tuples_with t p model ~obj
 
 (* Relation names that must exist (possibly empty) for a model: every
    class and feature of its metamodel. *)
@@ -483,6 +510,37 @@ let value_atom t v =
 (* ------------------------------------------------------------------ *)
 (* Structural (conformance) formulas for mutable models                *)
 
+let extents_union t p =
+  let mm = metamodel_of_param t p in
+  let concrete =
+    List.filter (fun (c : MM.cls) -> not c.MM.cls_abstract) (MM.classes mm)
+  in
+  let exts = List.map (fun (c : MM.cls) -> RAst.Rel (cls_rel_name p c.MM.cls_name)) concrete in
+  match exts with
+  | [] -> RAst.None_
+  | e :: rest -> List.fold_left (fun acc e -> RAst.Union (acc, e)) e rest
+
+(* Symmetry breaking over the interchangeable slack atoms: the
+   (k+1)-th fresh object may exist only if the k-th does. Prunes
+   isomorphic repairs without excluding any model shape. Exposed as
+   one formula per adjacent pair (in ordinal order) so an incremental
+   session can enable only the pairs over its still-fresh window —
+   atoms already consumed by edits are ordinary objects and must be
+   deletable independently. *)
+let slack_symmetry_formulas t ~param =
+  let p = param in
+  let union_exts = extents_union t p in
+  let slack_atoms = Option.value ~default:[] (Ident.Map.find_opt p t.slack) in
+  let rec slack_chain = function
+    | a :: (b :: _ as rest) ->
+      RAst.implies
+        (RAst.Subset (RAst.Atom b, union_exts))
+        (RAst.Subset (RAst.Atom a, union_exts))
+      :: slack_chain rest
+    | [ _ ] | [] -> []
+  in
+  slack_chain slack_atoms
+
 let mult_formula (m : MM.mult) (e : RAst.expr) : RAst.formula list =
   let lower =
     match m.MM.lower with
@@ -501,7 +559,7 @@ let mult_formula (m : MM.mult) (e : RAst.expr) : RAst.formula list =
   in
   lower @ upper
 
-let structural_formulas t ~param =
+let structural_formulas ?(symmetry = true) t ~param =
   let mm = metamodel_of_param t param in
   let p = param in
   let x = Ident.make "$x" in
@@ -647,33 +705,28 @@ let structural_formulas t ~param =
         RAst.No (RAst.Inter (RAst.Closure contains, RAst.Iden));
       ]
   in
-  (* 6. Symmetry breaking over the interchangeable slack atoms: the
-     (k+1)-th fresh object may exist only if the k-th does. Prunes
-     isomorphic repairs without excluding any model shape. *)
-  let slack_atoms = Option.value ~default:[] (Ident.Map.find_opt p t.slack) in
-  let rec slack_chain = function
-    | a :: (b :: _ as rest) ->
-      RAst.implies
-        (RAst.Subset (RAst.Atom b, union_exts))
-        (RAst.Subset (RAst.Atom a, union_exts))
-      :: slack_chain rest
-    | [ _ ] | [] -> []
+  (* 6. Symmetry breaking over the interchangeable slack atoms (see
+     {!slack_symmetry_formulas}). *)
+  let symmetry_constraints =
+    if symmetry then slack_symmetry_formulas t ~param else []
   in
-  let symmetry_constraints = slack_chain slack_atoms in
   disjointness @ feature_constraints @ domain_constraints @ key_constraints
   @ opposite_constraints @ containment_constraints @ symmetry_constraints
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
 
-let decode_model t inst ~param =
+let decode_model t ?(atom_ids = []) ?first_fresh inst ~param =
   let p = param in
   let model0 = model_of_param t p in
   let mm = metamodel_of_param t p in
   let max_id = List.fold_left max (-1) (Model.objects model0) in
   (* atom index -> chosen object id *)
-  let fresh = ref max_id in
+  let fresh =
+    ref (match first_fresh with Some f -> f - 1 | None -> max_id)
+  in
   let atom_obj_id : (int, Model.obj_id) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (a, id) -> Hashtbl.replace atom_obj_id (atom_idx t a) id) atom_ids;
   let id_of_atom_idx idx =
     match Hashtbl.find_opt atom_obj_id idx with
     | Some id -> id

@@ -51,15 +51,73 @@ val check_instance : t -> Relog.Instance.t
 val bounds : t -> targets:Mdl.Ident.Set.t -> Relog.Bounds.t
 (** Bounds for enforcement: parameters in [targets] are mutable. *)
 
-val structural_formulas : t -> param:Mdl.Ident.t -> Relog.Ast.formula list
+val structural_formulas :
+  ?symmetry:bool -> t -> param:Mdl.Ident.t -> Relog.Ast.formula list
 (** Conformance of a mutable model as relational constraints:
     disjoint class extents, feature domains/ranges, slot
     multiplicities, opposite symmetry, containment (unique container,
-    no cycles). *)
+    no cycles), and — unless [symmetry] is [false] — the slack
+    symmetry chain of {!slack_symmetry_formulas}. *)
 
-val decode_model : t -> Relog.Instance.t -> param:Mdl.Ident.t -> (Mdl.Model.t, string) result
+val slack_symmetry_formulas : t -> param:Mdl.Ident.t -> Relog.Ast.formula list
+(** Symmetry breaking over the interchangeable slack atoms, one
+    formula per adjacent ordinal pair [(k, k+1)] in order: the
+    [(k+1)]-th fresh object may exist only if the [k]-th does.
+    Separated from {!structural_formulas} so an incremental session
+    can enable exactly the pairs covering its unconsumed window. *)
+
+val decode_model :
+  t ->
+  ?atom_ids:(Mdl.Ident.t * Mdl.Model.obj_id) list ->
+  ?first_fresh:int ->
+  Relog.Instance.t ->
+  param:Mdl.Ident.t ->
+  (Mdl.Model.t, string) result
 (** Rebuild a {!Mdl.Model} from a (possibly repaired) instance.
-    Existing atoms keep their object ids; slack atoms get fresh ids. *)
+    Existing atoms keep their object ids; slack atoms get fresh ids.
+    [atom_ids] pre-assigns ids to atoms (how an incremental session
+    keeps the ids it handed out for slack atoms consumed by earlier
+    edits); [first_fresh] is the first id given to an unmapped slack
+    atom (default: one past the largest id of the bound model). *)
+
+(** {2 Incremental-session support}
+
+    A long-lived session re-states the {e facts} of an edited model as
+    solver assumptions over one frozen encoding. These accessors
+    expose what it needs: the fact tuples of a model whose objects may
+    live on slack atoms, the slack atoms available per parameter, and
+    the value universe (whose growth forces a re-encode). *)
+
+val model_facts :
+  t ->
+  ?atom_of_id:(Mdl.Model.obj_id -> Mdl.Ident.t option) ->
+  param:Mdl.Ident.t ->
+  Mdl.Model.t ->
+  (Mdl.Ident.t * Relog.Rel.Tuple.t) list
+(** [(relation, tuple)] pairs encoding [model] exactly — the tuples
+    that are {e true} of it; relations of the parameter not listed
+    hold no tuple. Like the internal exact encoding, except objects
+    need not be objects of the originally bound model: ids unknown to
+    the encoding are resolved through [atom_of_id] (typically to a
+    consumed slack atom). Raises [Invalid_argument] on an id neither
+    bound nor resolved, or a value outside the universe. *)
+
+val slack_atom_names : t -> Mdl.Ident.t -> Mdl.Ident.t list
+(** Fresh object atoms of a parameter, in symmetry-chain order (the
+    [k+1]-th may be populated only if the [k]-th is). *)
+
+val has_value : t -> Mdl.Value.t -> bool
+(** Whether a value has an atom in the universe. An edit introducing a
+    value outside it cannot be expressed over this encoding. *)
+
+val values : t -> Mdl.Value.t list
+(** All values with atoms in the universe (sorted). Feeding these back
+    as [extra_values] of a later {!create} reproduces the same value
+    universe plus whatever the new models add. *)
+
+val atom_index : t -> Mdl.Ident.t -> int
+(** Universe index of an atom name. Raises [Invalid_argument] on
+    unknown atoms. *)
 
 (** {2 Expression building blocks for the semantics compiler} *)
 

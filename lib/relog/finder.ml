@@ -2,6 +2,8 @@ type t = {
   trans : Translate.t;
   mutable last : (Sat.Lit.var * bool) list option;
       (* primary assignment of the last model, for blocking *)
+  mutable last_assumed : Sat.Lit.t list;
+      (* assumptions of the last solve, for assumption-aware blocking *)
   (* telemetry *)
   solve_span : Sat.Telemetry.span;
   mutable n_sat : int;
@@ -9,18 +11,28 @@ type t = {
   mutable n_blocked : int;
 }
 
-let prepare bnds formulas =
-  let trans = Translate.create bnds in
-  List.iter (Translate.materialize trans) (Bounds.relations bnds);
-  List.iter (Translate.assert_formula trans) formulas;
+let make trans =
   {
     trans;
     last = None;
+    last_assumed = [];
     solve_span = Sat.Telemetry.span ();
     n_sat = 0;
     n_unsat = 0;
     n_blocked = 0;
   }
+
+let prepare bnds formulas =
+  let trans = Translate.create bnds in
+  List.iter (Translate.materialize trans) (Bounds.relations bnds);
+  List.iter (Translate.assert_formula trans) formulas;
+  make trans
+
+let prepare_guarded bnds formulas =
+  let trans = Translate.create bnds in
+  List.iter (Translate.materialize trans) (Bounds.relations bnds);
+  let guards = List.map (Translate.formula_lit trans) formulas in
+  (make trans, guards)
 
 let translation t = t.trans
 let solver t = Translate.solver t.trans
@@ -33,6 +45,7 @@ type outcome =
   | Unsat
 
 let solve ?(assumptions = []) t =
+  t.last_assumed <- assumptions;
   match
     Sat.Telemetry.timed t.solve_span (fun () ->
         Sat.Solver.solve ~assumptions (solver t))
@@ -51,14 +64,47 @@ let solve ?(assumptions = []) t =
     t.n_sat <- t.n_sat + 1;
     Sat (Translate.decode t.trans)
 
-let block t =
+let new_scope t = Sat.Lit.pos (Sat.Solver.new_var (solver t))
+
+(* Blocking after [solve ~assumptions] needs care with primaries the
+   assumptions pinned. The plain block repeats their (negated) values,
+   which bakes the assumption context into the clause: sound, because
+   the clause is inert (trivially satisfied) under any assumption set
+   that differs on a pinned primary — but the clause then blocks
+   nothing outside its birth context either, and each one permanently
+   drags the whole context along. Simply dropping the pinned literals
+   instead would be unsound: the remaining clause would exclude the
+   unpinned part of the instance under {e every} future assumption
+   set, not just the one it was found under.
+
+   A [~scope] literal resolves this: the clause mentions only the
+   primaries the solver actually chose — assumption literals are never
+   baked into the block — plus [¬scope], so the block is active
+   exactly in solves that assume [scope]. Callers enumerate under an
+   assumption context by pairing it with one scope literal; switching
+   contexts (and scopes) retracts every block of the old context, so
+   enumerations under different assumption sets stay independent. *)
+let block ?scope t =
   match t.last with
   | None -> ()
   | Some assignment ->
     let clause =
-      List.map
-        (fun (v, value) -> if value then Sat.Lit.neg_of v else Sat.Lit.pos v)
-        assignment
+      match scope with
+      | None ->
+        List.map
+          (fun (v, value) -> if value then Sat.Lit.neg_of v else Sat.Lit.pos v)
+          assignment
+      | Some g ->
+        let assumed = Hashtbl.create 16 in
+        List.iter
+          (fun l -> Hashtbl.replace assumed (Sat.Lit.var l) ())
+          t.last_assumed;
+        Sat.Lit.neg g
+        :: List.filter_map
+             (fun (v, value) ->
+               if Hashtbl.mem assumed v then None
+               else Some (if value then Sat.Lit.neg_of v else Sat.Lit.pos v))
+             assignment
     in
     Sat.Solver.add_clause (solver t) clause;
     t.n_blocked <- t.n_blocked + 1;

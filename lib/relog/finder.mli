@@ -14,6 +14,17 @@ val prepare : Bounds.t -> Ast.formula list -> t
     relations are materialized, so {!Translate.decode} covers them.
     Raises {!Translate.Unsupported} on ill-formed input. *)
 
+val prepare_guarded : Bounds.t -> Ast.formula list -> t * Sat.Lit.t list
+(** Like {!prepare}, but instead of asserting the formulas each one is
+    translated to a {e guard literal} equivalent to it (one returned
+    per formula, in order) and nothing is asserted. Solving with a
+    subset of the guards as assumptions is solving under exactly those
+    formulas; {!Sat.Solver.unsat_core} then names the guards (and any
+    other assumptions) participating in an inconsistency. This is the
+    entry point of the incremental-session subsystem, which pins model
+    facts and checked formulas purely through assumptions so the same
+    translation and solver serve every edit state. *)
+
 val translation : t -> Translate.t
 val solver : t -> Sat.Solver.t
 
@@ -38,9 +49,28 @@ type outcome =
 
 val solve : ?assumptions:Sat.Lit.t list -> t -> outcome
 
-val block : t -> unit
+val new_scope : t -> Sat.Lit.t
+(** A fresh positive literal for use as a {!block} scope. *)
+
+val block : ?scope:Sat.Lit.t -> t -> unit
 (** Add a blocking clause excluding the last found instance's primary
-    assignment. Repeated [solve]/[block] enumerates all instances. *)
+    assignment. Repeated [solve]/[block] enumerates all instances.
+
+    Without [scope] the clause covers the full primary assignment —
+    including primaries pinned by the last solve's assumptions, whose
+    literals make the clause inert under any assumption set differing
+    on a pinned primary (enumerations under different assumption sets
+    are independent, at the cost of baking the context into every
+    clause).
+
+    With [~scope:g] the clause omits every primary assumed in the last
+    solve — assumption literals are never part of the block — and
+    carries [¬g] instead: the block applies only to solves that assume
+    [g]. Use one scope literal (see {!new_scope}) per assumption
+    context; dropping [g] from the assumptions retracts the context's
+    blocks wholesale, which is how a long-lived guarded session
+    enumerates repairs per edit state without poisoning later
+    states. *)
 
 val enumerate : ?limit:int -> t -> Instance.t list
 (** All satisfying instances (up to [limit], default unlimited).

@@ -68,6 +68,10 @@ type t = {
   mutable nvars : int;
   mutable ok : bool;  (* false once the clause set is unsat at level 0 *)
   mutable conflict_core : int list;  (* assumption literals of the last final conflict *)
+  (* assumptions of the last solve, for prefix trail reuse: a Sat
+     answer leaves the trail in place, and the next solve resumes from
+     the longest shared assumption prefix instead of level 0 *)
+  mutable last_assumps : int array;
   (* cooperative interruption: set from another domain, checked at the
      top of the CDCL loop *)
   stop : bool Atomic.t;
@@ -106,6 +110,7 @@ let create () =
     nvars = 0;
     ok = true;
     conflict_core = [];
+    last_assumps = [||];
     stop = Atomic.make false;
     n_decisions = 0;
     n_propagations = 0;
@@ -590,14 +595,36 @@ let solve_inner ~assumptions s =
     let assumption_set = Hashtbl.create (List.length assumptions) in
     List.iter (fun l -> Hashtbl.replace assumption_set l ()) assumptions;
     let assumptions = Array.of_list assumptions in
+    (* Assumption-prefix trail reuse: a Sat answer leaves the trail
+       frozen, and anything that invalidates it (add_clause, an Unsat
+       answer) cancels to level 0 — so every decision level still on
+       the trail is the propagation closure of the corresponding
+       prefix of the previous solve's assumptions. If the new
+       assumptions share that prefix, resume below it: only the suffix
+       is re-propagated, which is what makes back-to-back assumption
+       solves over a mostly-unchanged model cheap. *)
+    let reuse =
+      let n =
+        min (decision_level s)
+          (min (Array.length assumptions) (Array.length s.last_assumps))
+      in
+      let i = ref 0 in
+      while !i < n && assumptions.(!i) = s.last_assumps.(!i) do
+        incr i
+      done;
+      !i
+    in
+    s.last_assumps <- assumptions;
     let max_conflicts = ref 100.0 in
     let restart_count = ref 0 in
     let outcome = ref None in
+    let first_episode = ref true in
     (try
        while true do
          (* One restart-bounded search episode. *)
          let conflicts_here = ref 0 in
-         cancel_until s 0;
+         cancel_until s (if !first_episode then reuse else 0);
+         first_episode := false;
          (try
             while true do
               if Atomic.get s.stop then begin
@@ -708,7 +735,46 @@ let value s v = if v < s.nvars then s.assign.(v) = 1 else false
 
 let lit_value s l = if Lit.sign l then value s (Lit.var l) else not (value s (Lit.var l))
 
-let unsat_core s = s.conflict_core
+(* The raw core collected by [analyze_final] can mention an assumption
+   more than once (the failed assumption is consed onto the collected
+   set) and its order reflects the trail, i.e. the assumption order of
+   the failing solve. Canonicalize: deduplicate and sort, so the
+   reported core is a set — equal input assumption sets give equal
+   cores regardless of the order they were passed in. *)
+let unsat_core s = List.sort_uniq Int.compare s.conflict_core
+
+(* Greedy deletion-based core minimization. Starting from [core] (by
+   default the last solve's core), try dropping each literal in turn:
+   re-solve under the remaining candidates and keep the literal only
+   when its removal makes the instance satisfiable. Each Unsat answer
+   also refines the candidate set to the newly reported core
+   (clause-set refinement), which typically removes several literals
+   per solve. The result is a minimal core: removing any single
+   literal leaves a satisfiable set.
+
+   Candidates are canonicalized first, and each keep/drop decision is
+   driven purely by the SAT/UNSAT ground truth of a candidate subset —
+   never by solver-state artifacts like the refined core of the
+   re-solve — so the returned set is a function of the input set
+   alone: permuting the input literals cannot change the result.
+   Re-solves count towards the solver's statistics; the solver stays
+   usable afterwards. *)
+let minimize_core ?core s =
+  let core0 =
+    match core with
+    | Some c -> List.sort_uniq Int.compare c
+    | None -> unsat_core s
+  in
+  let rec shrink kept = function
+    | [] -> kept
+    | l :: rest -> (
+      match solve ~assumptions:(List.rev_append kept rest) s with
+      | Unsat -> shrink kept rest (* [l] is redundant *)
+      | Sat -> shrink (l :: kept) rest)
+  in
+  let result = List.sort Int.compare (shrink [] core0) in
+  s.conflict_core <- result;
+  result
 
 type stats = {
   decisions : int;
@@ -812,6 +878,7 @@ let clone s =
       nvars = s.nvars;
       ok = s.ok;
       conflict_core = [];
+      last_assumps = [||];
       stop = Atomic.make false;
       n_decisions = 0;
       n_propagations = 0;

@@ -31,6 +31,14 @@ val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve under the given assumption literals. The solver is
     incremental: more clauses and variables may be added after a call
     and [solve] called again.
+
+    After a [Sat] answer the trail is kept warm: the next [solve]
+    backtracks only to the longest prefix of assumptions shared with
+    the previous call (re-propagating just the changed suffix) rather
+    than to level 0 — callers that keep a stable assumption prefix
+    across calls get cheaper re-solves for free. [Unsat], clause
+    addition and {!interrupt} all fall back to a cold (level-0)
+    restart, so answers are unaffected either way.
     @raise Interrupted if {!interrupt} was called while solving; the
     solver stays usable (backtracked to the root level, flag cleared)
     and [solve] may simply be called again. *)
@@ -61,8 +69,21 @@ val lit_value : t -> Lit.t -> bool
 val unsat_core : t -> Lit.t list
 (** After [solve ~assumptions] returned [Unsat]: a subset of the
     assumptions sufficient for unsatisfiability (the final conflict
-    clause over assumptions). Empty when the instance is unsatisfiable
-    regardless of assumptions. *)
+    clause over assumptions). Deduplicated and sorted, so the result
+    is canonical as a set. Empty when the instance is unsatisfiable
+    regardless of assumptions. The core is {e not} guaranteed minimal;
+    see {!minimize_core}. *)
+
+val minimize_core : ?core:Lit.t list -> t -> Lit.t list
+(** Greedy deletion-based minimization of an unsatisfiable assumption
+    set ([core], default {!unsat_core}): drop each literal whose
+    removal keeps the remaining set unsatisfiable. The result
+    is minimal (removing any single literal makes the set
+    satisfiable), sorted, and — because candidates are canonicalized
+    before the sweep — depends only on the input {e set}, not the
+    order its literals were passed in. Runs O(|core|) incremental
+    solves on this solver (counted in {!stats}); the solver remains
+    usable, and {!unsat_core} afterwards returns the minimized core. *)
 
 type stats = {
   decisions : int;

@@ -29,6 +29,7 @@ let () =
       ("qvtr.semantics", Test_semantics.suite);
       ("echo.engine", Test_echo.suite);
       ("echo.telemetry", Test_telemetry.suite);
+      ("incr.session", Test_incr.suite);
       ("featuremodel", Test_featuremodel.suite);
       ("extensions", Test_extensions.suite);
       ("internals", Test_internals.suite);

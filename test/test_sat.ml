@@ -173,6 +173,67 @@ let test_unit_chain_propagation () =
   let st = S.stats s in
   Alcotest.(check bool) "no search needed" true (st.S.conflicts = 0)
 
+let test_core_dedup () =
+  let s = S.create () in
+  let v = new_vars s 3 in
+  S.add_clause s [ L.neg_of v.(0); L.neg_of v.(1) ];
+  (* duplicated assumptions must not duplicate core literals *)
+  let a = [ L.pos v.(0); L.pos v.(0); L.pos v.(1); L.pos v.(1); L.pos v.(2) ] in
+  Alcotest.(check bool) "unsat" true (S.solve ~assumptions:a s = S.Unsat);
+  let core = S.unsat_core s in
+  Alcotest.(check bool) "sorted and duplicate-free" true
+    (core = List.sort_uniq compare core);
+  Alcotest.(check bool) "within assumptions" true
+    (List.for_all (fun l -> List.mem l a) core)
+
+let test_minimize_core_order_invariant () =
+  let s = S.create () in
+  let v = new_vars s 6 in
+  (* unique minimal core {v0, v1} among six assumed literals *)
+  S.add_clause s [ L.neg_of v.(0); L.neg_of v.(1) ];
+  let runs =
+    List.map
+      (fun perm ->
+        let a = List.map (fun i -> L.pos v.(i)) perm in
+        Alcotest.(check bool) "unsat" true (S.solve ~assumptions:a s = S.Unsat);
+        S.minimize_core s)
+      [ [ 0; 1; 2; 3; 4; 5 ]; [ 5; 4; 3; 2; 1; 0 ]; [ 2; 0; 4; 1; 5; 3 ] ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "minimal core found" true
+        (List.sort compare m = List.sort compare [ L.pos v.(0); L.pos v.(1) ]);
+      let mm = S.minimize_core ~core:m s in
+      Alcotest.(check bool) "unsat_core returns the minimized core" true
+        (S.unsat_core s = mm))
+    runs
+
+let test_assumption_trail_reuse () =
+  let s = S.create () in
+  let n = 200 in
+  let v = new_vars s n in
+  (* implication chain: the first assumption propagates everything *)
+  for i = 0 to n - 2 do
+    S.add_clause s [ L.neg_of v.(i); L.pos v.(i + 1) ]
+  done;
+  let pins = List.init (n - 1) (fun i -> L.pos v.(i)) in
+  Alcotest.(check bool) "sat" true (S.solve ~assumptions:pins s = S.Sat);
+  let p0 = (S.stats s).S.propagations in
+  Alcotest.(check bool) "sat with extended assumptions" true
+    (S.solve ~assumptions:(pins @ [ L.pos v.(n - 1) ]) s = S.Sat);
+  let p1 = (S.stats s).S.propagations in
+  Alcotest.(check bool) "shared prefix not re-propagated" true (p1 - p0 < 20);
+  (* a diverging first assumption falls back to a full re-solve and
+     still answers correctly (nothing forces v0 from above) *)
+  Alcotest.(check bool) "sat under flipped head" true
+    (S.solve ~assumptions:[ L.neg_of v.(0) ] s = S.Sat);
+  Alcotest.(check bool) "v0 false" false (S.value s v.(0));
+  (* adding a clause invalidates the frozen trail; answers stay right *)
+  S.add_clause s [ L.pos v.(0) ];
+  Alcotest.(check bool) "pins still sat" true (S.solve ~assumptions:pins s = S.Sat);
+  Alcotest.(check bool) "flipped head now unsat" true
+    (S.solve ~assumptions:[ L.neg_of v.(0) ] s = S.Unsat)
+
 let suite =
   [
     Alcotest.test_case "literals" `Quick lit_tests;
@@ -184,6 +245,11 @@ let suite =
     Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
     Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
     Alcotest.test_case "assumptions and core" `Quick test_assumptions;
+    Alcotest.test_case "core dedup" `Quick test_core_dedup;
+    Alcotest.test_case "minimize_core order-invariance" `Quick
+      test_minimize_core_order_invariant;
+    Alcotest.test_case "assumption trail reuse" `Quick
+      test_assumption_trail_reuse;
     Alcotest.test_case "incremental solving" `Quick test_incremental;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "unit chain" `Quick test_unit_chain_propagation;
