@@ -6,13 +6,17 @@
    microbenchmark suite (one Test.make per timed table).
 
    `--json` additionally writes a machine-readable benchmark record
-   file (default `BENCH_2.json`, override with `--out FILE`): one
+   file (default `BENCH_4.json`, override with `--out FILE`): one
    record per executed experiment *per jobs value* with its wall-clock
    time, the process-wide SAT-solver counter deltas
    (`Sat.Solver.global_stats`) it caused, the `jobs` value it ran at,
    and its `speedup` relative to the same experiment at the sweep's
-   baseline (jobs = 1). This file is the perf-regression trajectory:
-   commit one per optimization PR and diff the counters.
+   baseline (jobs = 1), plus a process-wide `Obs.Metrics` snapshot.
+   This file is the perf-regression trajectory: commit one per
+   optimization PR and diff the counters.
+
+   `--trace FILE` records an `Obs.Trace` of the whole run and writes
+   Chrome trace-event JSON on exit (open in Perfetto).
 
    `--jobs SPEC` sets the sweep: a comma list (`--jobs 1,2,4`) is used
    verbatim; a bare N expands to powers of two up to N (`--jobs 4` =
@@ -39,9 +43,9 @@ let consistent ?mode trans cfs fm =
     .Qvtr.Check.consistent
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — the CF and FM metamodels, instances conform          *)
@@ -869,14 +873,15 @@ let measure_sweep ~reps sweep exp =
   in
   go None [] sweep
 
-let write_json ?(schema = "mdqvtr-bench/2") path records =
+let write_json ?(schema = "mdqvtr-bench/4") ?(extra = []) path records =
   let body =
     Echo.Telemetry.json_to_string
       (Echo.Telemetry.Obj
-         [
-           ("schema", Echo.Telemetry.String schema);
-           ("records", Echo.Telemetry.List records);
-         ])
+         ([
+            ("schema", Echo.Telemetry.String schema);
+            ("records", Echo.Telemetry.List records);
+          ]
+         @ extra))
   in
   match open_out path with
   | oc ->
@@ -908,13 +913,20 @@ let () =
   let rec out_file = function
     | "--out" :: path :: _ -> path
     | _ :: rest -> out_file rest
-    | [] -> "BENCH_2.json"
+    | [] -> "BENCH_4.json"
   in
   let out = out_file args in
+  let rec trace_file = function
+    | "--trace" :: path :: _ -> Some path
+    | _ :: rest -> trace_file rest
+    | [] -> None
+  in
+  let trace = trace_file args in
+  Option.iter (fun _ -> Obs.Trace.set_enabled true) trace;
   let usage () =
     Format.eprintf
       "usage: main.exe [e1..e8|bench] [--json] [--out FILE] [--jobs SPEC] \
-       [--reps N]@.";
+       [--reps N] [--trace FILE]@.";
     exit 2
   in
   let parse_jobs spec =
@@ -956,6 +968,7 @@ let () =
     | "--out" :: _ :: rest -> drop_flags rest
     | "--jobs" :: _ :: rest -> drop_flags rest
     | "--reps" :: _ :: rest -> drop_flags rest
+    | "--trace" :: _ :: rest -> drop_flags rest
     | a :: rest -> a :: drop_flags rest
     | [] -> []
   in
@@ -965,35 +978,51 @@ let () =
     let path = Filename.concat (Filename.dirname out) "BENCH_3.json" in
     write_json ~schema:"mdqvtr-bench/3" path (e9 () @ e10 ~jobs:run_jobs)
   in
-  match drop_flags args with
-  | [] ->
-    if json then begin
-      write_json out (List.concat_map (measure_sweep ~reps sweep) experiments);
-      write_bench3 ()
-    end
-    else begin
-      List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
-      bechamel_suite ()
-    end
-  | [ "bench" ] -> bechamel_suite ()
-  | ids ->
-    let selected =
-      List.map
-        (fun id ->
-          match
-            List.find_opt
-              (fun (eid, _, _) -> eid = String.lowercase_ascii id)
-              experiments
-          with
-          | Some exp -> exp
-          | None ->
-            Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
-            exit 2)
-        ids
-    in
-    if json then begin
-      write_json out (List.concat_map (measure_sweep ~reps sweep) selected);
-      if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
-      then write_bench3 ()
-    end
-    else List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected
+  (* the metrics snapshot is cumulative over the whole run, so it is
+     attached once per file, after every record has executed *)
+  let metrics () = [ ("metrics", Obs.Metrics.to_json ()) ] in
+  let run () =
+    match drop_flags args with
+    | [] ->
+      if json then begin
+        let records = List.concat_map (measure_sweep ~reps sweep) experiments in
+        write_json ~extra:(metrics ()) out records;
+        write_bench3 ()
+      end
+      else begin
+        List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
+        bechamel_suite ()
+      end
+    | [ "bench" ] -> bechamel_suite ()
+    | ids ->
+      let selected =
+        List.map
+          (fun id ->
+            match
+              List.find_opt
+                (fun (eid, _, _) -> eid = String.lowercase_ascii id)
+                experiments
+            with
+            | Some exp -> exp
+            | None ->
+              Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
+              exit 2)
+          ids
+      in
+      if json then begin
+        let records = List.concat_map (measure_sweep ~reps sweep) selected in
+        write_json ~extra:(metrics ()) out records;
+        if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
+        then write_bench3 ()
+      end
+      else List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected
+  in
+  match trace with
+  | None -> run ()
+  | Some path ->
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Trace.export_chrome path;
+        Format.eprintf "trace written to %s@." path)
+      run

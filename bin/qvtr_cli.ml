@@ -28,10 +28,27 @@ let load_inputs ~trans_file ~mm_file ~models_file =
 let mode_of_standard standard =
   if standard then Qvtr.Semantics.Standard else Qvtr.Semantics.Extended
 
+(* --trace FILE: record spans for the whole command and write a
+   Chrome/Perfetto trace on the way out, success or failure. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Trace.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Trace.export_chrome path;
+        Format.eprintf "trace written to %s@." path)
+      f
+
+let pp_metrics stats = if stats then Format.printf "%a@." Obs.Metrics.dump ()
+
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let run_check trans_file mm_file models_file standard stats =
+let run_check trans_file mm_file models_file standard stats trace =
+  with_trace trace @@ fun () ->
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
@@ -47,6 +64,7 @@ let run_check trans_file mm_file models_file standard stats =
       Format.printf "stats: %d directional checks evaluated in %.3f ms@."
         (List.length report.Qvtr.Check.verdicts)
         (report.Qvtr.Check.elapsed *. 1000.);
+    pp_metrics stats;
     if report.Qvtr.Check.consistent then 0 else 1
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -56,9 +74,11 @@ let run_check trans_file mm_file models_file standard stats =
 (* enforce                                                             *)
 
 let pp_stats_block stats r =
-  if stats then
+  if stats then begin
     Format.printf "@.--- stats ---@.%a@." Echo.Telemetry.pp
-      r.Echo.Engine.stats
+      r.Echo.Engine.stats;
+    pp_metrics stats
+  end
 
 let run_enforce_all trans_file mm_file models_file targets standard slack jobs
     stats =
@@ -102,7 +122,8 @@ let run_enforce_all trans_file mm_file models_file targets standard slack jobs
     end
 
 let run_enforce trans_file mm_file models_file targets standard backend
-    slack jobs all stats out_file =
+    slack jobs all stats out_file trace =
+  with_trace trace @@ fun () ->
   if all then
     run_enforce_all trans_file mm_file models_file targets standard slack jobs
       stats
@@ -169,7 +190,8 @@ let run_enforce trans_file mm_file models_file targets standard backend
 (* session: replay an edit script on a long-lived incremental session *)
 
 let run_session trans_file mm_file models_file edits_file targets standard
-    slack headroom stats =
+    slack headroom stats trace =
+  with_trace trace @@ fun () ->
   match
     let* trans = Qvtr.Parser.parse (read_file trans_file) in
     let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
@@ -222,7 +244,8 @@ let run_session trans_file mm_file models_file edits_file targets standard
       let p_s, p_c = sum (fun s -> s.Incr.Session.propagations) in
       Format.printf
         "totals: session %d conflicts / %d propagations; from-scratch %d / %d@."
-        c_s p_s c_c p_c
+        c_s p_s c_c p_c;
+      pp_metrics stats
     end;
     if List.for_all (fun r -> r.Incr.Replay.sr_verdicts_match) records then 0
     else 1
@@ -354,13 +377,24 @@ let stats_arg =
           "Print per-phase telemetry: translation size (vars/clauses), solver \
            counters, distance iterations, wall-clock timings.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the run and write it to FILE in \
+           Chrome trace-event JSON (open in Perfetto or about://tracing). \
+           One track per worker domain; spans cover parse, translate, CNF \
+           build and every solver call.")
+
 let check_cmd =
   let doc = "check consistency of models under a QVT-R transformation" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run_check $ trans_arg $ mm_arg $ models_arg $ standard_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg)
 
 let targets_arg =
   Arg.(
@@ -416,7 +450,7 @@ let enforce_cmd =
     Term.(
       const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
       $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg $ stats_arg
-      $ out_arg)
+      $ out_arg $ trace_arg)
 
 let edits_arg =
   Arg.(
@@ -454,7 +488,7 @@ let session_cmd =
     Term.(
       const run_session $ trans_arg $ mm_arg $ models_arg $ edits_arg
       $ session_targets_arg $ standard_arg $ slack_arg $ headroom_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg)
 
 let fmt_cmd =
   let doc = "parse and pretty-print a QVT-R transformation" in

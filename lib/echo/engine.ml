@@ -19,6 +19,15 @@ type enforce_outcome =
 
 let check = Qvtr.Check.run
 
+let backend_name = function
+  | Iterative -> "iterative"
+  | Maxsat -> "maxsat"
+  | Portfolio -> "portfolio"
+
+let m_enforcements = Obs.Metrics.counter "echo.engine.enforcements"
+let m_iterative_wins = Obs.Metrics.counter "echo.engine.portfolio_iterative_wins"
+let m_maxsat_wins = Obs.Metrics.counter "echo.engine.portfolio_maxsat_wins"
+
 (* Race the iterative ladder against the MaxSAT descent on two pool
    lanes; the first usable outcome wins and the loser is cancelled
    (its solver interrupted). Both backends compute the same minimal
@@ -26,6 +35,7 @@ let check = Qvtr.Check.run
    lane is not. Both futures are awaited before returning — no work
    leaks past the call. *)
 let race_portfolio ?max_distance space =
+  Obs.Trace.with_span ~name:"portfolio" (fun () ->
   let pool = Parallel.Pool.global ~jobs:2 in
   let mu = Mutex.create () in
   let cond = Condition.create () in
@@ -38,7 +48,10 @@ let race_portfolio ?max_distance space =
   in
   let submit tag lane =
     Parallel.Pool.submit pool (fun token ->
-        let r = try lane token with e -> Error (Printexc.to_string e) in
+        let r =
+          Obs.Trace.with_span ~name:("portfolio." ^ backend_name tag) (fun () ->
+              try lane token with e -> Error (Printexc.to_string e))
+        in
         publish tag r)
   in
   let fi =
@@ -62,25 +75,44 @@ let race_portfolio ?max_distance space =
     Mutex.unlock mu;
     w
   in
+  Obs.Trace.instant "portfolio.winner"
+    ~args:(fun () -> [ ("lane", Obs.Json.String (backend_name (fst winner))) ]);
+  (match winner with
+  | Iterative, Ok _ -> Obs.Metrics.incr m_iterative_wins
+  | Maxsat, Ok _ -> Obs.Metrics.incr m_maxsat_wins
+  | _ -> ());
+  Obs.Trace.instant "portfolio.cancel_loser";
   Parallel.Pool.cancel fi;
   Parallel.Pool.cancel fm;
   ignore (Parallel.Pool.result fi);
   ignore (Parallel.Pool.result fm);
   match winner with
   | tag, Ok outcome -> Ok (outcome, tag)
-  | _, Error e -> Error e
+  | _, Error e -> Error e)
 
 let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
     ?model_weights ?max_distance ?(jobs = 1) transformation ~metamodels ~models
     ~targets =
   if jobs < 1 then invalid_arg "Engine.enforce: jobs must be >= 1";
+  Obs.Metrics.incr m_enforcements;
+  Obs.Trace.with_span ~name:"enforce"
+    ~args:(fun () ->
+      [
+        ("backend", Obs.Json.String (backend_name backend));
+        ("jobs", Obs.Json.Int jobs);
+      ])
+  @@ fun () ->
   let ( let* ) = Result.bind in
-  let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
+  let* report =
+    Obs.Trace.with_span ~name:"check" (fun () ->
+        Qvtr.Check.run ?mode transformation ~metamodels ~models)
+  in
   if report.Qvtr.Check.consistent then Ok Already_consistent
   else
     let* space =
-      Space.build ?mode ?slack_objects ?extra_values ?model_weights
-        ~transformation ~metamodels ~models ~targets ()
+      Obs.Trace.with_span ~name:"space.build" (fun () ->
+          Space.build ?mode ?slack_objects ?extra_values ?model_weights
+            ~transformation ~metamodels ~models ~targets ())
     in
     let* outcome, winner =
       match backend with
@@ -110,13 +142,21 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
 let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
     ?max_distance ?(jobs = 1) transformation ~metamodels ~models ~targets =
   if jobs < 1 then invalid_arg "Engine.enforce_all: jobs must be >= 1";
+  Obs.Metrics.incr m_enforcements;
+  Obs.Trace.with_span ~name:"enforce_all"
+    ~args:(fun () -> [ ("jobs", Obs.Json.Int jobs) ])
+  @@ fun () ->
   let ( let* ) = Result.bind in
-  let* report = Qvtr.Check.run ?mode transformation ~metamodels ~models in
+  let* report =
+    Obs.Trace.with_span ~name:"check" (fun () ->
+        Qvtr.Check.run ?mode transformation ~metamodels ~models)
+  in
   if report.Qvtr.Check.consistent then Ok [ Already_consistent ]
   else
     let* space =
-      Space.build ?mode ?slack_objects ?extra_values ?model_weights
-        ~transformation ~metamodels ~models ~targets ()
+      Obs.Trace.with_span ~name:"space.build" (fun () ->
+          Space.build ?mode ?slack_objects ?extra_values ?model_weights
+            ~transformation ~metamodels ~models ~targets ())
     in
     let* repairs = Repair.run_all ?max_distance ~limit ~jobs space in
     match repairs with

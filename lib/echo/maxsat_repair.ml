@@ -39,7 +39,9 @@ let run ?(jobs = 1) ?token space =
         translation = Relog.Translate.stats trans;
         solver = solver_stats;
         solver_calls = solver_stats.Sat.Solver.solves;
-        solve_time = solver_stats.Sat.Solver.solve_time;
+        (* Sequential descent on one domain: summed effort = elapsed. *)
+        solve_time_cpu = solver_stats.Sat.Solver.solve_time;
+        solve_time_wall = solver_stats.Sat.Solver.solve_time;
         distance_levels = [];
         blocked_nonconformant = !blocked;
         cardinality_inputs = total_weight;
@@ -52,7 +54,15 @@ let run ?(jobs = 1) ?token space =
     in
     let rec solve () =
       incr iterations;
-      match Sat.Maxsat.solve maxsat with
+      match
+        Obs.Trace.with_span ~name:"solve"
+          ~args:(fun () ->
+            [
+              ("backend", Obs.Json.String "maxsat");
+              ("iteration", Obs.Json.Int !iterations);
+            ])
+          (fun () -> Sat.Maxsat.solve maxsat)
+      with
       | Sat.Maxsat.Hard_unsat -> Ok Repair.Cannot_restore
       | Sat.Maxsat.Optimum _ -> (
         let inst = Relog.Translate.decode_with trans (Sat.Maxsat.value maxsat) in

@@ -1,3 +1,17 @@
+(* Stack-wide roll-ups (Obs.Metrics registry); per-run figures stay in
+   the [search] accumulators below. *)
+let m_iterations = Obs.Metrics.counter "echo.repair.iterations"
+let m_blocked = Obs.Metrics.counter "echo.repair.blocked_nonconformant"
+let m_runs = Obs.Metrics.counter "echo.repair.runs"
+let h_run_wall = Obs.Metrics.histogram "echo.repair.wall_s"
+
+let span_args ~backend ~distance ~assumptions () =
+  [
+    ("backend", Obs.Json.String backend);
+    ("distance", Obs.Json.Int distance);
+    ("assumptions", Obs.Json.Int assumptions);
+  ]
+
 type success = {
   repaired : (Mdl.Ident.t * Mdl.Model.t) list;
   relational_distance : int;
@@ -26,11 +40,19 @@ type search = {
 }
 
 let start ?cap space =
-  let finder = Relog.Finder.prepare (Space.bounds space) (Space.formulas space) in
+  let finder =
+    Obs.Trace.with_span ~name:"repair.prepare" (fun () ->
+        Relog.Finder.prepare (Space.bounds space) (Space.formulas space))
+  in
   let trans = Relog.Finder.translation finder in
   let changes = Space.change_literals space trans in
   let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
-  let card = Sat.Cardinality.build ?cap (Relog.Finder.solver finder) inputs in
+  let card =
+    Obs.Trace.with_span ~name:"cnf.cardinality"
+      ~args:(fun () -> [ ("inputs", Obs.Json.Int (List.length inputs)) ])
+      (fun () -> Sat.Cardinality.build ?cap (Relog.Finder.solver finder) inputs)
+  in
+  Obs.Metrics.incr m_runs;
   {
     finder;
     card;
@@ -43,11 +65,17 @@ let start ?cap space =
 
 let step sc k =
   Atomic.incr sc.iterations;
+  Obs.Metrics.incr m_iterations;
   (sc.levels <-
      (match sc.levels with
      | (k', n) :: rest when k' = k -> (k', n + 1) :: rest
      | levels -> (k, 1) :: levels));
-  Relog.Finder.solve ~assumptions:(Sat.Cardinality.at_most sc.card k) sc.finder
+  let assumptions = Sat.Cardinality.at_most sc.card k in
+  Obs.Trace.with_span ~name:"solve"
+    ~args:
+      (span_args ~backend:"iterative" ~distance:k
+         ~assumptions:(List.length assumptions))
+    (fun () -> Relog.Finder.solve ~assumptions sc.finder)
 
 let zero_stats =
   {
@@ -73,15 +101,19 @@ let add_stats a b =
     solve_time = a.Sat.Solver.solve_time +. b.Sat.Solver.solve_time;
   }
 
-let telemetry_of sc ~jobs ~solver ~solver_calls ~solve_time ~levels =
+let telemetry_of sc ~jobs ~solver ~solver_calls ~solve_time_cpu
+    ~solve_time_wall ~levels =
   let fs = Relog.Finder.stats sc.finder in
+  let total = Sat.Telemetry.now () -. sc.started in
+  Obs.Metrics.observe h_run_wall total;
   {
     Telemetry.backend = "iterative";
     jobs;
     translation = fs.Relog.Finder.translation;
     solver;
     solver_calls;
-    solve_time;
+    solve_time_cpu;
+    solve_time_wall;
     distance_levels = levels;
     blocked_nonconformant = Atomic.get sc.blocked;
     cardinality_inputs = sc.total;
@@ -89,13 +121,17 @@ let telemetry_of sc ~jobs ~solver ~solver_calls ~solve_time ~levels =
     cardinality_clauses = Sat.Cardinality.aux_clauses sc.card;
     cardinality_saved_vars = Sat.Cardinality.saved_vars sc.card;
     cardinality_saved_clauses = Sat.Cardinality.saved_clauses sc.card;
-    total_time = Sat.Telemetry.now () -. sc.started;
+    total_time = total;
   }
 
 let telemetry ?(jobs = 1) sc =
   let fs = Relog.Finder.stats sc.finder in
+  (* Serial search: one domain, so summed solver effort is also the
+     elapsed solving time. *)
   telemetry_of sc ~jobs ~solver:fs.Relog.Finder.solver
-    ~solver_calls:fs.Relog.Finder.solves ~solve_time:fs.Relog.Finder.solve_time
+    ~solver_calls:fs.Relog.Finder.solves
+    ~solve_time_cpu:fs.Relog.Finder.solve_time
+    ~solve_time_wall:fs.Relog.Finder.solve_time
     ~levels:(List.rev sc.levels)
 
 (* Canonical serialization of a repair, used both as the dedup key and
@@ -161,8 +197,12 @@ let block_clone trans clone =
 (* Number of worker domains for a requested parallelism: never more
    than the hardware offers — the window width stays [jobs], so the
    level schedule (and the result) does not depend on the core
-   count. *)
-let worker_count jobs = max 1 (min jobs (Parallel.Pool.default_jobs ()))
+   count. When tracing, the explicit budget wins even on fewer cores:
+   the schedule being observed (one track per probe worker) is the one
+   the user asked for, and the result is jobs-invariant anyway. *)
+let worker_count jobs =
+  if Obs.Trace.enabled () then max 1 jobs
+  else max 1 (min jobs (Parallel.Pool.default_jobs ()))
 
 let interrupt_dead_locked board ~self =
   Array.iteri
@@ -218,12 +258,18 @@ let ladder ~window ~cap sc space board wi =
       solve_level l
   and solve_level l =
     Atomic.incr sc.iterations;
+    Obs.Metrics.incr m_iterations;
     Mutex.lock board.bmu;
     Hashtbl.replace board.level_counts l
       (1 + Option.value ~default:0 (Hashtbl.find_opt board.level_counts l));
     Mutex.unlock board.bmu;
+    let assumptions = Sat.Cardinality.at_most sc.card l in
     match
-      Sat.Solver.solve ~assumptions:(Sat.Cardinality.at_most sc.card l) clone
+      Obs.Trace.with_span ~name:"solve"
+        ~args:
+          (span_args ~backend:"iterative" ~distance:l
+             ~assumptions:(List.length assumptions))
+        (fun () -> Sat.Solver.solve ~assumptions clone)
     with
     | exception Sat.Solver.Interrupted ->
       Mutex.lock board.bmu;
@@ -248,6 +294,7 @@ let ladder ~window ~cap sc space board wi =
       match Space.decode_targets space inst with
       | Error _ ->
         Atomic.incr sc.blocked;
+        Obs.Metrics.incr m_blocked;
         block_clone trans clone;
         solve_level l
       | Ok repaired ->
@@ -317,12 +364,15 @@ let parallel_minimal ~jobs ?token ~cap sc space =
   end
 
 let run_parallel ~jobs ?token ~cap sc space =
+  let solve_started = Sat.Telemetry.now () in
   match parallel_minimal ~jobs ?token ~cap sc space with
   | Error `Interrupted -> Error "interrupted"
   | Ok (board, stats, levels) -> (
+    let solve_wall = Sat.Telemetry.now () -. solve_started in
     let tele () =
       telemetry_of sc ~jobs ~solver:stats ~solver_calls:stats.Sat.Solver.solves
-        ~solve_time:stats.Sat.Solver.solve_time ~levels
+        ~solve_time_cpu:stats.Sat.Solver.solve_time ~solve_time_wall:solve_wall
+        ~levels
     in
     match board.best with
     | None -> Ok Cannot_restore
@@ -367,6 +417,7 @@ let run_serial ?token sc ~cap space =
              encoding approximates multiplicity lower bounds > 1):
              exclude it and keep searching at the same distance. *)
           Atomic.incr sc.blocked;
+          Obs.Metrics.incr m_blocked;
           Relog.Finder.block sc.finder;
           at_distance k)
   in
@@ -424,6 +475,7 @@ let run_all_serial sc ~cap ~limit space =
           match Space.decode_targets space inst with
           | Error _ ->
             Atomic.incr sc.blocked;
+            Obs.Metrics.incr m_blocked;
             go acc n
           | Ok repaired ->
             let r =
@@ -464,6 +516,7 @@ let run_all_serial sc ~cap ~limit space =
    model level (assignments decoding to the same state) fall to the
    global dedup. *)
 let run_all_parallel ~jobs ~token ~cap ~limit sc space =
+  let solve_started = Sat.Telemetry.now () in
   match parallel_minimal ~jobs ?token ~cap sc space with
   | Error `Interrupted -> Error "interrupted"
   | Ok (board, ladder_stats, levels) -> (
@@ -501,7 +554,14 @@ let run_all_parallel ~jobs ~token ~cap ~limit sc space =
               if n >= limit then ()
               else begin
                 Atomic.incr sc.iterations;
-                match Sat.Solver.solve ~assumptions clone with
+                Obs.Metrics.incr m_iterations;
+                match
+                  Obs.Trace.with_span ~name:"solve"
+                    ~args:
+                      (span_args ~backend:"enumerate" ~distance:dstar
+                         ~assumptions:(List.length assumptions))
+                    (fun () -> Sat.Solver.solve ~assumptions clone)
+                with
                 | exception Sat.Solver.Interrupted -> raise Parallel.Pool.Cancelled
                 | Sat.Solver.Unsat -> ()
                 | Sat.Solver.Sat -> (
@@ -512,6 +572,7 @@ let run_all_parallel ~jobs ~token ~cap ~limit sc space =
                   match Space.decode_targets space inst with
                   | Error _ ->
                     Atomic.incr sc.blocked;
+                    Obs.Metrics.incr m_blocked;
                     go n
                   | Ok repaired ->
                     let r =
@@ -566,9 +627,13 @@ let run_all_parallel ~jobs ~token ~cap ~limit sc space =
             ladder_stats results
         in
         let final =
+          (* Wall covers both phases run on the pool: the minimality
+             ladder and the sharded enumeration. *)
           telemetry_of sc ~jobs ~solver:stats
             ~solver_calls:stats.Sat.Solver.solves
-            ~solve_time:stats.Sat.Solver.solve_time ~levels
+            ~solve_time_cpu:stats.Sat.Solver.solve_time
+            ~solve_time_wall:(Sat.Telemetry.now () -. solve_started)
+            ~levels
         in
         let out =
           canonical_sort (dedup repairs)

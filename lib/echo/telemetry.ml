@@ -1,8 +1,9 @@
-(* Per-repair instrumentation roll-up plus a dependency-free JSON
-   emitter (no JSON library in the toolchain; the bench driver and CI
-   smoke test parse what [json_to_string] emits). *)
+(* Per-repair instrumentation roll-up. The JSON value lives in
+   [Obs.Json] (one canonical emitter for telemetry, BENCH_*.json and
+   the trace sinks); the type is re-exported here so constructors at
+   existing call sites keep working. *)
 
-type json =
+type json = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -11,58 +12,7 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-    (* JSON has no NaN/Infinity; clamp to null (never hit in practice) *)
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6f" f)
-    else Buffer.add_string buf "null"
-  | String s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape_string s);
-    Buffer.add_char buf '"'
-  | List xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape_string k);
-        Buffer.add_string buf "\":";
-        emit buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let json_to_string j =
-  let buf = Buffer.create 256 in
-  emit buf j;
-  Buffer.contents buf
+let json_to_string = Obs.Json.to_string
 
 let solver_json (st : Sat.Solver.stats) =
   Obj
@@ -85,7 +35,8 @@ type t = {
   translation : Relog.Translate.stats;
   solver : Sat.Solver.stats;
   solver_calls : int;
-  solve_time : float;
+  solve_time_cpu : float;
+  solve_time_wall : float;
   distance_levels : (int * int) list;
   blocked_nonconformant : int;
   cardinality_inputs : int;
@@ -114,7 +65,11 @@ let to_json t =
           ] );
       ("solver", solver_json t.solver);
       ("solver_calls", Int t.solver_calls);
-      ("solve_time_s", Float t.solve_time);
+      (* "solve_time_s" keeps the PR-1 meaning (summed worker effort)
+         for schema compatibility; the wall field is new. *)
+      ("solve_time_s", Float t.solve_time_cpu);
+      ("solve_time_cpu_s", Float t.solve_time_cpu);
+      ("solve_time_wall_s", Float t.solve_time_wall);
       ( "distance_levels",
         List
           (List.map
@@ -148,8 +103,10 @@ let pp ppf t =
   if t.cardinality_saved_vars > 0 || t.cardinality_saved_clauses > 0 then
     Format.fprintf ppf " (cap saved %d vars, %d clauses)"
       t.cardinality_saved_vars t.cardinality_saved_clauses;
-  Format.fprintf ppf "@,solve: %d calls, %.3f ms" t.solver_calls
-    (t.solve_time *. 1000.);
+  Format.fprintf ppf "@,solve: %d calls, %.3f ms cpu, %.3f ms wall"
+    t.solver_calls
+    (t.solve_time_cpu *. 1000.)
+    (t.solve_time_wall *. 1000.);
   if t.distance_levels <> [] then begin
     Format.fprintf ppf "@,distance iterations:";
     List.iter

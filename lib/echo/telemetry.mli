@@ -15,9 +15,13 @@ type t = {
   solver : Sat.Solver.stats;
       (** for parallel runs: counters summed over all worker clones *)
   solver_calls : int;  (** SAT [solve] calls made by the repair loop *)
-  solve_time : float;
-      (** wall seconds spent solving; for parallel runs the sum over
-          workers (aggregate solver effort, not elapsed wall time) *)
+  solve_time_cpu : float;
+      (** seconds of solver effort summed over workers — for parallel
+          runs this exceeds elapsed time (it is the aggregate cost,
+          not the latency) *)
+  solve_time_wall : float;
+      (** elapsed seconds of the solving phase, span-measured on the
+          submitting domain; equals [solve_time_cpu] for serial runs *)
   distance_levels : (int * int) list;
       (** iterative backend: [(distance bound, solver calls at that
           bound)] in search order; empty for the MaxSAT backend *)
@@ -38,10 +42,11 @@ val pp : Format.formatter -> t -> unit
 
 (** {2 Minimal JSON}
 
-    A dependency-free JSON value and printer, shared by {!to_json}
-    and the bench driver's [BENCH_*.json] emitter. *)
+    Re-export of the canonical {!Obs.Json.t} (one value type, escaper
+    and printer shared by telemetry, the bench driver's
+    [BENCH_*.json] emitter and both trace sinks). *)
 
-type json =
+type json = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -252,6 +252,10 @@ let build_generation ~trans ~metamodels ~models ~values ~slack ?mode ?unroll inf
 (* Flush a pending re-encode: key the current state, revive a cached
    generation or build a fresh one, and reset the slack accounting
    (the new encoding owns every current object directly). *)
+let m_cache_hits = Obs.Metrics.counter "incr.translation_cache_hits"
+let m_cache_misses = Obs.Metrics.counter "incr.translation_cache_misses"
+let m_rebuilds = Obs.Metrics.counter "incr.rebuilds"
+
 let ensure_generation t =
   if not t.rebuild_pending then Ok ()
   else begin
@@ -259,16 +263,27 @@ let ensure_generation t =
     let ( let* ) = Result.bind in
     let* g =
       match Hashtbl.find_opt t.cache key with
-      | Some g -> Ok g
+      | Some g ->
+        (* State recurrence: the fingerprinted encoding is revived
+           without re-translation. *)
+        Obs.Metrics.incr m_cache_hits;
+        Obs.Trace.instant "session.cache_hit"
+          ~args:(fun () -> [ ("cache", Obs.Json.String "translation") ]);
+        Ok g
       | None ->
+        Obs.Metrics.incr m_cache_misses;
+        Obs.Trace.instant "session.cache_miss"
+          ~args:(fun () -> [ ("cache", Obs.Json.String "translation") ]);
         let* g =
-          build_generation ~trans:t.trans ~metamodels:t.metamodels ~models:t.cur
-            ~values:t.values ~slack:(t.budget + t.headroom) ?mode:t.mode
-            ?unroll:t.unroll t.info
+          Obs.Trace.with_span ~name:"session.rebuild" (fun () ->
+              build_generation ~trans:t.trans ~metamodels:t.metamodels
+                ~models:t.cur ~values:t.values ~slack:(t.budget + t.headroom)
+                ?mode:t.mode ?unroll:t.unroll t.info)
         in
         Hashtbl.add t.cache key g;
         Ok g
     in
+    Obs.Metrics.incr m_rebuilds;
     t.gen <- g;
     (* The encoding may have picked up values the accumulator missed
        (it never does today, but keep the invariant by construction). *)
@@ -304,9 +319,10 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
                 errs))
     in
     let* gen =
-      build_generation ~trans:transformation ~metamodels ~models
-        ~values:Value.Set.empty ~slack:(slack_budget + headroom) ?mode ?unroll
-        info
+      Obs.Trace.with_span ~name:"session.build" (fun () ->
+          build_generation ~trans:transformation ~metamodels ~models
+            ~values:Value.Set.empty ~slack:(slack_budget + headroom) ?mode
+            ?unroll info)
     in
     let t =
       {
@@ -410,11 +426,19 @@ let collect_prims trans =
 (* ------------------------------------------------------------------ *)
 (* The check finder                                                    *)
 
+let finder_cache_event ~hit which =
+  Obs.Trace.instant
+    (if hit then "session.cache_hit" else "session.cache_miss")
+    ~args:(fun () -> [ ("cache", Obs.Json.String which) ])
+
 let ensure_check t =
   let g = t.gen in
   match g.g_check with
-  | Some c -> c
+  | Some c ->
+    finder_cache_event ~hit:true "check_finder";
+    c
   | None ->
+    finder_cache_event ~hit:false "check_finder";
     t.translations <- t.translations + 1;
     let dirs = Qvtr.Semantics.top_formulas g.g_sem in
     let bounds =
@@ -461,7 +485,11 @@ let blame_of t cs guard =
         | None -> None)
     core
 
+let m_rechecks = Obs.Metrics.counter "incr.rechecks"
+
 let recheck ?(blame = false) t =
+  Obs.Metrics.incr m_rechecks;
+  Obs.Trace.with_span ~name:"session.recheck" @@ fun () ->
   let snap = snapshot t in
   let ( let* ) = Result.bind in
   let* () = ensure_generation t in
@@ -474,7 +502,17 @@ let recheck ?(blame = false) t =
         (fun (rel, dep, guard) ->
           (* guard last: consecutive directions differ only in their
              final assumption, so the pin prefix stays on the trail *)
-          match Sat.Solver.solve ~assumptions:(pins @ [ guard ]) solver with
+          let assumptions = pins @ [ guard ] in
+          match
+            Obs.Trace.with_span ~name:"solve"
+              ~args:(fun () ->
+                [
+                  ("backend", Obs.Json.String "session.check");
+                  ("relation", Obs.Json.String (Ident.name rel));
+                  ("assumptions", Obs.Json.Int (List.length assumptions));
+                ])
+              (fun () -> Sat.Solver.solve ~assumptions solver)
+          with
           | Sat.Solver.Sat ->
             { v_relation = rel; v_direction = dep; v_holds = true; v_blame = [] }
           | Sat.Solver.Unsat ->
@@ -503,8 +541,11 @@ let rec take_drop n = function
 let ensure_repair t =
   let g = t.gen in
   match g.g_repair with
-  | Some r -> r
+  | Some r ->
+    finder_cache_event ~hit:true "repair_finder";
+    r
   | None ->
+    finder_cache_event ~hit:false "repair_finder";
     t.translations <- t.translations + 1;
     let tgt_list = Ident.Set.elements t.tgts in
     let chain_formulas =
@@ -709,7 +750,13 @@ let dedup_sort reps =
   |> List.sort (fun a b ->
          String.compare (repair_key a.r_models) (repair_key b.r_models))
 
+let m_rerepairs = Obs.Metrics.counter "incr.rerepairs"
+
 let rerepair ?(limit = 16) t =
+  Obs.Metrics.incr m_rerepairs;
+  Obs.Trace.with_span ~name:"session.rerepair"
+    ~args:(fun () -> [ ("limit", Obs.Json.Int limit) ])
+  @@ fun () ->
   let snap = snapshot t in
   let ( let* ) = Result.bind in
   let* () = ensure_generation t in
@@ -773,6 +820,15 @@ let atom_known t a =
   | exception Invalid_argument _ -> false
 
 let apply_edits t batch =
+  Obs.Trace.with_span ~name:"session.apply_edits"
+    ~args:(fun () ->
+      [
+        ("parameters", Obs.Json.Int (List.length batch));
+        ( "edits",
+          Obs.Json.Int
+            (List.fold_left (fun n (_, es) -> n + List.length es) 0 batch) );
+      ])
+  @@ fun () ->
   (* Validate the whole batch functionally first: on error, nothing
      below mutates the session. *)
   let rec validate acc = function

@@ -1,0 +1,5 @@
+external now : unit -> (float[@unboxed])
+  = "mdqvtr_clock_monotonic_byte" "mdqvtr_clock_monotonic"
+[@@noalloc]
+
+let since t0 = now () -. t0

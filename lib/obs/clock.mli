@@ -1,0 +1,16 @@
+(** Monotonic time source shared by the whole stack.
+
+    Every span, telemetry timer and bench measurement reads this clock,
+    so durations can never go negative under NTP steps or manual clock
+    adjustment (the failure mode of [Unix.gettimeofday], which
+    {!Sat.Telemetry} used before this module existed).
+
+    The origin is unspecified — only differences between two [now]
+    readings are meaningful. *)
+
+val now : unit -> float
+(** Seconds on a monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]).
+    The native call is allocation-free. *)
+
+val since : float -> float
+(** [since t0] is [now () -. t0]. *)

@@ -1,0 +1,63 @@
+(** Process-global metrics registry: named counters, gauges and
+    histograms.
+
+    Replaces the ad-hoc [Atomic.t] cells that used to be scattered
+    through [Sat.Solver], [Relog.Translate], [Echo.Repair]/[Engine] and
+    [Incr.Session]. Metrics are created once (get-or-create by name,
+    typically at module initialization) and updated lock-free from any
+    domain; {!dump} renders one snapshot of the whole stack, which the
+    CLI prints under [--stats].
+
+    Histograms are log-bucketed (4 buckets per octave, ~19% relative
+    resolution) over positive values; observations ≤ 0 land in a
+    dedicated underflow bucket whose representative is 0. Percentiles
+    are exact whenever the observed values are bucket representatives
+    (powers of [2^(1/4)]), which the tests exploit. *)
+
+type counter
+type gauge
+type histogram
+
+(** {2 Counters} *)
+
+val counter : string -> counter
+(** Get or create. @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val set_counter : counter -> int -> unit
+(** For targeted resets ([Sat.Solver.reset_global_stats]). *)
+
+(** {2 Gauges} *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms} *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h q] with [q] in [\[0, 1\]]: the representative value
+    of the bucket containing the [ceil (q * count)]-th smallest
+    observation; [0.] on an empty histogram. *)
+
+val reset_histogram : histogram -> unit
+
+(** {2 Snapshot} *)
+
+val dump : Format.formatter -> unit -> unit
+(** Human-readable snapshot of every registered metric, sorted by
+    name: counter values, gauge values, histogram
+    count/sum/p50/p90/p99. *)
+
+val to_json : unit -> Json.t
+
+val reset_all : unit -> unit
+(** Zero every metric (bench isolation between experiments). *)

@@ -1,0 +1,35 @@
+/* Monotonic clock for Obs.Clock.
+ *
+ * OCaml's bundled Unix library exposes only gettimeofday (epoch time,
+ * subject to NTP steps), so the monotonic source is a one-line C stub
+ * over clock_gettime(CLOCK_MONOTONIC). The native entry point takes and
+ * returns unboxed doubles and performs no OCaml allocation, which keeps
+ * Obs.Clock.now usable on the tracing fast path.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+double mdqvtr_clock_monotonic(value unit)
+{
+  (void)unit;
+#if !defined(_WIN32) && defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+#endif
+  /* Fallback: epoch time. Only reached on platforms without a
+     monotonic clock; still usable, just not adjustment-proof. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (double)tv.tv_sec + 1e-6 * (double)tv.tv_usec;
+  }
+}
+
+CAMLprim value mdqvtr_clock_monotonic_byte(value unit)
+{
+  return caml_copy_double(mdqvtr_clock_monotonic(unit));
+}

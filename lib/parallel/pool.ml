@@ -77,7 +77,10 @@ let await fut = match result fut with Ok v -> v | Error e -> raise e
 
 let cancel fut = cancel_token fut.ftok
 
-type task = Task : (token -> 'a) * 'a future -> task
+(* Each task carries the trace context of its submitter so spans opened
+   inside the task attach to the submitting span even though they run
+   (and render) on the worker's own domain track. *)
+type task = Task : (token -> 'a) * 'a future * Obs.Trace.context -> task
 
 type t = {
   njobs : int;
@@ -91,10 +94,10 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.njobs
 
-let run_task (Task (fn, fut)) =
+let run_task (Task (fn, fut, ctx)) =
   if cancelled fut.ftok then resolve fut (Failed Cancelled)
   else
-    match fn fut.ftok with
+    match Obs.Trace.with_context ctx (fun () -> fn fut.ftok) with
     | v -> resolve fut (Done v)
     | exception e -> resolve fut (Failed e)
 
@@ -139,9 +142,10 @@ let submit t fn =
   let fut =
     { fmu = Mutex.create (); fcond = Condition.create (); st = Pending; ftok = make_token () }
   in
+  let ctx = Obs.Trace.current () in
   if t.njobs = 1 then begin
     if t.closed then invalid_arg "Pool.submit: pool is shut down";
-    run_task (Task (fn, fut))
+    run_task (Task (fn, fut, ctx))
   end
   else begin
     Mutex.lock t.mu;
@@ -149,7 +153,7 @@ let submit t fn =
       Mutex.unlock t.mu;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.push (Task (fn, fut)) t.queue;
+    Queue.push (Task (fn, fut, ctx)) t.queue;
     Condition.signal t.nonempty;
     Mutex.unlock t.mu
   end;

@@ -50,7 +50,12 @@ val submit : t -> (token -> 'a) -> 'a future
 (** Enqueue a task. The task receives its cancellation token and
     should poll {!cancelled} (or register {!on_cancel} hooks) at
     natural preemption points. Raises [Invalid_argument] on a pool
-    that has been shut down. *)
+    that has been shut down.
+
+    The submitter's {!Obs.Trace.current} context is captured here and
+    installed around the task ({!Obs.Trace.with_context}), so spans the
+    task opens attach to the submitting span while rendering on the
+    worker domain's own trace track. *)
 
 val await : 'a future -> 'a
 (** Block until the task resolves; re-raises the task's exception

@@ -32,14 +32,19 @@ let pp_report ppf r =
 
 let run ?mode trans ~metamodels ~models =
   let started = Sat.Telemetry.now () in
-  match Typecheck.check trans ~metamodels with
+  match
+    Obs.Trace.with_span ~name:"typecheck" (fun () ->
+        Typecheck.check trans ~metamodels)
+  with
   | Error errs ->
     Error
       (String.concat "; "
          (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) errs))
   | Ok info -> (
     match
-      Encode.create ~transformation:trans ~metamodels ~models ~slack_objects:0 ()
+      Obs.Trace.with_span ~name:"encode" (fun () ->
+          Encode.create ~transformation:trans ~metamodels ~models
+            ~slack_objects:0 ())
     with
     | Error msg -> Error msg
     | Ok enc -> (
@@ -47,6 +52,7 @@ let run ?mode trans ~metamodels ~models =
         let sem = Semantics.create ?mode enc info in
         let inst = Encode.check_instance enc in
         let verdicts =
+          Obs.Trace.with_span ~name:"check.eval" (fun () ->
           List.map
             (fun (r, d, f) ->
               match Relog.Eval.counterexample inst f with
@@ -64,7 +70,7 @@ let run ?mode trans ~metamodels ~models =
                   v_holds = false;
                   v_witness = witness;
                 })
-            (Semantics.top_formulas sem)
+            (Semantics.top_formulas sem))
         in
         Ok
           {

@@ -293,20 +293,43 @@ and quantify t env decls body ~universal =
     in
     if universal then C.and_ b branches else C.or_ b branches
 
+(* Per-translation figures accumulate in [translate_span] (reported by
+   [stats]); the registry histogram aggregates the same work
+   process-wide for [Obs.Metrics.dump]. *)
+let h_translate = Obs.Metrics.histogram "relog.translate_s"
+let m_relations = Obs.Metrics.counter "relog.relations_materialized"
+let m_formulas = Obs.Metrics.counter "relog.formulas_translated"
+
+let timed t f =
+  let t0 = Sat.Telemetry.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Sat.Telemetry.now () -. t0 in
+      Sat.Telemetry.record t.translate_span dt;
+      Obs.Metrics.observe h_translate dt)
+    f
+
 let assert_formula t f =
-  Sat.Telemetry.timed t.translate_span (fun () ->
-      let node = formula t Ident.Map.empty f in
-      Sat.Tseitin.assert_true t.tseitin node)
+  Obs.Metrics.incr m_formulas;
+  Obs.Trace.with_span ~name:"translate.formula" (fun () ->
+      timed t (fun () ->
+          let node = formula t Ident.Map.empty f in
+          Sat.Tseitin.assert_true t.tseitin node))
 
 let formula_lit t f =
-  Sat.Telemetry.timed t.translate_span (fun () ->
-      let node = formula t Ident.Map.empty f in
-      Sat.Tseitin.lit_of t.tseitin node)
+  Obs.Metrics.incr m_formulas;
+  Obs.Trace.with_span ~name:"translate.formula" (fun () ->
+      timed t (fun () ->
+          let node = formula t Ident.Map.empty f in
+          Sat.Tseitin.lit_of t.tseitin node))
 
 let primary_var t r tuple = Hashtbl.find_opt t.primaries (r, tuple)
 
 let materialize t r =
-  Sat.Telemetry.timed t.translate_span (fun () -> ignore (matrix_of_rel t r))
+  Obs.Metrics.incr m_relations;
+  Obs.Trace.with_span ~name:"translate.materialize"
+    ~args:(fun () -> [ ("relation", Obs.Json.String (Ident.name r)) ])
+    (fun () -> timed t (fun () -> ignore (matrix_of_rel t r)))
 
 let fold_primaries t f acc =
   Hashtbl.fold (fun (r, tuple) v acc -> f r tuple v acc) t.primaries acc

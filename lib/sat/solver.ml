@@ -574,15 +574,21 @@ let pick_branch_var s =
 (* Process-wide cumulative counters across every solver instance, so
    callers that create many solvers (bench experiments, enumeration
    loops) can still measure total search effort by snapshot/diff.
-   Atomics: solver instances run concurrently on worker domains. *)
-let g_decisions = Atomic.make 0
-let g_propagations = Atomic.make 0
-let g_conflicts = Atomic.make 0
-let g_restarts = Atomic.make 0
-let g_reduces = Atomic.make 0
-let g_learnt = Atomic.make 0
-let g_solves = Atomic.make 0
-let g_time = Atomic.make 0.0
+   Registered in the Obs.Metrics registry (lock-free counters under
+   the hood), so one [Obs.Metrics.dump] covers the solver too;
+   [global_stats]/[reset_global_stats] keep their exact semantics. *)
+let g_decisions = Obs.Metrics.counter "sat.decisions"
+let g_propagations = Obs.Metrics.counter "sat.propagations"
+let g_conflicts = Obs.Metrics.counter "sat.conflicts"
+let g_restarts = Obs.Metrics.counter "sat.restarts"
+let g_reduces = Obs.Metrics.counter "sat.reduces"
+let g_learnt = Obs.Metrics.counter "sat.learnt"
+let g_solves = Obs.Metrics.counter "sat.solves"
+
+(* Per-call solve durations: the histogram's sum is the old [g_time]
+   total, and the p50/p90/p99 spread is new signal (one long solve vs
+   many short ones tell very different performance stories). *)
+let g_solve_time = Obs.Metrics.histogram "sat.solve_time_s"
 
 exception Interrupted
 
@@ -640,6 +646,18 @@ let solve_inner ~assumptions s =
                  if float_of_int !conflicts_here >= !max_conflicts then begin
                    (* Restart. *)
                    s.n_restarts <- s.n_restarts + 1;
+                   (* Restarts are the natural sampling points for the
+                      trace's counter track: frequent enough to chart
+                      search progress, rare enough to stay cheap. The
+                      [enabled] guard keeps the CDCL loop free of any
+                      tracing cost otherwise. *)
+                   if Obs.Trace.enabled () then
+                     Obs.Trace.counter "sat.search"
+                       [
+                         ("conflicts", float_of_int s.n_conflicts);
+                         ("propagations", float_of_int s.n_propagations);
+                         ("learnt", float_of_int (Vec.size s.learnts));
+                       ];
                    raise Exit
                  end;
                  (* Assumption decisions first. *)
@@ -721,14 +739,14 @@ let solve ?(assumptions = []) s =
       let dt = Telemetry.now () -. t0 in
       s.n_solves <- s.n_solves + 1;
       s.solve_time <- s.solve_time +. dt;
-      ignore (Atomic.fetch_and_add g_decisions (s.n_decisions - d0));
-      ignore (Atomic.fetch_and_add g_propagations (s.n_propagations - p0));
-      ignore (Atomic.fetch_and_add g_conflicts (s.n_conflicts - c0));
-      ignore (Atomic.fetch_and_add g_restarts (s.n_restarts - r0));
-      ignore (Atomic.fetch_and_add g_reduces (s.n_reduces - rd0));
-      ignore (Atomic.fetch_and_add g_learnt (s.n_learnt_total - l0));
-      ignore (Atomic.fetch_and_add g_solves 1);
-      Telemetry.add_float g_time dt)
+      Obs.Metrics.add g_decisions (s.n_decisions - d0);
+      Obs.Metrics.add g_propagations (s.n_propagations - p0);
+      Obs.Metrics.add g_conflicts (s.n_conflicts - c0);
+      Obs.Metrics.add g_restarts (s.n_restarts - r0);
+      Obs.Metrics.add g_reduces (s.n_reduces - rd0);
+      Obs.Metrics.add g_learnt (s.n_learnt_total - l0);
+      Obs.Metrics.incr g_solves;
+      Obs.Metrics.observe g_solve_time dt)
     (fun () -> solve_inner ~assumptions s)
 
 let value s v = if v < s.nvars then s.assign.(v) = 1 else false
@@ -801,25 +819,25 @@ let stats s =
 
 let global_stats () =
   {
-    decisions = Atomic.get g_decisions;
-    propagations = Atomic.get g_propagations;
-    conflicts = Atomic.get g_conflicts;
-    restarts = Atomic.get g_restarts;
-    learnt = Atomic.get g_learnt;
-    reduces = Atomic.get g_reduces;
-    solves = Atomic.get g_solves;
-    solve_time = Atomic.get g_time;
+    decisions = Obs.Metrics.counter_value g_decisions;
+    propagations = Obs.Metrics.counter_value g_propagations;
+    conflicts = Obs.Metrics.counter_value g_conflicts;
+    restarts = Obs.Metrics.counter_value g_restarts;
+    learnt = Obs.Metrics.counter_value g_learnt;
+    reduces = Obs.Metrics.counter_value g_reduces;
+    solves = Obs.Metrics.counter_value g_solves;
+    solve_time = Obs.Metrics.histogram_sum g_solve_time;
   }
 
 let reset_global_stats () =
-  Atomic.set g_decisions 0;
-  Atomic.set g_propagations 0;
-  Atomic.set g_conflicts 0;
-  Atomic.set g_restarts 0;
-  Atomic.set g_reduces 0;
-  Atomic.set g_learnt 0;
-  Atomic.set g_solves 0;
-  Atomic.set g_time 0.0
+  Obs.Metrics.set_counter g_decisions 0;
+  Obs.Metrics.set_counter g_propagations 0;
+  Obs.Metrics.set_counter g_conflicts 0;
+  Obs.Metrics.set_counter g_restarts 0;
+  Obs.Metrics.set_counter g_reduces 0;
+  Obs.Metrics.set_counter g_learnt 0;
+  Obs.Metrics.set_counter g_solves 0;
+  Obs.Metrics.reset_histogram g_solve_time
 
 let pp_stats ppf st =
   Format.fprintf ppf

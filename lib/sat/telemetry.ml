@@ -1,4 +1,7 @@
-let now = Unix.gettimeofday
+(* Thin shim over the shared monotonic clock: every phase of the stack
+   keeps calling [Sat.Telemetry.now], but the readings can no longer go
+   backwards under NTP steps. *)
+let now = Obs.Clock.now
 
 let time f =
   let t0 = now () in

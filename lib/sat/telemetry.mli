@@ -6,7 +6,9 @@
     time on the same clock. *)
 
 val now : unit -> float
-(** Wall-clock seconds (epoch-based, monotonic enough for spans). *)
+(** Monotonic seconds (shim over {!Obs.Clock.now}); differences are
+    immune to wall-clock adjustment. The origin is unspecified — use
+    only for durations, never as an epoch timestamp. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed wall

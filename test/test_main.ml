@@ -11,6 +11,7 @@ let () =
       ("mdl.diff", Test_diff.suite);
       ("mdl.serialize", Test_serialize.suite);
       ("mdl.serialize_random", Test_serialize_random.suite);
+      ("obs", Test_obs.suite);
       ("sat.solver", Test_sat.suite);
       ("parallel", Test_parallel.suite);
       ("sat.circuit", Test_circuit.suite);

@@ -1,0 +1,318 @@
+(* lib/obs: canonical JSON round-trips, metrics registry percentiles,
+   span recording, Chrome trace export structure, parent-context
+   handoff across Parallel.Pool domains, and the disabled fast path. *)
+
+module J = Obs.Json
+module T = Obs.Trace
+module M = Obs.Metrics
+
+(* Every recording test owns the global trace state for its duration:
+   clear, enable, run, then disable and clear again so the rest of the
+   suite (and the bench-style tests) see tracing off. *)
+let with_tracing f =
+  T.clear ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.String "a\"b\\c\n\t\b\012\r plus \001 control");
+        ("l", J.List [ J.Int 1; J.Float 2.5; J.Bool true; J.Null ]);
+        ("n", J.Int (-42));
+        ("empty", J.Obj []);
+      ]
+  in
+  match J.of_string (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_control_escapes () =
+  (* \b and \f get their named escapes (the pre-obs emitter forgot
+     them); other control chars become \uXXXX. *)
+  Alcotest.(check string)
+    "escapes" "a\\u0001\\b\\f\\n\\r\\t\\\"\\\\"
+    (J.escape_string "a\001\b\012\n\r\t\"\\");
+  match J.of_string "\"a\\u0001\\b\\f\"" with
+  | Ok (J.String s) -> Alcotest.(check string) "parses back" "a\001\b\012" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | Error _ -> ()
+  in
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "'single'"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_histogram_percentiles () =
+  let h = M.histogram "test.obs.hist" in
+  M.reset_histogram h;
+  for _ = 1 to 50 do
+    M.observe h 1.0
+  done;
+  for _ = 1 to 30 do
+    M.observe h 2.0
+  done;
+  for _ = 1 to 20 do
+    M.observe h 4.0
+  done;
+  Alcotest.(check int) "count" 100 (M.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 190.0 (M.histogram_sum h);
+  (* 1, 2 and 4 are bucket representatives (powers of 2), so the
+     percentiles are exact: sorted order is 50x1, 30x2, 20x4. *)
+  Alcotest.(check (float 1e-9)) "p50" 1.0 (M.percentile h 0.50);
+  Alcotest.(check (float 1e-9)) "p80" 2.0 (M.percentile h 0.80);
+  Alcotest.(check (float 1e-9)) "p90" 4.0 (M.percentile h 0.90);
+  Alcotest.(check (float 1e-9)) "p99" 4.0 (M.percentile h 0.99);
+  M.reset_histogram h;
+  Alcotest.(check int) "reset count" 0 (M.histogram_count h);
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.0 (M.percentile h 0.5)
+
+let test_metrics_registry () =
+  let c = M.counter "test.obs.counter" in
+  M.set_counter c 0;
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "counter" 5 (M.counter_value c);
+  Alcotest.(check int) "get-or-create shares state" 5
+    (M.counter_value (M.counter "test.obs.counter"));
+  (match M.gauge "test.obs.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash must raise");
+  let g = M.gauge "test.obs.gauge" in
+  M.set_gauge g 3.5;
+  Alcotest.(check (float 1e-9)) "gauge" 3.5 (M.gauge_value g)
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording                                                     *)
+
+let begins evs = List.filter (fun (e : T.event) -> e.ph = `Begin) evs
+let ends evs = List.filter (fun (e : T.event) -> e.ph = `End) evs
+
+let find_begin name evs =
+  match
+    List.find_opt (fun (e : T.event) -> e.ph = `Begin && e.name = name) evs
+  with
+  | Some e -> e
+  | None -> Alcotest.fail ("no Begin event named " ^ name)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  T.with_span ~name:"outer"
+    ~args:(fun () -> [ ("k", J.Int 7) ])
+    (fun () ->
+      T.with_span ~name:"inner" (fun () -> ());
+      T.instant "mark");
+  let evs = T.events () in
+  let outer = find_begin "outer" evs in
+  let inner = find_begin "inner" evs in
+  Alcotest.(check int) "two begins" 2 (List.length (begins evs));
+  Alcotest.(check int) "two ends" 2 (List.length (ends evs));
+  Alcotest.(check bool) "outer is a root" true (outer.parent = 0);
+  Alcotest.(check bool) "inner nests under outer" true
+    (inner.parent = outer.id);
+  Alcotest.(check bool) "outer carries args" true
+    (outer.args = [ ("k", J.Int 7) ]);
+  let mark =
+    List.find (fun (e : T.event) -> e.ph = `Instant && e.name = "mark") evs
+  in
+  Alcotest.(check bool) "instant attaches to the open span" true
+    (mark.parent = outer.id)
+
+let test_span_survives_raise () =
+  with_tracing @@ fun () ->
+  (try T.with_span ~name:"boom" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  let evs = T.events () in
+  Alcotest.(check int) "begin recorded" 1 (List.length (begins evs));
+  Alcotest.(check int) "end recorded despite raise" 1
+    (List.length (ends evs))
+
+(* Span nesting must survive the pool handoff: children submitted from
+   inside a span attach to it while recording on the worker's own
+   track. *)
+let test_pool_handoff () =
+  with_tracing @@ fun () ->
+  let pool = Parallel.Pool.create ~jobs:4 in
+  let futures = ref [] in
+  T.with_span ~name:"submit" (fun () ->
+      futures :=
+        List.init 4 (fun _ ->
+            Parallel.Pool.submit pool (fun _ ->
+                T.with_span ~name:"child" (fun () -> Domain.cpu_relax ()))));
+  List.iter
+    (fun f ->
+      match Parallel.Pool.result f with
+      | Ok () -> ()
+      | Error e -> raise e)
+    !futures;
+  Parallel.Pool.shutdown pool;
+  let evs = T.events () in
+  let submit = find_begin "submit" evs in
+  let children =
+    List.filter
+      (fun (e : T.event) -> e.ph = `Begin && e.name = "child")
+      evs
+  in
+  Alcotest.(check int) "all four children recorded" 4 (List.length children);
+  List.iter
+    (fun (c : T.event) ->
+      Alcotest.(check bool) "child attaches to the submitting span" true
+        (c.parent = submit.id))
+    children;
+  Alcotest.(check bool) "children record on worker tracks" true
+    (List.exists (fun (c : T.event) -> c.tid <> submit.tid) children)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_chrome_export () =
+  with_tracing @@ fun () ->
+  T.with_span ~name:"a" (fun () ->
+      T.with_span ~name:"b" (fun () -> ());
+      T.counter "search" [ ("conflicts", 3.0) ];
+      T.instant "tick");
+  let path = Filename.temp_file "mdqvtr-obs" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  T.export_chrome path;
+  let v =
+    match J.of_string (read_file path) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("trace is not valid JSON: " ^ e)
+  in
+  let evs = J.to_list (J.member "traceEvents" v) in
+  Alcotest.(check bool) "has events" true (List.length evs > 0);
+  (* Every non-metadata event carries pid 1 and an integer tid, and
+     B/E events balance per tid. *)
+  let balance = Hashtbl.create 8 in
+  let bump tid d =
+    Hashtbl.replace balance tid (d + Option.value ~default:0 (Hashtbl.find_opt balance tid))
+  in
+  List.iter
+    (fun e ->
+      match (J.member "ph" e, J.member "tid" e) with
+      | J.String "M", _ -> ()
+      | J.String ph, J.Int tid ->
+        Alcotest.(check bool) "pid is 1" true (J.member "pid" e = J.Int 1);
+        if ph = "B" then begin
+          bump tid 1;
+          Alcotest.(check bool) "B has a span id" true
+            (match J.member "span" (J.member "args" e) with
+            | J.Int _ -> true
+            | _ -> false)
+        end
+        else if ph = "E" then bump tid (-1)
+      | _ -> Alcotest.fail "event without ph/tid")
+    evs;
+  Hashtbl.iter
+    (fun tid d ->
+      Alcotest.(check int) (Printf.sprintf "B/E balance on tid %d" tid) 0 d)
+    balance;
+  (* Counter samples survive as C events with float series. *)
+  Alcotest.(check bool) "counter event exported" true
+    (List.exists
+       (fun e ->
+         J.member "ph" e = J.String "C"
+         && J.member "name" e = J.String "search")
+       evs)
+
+let test_jsonl_export () =
+  with_tracing @@ fun () ->
+  T.with_span ~name:"one" (fun () -> T.instant "two");
+  let path = Filename.temp_file "mdqvtr-obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  T.export_jsonl path;
+  let lines =
+    String.split_on_char '\n' (String.trim (read_file path))
+  in
+  Alcotest.(check int) "one line per event" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | Ok (J.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "line is not an object"
+      | Error e -> Alcotest.fail ("line is not valid JSON: " ^ e))
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Disabled fast path                                                  *)
+
+let nop () = ()
+
+let test_disabled_no_alloc () =
+  T.set_enabled false;
+  (* Warm up the domain-local buffer and any one-time setup. *)
+  T.with_span ~name:"warm" nop;
+  T.instant "warm";
+  let series = [ ("x", 1.0) ] in
+  T.counter "warm" series;
+  ignore (T.current ());
+  let n = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    T.with_span ~name:"hot" nop;
+    T.instant "hot";
+    T.counter "hot" series;
+    ignore (T.current ())
+  done;
+  let after = Gc.minor_words () in
+  let delta = int_of_float (after -. before) in
+  (* The loop runs 40k entry points; any per-call allocation would cost
+     >= 2 words each. Allow a small constant for the measurement
+     itself. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocated %d minor words" delta)
+    true (delta < 256)
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now () in
+  let b = Obs.Clock.now () in
+  Alcotest.(check bool) "positive" true (a > 0.);
+  Alcotest.(check bool) "monotonic" true (b >= a);
+  Alcotest.(check bool) "telemetry shim agrees" true
+    (Sat.Telemetry.now () -. Obs.Clock.now () < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json control-char escapes" `Quick
+      test_json_control_escapes;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "histogram percentiles exact" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "span nesting and args" `Quick test_span_nesting;
+    Alcotest.test_case "span end survives raise" `Quick
+      test_span_survives_raise;
+    Alcotest.test_case "nesting survives pool handoff (jobs=4)" `Quick
+      test_pool_handoff;
+    Alcotest.test_case "chrome export: valid JSON, balanced B/E" `Quick
+      test_chrome_export;
+    Alcotest.test_case "jsonl export: one object per line" `Quick
+      test_jsonl_export;
+    Alcotest.test_case "disabled fast path allocates nothing" `Quick
+      test_disabled_no_alloc;
+    Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+  ]
