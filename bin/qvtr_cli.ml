@@ -1,4 +1,4 @@
-(* Command-line front end: check / enforce / fmt / demo.
+(* Command-line front end: check / enforce / lint / fmt / demo.
 
    File conventions:
    - transformation: QVT-R concrete syntax (Qvtr.Parser);
@@ -16,7 +16,7 @@ let read_file path =
 let ( let* ) = Result.bind
 
 let load_inputs ~trans_file ~mm_file ~models_file =
-  let* trans = Qvtr.Parser.parse (read_file trans_file) in
+  let* trans = Qvtr.Parser.parse ~file:trans_file (read_file trans_file) in
   let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
   let* models = Mdl.Serialize.parse_models mms (read_file models_file) in
   let metamodels = List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms in
@@ -44,15 +44,28 @@ let with_trace trace f =
 
 let pp_metrics stats = if stats then Format.printf "%a@." Obs.Metrics.dump ()
 
+(* Advisory lint on check/enforce: print warnings to stderr, never
+   block the run (errors surface from the command itself). *)
+let advisory_lint ~no_lint ~trans_file trans ~metamodels ~models =
+  if not no_lint then begin
+    let src = read_file trans_file in
+    Lint.Driver.lint_ast ~models trans ~metamodels
+    |> List.filter (fun (d : Lint.Diagnostic.t) ->
+           d.Lint.Diagnostic.severity = Lint.Diagnostic.Warning)
+    |> List.iter (fun d ->
+           Format.eprintf "%s@." (Lint.Diagnostic.render ~src d))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let run_check trans_file mm_file models_file standard stats trace =
+let run_check trans_file mm_file models_file standard no_lint stats trace =
   with_trace trace @@ fun () ->
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
     in
+    advisory_lint ~no_lint ~trans_file trans ~metamodels ~models;
     let* report =
       Qvtr.Check.run ~mode:(mode_of_standard standard) trans ~metamodels ~models
     in
@@ -122,7 +135,7 @@ let run_enforce_all trans_file mm_file models_file targets standard slack jobs
     end
 
 let run_enforce trans_file mm_file models_file targets standard backend
-    slack jobs all stats out_file trace =
+    slack jobs all no_lint stats out_file trace =
   with_trace trace @@ fun () ->
   if all then
     run_enforce_all trans_file mm_file models_file targets standard slack jobs
@@ -132,6 +145,7 @@ let run_enforce trans_file mm_file models_file targets standard backend
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
     in
+    advisory_lint ~no_lint ~trans_file trans ~metamodels ~models;
     let backend =
       match backend with
       | "maxsat" -> Echo.Engine.Maxsat
@@ -205,7 +219,7 @@ let run_session trans_file mm_file models_file edits_file targets standard
            may change *)
         Echo.Target.of_list
           (List.map
-             (fun (p, _) -> Mdl.Ident.name p)
+             (fun (p : Qvtr.Ast.param) -> Mdl.Ident.name p.Qvtr.Ast.par_name)
              trans.Qvtr.Ast.t_params)
       | ts -> Echo.Target.of_list ts
     in
@@ -269,6 +283,39 @@ let run_traces trans_file mm_file models_file standard =
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     2
+
+(* ------------------------------------------------------------------ *)
+(* lint: static analysis with source-located diagnostics               *)
+
+let run_lint trans_file mm_file models_file json werror suppress =
+  let src = read_file trans_file in
+  match
+    let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
+    let metamodels = List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms in
+    let* models =
+      match models_file with
+      | None -> Ok None
+      | Some f ->
+        let* ms = Mdl.Serialize.parse_models mms (read_file f) in
+        Ok (Some (List.map (fun m -> (Mdl.Model.name m, m)) ms))
+    in
+    Ok (metamodels, models)
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+  | Ok (metamodels, models) ->
+    let config = { Lint.Driver.default_config with werror; suppress } in
+    let diags =
+      Lint.Driver.lint_source ~config ~file:trans_file ?models src ~metamodels
+    in
+    if json then
+      print_endline (Obs.Json.to_string (Lint.Diagnostic.list_to_json diags))
+    else begin
+      List.iter (fun d -> print_endline (Lint.Diagnostic.render ~src d)) diags;
+      Format.printf "%s@." (Lint.Driver.summary diags)
+    end;
+    if Lint.Driver.error_count diags > 0 then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* fmt: parse and pretty-print a transformation                        *)
@@ -388,13 +435,19 @@ let trace_arg =
            One track per worker domain; spans cover parse, translate, CNF \
            build and every solver call.")
 
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ]
+        ~doc:"Skip the advisory lint warnings printed before the run.")
+
 let check_cmd =
   let doc = "check consistency of models under a QVT-R transformation" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run_check $ trans_arg $ mm_arg $ models_arg $ standard_arg
-      $ stats_arg $ trace_arg)
+      $ no_lint_arg $ stats_arg $ trace_arg)
 
 let targets_arg =
   Arg.(
@@ -449,8 +502,8 @@ let enforce_cmd =
     (Cmd.info "enforce" ~doc)
     Term.(
       const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
-      $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg $ stats_arg
-      $ out_arg $ trace_arg)
+      $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg
+      $ no_lint_arg $ stats_arg $ out_arg $ trace_arg)
 
 let edits_arg =
   Arg.(
@@ -490,6 +543,55 @@ let session_cmd =
       $ session_targets_arg $ standard_arg $ slack_arg $ headroom_arg
       $ stats_arg $ trace_arg)
 
+let lint_models_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "m"; "models" ] ~docv:"FILE"
+        ~doc:
+          "Models file (optional). When given, lint also runs the \
+           model-bounded vacuity pass (W009).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout.")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "werror" ] ~doc:"Treat warnings as errors (exit non-zero).")
+
+let suppress_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "suppress" ] ~docv:"CODE"
+        ~doc:"Suppress a diagnostic code, e.g. --suppress W004 (repeatable).")
+
+let lint_cmd =
+  let doc = "statically analyze a QVT-R transformation" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses and typechecks the transformation, then runs \
+         static-analysis passes: unreachable relations, redundant \
+         checking dependencies, unenforceable model parameters, \
+         unused and single-domain variables, shadowing, abstract \
+         classes in enforce targets, multiplicity conflicts, and — \
+         with $(b,--models) — directional checks that are constant \
+         under the given models.";
+      `P
+        "Every diagnostic carries a stable code (E0xx errors, W0xx \
+         warnings) and a file:line:col anchor with a source excerpt.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run_lint $ trans_arg $ mm_arg $ lint_models_arg $ json_arg
+      $ werror_arg $ suppress_arg)
+
 let fmt_cmd =
   let doc = "parse and pretty-print a QVT-R transformation" in
   Cmd.v (Cmd.info "fmt" ~doc) Term.(const run_fmt $ trans_arg)
@@ -511,6 +613,6 @@ let main =
   let doc = "multidirectional QVT-R transformations (EDBT'14 reproduction)" in
   Cmd.group
     (Cmd.info "qvtr" ~version:"1.0.0" ~doc)
-    [ check_cmd; enforce_cmd; session_cmd; traces_cmd; fmt_cmd; demo_cmd ]
+    [ check_cmd; enforce_cmd; session_cmd; traces_cmd; lint_cmd; fmt_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -169,7 +169,6 @@ let repair_key repaired =
 
 type probe = {
   p_repaired : (Mdl.Ident.t * Mdl.Model.t) list;
-  p_rel : int;
   p_edit : int;
 }
 
@@ -300,7 +299,7 @@ let ladder ~window ~cap sc space board wi =
       | Ok repaired ->
         let d = Space.relational_distance space inst in
         let probe =
-          { p_repaired = repaired; p_rel = d; p_edit = Space.edit_distance space repaired }
+          { p_repaired = repaired; p_edit = Space.edit_distance space repaired }
         in
         Mutex.lock board.bmu;
         (match board.best with

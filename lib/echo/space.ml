@@ -3,7 +3,6 @@ module TS = Relog.Rel.Tupleset
 
 type t = {
   enc : Qvtr.Encode.t;
-  info : Qvtr.Typecheck.info;
   sem : Qvtr.Semantics.t;
   tgts : Target.t;
   original : Relog.Instance.t;
@@ -22,7 +21,11 @@ let param_of_rel r =
 let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
     ?(model_weights = []) ~transformation ~metamodels ~models ~targets () =
   let ( let* ) = Result.bind in
-  let params = List.map fst transformation.Qvtr.Ast.t_params in
+  let params =
+    List.map
+      (fun (p : Qvtr.Ast.param) -> p.Qvtr.Ast.par_name)
+      transformation.Qvtr.Ast.t_params
+  in
   let* () = Target.validate ~params targets in
   let* info =
     match Qvtr.Typecheck.check transformation ~metamodels with
@@ -59,7 +62,6 @@ let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
     Ok
       {
         enc;
-        info;
         sem;
         tgts = targets;
         original = Qvtr.Encode.check_instance enc;
@@ -86,7 +88,10 @@ let structural s =
 let targets s = s.tgts
 let formulas s = s.fmls
 let bounds s = s.bnds
-let params s = List.map fst (Qvtr.Encode.transformation s.enc).Qvtr.Ast.t_params
+let params s =
+  List.map
+    (fun (p : Qvtr.Ast.param) -> p.Qvtr.Ast.par_name)
+    (Qvtr.Encode.transformation s.enc).Qvtr.Ast.t_params
 
 let weight_of_rel s r =
   match param_of_rel r with

@@ -64,14 +64,27 @@ let param_fm = Ident.make "fm"
 (* ------------------------------------------------------------------ *)
 (* The transformation, built generically over k                        *)
 
-let tpl v props = { Qvtr.Ast.t_var = Ident.make v; t_class = feature_cls; t_props = props }
-let prop f e = { Qvtr.Ast.p_feature = Ident.make f; p_value = Qvtr.Ast.PV_expr e }
+let tpl v props =
+  {
+    Qvtr.Ast.t_var = Ident.make v;
+    t_class = feature_cls;
+    t_props = props;
+    t_loc = Qvtr.Loc.none;
+  }
+
+let prop f e =
+  {
+    Qvtr.Ast.p_feature = Ident.make f;
+    p_value = Qvtr.Ast.PV_expr e;
+    p_loc = Qvtr.Loc.none;
+  }
 
 let domain_cf i var =
   {
     Qvtr.Ast.d_model = param_cf i;
     d_template = tpl var [ prop "name" (Qvtr.Ast.O_var (Ident.make "n")) ];
     d_enforceable = true;
+    d_loc = Qvtr.Loc.none;
   }
 
 let mf_relation ~k ~with_deps =
@@ -80,7 +93,14 @@ let mf_relation ~k ~with_deps =
   {
     Qvtr.Ast.r_name = Ident.make "MF";
     r_top = true;
-    r_vars = [ (Ident.make "n", Qvtr.Ast.T_string) ];
+    r_vars =
+      [
+        {
+          Qvtr.Ast.v_name = Ident.make "n";
+          v_type = Qvtr.Ast.T_string;
+          v_loc = Qvtr.Loc.none;
+        };
+      ];
     r_prims = [];
     r_domains =
       List.init k (fun i -> domain_cf (i + 1) (Printf.sprintf "s%d" (i + 1)))
@@ -89,6 +109,7 @@ let mf_relation ~k ~with_deps =
             Qvtr.Ast.d_model = param_fm;
             d_template = tpl "f" [ prop "name" n; prop "mandatory" (Qvtr.Ast.O_bool true) ];
             d_enforceable = true;
+            d_loc = Qvtr.Loc.none;
           };
         ];
     r_when = [];
@@ -100,6 +121,7 @@ let mf_relation ~k ~with_deps =
          :: List.map
               (fun cf -> Qvtr.Dependency.make ~sources:[ "fm" ] ~target:cf)
               cf_names);
+    r_loc = Qvtr.Loc.none;
   }
 
 let of_relation ~k ~with_deps =
@@ -108,7 +130,14 @@ let of_relation ~k ~with_deps =
   {
     Qvtr.Ast.r_name = Ident.make "OF";
     r_top = true;
-    r_vars = [ (Ident.make "n", Qvtr.Ast.T_string) ];
+    r_vars =
+      [
+        {
+          Qvtr.Ast.v_name = Ident.make "n";
+          v_type = Qvtr.Ast.T_string;
+          v_loc = Qvtr.Loc.none;
+        };
+      ];
     r_prims = [];
     r_domains =
       List.init k (fun i -> domain_cf (i + 1) (Printf.sprintf "t%d" (i + 1)))
@@ -117,6 +146,7 @@ let of_relation ~k ~with_deps =
             Qvtr.Ast.d_model = param_fm;
             d_template = tpl "g" [ prop "name" n ];
             d_enforceable = true;
+            d_loc = Qvtr.Loc.none;
           };
         ];
     r_when = [];
@@ -125,6 +155,7 @@ let of_relation ~k ~with_deps =
       (if not with_deps then []
        else
          List.map (fun cf -> Qvtr.Dependency.make ~sources:[ cf ] ~target:"fm") cf_names);
+    r_loc = Qvtr.Loc.none;
   }
 
 let make_transformation ~k ~with_deps =
@@ -132,9 +163,12 @@ let make_transformation ~k ~with_deps =
   {
     Qvtr.Ast.t_name = Ident.make "FeatureConfig";
     t_params =
-      List.init k (fun i -> (param_cf (i + 1), Ident.make "CF"))
-      @ [ (param_fm, Ident.make "FM") ];
+      (let par name mm =
+         { Qvtr.Ast.par_name = name; par_mm = Ident.make mm; par_loc = Qvtr.Loc.none }
+       in
+       List.init k (fun i -> par (param_cf (i + 1)) "CF") @ [ par param_fm "FM" ]);
     t_relations = [ mf_relation ~k ~with_deps; of_relation ~k ~with_deps ];
+    t_loc = Qvtr.Loc.none;
   }
 
 let transformation ~k = make_transformation ~k ~with_deps:true

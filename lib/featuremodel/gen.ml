@@ -1,5 +1,3 @@
-module Model = Mdl.Model
-
 type rng = Random.State.t
 
 let rng seed = Random.State.make [| seed |]

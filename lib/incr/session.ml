@@ -306,7 +306,11 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
   if slack_budget < 0 || headroom < 0 then
     Error "Session.open_session: slack_budget and headroom must be >= 0"
   else
-    let params = List.map fst transformation.Qvtr.Ast.t_params in
+    let params =
+      List.map
+        (fun (p : Qvtr.Ast.param) -> p.Qvtr.Ast.par_name)
+        transformation.Qvtr.Ast.t_params
+    in
     let* () = Echo.Target.validate ~params targets in
     let* info =
       match Qvtr.Typecheck.check transformation ~metamodels with

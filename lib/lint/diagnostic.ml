@@ -1,0 +1,113 @@
+module Ident = Mdl.Ident
+module Loc = Qvtr.Loc
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : Loc.t;
+  relation : Ident.t option;
+  message : string;
+}
+
+let make ?(severity = Warning) ?(loc = Loc.none) ?relation ~code message =
+  { code; severity; loc; relation; message }
+
+(* The stable code registry. Every diagnostic the toolchain can emit
+   appears here; tests iterate over it to guarantee golden coverage. *)
+let registry =
+  [
+    ("E001", Error, "syntax error");
+    ("E002", Error, "type or name error");
+    ("E003", Error, "invalid checking dependency");
+    ("E004", Error, "recursive relation invocation");
+    ("E005", Error, "direction-incompatible relation call");
+    ("W001", Warning, "relation unreachable from any top relation");
+    ("W002", Warning, "redundant checking dependency (entailed by the rest)");
+    ("W003", Warning, "model parameter is never a dependency target");
+    ("W004", Warning, "unused declared variable");
+    ("W005", Warning, "variable bound in only one domain");
+    ("W006", Warning, "variable shadows a parameter or relation name");
+    ("W007", Warning, "abstract class in an enforceable target template");
+    ("W008", Warning, "more template values than the feature multiplicity admits");
+    ("W009", Warning, "directional check is constant under the given models");
+  ]
+
+let default_severity code =
+  match List.find_opt (fun (c, _, _) -> c = code) registry with
+  | Some (_, sev, _) -> sev
+  | None -> Warning
+
+let describe code =
+  match List.find_opt (fun (c, _, _) -> c = code) registry with
+  | Some (_, _, d) -> Some d
+  | None -> None
+
+let compare_by_pos a b =
+  let by_file = compare a.loc.Loc.file b.loc.Loc.file in
+  if by_file <> 0 then by_file
+  else
+    let by_line = compare a.loc.Loc.line b.loc.Loc.line in
+    if by_line <> 0 then by_line
+    else
+      let by_col = compare a.loc.Loc.col b.loc.Loc.col in
+      if by_col <> 0 then by_col else compare a.code b.code
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let pp_oneline ppf d =
+  if not (Loc.is_none d.loc) then Format.fprintf ppf "%a: " Loc.pp d.loc;
+  Format.fprintf ppf "%s[%s]: " (severity_name d.severity) d.code;
+  (match d.relation with
+  | Some r -> Format.fprintf ppf "relation %a: " Ident.pp r
+  | None -> ());
+  Format.pp_print_string ppf d.message
+
+let pp = pp_oneline
+
+let render ?src d =
+  let line = Format.asprintf "%a" pp_oneline d in
+  match src with
+  | Some src when not (Loc.is_none d.loc) -> (
+    match Loc.excerpt ~src d.loc with
+    | Some excerpt -> line ^ "\n" ^ excerpt
+    | None -> line)
+  | _ -> line
+
+let to_json d =
+  let base =
+    [
+      ("code", Obs.Json.String d.code);
+      ("severity", Obs.Json.String (severity_name d.severity));
+      ("message", Obs.Json.String d.message);
+    ]
+  in
+  let loc =
+    if Loc.is_none d.loc then []
+    else
+      [
+        ( "loc",
+          Obs.Json.Obj
+            ([
+               ("line", Obs.Json.Int d.loc.Loc.line);
+               ("col", Obs.Json.Int d.loc.Loc.col);
+             ]
+            @ (if d.loc.Loc.file = "" then []
+               else [ ("file", Obs.Json.String d.loc.Loc.file) ])) );
+      ]
+  in
+  let rel =
+    match d.relation with
+    | Some r -> [ ("relation", Obs.Json.String (Ident.name r)) ]
+    | None -> []
+  in
+  Obs.Json.Obj (base @ loc @ rel)
+
+let list_to_json ds = Obs.Json.List (List.map to_json ds)

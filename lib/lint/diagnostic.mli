@@ -1,0 +1,51 @@
+(** Source-located diagnostics with stable codes.
+
+    Every diagnostic the toolchain emits — syntax and type errors
+    surfaced through {!Driver}, and the static-analysis warnings of
+    {!Passes} — is a value of {!t}: a stable code (["E0xx"] errors,
+    ["W0xx"] warnings), a severity, a {!Qvtr.Loc.t} source anchor and
+    a human message. Stable codes make diagnostics suppressible
+    (--suppress W004), promotable (--werror) and machine-readable
+    (--json) without string matching. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type t = {
+  code : string;  (** stable code, e.g. ["W004"] *)
+  severity : severity;
+  loc : Qvtr.Loc.t;  (** {!Qvtr.Loc.none} when no anchor exists *)
+  relation : Mdl.Ident.t option;  (** relation at fault, if any *)
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  ?loc:Qvtr.Loc.t ->
+  ?relation:Mdl.Ident.t ->
+  code:string ->
+  string ->
+  t
+(** [severity] defaults to [Warning]; prefer {!default_severity} of
+    the code. *)
+
+val registry : (string * severity * string) list
+(** All (code, default severity, description) triples the toolchain
+    can emit. Tests iterate over this to enforce golden coverage. *)
+
+val default_severity : string -> severity
+val describe : string -> string option
+
+val compare_by_pos : t -> t -> int
+(** Order by (file, line, col, code) — source order for reports. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: ["file:line:col: severity[CODE]: relation R: message"]. *)
+
+val render : ?src:string -> t -> string
+(** {!pp}, followed (when [src] is given and the location is known) by
+    a two-line source excerpt with a caret under the offending span. *)
+
+val to_json : t -> Obs.Json.t
+val list_to_json : t list -> Obs.Json.t

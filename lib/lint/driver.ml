@@ -1,0 +1,69 @@
+type config = {
+  werror : bool;
+  suppress : string list;
+  with_passes : bool;
+}
+
+let default_config = { werror = false; suppress = []; with_passes = true }
+
+let of_typecheck_error (e : Qvtr.Typecheck.error) =
+  Diagnostic.make ~severity:Diagnostic.Error ~loc:e.Qvtr.Typecheck.err_loc
+    ?relation:e.Qvtr.Typecheck.err_relation ~code:e.Qvtr.Typecheck.err_code
+    e.Qvtr.Typecheck.err_msg
+
+let of_parse_error (loc, msg) =
+  Diagnostic.make ~severity:Diagnostic.Error ~loc ~code:"E001" msg
+
+let apply_config config ds =
+  let kept =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        not (List.mem d.Diagnostic.code config.suppress))
+      ds
+  in
+  if not config.werror then kept
+  else
+    List.map
+      (fun (d : Diagnostic.t) ->
+        match d.Diagnostic.severity with
+        | Diagnostic.Warning -> { d with Diagnostic.severity = Diagnostic.Error }
+        | _ -> d)
+      kept
+
+let lint_ast ?(config = default_config) ?models t ~metamodels =
+  let diags =
+    match Qvtr.Typecheck.check t ~metamodels with
+    | Error errs -> List.map of_typecheck_error errs
+    | Ok _ ->
+      if config.with_passes then Passes.analyze ?models t ~metamodels else []
+  in
+  apply_config config (List.stable_sort Diagnostic.compare_by_pos diags)
+
+let lint_source ?(config = default_config) ?file ?models src ~metamodels =
+  match Qvtr.Parser.parse_located ?file src with
+  | Error (loc, msg) -> apply_config config [ of_parse_error (loc, msg) ]
+  | Ok t -> lint_ast ~config ?models t ~metamodels
+
+let error_count ds =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error)
+       ds)
+
+let warning_count ds =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Warning)
+       ds)
+
+let summary ds =
+  let e = error_count ds and w = warning_count ds in
+  let part n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+  match (e, w) with
+  | 0, 0 -> "no diagnostics"
+  | 0, w -> part w "warning"
+  | e, 0 -> part e "error"
+  | e, w -> part e "error" ^ ", " ^ part w "warning"
+
+let render_all ?src ds =
+  String.concat "\n" (List.map (fun d -> Diagnostic.render ?src d) ds)

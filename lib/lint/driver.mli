@@ -1,0 +1,49 @@
+(** The lint driver: parse, typecheck and analyze a transformation,
+    producing a single position-sorted diagnostic stream.
+
+    Severity mapping: parse errors are [E001]; {!Qvtr.Typecheck}
+    errors keep their own codes ([E002]–[E005]); {!Passes} warnings
+    are [W0xx]. [config.werror] promotes warnings to errors,
+    [config.suppress] drops listed codes entirely, and
+    [config.with_passes = false] stops after typechecking. *)
+
+type config = {
+  werror : bool;  (** promote warnings to errors *)
+  suppress : string list;  (** codes to drop, e.g. [["W004"]] *)
+  with_passes : bool;  (** run {!Passes} after a clean typecheck *)
+}
+
+val default_config : config
+(** [{ werror = false; suppress = []; with_passes = true }] *)
+
+val of_typecheck_error : Qvtr.Typecheck.error -> Diagnostic.t
+val of_parse_error : Qvtr.Loc.t * string -> Diagnostic.t
+
+val lint_ast :
+  ?config:config ->
+  ?models:(Mdl.Ident.t * Mdl.Model.t) list ->
+  Qvtr.Ast.transformation ->
+  metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
+  Diagnostic.t list
+(** Typecheck [t]; on success run the analysis passes (the
+    model-bounded [W009] pass only when [models] is given). *)
+
+val lint_source :
+  ?config:config ->
+  ?file:string ->
+  ?models:(Mdl.Ident.t * Mdl.Model.t) list ->
+  string ->
+  metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
+  Diagnostic.t list
+(** {!lint_ast} preceded by {!Qvtr.Parser.parse_located}; a syntax
+    error yields a single located [E001]. *)
+
+val error_count : Diagnostic.t list -> int
+val warning_count : Diagnostic.t list -> int
+
+val summary : Diagnostic.t list -> string
+(** e.g. ["2 errors, 1 warning"] or ["no diagnostics"]. *)
+
+val render_all : ?src:string -> Diagnostic.t list -> string
+(** One rendered diagnostic per line; with [src], each carries its
+    caret excerpt. *)

@@ -34,9 +34,15 @@ type pred =
   | P_implies of pred * pred
   | P_call of Ident.t * Ident.t list
 
+type clause = {
+  c_pred : pred;
+  c_loc : Loc.t;
+}
+
 type property = {
   p_feature : Ident.t;
   p_value : pvalue;
+  p_loc : Loc.t;
 }
 
 and pvalue =
@@ -47,38 +53,62 @@ and template = {
   t_var : Ident.t;
   t_class : Ident.t;
   t_props : property list;
+  t_loc : Loc.t;
 }
 
 type domain = {
   d_model : Ident.t;
   d_template : template;
   d_enforceable : bool;
+  d_loc : Loc.t;
 }
 
 type dependency = {
   dep_sources : Ident.t list;
   dep_target : Ident.t;
+  dep_loc : Loc.t;
+}
+
+type vardecl = {
+  v_name : Ident.t;
+  v_type : var_type;
+  v_loc : Loc.t;
 }
 
 type relation = {
   r_name : Ident.t;
   r_top : bool;
-  r_vars : (Ident.t * var_type) list;
-  r_prims : (Ident.t * var_type) list;
+  r_vars : vardecl list;
+  r_prims : vardecl list;
   r_domains : domain list;
-  r_when : pred list;
-  r_where : pred list;
+  r_when : clause list;
+  r_where : clause list;
   r_deps : dependency list;
+  r_loc : Loc.t;
+}
+
+type param = {
+  par_name : Ident.t;
+  par_mm : Ident.t;
+  par_loc : Loc.t;
 }
 
 type transformation = {
   t_name : Ident.t;
-  t_params : (Ident.t * Ident.t) list;
+  t_params : param list;
   t_relations : relation list;
+  t_loc : Loc.t;
 }
+
+let clause ?(loc = Loc.none) p = { c_pred = p; c_loc = loc }
+let clauses ps = List.map (fun p -> clause p) ps
+let preds cs = List.map (fun c -> c.c_pred) cs
 
 let find_relation t name =
   List.find_opt (fun r -> Ident.equal r.r_name name) t.t_relations
+
+let find_param t name =
+  List.find_opt (fun p -> Ident.equal p.par_name name) t.t_params
 
 let domain_for r model =
   List.find_opt (fun d -> Ident.equal d.d_model model) r.r_domains
@@ -93,6 +123,16 @@ let rec template_vars_acc tpl acc =
     acc tpl.t_props
 
 let template_vars tpl = List.rev (template_vars_acc tpl [])
+
+let rec template_templates_acc tpl acc =
+  List.fold_left
+    (fun acc prop ->
+      match prop.p_value with
+      | PV_expr _ -> acc
+      | PV_template t -> template_templates_acc t acc)
+    (tpl :: acc) tpl.t_props
+
+let template_templates tpl = List.rev (template_templates_acc tpl [])
 
 let rec oexpr_vars_acc e acc =
   match e with
@@ -116,6 +156,61 @@ let rec pred_vars_acc p acc =
   | P_call (_, args) -> List.fold_left (fun acc v -> Ident.Set.add v acc) acc args
 
 let pred_vars p = pred_vars_acc p Ident.Set.empty
+
+let rec pred_calls_acc p acc =
+  match p with
+  | P_call (name, _) -> name :: acc
+  | P_not q -> pred_calls_acc q acc
+  | P_and (a, b) | P_or (a, b) | P_implies (a, b) ->
+    pred_calls_acc a (pred_calls_acc b acc)
+  | P_true | P_eq _ | P_neq _ | P_in _ | P_lt _ | P_le _ | P_empty _
+  | P_nonempty _ -> acc
+
+let pred_calls p = List.rev (pred_calls_acc p [])
+
+(* ------------------------------------------------------------------ *)
+(* Location erasure (round-trip tests, programmatic equality)          *)
+
+let rec strip_template tpl =
+  {
+    tpl with
+    t_loc = Loc.none;
+    t_props =
+      List.map
+        (fun p ->
+          {
+            p with
+            p_loc = Loc.none;
+            p_value =
+              (match p.p_value with
+              | PV_expr _ as e -> e
+              | PV_template t -> PV_template (strip_template t));
+          })
+        tpl.t_props;
+  }
+
+let strip_relation r =
+  {
+    r with
+    r_loc = Loc.none;
+    r_vars = List.map (fun v -> { v with v_loc = Loc.none }) r.r_vars;
+    r_prims = List.map (fun v -> { v with v_loc = Loc.none }) r.r_prims;
+    r_domains =
+      List.map
+        (fun d -> { d with d_loc = Loc.none; d_template = strip_template d.d_template })
+        r.r_domains;
+    r_when = List.map (fun c -> { c with c_loc = Loc.none }) r.r_when;
+    r_where = List.map (fun c -> { c with c_loc = Loc.none }) r.r_where;
+    r_deps = List.map (fun d -> { d with dep_loc = Loc.none }) r.r_deps;
+  }
+
+let strip_locs t =
+  {
+    t with
+    t_loc = Loc.none;
+    t_params = List.map (fun p -> { p with par_loc = Loc.none }) t.t_params;
+    t_relations = List.map strip_relation t.t_relations;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Printing (concrete syntax; parses back)                             *)
@@ -177,11 +272,13 @@ let pp_relation ppf r =
   Format.fprintf ppf "@[<v 2>%srelation %a {" (if r.r_top then "top " else "")
     Ident.pp r.r_name;
   List.iter
-    (fun (v, ty) -> Format.fprintf ppf "@,%a : %a;" Ident.pp v pp_var_type ty)
+    (fun vd ->
+      Format.fprintf ppf "@,%a : %a;" Ident.pp vd.v_name pp_var_type vd.v_type)
     r.r_vars;
   List.iter
-    (fun (v, ty) ->
-      Format.fprintf ppf "@,primitive domain %a : %a;" Ident.pp v pp_var_type ty)
+    (fun vd ->
+      Format.fprintf ppf "@,primitive domain %a : %a;" Ident.pp vd.v_name
+        pp_var_type vd.v_type)
     r.r_prims;
   List.iter
     (fun d ->
@@ -191,13 +288,13 @@ let pp_relation ppf r =
     r.r_domains;
   let pp_block kw = function
     | [] -> ()
-    | preds ->
+    | cs ->
       Format.fprintf ppf "@,%s {" kw;
       List.iteri
-        (fun i p ->
+        (fun i c ->
           if i > 0 then Format.pp_print_string ppf ";";
-          Format.fprintf ppf " %a" pp_pred p)
-        preds;
+          Format.fprintf ppf " %a" pp_pred c.c_pred)
+        cs;
       Format.pp_print_string ppf " }"
   in
   pp_block "when" r.r_when;
@@ -214,7 +311,8 @@ let pp_transformation ppf t =
   Format.fprintf ppf "@[<v 2>transformation %a(%s) {" Ident.pp t.t_name
     (String.concat ", "
        (List.map
-          (fun (p, mm) -> Printf.sprintf "%s : %s" (Ident.name p) (Ident.name mm))
+          (fun p ->
+            Printf.sprintf "%s : %s" (Ident.name p.par_name) (Ident.name p.par_mm))
           t.t_params));
   List.iter (fun r -> Format.fprintf ppf "@,%a" pp_relation r) t.t_relations;
   Format.fprintf ppf "@]@,}"

@@ -6,6 +6,7 @@ let make ~sources ~target =
   {
     Ast.dep_sources = List.map Ident.make sources;
     dep_target = Ident.make target;
+    dep_loc = Loc.none;
   }
 
 let standard domains =
@@ -15,6 +16,7 @@ let standard domains =
         Ast.dep_sources =
           List.filter (fun m -> not (Ident.equal m target)) domains;
         dep_target = target;
+        dep_loc = Loc.none;
       })
     domains
 
@@ -23,28 +25,49 @@ let effective (r : Ast.relation) =
   | [] -> standard (List.map (fun d -> d.Ast.d_model) r.Ast.r_domains)
   | deps -> deps
 
+(* Canonical form for duplicate detection: source sets are unordered,
+   so [a b -> c] and [b a -> c] (and [a a b -> c]) are the same clause. *)
+let canon (d : Ast.dependency) =
+  (List.sort_uniq Ident.compare d.Ast.dep_sources, d.Ast.dep_target)
+
 let validate ~domains deps =
   let known m = List.exists (Ident.equal m) domains in
-  let rec go = function
-    | [] -> Ok ()
-    | { Ast.dep_sources; dep_target } :: rest ->
-      if dep_sources = [] then
-        Error
-          (Printf.sprintf "dependency for %s has an empty source set"
-             (Ident.name dep_target))
-      else if not (known dep_target) then
-        Error (Printf.sprintf "dependency target %s is not a domain" (Ident.name dep_target))
-      else if List.exists (fun s -> not (known s)) dep_sources then
-        Error
-          (Printf.sprintf "dependency for %s mentions a non-domain source"
-             (Ident.name dep_target))
-      else if List.exists (Ident.equal dep_target) dep_sources then
-        Error
-          (Printf.sprintf "dependency target %s appears among its sources"
-             (Ident.name dep_target))
-      else go rest
+  let seen = Hashtbl.create 8 in
+  let errs =
+    List.concat_map
+      (fun ({ Ast.dep_sources; dep_target; dep_loc = _ } as d) ->
+        let describe fmt =
+          Printf.ksprintf (fun msg -> [ (d, msg) ]) fmt
+        in
+        let structural =
+          if dep_sources = [] then
+            describe "dependency for %s has an empty source set"
+              (Ident.name dep_target)
+          else if not (known dep_target) then
+            describe "dependency target %s is not a domain"
+              (Ident.name dep_target)
+          else if List.exists (fun s -> not (known s)) dep_sources then
+            describe "dependency for %s mentions a non-domain source"
+              (Ident.name dep_target)
+          else if List.exists (Ident.equal dep_target) dep_sources then
+            describe "dependency target %s appears among its sources"
+              (Ident.name dep_target)
+          else []
+        in
+        let duplicate =
+          let key = canon d in
+          if Hashtbl.mem seen key then
+            describe "duplicate dependency %s"
+              (Format.asprintf "%a" Ast.pp_dependency d)
+          else begin
+            Hashtbl.add seen key ();
+            []
+          end
+        in
+        structural @ duplicate)
+      deps
   in
-  go deps
+  match errs with [] -> Ok () | errs -> Error errs
 
 (* Unit propagation over definite Horn clauses, linear in the total
    clause size: each clause keeps a counter of not-yet-derived body

@@ -17,6 +17,7 @@
 type t = Ast.dependency
 
 val make : sources:string list -> target:string -> t
+(** Programmatic constructor; the location is {!Loc.none}. *)
 
 val standard : Mdl.Ident.t list -> t list
 (** The full dependency set [⋃ᵢ (dom R \ Mᵢ -> Mᵢ)], which by the
@@ -27,10 +28,14 @@ val effective : Ast.relation -> t list
 (** The relation's dependency set: its [dependencies] block when
     non-empty, else {!standard} over its domains' models. *)
 
-val validate : domains:Mdl.Ident.t list -> t list -> (unit, string) result
+val validate :
+  domains:Mdl.Ident.t list -> t list -> (unit, (t * string) list) result
 (** Each dependency must mention only the relation's model parameters,
-    have a non-empty source set, and not include its target among its
-    sources. *)
+    have a non-empty source set, not include its target among its
+    sources, and not repeat an earlier dependency of the block (source
+    sets compare as sets, so [a b -> c] duplicates [b a -> c]). All
+    offending dependencies are reported, each paired with its message,
+    in declaration order. *)
 
 val entails : t list -> t -> bool
 (** [entails deps (S -> T)]: starting from the facts [S] and closing

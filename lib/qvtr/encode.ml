@@ -83,8 +83,14 @@ let transformation_values (trans : Ast.transformation) =
           (fun acc (d : Ast.domain) -> template_values d.Ast.d_template acc)
           acc r.Ast.r_domains
       in
-      let acc = List.fold_left (fun acc p -> pred_values p acc) acc r.Ast.r_when in
-      List.fold_left (fun acc p -> pred_values p acc) acc r.Ast.r_where)
+      let acc =
+        List.fold_left
+          (fun acc (c : Ast.clause) -> pred_values c.Ast.c_pred acc)
+          acc r.Ast.r_when
+      in
+      List.fold_left
+        (fun acc (c : Ast.clause) -> pred_values c.Ast.c_pred acc)
+        acc r.Ast.r_where)
     Value.Set.empty trans.Ast.t_relations
 
 (* ------------------------------------------------------------------ *)
@@ -138,7 +144,7 @@ let create ~transformation:trans ~metamodels ~models ?(extra_values = [])
   (* Resolve the parameter binding. *)
   let* binding =
     List.fold_left
-      (fun acc (p, mm_name) ->
+      (fun acc ({ Ast.par_name = p; par_mm = mm_name; par_loc = _ } : Ast.param) ->
         let* acc = acc in
         match List.find_opt (fun (pm, _) -> Ident.equal pm p) models with
         | None -> Error (Printf.sprintf "no model bound to parameter %s" (Ident.name p))
@@ -244,7 +250,7 @@ let lookup_param t p =
 
 let model_of_param t p = fst (lookup_param t p)
 let metamodel_of_param t p = snd (lookup_param t p)
-let params t = List.map fst t.trans.Ast.t_params
+let params t = List.map (fun (p : Ast.param) -> p.Ast.par_name) t.trans.Ast.t_params
 
 let slack_atom_names t p =
   Option.value ~default:[] (Ident.Map.find_opt p t.slack)

@@ -7,21 +7,39 @@ type token =
 
 type t = {
   src : string;
+  file : string;
   mutable pos : int;
   mutable line : int;
   mutable col : int;
   mutable tok : token;
   mutable tok_line : int;
   mutable tok_col : int;
+  mutable tok_end_line : int;
+  mutable tok_end_col : int;
 }
 
-exception Error of string
+exception Error of { loc : Loc.t; msg : string }
 
-let error lx fmt =
+let render_error ~loc ~msg =
+  if Loc.is_none loc then msg
+  else if loc.Loc.file = "" then
+    Printf.sprintf "line %d, col %d: %s" loc.Loc.line loc.Loc.col msg
+  else
+    Printf.sprintf "%s: line %d, col %d: %s" loc.Loc.file loc.Loc.line
+      loc.Loc.col msg
+
+let span lx =
+  Loc.make ~file:lx.file ~line:lx.tok_line ~col:lx.tok_col
+    ~end_line:lx.tok_end_line ~end_col:lx.tok_end_col ()
+
+let error_at lx ~line ~col fmt =
   Format.kasprintf
     (fun s ->
-      raise (Error (Printf.sprintf "line %d, col %d: %s" lx.tok_line lx.tok_col s)))
+      raise (Error { loc = Loc.make ~file:lx.file ~line ~col (); msg = s }))
     fmt
+
+let error lx fmt =
+  Format.kasprintf (fun s -> raise (Error { loc = span lx; msg = s })) fmt
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -54,6 +72,9 @@ let rec skip_ws lx =
     done;
     skip_ws lx
   | Some '/' when peek2 lx = Some '*' ->
+    (* Report an unterminated block comment at its opening '/*', not
+       wherever the previous token happened to be. *)
+    let open_line = lx.line and open_col = lx.col in
     advance lx;
     advance lx;
     let rec go () =
@@ -61,7 +82,8 @@ let rec skip_ws lx =
       | Some '*', Some '/' ->
         advance lx;
         advance lx
-      | None, _ -> error lx "unterminated comment"
+      | None, _ ->
+        error_at lx ~line:open_line ~col:open_col "unterminated comment"
       | _ ->
         advance lx;
         go ()
@@ -76,7 +98,7 @@ let next lx =
   skip_ws lx;
   lx.tok_line <- lx.line;
   lx.tok_col <- lx.col;
-  match peek lx with
+  (match peek lx with
   | None -> lx.tok <- Eof
   | Some c when is_ident_start c ->
     let start = lx.pos in
@@ -98,6 +120,8 @@ let next lx =
     done;
     lx.tok <- Int (-int_of_string (String.sub lx.src start (lx.pos - start)))
   | Some '"' ->
+    (* The token position is the opening quote; unterminated-string
+       errors point there rather than at EOF. *)
     advance lx;
     let buf = Buffer.create 16 in
     let rec go () =
@@ -135,17 +159,31 @@ let next lx =
       lx.tok <- Punct op
     | None ->
       advance lx;
-      lx.tok <- Punct (String.make 1 c))
+      lx.tok <- Punct (String.make 1 c)));
+  lx.tok_end_line <- lx.line;
+  lx.tok_end_col <- lx.col
 
-let make src =
+let make ?(file = "") src =
   let lx =
-    { src; pos = 0; line = 1; col = 1; tok = Eof; tok_line = 1; tok_col = 1 }
+    {
+      src;
+      file;
+      pos = 0;
+      line = 1;
+      col = 1;
+      tok = Eof;
+      tok_line = 1;
+      tok_col = 1;
+      tok_end_line = 1;
+      tok_end_col = 1;
+    }
   in
   next lx;
   lx
 
 let token lx = lx.tok
 let position lx = (lx.tok_line, lx.tok_col)
+let file lx = lx.file
 
 type snapshot = {
   s_pos : int;
@@ -154,6 +192,8 @@ type snapshot = {
   s_tok : token;
   s_tok_line : int;
   s_tok_col : int;
+  s_tok_end_line : int;
+  s_tok_end_col : int;
 }
 
 let snapshot lx =
@@ -164,6 +204,8 @@ let snapshot lx =
     s_tok = lx.tok;
     s_tok_line = lx.tok_line;
     s_tok_col = lx.tok_col;
+    s_tok_end_line = lx.tok_end_line;
+    s_tok_end_col = lx.tok_end_col;
   }
 
 let restore lx s =
@@ -172,4 +214,6 @@ let restore lx s =
   lx.col <- s.s_col;
   lx.tok <- s.s_tok;
   lx.tok_line <- s.s_tok_line;
-  lx.tok_col <- s.s_tok_col
+  lx.tok_col <- s.s_tok_col;
+  lx.tok_end_line <- s.s_tok_end_line;
+  lx.tok_end_col <- s.s_tok_end_col

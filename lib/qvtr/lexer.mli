@@ -4,7 +4,11 @@
     [dependencies] extension: identifiers, string/integer literals,
     [#lit] enum literals, punctuation and multi-character operators
     ([->], [<>], [++], [**], [--], [@]). Line comments start with
-    [//], block comments are [/* ... */]. *)
+    [//], block comments are [/* ... */].
+
+    Every token carries a {!Loc.t} span ({!span}); unterminated
+    strings and block comments are reported at their opening
+    character, not at end of input. *)
 
 type token =
   | Ident of string
@@ -15,10 +19,16 @@ type token =
 
 type t
 
-exception Error of string
-(** Carries "line L, col C: message". *)
+exception Error of { loc : Loc.t; msg : string }
+(** Lexical (and, via {!error}, syntactic) failure at [loc]. *)
 
-val make : string -> t
+val render_error : loc:Loc.t -> msg:string -> string
+(** ["line L, col C: message"], prefixed by the file name when the
+    lexer was given one. *)
+
+val make : ?file:string -> string -> t
+(** [file] is only used to stamp locations. *)
+
 val token : t -> token
 (** Current token. *)
 
@@ -28,8 +38,13 @@ val next : t -> unit
 val position : t -> int * int
 (** (line, column) of the current token. *)
 
+val span : t -> Loc.t
+(** Full span of the current token. *)
+
+val file : t -> string
+
 val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
-(** Raise {!Error} at the current position. *)
+(** Raise {!Error} at the current token. *)
 
 type snapshot
 

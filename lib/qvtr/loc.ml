@@ -1,0 +1,83 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let none = { file = ""; line = 0; col = 0; end_line = 0; end_col = 0 }
+
+let is_none l = l.line = 0
+
+let make ?(file = "") ~line ~col ?end_line ?end_col () =
+  let end_line = Option.value ~default:line end_line in
+  let end_col = Option.value ~default:col end_col in
+  { file; line; col; end_line; end_col }
+
+let merge a b =
+  if is_none a then b
+  else if is_none b then a
+  else
+    let file = if a.file <> "" then a.file else b.file in
+    let line, col =
+      if (a.line, a.col) <= (b.line, b.col) then (a.line, a.col)
+      else (b.line, b.col)
+    in
+    let end_line, end_col =
+      if (a.end_line, a.end_col) >= (b.end_line, b.end_col) then
+        (a.end_line, a.end_col)
+      else (b.end_line, b.end_col)
+    in
+    { file; line; col; end_line; end_col }
+
+let pp ppf l =
+  if is_none l then Format.pp_print_string ppf "<unknown>"
+  else if l.file = "" then Format.fprintf ppf "%d:%d" l.line l.col
+  else Format.fprintf ppf "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Format.asprintf "%a" pp l
+
+(* The 1-based [n]-th line of [src], without its newline. *)
+let nth_line src n =
+  if n < 1 then None
+  else begin
+    let len = String.length src in
+    let rec start_of k pos =
+      if k = 1 then Some pos
+      else
+        match String.index_from_opt src pos '\n' with
+        | Some nl when nl + 1 <= len -> start_of (k - 1) (nl + 1)
+        | _ -> None
+    in
+    match start_of n 0 with
+    | None -> None
+    | Some s when s >= len -> if s = len && n >= 1 then Some "" else None
+    | Some s ->
+      let e =
+        match String.index_from_opt src s '\n' with
+        | Some nl -> nl
+        | None -> len
+      in
+      Some (String.sub src s (e - s))
+  end
+
+let excerpt ~src l =
+  if is_none l then None
+  else
+    match nth_line src l.line with
+    | None -> None
+    | Some line_text ->
+      let width =
+        if l.end_line = l.line && l.end_col > l.col then l.end_col - l.col
+        else 1
+      in
+      let gutter = Printf.sprintf "%4d | " l.line in
+      let pad = String.make (String.length gutter - 2) ' ' in
+      (* Tabs in the source line would desynchronise the caret; expand
+         them to single spaces in both the excerpt and the caret line. *)
+      let line_text = String.map (fun c -> if c = '\t' then ' ' else c) line_text in
+      let caret_indent = String.make (max 0 (l.col - 1)) ' ' in
+      Some
+        (Printf.sprintf "%s%s\n%s| %s%s" gutter line_text pad caret_indent
+           (String.make (max 1 width) '^'))

@@ -1,0 +1,39 @@
+(** Source locations for QVT-R syntax and diagnostics.
+
+    A location is a [file:line:col] span (1-based lines and columns,
+    end exclusive on the column). The lexer stamps every token with
+    one; the parser threads them into the AST so that type errors and
+    {!Lint}-style diagnostics can point at the offending construct.
+    ASTs built programmatically use {!none}. *)
+
+type t = {
+  file : string;  (** [""] when the source has no associated file *)
+  line : int;  (** 1-based; [0] in {!none} *)
+  col : int;  (** 1-based *)
+  end_line : int;
+  end_col : int;  (** exclusive: one past the last character *)
+}
+
+val none : t
+(** The absent location (programmatic ASTs, synthesized nodes). *)
+
+val is_none : t -> bool
+
+val make :
+  ?file:string -> line:int -> col:int -> ?end_line:int -> ?end_col:int ->
+  unit -> t
+(** Omitted end positions default to the start (a point span). *)
+
+val merge : t -> t -> t
+(** Smallest span covering both; {!none} is the identity. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["file:line:col"], or ["line:col"] without a file, or
+    ["<unknown>"] for {!none}. *)
+
+val to_string : t -> string
+
+val excerpt : src:string -> t -> string option
+(** A two-line terminal rendering of the located source: the offending
+    line with a gutter, and a caret line underlining the span. [None]
+    when the location is {!none} or out of range for [src]. *)

@@ -1,5 +1,7 @@
 module Ident = Mdl.Ident
 
+let here lx = Lexer.span lx
+
 let expect_punct lx p =
   match Lexer.token lx with
   | Lexer.Punct q when q = p -> Lexer.next lx
@@ -221,6 +223,7 @@ and is_comparison_ahead lx =
 (* Templates and domains                                               *)
 
 let rec parse_template lx : Ast.template =
+  let loc = here lx in
   let v = expect_ident lx in
   expect_punct lx ":";
   let cls = expect_ident lx in
@@ -228,6 +231,7 @@ let rec parse_template lx : Ast.template =
   let props = ref [] in
   if not (accept_punct lx "}") then begin
     let rec go () =
+      let p_loc = here lx in
       let f = expect_ident lx in
       expect_punct lx "=";
       (* Lookahead: ident ':' starts a nested template. *)
@@ -245,19 +249,30 @@ let rec parse_template lx : Ast.template =
         if is_template then Ast.PV_template (parse_template lx)
         else Ast.PV_expr (parse_oexpr lx)
       in
-      props := { Ast.p_feature = Ident.make f; p_value = value } :: !props;
+      props :=
+        { Ast.p_feature = Ident.make f; p_value = value; p_loc } :: !props;
       if accept_punct lx "," then go () else expect_punct lx "}"
     in
     go ()
   end;
-  { Ast.t_var = Ident.make v; t_class = Ident.make cls; t_props = List.rev !props }
+  {
+    Ast.t_var = Ident.make v;
+    t_class = Ident.make cls;
+    t_props = List.rev !props;
+    t_loc = loc;
+  }
 
-let parse_domain lx ~enforceable =
+let parse_domain lx ~enforceable ~loc =
   expect_kw lx "domain";
   let model = expect_ident lx in
   let tpl = parse_template lx in
   expect_punct lx ";";
-  { Ast.d_model = Ident.make model; d_template = tpl; d_enforceable = enforceable }
+  {
+    Ast.d_model = Ident.make model;
+    d_template = tpl;
+    d_enforceable = enforceable;
+    d_loc = loc;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Variable declarations                                               *)
@@ -282,7 +297,9 @@ let parse_pred_block lx =
   let preds = ref [] in
   if not (accept_punct lx "}") then begin
     let rec go () =
-      preds := parse_pred lx :: !preds;
+      let loc = here lx in
+      let p = parse_pred lx in
+      preds := { Ast.c_pred = p; c_loc = loc } :: !preds;
       if accept_punct lx ";" then begin
         if accept_punct lx "}" then () else go ()
       end
@@ -297,6 +314,7 @@ let parse_dependencies lx =
   let deps = ref [] in
   if not (accept_punct lx "}") then begin
     let rec go () =
+      let loc = here lx in
       let rec sources acc =
         let s = expect_ident lx in
         if accept_punct lx "->" then List.rev (s :: acc) else sources (s :: acc)
@@ -307,6 +325,7 @@ let parse_dependencies lx =
         {
           Ast.dep_sources = List.map Ident.make srcs;
           dep_target = Ident.make target;
+          dep_loc = loc;
         }
         :: !deps;
       if accept_punct lx ";" then begin
@@ -318,34 +337,36 @@ let parse_dependencies lx =
   end;
   List.rev !deps
 
-let parse_relation lx ~top =
+let parse_relation lx ~top ~loc =
   expect_kw lx "relation";
   let name = expect_ident lx in
   expect_punct lx "{";
   let vars = ref [] and domains = ref [] and prims = ref [] in
   let when_ = ref [] and where = ref [] and deps = ref [] in
   let rec body () =
+    let member_loc = here lx in
     match Lexer.token lx with
     | Lexer.Punct "}" -> Lexer.next lx
     | Lexer.Ident "checkonly" ->
       Lexer.next lx;
-      domains := parse_domain lx ~enforceable:false :: !domains;
+      domains := parse_domain lx ~enforceable:false ~loc:member_loc :: !domains;
       body ()
     | Lexer.Ident "enforce" ->
       Lexer.next lx;
-      domains := parse_domain lx ~enforceable:true :: !domains;
+      domains := parse_domain lx ~enforceable:true ~loc:member_loc :: !domains;
       body ()
     | Lexer.Ident "primitive" ->
       Lexer.next lx;
       expect_kw lx "domain";
+      let v_loc = here lx in
       let v = expect_ident lx in
       expect_punct lx ":";
       let ty = parse_var_type lx in
       expect_punct lx ";";
-      prims := (Ident.make v, ty) :: !prims;
+      prims := { Ast.v_name = Ident.make v; v_type = ty; v_loc } :: !prims;
       body ()
     | Lexer.Ident "domain" ->
-      domains := parse_domain lx ~enforceable:true :: !domains;
+      domains := parse_domain lx ~enforceable:true ~loc:member_loc :: !domains;
       body ()
     | Lexer.Ident "when" ->
       Lexer.next lx;
@@ -365,7 +386,7 @@ let parse_relation lx ~top =
       expect_punct lx ":";
       let ty = parse_var_type lx in
       expect_punct lx ";";
-      vars := (Ident.make v, ty) :: !vars;
+      vars := { Ast.v_name = Ident.make v; v_type = ty; v_loc = member_loc } :: !vars;
       body ()
     | _ -> Lexer.error lx "expected a relation member or '}'"
   in
@@ -379,17 +400,22 @@ let parse_relation lx ~top =
     r_when = !when_;
     r_where = !where;
     r_deps = !deps;
+    r_loc = loc;
   }
 
 let parse_transformation lx =
+  let t_loc = here lx in
   expect_kw lx "transformation";
   let name = expect_ident lx in
   expect_punct lx "(";
   let rec params acc =
+    let par_loc = here lx in
     let p = expect_ident lx in
     expect_punct lx ":";
     let mm = expect_ident lx in
-    let acc = (Ident.make p, Ident.make mm) :: acc in
+    let acc =
+      { Ast.par_name = Ident.make p; par_mm = Ident.make mm; par_loc } :: acc
+    in
     if accept_punct lx "," then params acc
     else begin
       expect_punct lx ")";
@@ -400,12 +426,13 @@ let parse_transformation lx =
   expect_punct lx "{";
   let relations = ref [] in
   let rec decls () =
+    let loc = here lx in
     if accept_kw lx "top" then begin
-      relations := parse_relation lx ~top:true :: !relations;
+      relations := parse_relation lx ~top:true ~loc :: !relations;
       decls ()
     end
     else if peek_ident lx = Some "relation" then begin
-      relations := parse_relation lx ~top:false :: !relations;
+      relations := parse_relation lx ~top:false ~loc :: !relations;
       decls ()
     end
     else expect_punct lx "}"
@@ -415,17 +442,23 @@ let parse_transformation lx =
     Ast.t_name = Ident.make name;
     t_params = params;
     t_relations = List.rev !relations;
+    t_loc;
   }
 
-let parse src =
+let parse_located ?file src =
   try
-    let lx = Lexer.make src in
+    let lx = Lexer.make ?file src in
     let t = parse_transformation lx in
     (match Lexer.token lx with
     | Lexer.Eof -> ()
     | _ -> Lexer.error lx "trailing input");
     Ok t
-  with Lexer.Error msg -> Error msg
+  with Lexer.Error { loc; msg } -> Error (loc, msg)
+
+let parse ?file src =
+  match parse_located ?file src with
+  | Ok t -> Ok t
+  | Error (loc, msg) -> Error (Lexer.render_error ~loc ~msg)
 
 let parse_exn src =
   match parse src with

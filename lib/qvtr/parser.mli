@@ -19,13 +19,23 @@
     (allInstances), navigation [e.f], set operators [++] (union),
     [**] (intersection), [--] (difference). Predicates: [=], [<>],
     [in], [empty e], [nonempty e], [not], [and], [or], [implies],
-    relation calls [R(x, y, z)], parentheses. *)
+    relation calls [R(x, y, z)], parentheses.
 
-val parse : string -> (Ast.transformation, string) result
-(** Parse a single transformation. Error messages carry positions. *)
+    The parser stamps declaration-level AST nodes with {!Loc.t} source
+    spans (file taken from [?file]); diagnostics produced over a
+    parsed AST can therefore point at the offending construct. *)
+
+val parse : ?file:string -> string -> (Ast.transformation, string) result
+(** Parse a single transformation. Error messages carry
+    ["[file:] line L, col C"] positions. *)
+
+val parse_located :
+  ?file:string -> string -> (Ast.transformation, Loc.t * string) result
+(** Like {!parse} but with the error position as a structured
+    {!Loc.t} (for caret rendering and machine-readable output). *)
 
 val parse_exn : string -> Ast.transformation
 
 val to_string : Ast.transformation -> string
 (** Render back to concrete syntax ({!Ast.pp_transformation}); the
-    output re-parses to an equal AST. *)
+    output re-parses to an AST equal up to {!Ast.strip_locs}. *)

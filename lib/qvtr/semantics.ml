@@ -120,11 +120,11 @@ let compile_template t env vmap ~param (tpl : Ast.template) :
 (* ------------------------------------------------------------------ *)
 (* Directional compilation                                             *)
 
-(* Variables of a predicate list (for the xs/ys split). *)
-let preds_vars preds =
+(* Variables of a clause list (for the xs/ys split). *)
+let preds_vars clauses =
   List.fold_left
-    (fun acc p -> Ident.Set.union acc (Ast.pred_vars p))
-    Ident.Set.empty preds
+    (fun acc (c : Ast.clause) -> Ident.Set.union acc (Ast.pred_vars c.Ast.c_pred))
+    Ident.Set.empty clauses
 
 let template_var_set tpl =
   List.fold_left
@@ -209,7 +209,9 @@ and compile_call t vmap ~direction ~depth callee args =
       List.map2
         (fun (d : Ast.domain) arg -> (d.Ast.d_template.Ast.t_var, vmap arg))
         s.Ast.r_domains dom_args
-      @ List.map2 (fun (v, _) arg -> (v, vmap arg)) s.Ast.r_prims prim_args
+      @ List.map2
+          (fun (vd : Ast.vardecl) arg -> (vd.Ast.v_name, vmap arg))
+          s.Ast.r_prims prim_args
     in
     let callee_vmap v =
       match List.find_opt (fun (r, _) -> Ident.equal r v) roots with
@@ -226,6 +228,7 @@ and compile_call t vmap ~direction ~depth callee args =
         {
           Ast.dep_sources = List.filter in_s direction.Ast.dep_sources;
           dep_target = direction.Ast.dep_target;
+          dep_loc = Loc.none;
         }
       in
       compile_direction t s projected ~vmap:callee_vmap ~bound_roots:root_set
@@ -290,11 +293,11 @@ and compile_direction t (r : Ast.relation) (direction : Ast.dependency)
   let tgt_decls, tgt_constr, tgt_narrowings = compile_domain target_domain in
   let psi =
     RAst.conj
-      (List.map (compile_pred t env vmap ~direction ~depth) r.Ast.r_when)
+      (List.map (compile_pred t env vmap ~direction ~depth) (Ast.preds r.Ast.r_when))
   in
   let phi =
     RAst.conj
-      (List.map (compile_pred t env vmap ~direction ~depth) r.Ast.r_where)
+      (List.map (compile_pred t env vmap ~direction ~depth) (Ast.preds r.Ast.r_where))
   in
   (* xs: variables of ψ and the source patterns; ys: variables of the
      target pattern and φ not already in xs. Leftover variables (used
@@ -380,6 +383,7 @@ let match_formula t (r : Ast.relation) =
     {
       Ast.dep_sources = List.map (fun (d : Ast.domain) -> d.Ast.d_model) r.Ast.r_domains;
       dep_target = Ident.make "$trace";
+      dep_loc = Loc.none;
     }
   in
   let compiled =
@@ -394,7 +398,7 @@ let match_formula t (r : Ast.relation) =
   let preds =
     List.map
       (compile_pred t env vmap ~direction:pseudo ~depth:t.unroll)
-      (r.Ast.r_when @ r.Ast.r_where)
+      (Ast.preds (r.Ast.r_when @ r.Ast.r_where))
   in
   let roots =
     List.fold_left

@@ -15,16 +15,26 @@ let tyenv info r =
   | None -> raise Not_found
 
 let metamodel_of_param info p = Ident.Map.find p info.i_mms
+let transformation info = info.i_trans
 
 type error = {
   err_relation : Ident.t option;
   err_msg : string;
+  err_loc : Loc.t;
+  err_code : string;
 }
 
+let code_type = "E002"
+let code_dependency = "E003"
+let code_recursion = "E004"
+let code_direction = "E005"
+
 let pp_error ppf e =
-  match e.err_relation with
-  | Some r -> Format.fprintf ppf "relation %a: %s" Ident.pp r e.err_msg
-  | None -> Format.fprintf ppf "%s" e.err_msg
+  if not (Loc.is_none e.err_loc) then Format.fprintf ppf "%a: " Loc.pp e.err_loc;
+  (match e.err_relation with
+  | Some r -> Format.fprintf ppf "relation %a: " Ident.pp r
+  | None -> ());
+  Format.fprintf ppf "%s" e.err_msg
 
 (* ------------------------------------------------------------------ *)
 (* Type algebra                                                        *)
@@ -133,28 +143,31 @@ let rec infer mms (env : tyenv) (e : Ast.oexpr) : (Ast.var_type, string) result 
 (* ------------------------------------------------------------------ *)
 (* Environment construction                                            *)
 
-let rec bind_template errors mms p mm (env : tyenv ref) (tpl : Ast.template) add_err =
+let rec bind_template p mm (env : tyenv ref) (tpl : Ast.template)
+    (add_err : ?loc:Loc.t -> string -> unit) =
   (match MM.find_class mm tpl.Ast.t_class with
   | None ->
-    add_err
+    add_err ~loc:tpl.Ast.t_loc
       (Printf.sprintf "unknown class %s in metamodel of %s" (Ident.name tpl.Ast.t_class)
          (Ident.name p))
   | Some _ -> ());
   (match Ident.Map.find_opt tpl.Ast.t_var !env with
   | Some _ ->
-    add_err (Printf.sprintf "variable %s bound twice" (Ident.name tpl.Ast.t_var))
+    add_err ~loc:tpl.Ast.t_loc
+      (Printf.sprintf "variable %s bound twice" (Ident.name tpl.Ast.t_var))
   | None -> env := Ident.Map.add tpl.Ast.t_var (Ast.T_class (p, tpl.Ast.t_class)) !env);
   List.iter
     (fun (prop : Ast.property) ->
       match prop.Ast.p_value with
       | Ast.PV_expr _ -> ()
-      | Ast.PV_template nested -> bind_template errors mms p mm env nested add_err)
+      | Ast.PV_template nested -> bind_template p mm env nested add_err)
     tpl.Ast.t_props
 
 (* ------------------------------------------------------------------ *)
 (* Pattern / predicate checking                                        *)
 
-let check_template mms env p mm (tpl : Ast.template) add_err =
+let check_template mms env p mm (tpl : Ast.template)
+    (add_err : ?loc:Loc.t -> string -> unit) =
   let rec go (tpl : Ast.template) =
     match MM.find_class mm tpl.Ast.t_class with
     | None -> ()  (* already reported *)
@@ -162,6 +175,7 @@ let check_template mms env p mm (tpl : Ast.template) add_err =
       List.iter
         (fun (prop : Ast.property) ->
           let f = prop.Ast.p_feature in
+          let add_err msg = add_err ~loc:prop.Ast.p_loc msg in
           let attr = MM.find_attribute mm tpl.Ast.t_class f in
           let refr = MM.find_reference mm tpl.Ast.t_class f in
           match (attr, refr, prop.Ast.p_value) with
@@ -274,33 +288,28 @@ let rec check_pred mms env (trans : Ast.transformation) (pred : Ast.pred) add_er
           (fun arg (d : Ast.domain) ->
             check_arg arg (Ast.T_class (d.Ast.d_model, d.Ast.d_template.Ast.t_class)))
           dom_args domains;
-        List.iter2 (fun arg (_, ty) -> check_arg arg ty) prim_args prims
+        List.iter2
+          (fun arg (vd : Ast.vardecl) -> check_arg arg vd.Ast.v_type)
+          prim_args prims
       end)
 
 (* ------------------------------------------------------------------ *)
 (* Call-direction compatibility (paper §2.3)                           *)
 
-let direction_errors (trans : Ast.transformation) add_err =
+let direction_errors (trans : Ast.transformation)
+    (add_err : ?loc:Loc.t -> string -> unit) =
   let dom_of (r : Ast.relation) = List.map (fun d -> d.Ast.d_model) r.Ast.r_domains in
   List.iter
     (fun (r : Ast.relation) ->
       let deps_r = Dependency.effective r in
-      let callees_of preds =
+      let callees_of clauses =
         List.concat_map
-          (fun p ->
-            let rec calls (p : Ast.pred) acc =
-              match p with
-              | Ast.P_call (name, _) -> name :: acc
-              | Ast.P_not q -> calls q acc
-              | Ast.P_and (a, b) | Ast.P_or (a, b) | Ast.P_implies (a, b) ->
-                calls a (calls b acc)
-              | Ast.P_true | Ast.P_eq _ | Ast.P_neq _ | Ast.P_in _ | Ast.P_lt _
-              | Ast.P_le _ | Ast.P_empty _ | Ast.P_nonempty _ -> acc
-            in
-            calls p [])
-          preds
+          (fun (c : Ast.clause) ->
+            List.map (fun name -> (name, c.Ast.c_loc)) (Ast.pred_calls c.Ast.c_pred))
+          clauses
       in
-      let check_where_call callee =
+      let check_where_call (callee, loc) =
+        let add_err msg = add_err ~loc msg in
         match Ast.find_relation trans callee with
         | None -> ()  (* reported elsewhere *)
         | Some s ->
@@ -315,7 +324,11 @@ let direction_errors (trans : Ast.transformation) add_err =
                     d.Ast.dep_sources
                 in
                 let projected =
-                  { Ast.dep_sources = sources'; dep_target = d.Ast.dep_target }
+                  {
+                    Ast.dep_sources = sources';
+                    dep_target = d.Ast.dep_target;
+                    dep_loc = Loc.none;
+                  }
                 in
                 if not (Dependency.entails deps_s projected) then
                   add_err
@@ -344,7 +357,8 @@ let direction_errors (trans : Ast.transformation) add_err =
                      (Ident.name d.Ast.dep_target)))
             deps_r
       in
-      let check_when_call callee =
+      let check_when_call (callee, loc) =
+        let add_err msg = add_err ~loc msg in
         match Ast.find_relation trans callee with
         | None -> ()
         | Some s ->
@@ -370,19 +384,15 @@ let direction_errors (trans : Ast.transformation) add_err =
     trans.Ast.t_relations
 
 (* Call-graph cycle detection. *)
-let recursion_errors (trans : Ast.transformation) add_err =
+let recursion_errors (trans : Ast.transformation)
+    (add_err : ?loc:Loc.t -> string -> unit) =
   let calls_of (r : Ast.relation) =
-    let rec calls (p : Ast.pred) acc =
-      match p with
-      | Ast.P_call (name, _) -> Ident.Set.add name acc
-      | Ast.P_not q -> calls q acc
-      | Ast.P_and (a, b) | Ast.P_or (a, b) | Ast.P_implies (a, b) ->
-        calls a (calls b acc)
-      | Ast.P_true | Ast.P_eq _ | Ast.P_neq _ | Ast.P_in _ | Ast.P_lt _ | Ast.P_le _
-      | Ast.P_empty _ | Ast.P_nonempty _ -> acc
-    in
     List.fold_left
-      (fun acc p -> calls p acc)
+      (fun acc (c : Ast.clause) ->
+        List.fold_left
+          (fun acc name -> Ident.Set.add name acc)
+          acc
+          (Ast.pred_calls c.Ast.c_pred))
       Ident.Set.empty
       (r.Ast.r_when @ r.Ast.r_where)
   in
@@ -404,7 +414,7 @@ let recursion_errors (trans : Ast.transformation) add_err =
   List.iter
     (fun (r : Ast.relation) ->
       if reaches r.Ast.r_name Ident.Set.empty r.Ast.r_name then
-        add_err
+        add_err ~loc:r.Ast.r_loc
           (Printf.sprintf "relation %s is recursively invoked (unsupported; see \
                            Semantics unrolling)"
              (Ident.name r.Ast.r_name)))
@@ -415,49 +425,62 @@ let recursion_errors (trans : Ast.transformation) add_err =
 
 let check ?(allow_recursion = false) (trans : Ast.transformation) ~metamodels =
   let errors = ref [] in
-  let add_err_for rel msg =
-    errors := { err_relation = rel; err_msg = msg } :: !errors
+  let add_err_for rel ?(loc = Loc.none) ?(code = code_type) msg =
+    errors :=
+      { err_relation = rel; err_msg = msg; err_loc = loc; err_code = code }
+      :: !errors
   in
   (* Parameters. *)
   let mms =
     List.fold_left
-      (fun acc (p, mm_name) ->
-        match List.find_opt (fun (n, _) -> Ident.equal n mm_name) metamodels with
-        | Some (_, mm) -> Ident.Map.add p mm acc
+      (fun acc (p : Ast.param) ->
+        match
+          List.find_opt (fun (n, _) -> Ident.equal n p.Ast.par_mm) metamodels
+        with
+        | Some (_, mm) -> Ident.Map.add p.Ast.par_name mm acc
         | None ->
-          add_err_for None
-            (Printf.sprintf "parameter %s: unknown metamodel %s" (Ident.name p)
-               (Ident.name mm_name));
+          add_err_for None ~loc:p.Ast.par_loc
+            (Printf.sprintf "parameter %s: unknown metamodel %s"
+               (Ident.name p.Ast.par_name)
+               (Ident.name p.Ast.par_mm));
           acc)
       Ident.Map.empty trans.Ast.t_params
   in
-  (* Duplicate parameter / relation names. *)
-  let dup what names =
-    let sorted = List.sort Ident.compare names in
-    let rec go = function
-      | a :: (b :: _ as rest) ->
-        if Ident.equal a b then
-          add_err_for None (Printf.sprintf "duplicate %s %s" what (Ident.name a));
-        go rest
-      | [ _ ] | [] -> ()
-    in
-    go sorted
+  (* Duplicate parameter / relation names. [named]: (name, loc) pairs;
+     the error lands on the second and later occurrences. *)
+  let dup what named =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (name, loc) ->
+        if Hashtbl.mem seen (Ident.name name) then
+          add_err_for None ~loc
+            (Printf.sprintf "duplicate %s %s" what (Ident.name name))
+        else Hashtbl.add seen (Ident.name name) ())
+      named
   in
-  dup "model parameter" (List.map fst trans.Ast.t_params);
-  dup "relation" (List.map (fun (r : Ast.relation) -> r.Ast.r_name) trans.Ast.t_relations);
+  dup "model parameter"
+    (List.map (fun (p : Ast.param) -> (p.Ast.par_name, p.Ast.par_loc)) trans.Ast.t_params);
+  dup "relation"
+    (List.map (fun (r : Ast.relation) -> (r.Ast.r_name, r.Ast.r_loc)) trans.Ast.t_relations);
   (* Per-relation environment + checks. *)
   let tyenvs =
     List.fold_left
       (fun acc (r : Ast.relation) ->
-        let add_err msg = add_err_for (Some r.Ast.r_name) msg in
+        let add_err ?(loc = Loc.none) msg =
+          let loc = if Loc.is_none loc then r.Ast.r_loc else loc in
+          add_err_for (Some r.Ast.r_name) ~loc msg
+        in
         (* Domains name distinct declared parameters. *)
         let domain_models = List.map (fun (d : Ast.domain) -> d.Ast.d_model) r.Ast.r_domains in
-        dup "domain" domain_models;
+        dup "domain"
+          (List.map (fun (d : Ast.domain) -> (d.Ast.d_model, d.Ast.d_loc)) r.Ast.r_domains);
         List.iter
-          (fun m ->
-            if not (List.exists (fun (p, _) -> Ident.equal p m) trans.Ast.t_params)
-            then add_err (Printf.sprintf "domain over unknown parameter %s" (Ident.name m)))
-          domain_models;
+          (fun (d : Ast.domain) ->
+            if Ast.find_param trans d.Ast.d_model = None then
+              add_err ~loc:d.Ast.d_loc
+                (Printf.sprintf "domain over unknown parameter %s"
+                   (Ident.name d.Ast.d_model)))
+          r.Ast.r_domains;
         if List.length r.Ast.r_domains < 1 then
           add_err "a relation needs at least one model domain"
         else if List.length r.Ast.r_domains + List.length r.Ast.r_prims < 2 then
@@ -465,10 +488,11 @@ let check ?(allow_recursion = false) (trans : Ast.transformation) ~metamodels =
         (* Environment: declared vars, then template vars. *)
         let env = ref Ident.Map.empty in
         List.iter
-          (fun (v, ty) ->
-            if Ident.Map.mem v !env then
-              add_err (Printf.sprintf "variable %s declared twice" (Ident.name v))
-            else env := Ident.Map.add v ty !env)
+          (fun (vd : Ast.vardecl) ->
+            if Ident.Map.mem vd.Ast.v_name !env then
+              add_err ~loc:vd.Ast.v_loc
+                (Printf.sprintf "variable %s declared twice" (Ident.name vd.Ast.v_name))
+            else env := Ident.Map.add vd.Ast.v_name vd.Ast.v_type !env)
           (r.Ast.r_vars @ r.Ast.r_prims);
         if r.Ast.r_top && r.Ast.r_prims <> [] then
           add_err "a top relation cannot declare primitive domains";
@@ -476,8 +500,7 @@ let check ?(allow_recursion = false) (trans : Ast.transformation) ~metamodels =
           (fun (d : Ast.domain) ->
             match Ident.Map.find_opt d.Ast.d_model mms with
             | None -> ()
-            | Some mm ->
-              bind_template errors mms d.Ast.d_model mm env d.Ast.d_template add_err)
+            | Some mm -> bind_template d.Ast.d_model mm env d.Ast.d_template add_err)
           r.Ast.r_domains;
         (* Check patterns and predicates. *)
         List.iter
@@ -486,17 +509,28 @@ let check ?(allow_recursion = false) (trans : Ast.transformation) ~metamodels =
             | None -> ()
             | Some mm -> check_template mms !env d.Ast.d_model mm d.Ast.d_template add_err)
           r.Ast.r_domains;
-        List.iter (fun p -> check_pred mms !env trans p add_err) (r.Ast.r_when @ r.Ast.r_where);
+        List.iter
+          (fun (c : Ast.clause) ->
+            check_pred mms !env trans c.Ast.c_pred (fun msg ->
+                add_err ~loc:c.Ast.c_loc msg))
+          (r.Ast.r_when @ r.Ast.r_where);
         (* Dependencies. *)
         (match Dependency.validate ~domains:domain_models r.Ast.r_deps with
         | Ok () -> ()
-        | Error msg -> add_err msg);
+        | Error errs ->
+          List.iter
+            (fun ((d : Ast.dependency), msg) ->
+              add_err_for (Some r.Ast.r_name) ~loc:d.Ast.dep_loc
+                ~code:code_dependency msg)
+            errs);
         Ident.Map.add r.Ast.r_name !env acc)
       Ident.Map.empty trans.Ast.t_relations
   in
-  let add_err_global msg = add_err_for None msg in
-  direction_errors trans (fun msg -> add_err_global msg);
-  if not allow_recursion then recursion_errors trans (fun msg -> add_err_global msg);
+  direction_errors trans (fun ?(loc = Loc.none) msg ->
+      add_err_for None ~loc ~code:code_direction msg);
+  if not allow_recursion then
+    recursion_errors trans (fun ?(loc = Loc.none) msg ->
+        add_err_for None ~loc ~code:code_recursion msg);
   match !errors with
   | [] -> Ok { i_trans = trans; i_mms = mms; i_tyenvs = tyenvs }
   | errs -> Error (List.rev errs)

@@ -25,12 +25,23 @@ val tyenv : info -> Mdl.Ident.t -> tyenv
 
 val metamodel_of_param : info -> Mdl.Ident.t -> Mdl.Metamodel.t
 
+val transformation : info -> Ast.transformation
+(** The transformation the info was checked against. *)
+
 type error = {
   err_relation : Mdl.Ident.t option;  (** relation at fault, if any *)
   err_msg : string;
+  err_loc : Loc.t;
+      (** source anchor ({!Loc.none} for programmatic ASTs) *)
+  err_code : string;
+      (** stable diagnostic code: ["E002"] type/name error, ["E003"]
+          invalid dependency, ["E004"] recursive invocation, ["E005"]
+          direction-incompatible call (see {!Lint} for the full
+          taxonomy) *)
 }
 
 val pp_error : Format.formatter -> error -> unit
+(** ["[file:line:col: ][relation R: ]message"]. *)
 
 val check :
   ?allow_recursion:bool ->

@@ -11,7 +11,6 @@
 
 type clause = {
   lits : int array;
-  learnt : bool;
   mutable activity : float;
   mutable removed : bool;
 }
@@ -86,7 +85,7 @@ type t = {
   mutable solve_time : float;  (* wall seconds spent inside [solve] *)
 }
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; removed = false }
+let dummy_clause = { lits = [||]; activity = 0.0; removed = false }
 
 let create () =
   {
@@ -378,7 +377,7 @@ let add_clause s lits =
         end
       | lits ->
         let c =
-          { lits = Array.of_list lits; learnt = false; activity = 0.0; removed = false }
+          { lits = Array.of_list lits; activity = 0.0; removed = false }
         in
         Vec.push s.clauses c;
         attach_clause s c
@@ -506,7 +505,7 @@ let record_learnt s learnt btlevel =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!max_i);
     arr.(!max_i) <- tmp;
-    let c = { lits = arr; learnt = true; activity = 0.0; removed = false } in
+    let c = { lits = arr; activity = 0.0; removed = false } in
     bump_clause s c;
     Vec.push s.learnts c;
     s.n_learnt_total <- s.n_learnt_total + 1;

@@ -76,7 +76,9 @@ let test_validate () =
   Alcotest.(check bool) "ok dependency" true
     (Result.is_ok (D.validate ~domains [ D.make ~sources:[ "M1" ] ~target:"M2" ]));
   Alcotest.(check bool) "empty sources rejected" true
-    (Result.is_error (D.validate ~domains [ { Qvtr.Ast.dep_sources = []; dep_target = m2 } ]));
+    (Result.is_error
+       (D.validate ~domains
+          [ { Qvtr.Ast.dep_sources = []; dep_target = m2; dep_loc = Qvtr.Loc.none } ]));
   Alcotest.(check bool) "unknown target rejected" true
     (Result.is_error (D.validate ~domains [ D.make ~sources:[ "M1" ] ~target:"M9" ]));
   Alcotest.(check bool) "unknown source rejected" true
@@ -84,8 +86,71 @@ let test_validate () =
   Alcotest.(check bool) "target in sources rejected" true
     (Result.is_error (D.validate ~domains [ D.make ~sources:[ "M1"; "M2" ] ~target:"M2" ]))
 
+let errors_of = function Ok () -> [] | Error errs -> List.map snd errs
+
+let test_validate_duplicates () =
+  let domains = [ m1; m2; m3 ] in
+  (* exact repetition *)
+  let dup =
+    [ D.make ~sources:[ "M1" ] ~target:"M2"; D.make ~sources:[ "M1" ] ~target:"M2" ]
+  in
+  Alcotest.(check int) "exact duplicate rejected" 1 (List.length (errors_of (D.validate ~domains dup)));
+  (* source sets compare as sets: order and repetition don't matter *)
+  let dup_unordered =
+    [
+      D.make ~sources:[ "M1"; "M2" ] ~target:"M3";
+      D.make ~sources:[ "M2"; "M1"; "M2" ] ~target:"M3";
+    ]
+  in
+  Alcotest.(check int) "unordered duplicate rejected" 1
+    (List.length (errors_of (D.validate ~domains dup_unordered)));
+  (* same sources, different target: not a duplicate *)
+  let ok =
+    [ D.make ~sources:[ "M1" ] ~target:"M2"; D.make ~sources:[ "M1" ] ~target:"M3" ]
+  in
+  Alcotest.(check bool) "different targets ok" true (Result.is_ok (D.validate ~domains ok))
+
+let test_validate_reports_all () =
+  let domains = [ m1; m2 ] in
+  let deps =
+    [
+      { Qvtr.Ast.dep_sources = []; dep_target = m2; dep_loc = Qvtr.Loc.none };
+      D.make ~sources:[ "M9" ] ~target:"M2";
+      D.make ~sources:[ "M1" ] ~target:"M9";
+      D.make ~sources:[ "M1"; "M2" ] ~target:"M2";
+      D.make ~sources:[ "M1" ] ~target:"M2" (* valid *);
+    ]
+  in
+  let msgs = errors_of (D.validate ~domains deps) in
+  Alcotest.(check int) "all four invalid deps reported" 4 (List.length msgs);
+  let has affix =
+    List.exists
+      (fun m ->
+        let n = String.length affix and l = String.length m in
+        let rec go i = i + n <= l && (String.sub m i n = affix || go (i + 1)) in
+        go 0)
+      msgs
+  in
+  Alcotest.(check bool) "empty-source message" true (has "empty source set");
+  Alcotest.(check bool) "non-domain source message" true (has "non-domain source");
+  Alcotest.(check bool) "unknown-target message" true (has "not a domain");
+  Alcotest.(check bool) "target-in-sources message" true (has "among its sources")
+
 let test_effective () =
-  let dom m = { Qvtr.Ast.d_model = m; d_template = { Qvtr.Ast.t_var = I.make "x"; t_class = I.make "C"; t_props = [] }; d_enforceable = true } in
+  let dom m =
+    {
+      Qvtr.Ast.d_model = m;
+      d_template =
+        {
+          Qvtr.Ast.t_var = I.make "x";
+          t_class = I.make "C";
+          t_props = [];
+          t_loc = Qvtr.Loc.none;
+        };
+      d_enforceable = true;
+      d_loc = Qvtr.Loc.none;
+    }
+  in
   let rel deps =
     {
       Qvtr.Ast.r_name = I.make "R";
@@ -96,6 +161,7 @@ let test_effective () =
       r_when = [];
       r_where = [];
       r_deps = deps;
+      r_loc = Qvtr.Loc.none;
     }
   in
   Alcotest.(check int) "empty block -> standard set" 2
@@ -149,6 +215,8 @@ let suite =
     Alcotest.test_case "chained conjunctions" `Quick test_chained_conjunctions;
     Alcotest.test_case "standard dependency set" `Quick test_standard_set;
     Alcotest.test_case "validation" `Quick test_validate;
+    Alcotest.test_case "validation: duplicates" `Quick test_validate_duplicates;
+    Alcotest.test_case "validation reports all errors" `Quick test_validate_reports_all;
     Alcotest.test_case "effective dependencies" `Quick test_effective;
     QCheck_alcotest.to_alcotest prop_entailment_vs_brute;
   ]

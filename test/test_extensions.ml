@@ -67,7 +67,7 @@ let test_int_comparison_semantics () =
 
 let test_int_comparison_parsing () =
   let r = List.hd prio_trans.Qvtr.Ast.t_relations in
-  (match r.Qvtr.Ast.r_where with
+  (match Qvtr.Ast.preds r.Qvtr.Ast.r_where with
   | [ Qvtr.Ast.P_le (Qvtr.Ast.O_var _, Qvtr.Ast.O_var _) ] -> ()
   | _ -> Alcotest.fail "expected P_le in where clause");
   (* > and >= flip into P_lt / P_le *)
@@ -85,7 +85,7 @@ transformation T(mine : P, team : P) {
 |}
   in
   let r2 = List.hd t2.Qvtr.Ast.t_relations in
-  (match r2.Qvtr.Ast.r_when with
+  (match Qvtr.Ast.preds r2.Qvtr.Ast.r_when with
   | [ Qvtr.Ast.P_lt (Qvtr.Ast.O_var b1, _); Qvtr.Ast.P_le (Qvtr.Ast.O_var b2, _);
       Qvtr.Ast.P_lt (Qvtr.Ast.O_var a1, _) ] ->
     Alcotest.(check string) "> flips" "b" (I.name b1);
@@ -95,7 +95,9 @@ transformation T(mine : P, team : P) {
   (* round-trip through the printer *)
   let printed = Qvtr.Parser.to_string prio_trans in
   match Qvtr.Parser.parse printed with
-  | Ok t -> Alcotest.(check bool) "round-trip" true (t = prio_trans)
+  | Ok t ->
+    Alcotest.(check bool) "round-trip" true
+      (Qvtr.Ast.strip_locs t = Qvtr.Ast.strip_locs prio_trans)
   | Error e -> Alcotest.failf "round-trip: %s" e
 
 let test_int_comparison_typing () =
@@ -377,11 +379,14 @@ let test_primitive_domain_parse () =
   let flagged = List.nth prim_trans.Qvtr.Ast.t_relations 1 in
   Alcotest.(check int) "one primitive domain" 1 (List.length flagged.Qvtr.Ast.r_prims);
   (match flagged.Qvtr.Ast.r_prims with
-  | [ (v, Qvtr.Ast.T_string) ] -> Alcotest.(check string) "named v" "v" (I.name v)
+  | [ { Qvtr.Ast.v_name = v; v_type = Qvtr.Ast.T_string; v_loc = _ } ] ->
+    Alcotest.(check string) "named v" "v" (I.name v)
   | _ -> Alcotest.fail "unexpected primitive domain");
   (* printer round-trip *)
   match Qvtr.Parser.parse (Qvtr.Parser.to_string prim_trans) with
-  | Ok t -> Alcotest.(check bool) "round-trip" true (t = prim_trans)
+  | Ok t ->
+    Alcotest.(check bool) "round-trip" true
+      (Qvtr.Ast.strip_locs t = Qvtr.Ast.strip_locs prim_trans)
   | Error e -> Alcotest.failf "round-trip: %s" e
 
 let test_primitive_domain_typecheck () =

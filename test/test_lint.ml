@@ -1,0 +1,195 @@
+(* Golden-file and property tests for the lint diagnostics engine.
+
+   The corpus in examples/lint/ has one broken transformation per
+   diagnostic code plus a .expected file holding the exact rendered
+   output (same format as `qvtr lint`: one rendered diagnostic per
+   line with its source excerpt, then a summary line). *)
+
+module D = Lint.Diagnostic
+module Dr = Lint.Driver
+
+let corpus_dir = "../examples/lint"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let raw_metamodels =
+  lazy
+    (match
+       Mdl.Serialize.parse_metamodels
+         (read_file (Filename.concat corpus_dir "metamodels.mdl"))
+     with
+    | Ok mms -> mms
+    | Error e -> Alcotest.failf "corpus metamodels: %s" e)
+
+let metamodels () =
+  List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) (Lazy.force raw_metamodels)
+
+(* The W009 corpus entry is the only one needing bound models. *)
+let corpus_models name =
+  if name <> "w009_constant" then None
+  else
+    match
+      Mdl.Serialize.parse_models (Lazy.force raw_metamodels)
+        (read_file (Filename.concat corpus_dir "w009_models.mdl"))
+    with
+    | Ok ms -> Some (List.map (fun m -> (Mdl.Model.name m, m)) ms)
+    | Error e -> Alcotest.failf "corpus models: %s" e
+
+let corpus_cases () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".qvtr")
+  |> List.map (fun f -> Filename.chop_suffix f ".qvtr")
+  |> List.sort compare
+
+let lint_corpus name =
+  (* [~file] uses the repo-relative path so rendered locations match
+     the goldens byte-for-byte. *)
+  let src = read_file (Filename.concat corpus_dir (name ^ ".qvtr")) in
+  let diags =
+    Dr.lint_source
+      ~file:("examples/lint/" ^ name ^ ".qvtr")
+      ?models:(corpus_models name) src ~metamodels:(metamodels ())
+  in
+  (src, diags)
+
+(* Mirror of the CLI's non-JSON output. *)
+let rendered ~src diags =
+  String.concat "" (List.map (fun d -> D.render ~src d ^ "\n") diags)
+  ^ Dr.summary diags ^ "\n"
+
+let test_golden name () =
+  let src, diags = lint_corpus name in
+  let want = read_file (Filename.concat corpus_dir (name ^ ".expected")) in
+  Alcotest.(check string) (name ^ " golden") want (rendered ~src diags)
+
+let test_registry_covered () =
+  let cases = corpus_cases () in
+  List.iter
+    (fun (code, _, _) ->
+      let prefix = String.lowercase_ascii code in
+      match
+        List.find_opt
+          (fun c -> String.length c >= 4 && String.sub c 0 4 = prefix)
+          cases
+      with
+      | None -> Alcotest.failf "no corpus entry for %s" code
+      | Some c ->
+        let expected = read_file (Filename.concat corpus_dir (c ^ ".expected")) in
+        let tag = "[" ^ code ^ "]" in
+        let mentions =
+          let n = String.length expected and m = String.length tag in
+          let rec go i = i + m <= n && (String.sub expected i m = tag || go (i + 1)) in
+          go 0
+        in
+        if not mentions then
+          Alcotest.failf "golden for %s does not mention %s" c code)
+    D.registry
+
+let test_locations_known () =
+  (* every corpus diagnostic carries a real file:line:col anchor *)
+  List.iter
+    (fun name ->
+      let _, diags = lint_corpus name in
+      Alcotest.(check bool) (name ^ " has diagnostics") true (diags <> []);
+      List.iter
+        (fun (d : D.t) ->
+          if Qvtr.Loc.is_none d.D.loc then
+            Alcotest.failf "%s: diagnostic %s has no location" name d.D.code)
+        diags)
+    (corpus_cases ())
+
+let test_json_roundtrip () =
+  List.iter
+    (fun name ->
+      let _, diags = lint_corpus name in
+      let json = D.list_to_json diags in
+      match Obs.Json.of_string (Obs.Json.to_string json) with
+      | Ok parsed ->
+        Alcotest.(check bool) (name ^ " json round-trips") true (parsed = json)
+      | Error e -> Alcotest.failf "%s: emitted JSON does not parse: %s" name e)
+    (corpus_cases ())
+
+let test_werror_and_suppress () =
+  let _, diags = lint_corpus "w004_unused_var" in
+  Alcotest.(check int) "one warning" 1 (Dr.warning_count diags);
+  let src = read_file (Filename.concat corpus_dir "w004_unused_var.qvtr") in
+  let werror = { Dr.default_config with Dr.werror = true } in
+  let promoted =
+    Dr.lint_source ~config:werror src ~metamodels:(metamodels ())
+  in
+  Alcotest.(check int) "werror promotes" 1 (Dr.error_count promoted);
+  let off = { Dr.default_config with Dr.suppress = [ "W004" ] } in
+  let suppressed =
+    Dr.lint_source ~config:off src ~metamodels:(metamodels ())
+  in
+  Alcotest.(check int) "suppressed" 0 (List.length suppressed)
+
+let test_parse_error_caret () =
+  let src = "transformation T(m : MM) {\n  top relation R {\n    domain m x : C { a = } ;\n  }\n}\n" in
+  match Qvtr.Parser.parse_located ~file:"t.qvtr" src with
+  | Ok _ -> Alcotest.fail "must not parse"
+  | Error (loc, _) ->
+    let d = Dr.of_parse_error (loc, "boom") in
+    Alcotest.(check string) "code" "E001" d.D.code;
+    Alcotest.(check int) "line" 3 loc.Qvtr.Loc.line;
+    let r = D.render ~src d in
+    Alcotest.(check bool) "caret present" true (String.contains r '^');
+    Alcotest.(check bool) "file prefix" true
+      (String.length r > 7 && String.sub r 0 7 = "t.qvtr:")
+
+let test_unterminated_comment_position () =
+  let src = "transformation T(m : MM) {\n  /* never closed\n" in
+  match Qvtr.Parser.parse_located src with
+  | Ok _ -> Alcotest.fail "must not parse"
+  | Error (loc, msg) ->
+    Alcotest.(check string) "message" "unterminated comment" msg;
+    (* reported at the opening '/*', not at EOF *)
+    Alcotest.(check int) "line" 2 loc.Qvtr.Loc.line;
+    Alcotest.(check int) "col" 3 loc.Qvtr.Loc.col
+
+let test_clean_examples () =
+  (* the shipped Fig. 1 transformation lints clean, warnings included *)
+  let t = Featuremodel.Fm.source ~k:2 in
+  let diags =
+    Dr.lint_source t ~metamodels:Featuremodel.Fm.metamodels
+  in
+  Alcotest.(check (list string)) "no diagnostics" []
+    (List.map (fun (d : D.t) -> d.D.code) diags)
+
+(* Lint is observation only: running it must not change checking
+   verdicts. Same fuzz pipeline as test_parser_random. *)
+let prop_lint_preserves_verdicts =
+  QCheck.Test.make ~name:"lint never changes Check.run verdicts" ~count:200
+    Test_parser_random.arb_transformation (fun t ->
+      let metamodels = Test_parser_random.fuzz_metamodels in
+      let models = Test_parser_random.fuzz_models () in
+      let verdict () =
+        match Qvtr.Check.run t ~metamodels ~models with
+        | Ok report -> Some report.Qvtr.Check.consistent
+        | Error _ -> None
+      in
+      let before = verdict () in
+      let _ = Dr.lint_ast ~models t ~metamodels in
+      let after = verdict () in
+      before = after)
+
+let suite =
+  List.map
+    (fun name -> Alcotest.test_case (name ^ " golden") `Quick (test_golden name))
+    (corpus_cases ())
+  @ [
+      Alcotest.test_case "registry covered by corpus" `Quick test_registry_covered;
+      Alcotest.test_case "all diagnostics located" `Quick test_locations_known;
+      Alcotest.test_case "json output parses strictly" `Quick test_json_roundtrip;
+      Alcotest.test_case "werror and suppress" `Quick test_werror_and_suppress;
+      Alcotest.test_case "parse errors carry caret" `Quick test_parse_error_caret;
+      Alcotest.test_case "unterminated comment at opening" `Quick
+        test_unterminated_comment_position;
+      Alcotest.test_case "shipped example lints clean" `Quick test_clean_examples;
+      QCheck_alcotest.to_alcotest prop_lint_preserves_verdicts;
+    ]

@@ -28,6 +28,7 @@ let () =
       ("qvtr.typecheck", Test_typecheck.suite);
       ("qvtr.encode", Test_encode.suite);
       ("qvtr.semantics", Test_semantics.suite);
+      ("lint", Test_lint.suite);
       ("echo.engine", Test_echo.suite);
       ("echo.telemetry", Test_telemetry.suite);
       ("incr.session", Test_incr.suite);

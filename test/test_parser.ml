@@ -76,7 +76,7 @@ let test_full_parse () =
 let test_var_types () =
   let t = P.parse_exn full in
   let r = List.hd t.A.t_relations in
-  let types = List.map snd r.A.r_vars in
+  let types = List.map (fun (vd : A.vardecl) -> vd.A.v_type) r.A.r_vars in
   Alcotest.(check bool) "String" true (List.mem A.T_string types);
   Alcotest.(check bool) "Integer" true (List.mem A.T_int types);
   Alcotest.(check bool) "Boolean" true (List.mem A.T_bool types);
@@ -87,12 +87,12 @@ let test_var_types () =
 let test_pred_structure () =
   let t = P.parse_exn full in
   let r = List.hd t.A.t_relations in
-  (match r.A.r_when with
+  (match A.preds r.A.r_when with
   | [ A.P_neq (A.O_var _, A.O_str "reserved"); A.P_call (h, args) ] ->
     Alcotest.(check string) "call name" "Helper" (I.name h);
     Alcotest.(check int) "call args" 2 (List.length args)
   | _ -> Alcotest.fail "unexpected when structure");
-  match List.nth r.A.r_where 2 with
+  match (List.nth r.A.r_where 2).A.c_pred with
   | A.P_and (A.P_or _, A.P_not _) -> ()
   | p -> Alcotest.failf "unexpected precedence: %s" (Format.asprintf "%a" A.pp_pred p)
 
@@ -111,7 +111,7 @@ transformation T(a : A, b : B) {
   in
   let t = P.parse_exn src in
   let r = List.hd t.A.t_relations in
-  match r.A.r_where with
+  match A.preds r.A.r_where with
   | [ A.P_eq (A.O_union _, rhs) ] -> (
     (* ** and -- associate left: (r ** s) -- t *)
     match rhs with
@@ -134,7 +134,7 @@ transformation T(a : A, b : B) {
   in
   let t = P.parse_exn src in
   let r = List.hd t.A.t_relations in
-  match r.A.r_when with
+  match A.preds r.A.r_when with
   | [ A.P_in (A.O_var _, A.O_all (m, c)) ] ->
     Alcotest.(check string) "model" "a" (I.name m);
     Alcotest.(check string) "class" "C" (I.name c)
@@ -167,7 +167,8 @@ let test_roundtrip_cases () =
       let printed = P.to_string t in
       match P.parse printed with
       | Ok t2 ->
-        if t <> t2 then Alcotest.failf "case %d: round-trip not equal:\n%s" i printed
+        if A.strip_locs t <> A.strip_locs t2 then
+          Alcotest.failf "case %d: round-trip not equal:\n%s" i printed
       | Error e -> Alcotest.failf "case %d: round-trip parse failed: %s\n%s" i e printed)
     [ minimal; full; Featuremodel.Fm.source ~k:2; Featuremodel.Fm.source ~k:4 ]
 
@@ -175,7 +176,7 @@ let test_fm_source_equals_builder () =
   (* the generated concrete syntax parses to the programmatic AST *)
   List.iter
     (fun k ->
-      let parsed = P.parse_exn (Featuremodel.Fm.source ~k) in
+      let parsed = A.strip_locs (P.parse_exn (Featuremodel.Fm.source ~k)) in
       let built = Featuremodel.Fm.transformation ~k in
       if parsed <> built then
         Alcotest.failf "k=%d: parsed source differs from built AST" k)

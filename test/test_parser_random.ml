@@ -91,9 +91,15 @@ let gen_template : A.template QCheck.Gen.t =
                  (1, map (fun t -> A.PV_template t) (gen (depth - 1) (var ^ "n")));
                ]
          in
-         return { A.p_feature = I.make f; p_value = value })
+         return { A.p_feature = I.make f; p_value = value; p_loc = Qvtr.Loc.none })
     in
-    return { A.t_var = I.make var; t_class = I.make cls; t_props = props }
+    return
+      {
+        A.t_var = I.make var;
+        t_class = I.make cls;
+        t_props = props;
+        t_loc = Qvtr.Loc.none;
+      }
   in
   let* root = oneofl [ "a"; "b"; "c" ] in
   gen 2 root
@@ -118,13 +124,15 @@ let gen_relation : A.relation QCheck.Gen.t =
     list_size (int_bound 2)
       (let* v = oneofl [ "n"; "k"; "w" ] in
        let* ty = gen_var_type in
-       return (I.make v, ty))
+       return { A.v_name = I.make v; v_type = ty; v_loc = Qvtr.Loc.none })
   in
   (* deduplicate variable names (the printer would emit clashes) *)
   let vars =
     List.fold_left
-      (fun acc (v, ty) ->
-        if List.exists (fun (w, _) -> I.equal v w) acc then acc else (v, ty) :: acc)
+      (fun acc (vd : A.vardecl) ->
+        if List.exists (fun (wd : A.vardecl) -> I.equal vd.A.v_name wd.A.v_name) acc
+        then acc
+        else vd :: acc)
       [] vars
     |> List.rev
   in
@@ -134,21 +142,35 @@ let gen_relation : A.relation QCheck.Gen.t =
   let* enforceable = bool in
   let domains =
     [
-      { A.d_model = I.make "m1"; d_template = d1; d_enforceable = enforceable };
-      { A.d_model = I.make "m2"; d_template = d2; d_enforceable = true };
+      {
+        A.d_model = I.make "m1";
+        d_template = d1;
+        d_enforceable = enforceable;
+        d_loc = Qvtr.Loc.none;
+      };
+      {
+        A.d_model = I.make "m2";
+        d_template = d2;
+        d_enforceable = true;
+        d_loc = Qvtr.Loc.none;
+      };
     ]
   in
   let* when_ = list_size (int_bound 2) gen_pred in
   let* where = list_size (int_bound 2) gen_pred in
+  let dep srcs tgt =
+    {
+      A.dep_sources = List.map I.make srcs;
+      dep_target = I.make tgt;
+      dep_loc = Qvtr.Loc.none;
+    }
+  in
   let* deps =
     oneofl
       [
         [];
-        [ { A.dep_sources = [ I.make "m1" ]; dep_target = I.make "m2" } ];
-        [
-          { A.dep_sources = [ I.make "m1" ]; dep_target = I.make "m2" };
-          { A.dep_sources = [ I.make "m2" ]; dep_target = I.make "m1" };
-        ];
+        [ dep [ "m1" ] "m2" ];
+        [ dep [ "m1" ] "m2"; dep [ "m2" ] "m1" ];
       ]
   in
   return
@@ -158,9 +180,10 @@ let gen_relation : A.relation QCheck.Gen.t =
       r_vars = vars;
       r_prims = [];
       r_domains = domains;
-      r_when = when_;
-      r_where = where;
+      r_when = A.clauses when_;
+      r_where = A.clauses where;
       r_deps = deps;
+      r_loc = Qvtr.Loc.none;
     }
 
 let gen_transformation : A.transformation QCheck.Gen.t =
@@ -172,8 +195,13 @@ let gen_transformation : A.transformation QCheck.Gen.t =
   return
     {
       A.t_name = I.make "T";
-      t_params = [ (I.make "m1", I.make "MMA"); (I.make "m2", I.make "MMB") ];
+      t_params =
+        [
+          { A.par_name = I.make "m1"; par_mm = I.make "MMA"; par_loc = Qvtr.Loc.none };
+          { A.par_name = I.make "m2"; par_mm = I.make "MMB"; par_loc = Qvtr.Loc.none };
+        ];
       t_relations = (if n = 0 then [ rel ] else [ rel; rel2 ]);
+      t_loc = Qvtr.Loc.none;
     }
 
 let arb_transformation =
@@ -189,7 +217,7 @@ let prop_roundtrip =
       let printed = Qvtr.Parser.to_string t in
       match Qvtr.Parser.parse printed with
       | Ok t' ->
-        if t = t' then true
+        if t = A.strip_locs t' then true
         else QCheck.Test.fail_reportf "reparse differs for:\n%s" printed
       | Error e -> QCheck.Test.fail_reportf "reparse failed (%s) for:\n%s" e printed)
 
@@ -198,10 +226,17 @@ let prop_oexpr_roundtrip =
   QCheck.Test.make ~name:"oexpr round-trip" ~count:500
     (QCheck.make gen_oexpr ~print:(fun e -> Format.asprintf "%a" A.pp_oexpr e))
     (fun e ->
+      let tpl v c =
+        { A.t_var = I.make v; t_class = I.make c; t_props = []; t_loc = Qvtr.Loc.none }
+      in
       let wrap =
         {
           A.t_name = I.make "W";
-          t_params = [ (I.make "m1", I.make "MMA"); (I.make "m2", I.make "MMB") ];
+          t_params =
+            [
+              { A.par_name = I.make "m1"; par_mm = I.make "MMA"; par_loc = Qvtr.Loc.none };
+              { A.par_name = I.make "m2"; par_mm = I.make "MMB"; par_loc = Qvtr.Loc.none };
+            ];
           t_relations =
             [
               {
@@ -213,26 +248,28 @@ let prop_oexpr_roundtrip =
                   [
                     {
                       A.d_model = I.make "m1";
-                      d_template =
-                        { A.t_var = I.make "x"; t_class = I.make "C"; t_props = [] };
+                      d_template = tpl "x" "C";
                       d_enforceable = true;
+                      d_loc = Qvtr.Loc.none;
                     };
                     {
                       A.d_model = I.make "m2";
-                      d_template =
-                        { A.t_var = I.make "y"; t_class = I.make "D"; t_props = [] };
+                      d_template = tpl "y" "D";
                       d_enforceable = true;
+                      d_loc = Qvtr.Loc.none;
                     };
                   ];
                 r_when = [];
-                r_where = [ A.P_nonempty e ];
+                r_where = A.clauses [ A.P_nonempty e ];
                 r_deps = [];
+                r_loc = Qvtr.Loc.none;
               };
             ];
+          t_loc = Qvtr.Loc.none;
         }
       in
       match Qvtr.Parser.parse (Qvtr.Parser.to_string wrap) with
-      | Ok t' -> t' = wrap
+      | Ok t' -> A.strip_locs t' = wrap
       | Error msg ->
         QCheck.Test.fail_reportf "parse failed: %s for %s" msg
           (Format.asprintf "%a" A.pp_oexpr e))
