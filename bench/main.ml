@@ -6,14 +6,18 @@
    microbenchmark suite (one Test.make per timed table).
 
    `--json` additionally writes a machine-readable benchmark record
-   file (default `BENCH_4.json`, override with `--out FILE`): one
+   file (default `BENCH_5.json`, override with `--out FILE`): one
    record per executed experiment *per jobs value* with its wall-clock
-   time, the process-wide SAT-solver counter deltas
+   time (min over `--reps` runs, with max and the rep count recorded
+   alongside), the process-wide SAT-solver counter deltas
    (`Sat.Solver.global_stats`) it caused, the `jobs` value it ran at,
    and its `speedup` relative to the same experiment at the sweep's
-   baseline (jobs = 1), plus a process-wide `Obs.Metrics` snapshot.
-   This file is the perf-regression trajectory: commit one per
-   optimization PR and diff the counters.
+   baseline (jobs = 1) — suppressed (JSON null, with a note) when the
+   walls involved sit below a noise floor, so sub-millisecond
+   experiments stop reporting 3x "speedups" that are pure timer
+   noise — plus a process-wide `Obs.Metrics` snapshot. This file is
+   the perf-regression trajectory: commit one per optimization PR and
+   diff the counters.
 
    `--trace FILE` records an `Obs.Trace` of the whole run and writes
    Chrome trace-event JSON on exit (open in Perfetto).
@@ -338,6 +342,46 @@ let e7 ~jobs =
     | Some (d1, _), Some (d2, _) -> d1 = d2
     | None, None -> true
     | _ -> false)
+
+(* E7's deep case raced as a portfolio. Runs OUTSIDE the measured
+   records — on a 1-core box the losing lane timeshares the core and
+   roughly doubles the wall (DESIGN's portfolio caveat), which would
+   poison the e7 sweep it rode in — but it still feeds the cumulative
+   metrics snapshot. This is what keeps the portfolio win-accounting
+   honest in the BENCH files: no experiment drove a real race before
+   BENCH_5 ([enforce ~backend:Portfolio] degrades to the ladder at
+   jobs = 1, Engine's default, and E7/E8 only ever named the two
+   concrete backends), which is why the win counters sat at zero for
+   three releases while looking broken. *)
+let e7_portfolio () =
+  section "E7b" "portfolio race on the deep case (unmeasured)";
+  let trans = F.transformation ~k:2 in
+  let deep_m = 3 in
+  let pool = G.feature_names 4 in
+  let cfs = [ F.configuration ~name:"cf1" pool; F.configuration ~name:"cf2" pool ] in
+  let fm =
+    F.feature_model ~name:"fm"
+      (List.map (fun f -> (f, true)) pool
+      @ List.init deep_m (fun i -> (Printf.sprintf "N%d" i, true)))
+  in
+  let r, dt =
+    time_it (fun () ->
+        Echo.Engine.enforce ~backend:Echo.Engine.Portfolio ~jobs:2
+          ~slack_objects:deep_m trans ~metamodels:F.metamodels
+          ~models:(F.bind ~cfs ~fm)
+          ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ]))
+  in
+  match r with
+  | Ok (Echo.Engine.Enforced r) ->
+    Format.printf "  portfolio on the deep case: d=%d via the %s lane (%.0f ms)@."
+      r.Echo.Engine.relational_distance
+      (match r.Echo.Engine.backend with
+      | Echo.Engine.Iterative -> "iterative"
+      | Echo.Engine.Maxsat -> "maxsat"
+      | Echo.Engine.Portfolio -> "portfolio")
+      (dt *. 1000.)
+  | Ok _ -> Format.printf "  portfolio on the deep case: no repair needed@."
+  | Error e -> Format.printf "  portfolio on the deep case: error: %s@." e
 
 (* ------------------------------------------------------------------ *)
 (* E8: scaling                                                         *)
@@ -825,6 +869,15 @@ let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
     solve_time = b.Sat.Solver.solve_time -. a.Sat.Solver.solve_time;
   }
 
+(* Below this wall time a speedup ratio is timer noise, not signal:
+   on this class of box two back-to-back runs of the same sub-10ms
+   experiment routinely differ by 2-3x (scheduler quantum, cache
+   state), so BENCH_4's "3.2x speedup at jobs=4" on E9 was an artifact
+   of dividing two tiny numbers. Records whose own wall or whose
+   baseline wall sits under the floor get [speedup: null] plus a note
+   instead of a misleading ratio. *)
+let speedup_floor_s = 0.010
+
 (* Run one experiment at one jobs value and measure it: wall time plus
    the process-wide solver-counter delta it caused (experiments create
    solvers internally, so instance-level stats are unreachable from
@@ -842,23 +895,43 @@ let run_measured ~jobs ~reps ?baseline (id, title, f) =
   (* Wall is the minimum over [reps] runs: CDCL solve times are
      heavy-tailed and the box shares its core, so the minimum is the
      standard noise-robust estimator for deterministic workloads. The
+     maximum rides along so readers can judge the spread. The
      solver-counter delta covers the first run only. *)
-  let wall = ref wall0 in
+  let wall_min = ref wall0 and wall_max = ref wall0 in
   for _ = 2 to max 1 reps do
     let (), w = time_it (fun () -> f ~jobs) in
-    if w < !wall then wall := w
+    if w < !wall_min then wall_min := w;
+    if w > !wall_max then wall_max := w
   done;
-  let wall = !wall in
-  let speedup = match baseline with Some b -> b /. wall | None -> 1.0 in
-  ( Echo.Telemetry.Obj
+  let wall = !wall_min in
+  let speedup =
+    let reliable = wall >= speedup_floor_s in
+    match baseline with
+    | None when reliable -> [ ("speedup", Echo.Telemetry.Float 1.0) ]
+    | Some b when reliable && b >= speedup_floor_s ->
+      [ ("speedup", Echo.Telemetry.Float (b /. wall)) ]
+    | _ ->
       [
-        ("experiment", Echo.Telemetry.String id);
-        ("title", Echo.Telemetry.String title);
-        ("jobs", Echo.Telemetry.Int jobs);
-        ("wall_time_s", Echo.Telemetry.Float wall);
-        ("speedup", Echo.Telemetry.Float speedup);
-        ("solver", Echo.Telemetry.solver_json (stats_delta before after));
-      ],
+        ("speedup", Echo.Telemetry.Null);
+        ( "speedup_note",
+          Echo.Telemetry.String
+            (Printf.sprintf
+               "suppressed: wall below the %.0f ms noise floor; the ratio would \
+                be timer noise"
+               (speedup_floor_s *. 1000.)) );
+      ]
+  in
+  ( Echo.Telemetry.Obj
+      ([
+         ("experiment", Echo.Telemetry.String id);
+         ("title", Echo.Telemetry.String title);
+         ("jobs", Echo.Telemetry.Int jobs);
+         ("wall_time_s", Echo.Telemetry.Float wall);
+         ("wall_max_s", Echo.Telemetry.Float !wall_max);
+         ("reps", Echo.Telemetry.Int (max 1 reps));
+       ]
+      @ speedup
+      @ [ ("solver", Echo.Telemetry.solver_json (stats_delta before after)) ]),
     wall )
 
 (* Measure one experiment across the whole jobs sweep; the first sweep
@@ -873,7 +946,7 @@ let measure_sweep ~reps sweep exp =
   in
   go None [] sweep
 
-let write_json ?(schema = "mdqvtr-bench/4") ?(extra = []) path records =
+let write_json ?(schema = "mdqvtr-bench/5") ?(extra = []) path records =
   let body =
     Echo.Telemetry.json_to_string
       (Echo.Telemetry.Obj
@@ -913,7 +986,7 @@ let () =
   let rec out_file = function
     | "--out" :: path :: _ -> path
     | _ :: rest -> out_file rest
-    | [] -> "BENCH_4.json"
+    | [] -> "BENCH_5.json"
   in
   let out = out_file args in
   let rec trace_file = function
@@ -981,16 +1054,23 @@ let () =
   (* the metrics snapshot is cumulative over the whole run, so it is
      attached once per file, after every record has executed *)
   let metrics () = [ ("metrics", Obs.Metrics.to_json ()) ] in
+  (* run after every measured record (it perturbs wall-clock on small
+     boxes) but before the metrics snapshot is taken *)
+  let maybe_portfolio selected =
+    if List.exists (fun (eid, _, _) -> eid = "e7") selected then e7_portfolio ()
+  in
   let run () =
     match drop_flags args with
     | [] ->
       if json then begin
         let records = List.concat_map (measure_sweep ~reps sweep) experiments in
+        maybe_portfolio experiments;
         write_json ~extra:(metrics ()) out records;
         write_bench3 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
+        maybe_portfolio experiments;
         bechamel_suite ()
       end
     | [ "bench" ] -> bechamel_suite ()
@@ -1011,11 +1091,15 @@ let () =
       in
       if json then begin
         let records = List.concat_map (measure_sweep ~reps sweep) selected in
+        maybe_portfolio selected;
         write_json ~extra:(metrics ()) out records;
         if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
         then write_bench3 ()
       end
-      else List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected
+      else begin
+        List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected;
+        maybe_portfolio selected
+      end
   in
   match trace with
   | None -> run ()

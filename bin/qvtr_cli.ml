@@ -93,6 +93,10 @@ let pp_stats_block stats r =
     pp_metrics stats
   end
 
+(* --jobs 0/auto resolves at dispatch time; library defaults stay
+   serial (jobs = 1) so embedders opt into parallelism explicitly. *)
+let resolve_jobs n = if n <= 0 then Parallel.Pool.default_jobs () else n
+
 let run_enforce_all trans_file mm_file models_file targets standard slack jobs
     stats =
   match
@@ -137,6 +141,7 @@ let run_enforce_all trans_file mm_file models_file targets standard slack jobs
 let run_enforce trans_file mm_file models_file targets standard backend
     slack jobs all no_lint stats out_file trace =
   with_trace trace @@ fun () ->
+  let jobs = resolve_jobs jobs in
   if all then
     run_enforce_all trans_file mm_file models_file targets standard slack jobs
       stats
@@ -472,12 +477,15 @@ let backend_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Parallelism budget: the iterative backend probes N distance levels \
            speculatively on worker domains; the portfolio races its lanes. \
-           The repair distance is identical for every N.")
+           The repair distance is identical for every N. N = 0 (the default) \
+           auto-sizes from the available cores \
+           (Domain.recommended_domain_count); an explicit N is always \
+           honoured as given.")
 
 let slack_arg =
   Arg.(

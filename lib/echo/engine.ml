@@ -25,6 +25,16 @@ let backend_name = function
   | Portfolio -> "portfolio"
 
 let m_enforcements = Obs.Metrics.counter "echo.engine.enforcements"
+
+(* Portfolio accounting. The win counters only move when a race
+   actually runs: [enforce ~backend:Portfolio] degrades to the plain
+   ladder when [jobs < 2] (and in nested parallel regions), and no
+   bench or test drove a real race for several releases — which made
+   the two zero win counters in BENCH_2..4 look like broken
+   accounting. [portfolio_races] separates the two failure modes for
+   good: races = 0 means nobody raced; races > 0 with zero wins means
+   both lanes failed. *)
+let m_portfolio_races = Obs.Metrics.counter "echo.engine.portfolio_races"
 let m_iterative_wins = Obs.Metrics.counter "echo.engine.portfolio_iterative_wins"
 let m_maxsat_wins = Obs.Metrics.counter "echo.engine.portfolio_maxsat_wins"
 
@@ -36,6 +46,7 @@ let m_maxsat_wins = Obs.Metrics.counter "echo.engine.portfolio_maxsat_wins"
    leaks past the call. *)
 let race_portfolio ?max_distance space =
   Obs.Trace.with_span ~name:"portfolio" (fun () ->
+  Obs.Metrics.incr m_portfolio_races;
   let pool = Parallel.Pool.global ~jobs:2 in
   let mu = Mutex.create () in
   let cond = Condition.create () in
@@ -120,8 +131,11 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
         Result.map (fun o -> (o, Iterative)) (Repair.run ?max_distance ~jobs space)
       | Maxsat -> Result.map (fun o -> (o, Maxsat)) (Maxsat_repair.run ~jobs space)
       | Portfolio ->
-        if jobs < 2 then
-          (* A portfolio needs two lanes; degrade to the ladder. *)
+        if jobs < 2 || Parallel.Pool.in_worker () then
+          (* A portfolio needs two lanes of its own; degrade to the
+             ladder when the budget is one job or when already running
+             inside a pool worker (racing from a nested region would
+             oversubscribe — and can stall behind — the outer one). *)
           Result.map (fun o -> (o, Iterative)) (Repair.run ?max_distance ~jobs space)
         else race_portfolio ?max_distance space
     in
@@ -140,7 +154,8 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
            })
 
 let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
-    ?max_distance ?(jobs = 1) transformation ~metamodels ~models ~targets =
+    ?max_distance ?(jobs = 1) ?split_after transformation ~metamodels ~models
+    ~targets =
   if jobs < 1 then invalid_arg "Engine.enforce_all: jobs must be >= 1";
   Obs.Metrics.incr m_enforcements;
   Obs.Trace.with_span ~name:"enforce_all"
@@ -158,7 +173,7 @@ let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
           Space.build ?mode ?slack_objects ?extra_values ?model_weights
             ~transformation ~metamodels ~models ~targets ())
     in
-    let* repairs = Repair.run_all ?max_distance ~limit ~jobs space in
+    let* repairs = Repair.run_all ?max_distance ~limit ~jobs ?split_after space in
     match repairs with
     | [] -> Ok [ Cannot_restore ]
     | rs ->

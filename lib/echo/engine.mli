@@ -73,6 +73,7 @@ val enforce_all :
   ?model_weights:(Mdl.Ident.t * int) list ->
   ?max_distance:int ->
   ?jobs:int ->
+  ?split_after:float ->
   Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -83,7 +84,10 @@ val enforce_all :
     (jobs-invariant): a singleton [Already_consistent] or
     [Cannot_restore], or one [Enforced] per repair — the menu a
     multidirectional Echo UI would offer the user (paper §4).
-    [jobs >= 2] shards the enumeration across worker domains. *)
+    [jobs >= 2] shards the enumeration across worker domains with
+    adaptive cube splitting ([split_after] is the per-cube wall-time
+    budget before an overweight cube is split; see
+    {!Repair.run_all}). *)
 
 type diagnosis = {
   d_relation : Mdl.Ident.t;

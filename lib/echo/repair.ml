@@ -5,6 +5,13 @@ let m_blocked = Obs.Metrics.counter "echo.repair.blocked_nonconformant"
 let m_runs = Obs.Metrics.counter "echo.repair.runs"
 let h_run_wall = Obs.Metrics.histogram "echo.repair.wall_s"
 
+(* Adaptive enumeration sharding: cubes split when measured as
+   overweight (see [run_all_parallel]); the histogram records the wall
+   time each dequeued cube actually cost, which is the measurement the
+   splitting acts on. *)
+let m_cube_splits = Obs.Metrics.counter "echo.repair.cube_splits"
+let h_cube_wall = Obs.Metrics.histogram "echo.repair.cube_wall_s"
+
 let span_args ~backend ~distance ~assumptions () =
   [
     ("backend", Obs.Json.String backend);
@@ -194,14 +201,45 @@ let block_clone trans clone =
   Sat.Solver.add_clause clone clause
 
 (* Number of worker domains for a requested parallelism: never more
-   than the hardware offers — the window width stays [jobs], so the
-   level schedule (and the result) does not depend on the core
-   count. When tracing, the explicit budget wins even on fewer cores:
-   the schedule being observed (one track per probe worker) is the one
-   the user asked for, and the result is jobs-invariant anyway. *)
+   than the hardware offers. The speculation window follows this
+   count, not the raw [jobs] request: a probe that cannot overlap any
+   other work in wall-clock is pure cost (it skips the incremental
+   warm-up consecutive levels share), which is precisely how jobs = 4
+   ran slower than jobs = 1 on small boxes in BENCH_2..4. The result
+   is window-invariant either way. MDQVTR_WORKERS overrides the
+   detected core count (tests use it to force a genuinely concurrent
+   schedule — speculative probes and adaptive cube splits — on
+   single-core CI boxes). When tracing, the explicit budget wins even
+   on fewer cores: the schedule being observed (one track per probe
+   worker) is the one the user asked for. *)
+let hardware_workers () =
+  match Sys.getenv_opt "MDQVTR_WORKERS" with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> n
+    | _ -> Parallel.Pool.default_jobs ())
+  | None -> Parallel.Pool.default_jobs ()
+
 let worker_count jobs =
   if Obs.Trace.enabled () then max 1 jobs
-  else max 1 (min jobs (Parallel.Pool.default_jobs ()))
+  else max 1 (min jobs (hardware_workers ()))
+
+(* Degrade a parallelism request to plain serial execution when it
+   could not buy any concurrency anyway:
+   - nested parallel region (a run issued from inside a pool worker,
+     e.g. the portfolio's iterative lane): oversubscribing the cores
+     the enclosing region already owns is pure loss, and blocking on
+     nested futures of the same global pool can stall behind the very
+     task doing the waiting;
+   - a box (or MDQVTR_WORKERS pretence) with a single core: the
+     parallel paths would run their one worker through the clone /
+     shared-queue machinery for nothing — the serial path reuses the
+     incremental finder solver directly and is strictly cheaper.
+   Traced runs keep the requested width (worker_count handles it):
+   the schedule being observed is the one the user asked for. *)
+let effective_jobs jobs =
+  if jobs > 1 && (Parallel.Pool.in_worker () || worker_count jobs = 1) then 1
+  else jobs
 
 let interrupt_dead_locked board ~self =
   Array.iteri
@@ -339,7 +377,8 @@ let parallel_minimal ~jobs ?token ~cap sc space =
     token;
   let futures =
     List.init nworkers (fun wi ->
-        Parallel.Pool.submit pool (fun _ -> ladder ~window:jobs ~cap sc space board wi))
+        Parallel.Pool.submit pool (fun _ ->
+            ladder ~window:nworkers ~cap sc space board wi))
   in
   let results = List.map Parallel.Pool.result futures in
   if board.aborted then Error `Interrupted
@@ -424,6 +463,7 @@ let run_serial ?token sc ~cap space =
 
 let run ?max_distance ?(jobs = 1) ?token space =
   if jobs < 1 then invalid_arg "Repair.run: jobs must be >= 1";
+  let jobs = effective_jobs jobs in
   try
     let sc = start ?cap:max_distance space in
     let cap = Option.value ~default:sc.total max_distance in
@@ -508,13 +548,29 @@ let run_all_serial sc ~cap ~limit space =
   at_distance 0
 
 (* Shard the enumeration at the minimal distance into disjoint cubes:
-   sign patterns over the first [bits] change literals partition the
+   sign patterns over a prefix of the change literals partition the
    assignment space, so workers enumerate disjoint subspaces with
    purely local blocking clauses. A worker's full-assignment blocks
    are no-ops in every other cube, and cross-cube duplicates at the
    model level (assignments decoding to the same state) fall to the
-   global dedup. *)
-let run_all_parallel ~jobs ~token ~cap ~limit sc space =
+   global dedup.
+
+   The sharding is adaptive. Cubes live in a shared queue and their
+   cost is measured as they run ([h_cube_wall]): a worker that has
+   spent more than [split_after] seconds of wall time inside one cube
+   while another worker sits starved (queue empty, parked on the
+   condition) splits it — the complementary half-cube (next change
+   literal, negated) goes back to the queue and the worker narrows
+   its own enumeration to the other half. The static 2^ceil(log2
+   jobs) grid is thus only the initial partition; skew — one cube
+   holding nearly all the models, the common case when few literals
+   distinguish the minimal repairs — is rebalanced exactly where the
+   measurements show it. Splitting preserves the result:
+   {cube} = {cube ∧ l} ∪ {cube ∧ ¬l}, the narrowed remainder and the
+   pushed half are disjoint, and an instance the splitter had already
+   collected from the pushed half is blocked only in its own clone —
+   the other worker's re-find collapses in the model-level dedup. *)
+let run_all_parallel ~jobs ~split_after ~token ~cap ~limit sc space =
   let solve_started = Sat.Telemetry.now () in
   match parallel_minimal ~jobs ?token ~cap sc space with
   | Error `Interrupted -> Error "interrupted"
@@ -524,75 +580,158 @@ let run_all_parallel ~jobs ~token ~cap ~limit sc space =
     | Some (dstar, _) ->
       let trans = Relog.Finder.translation sc.finder in
       let change_lits =
-        List.map fst (Space.change_literals space trans)
+        Array.of_list (List.map fst (Space.change_literals space trans))
       in
       let nworkers = worker_count jobs in
       let bits =
         let rec go b = if 1 lsl b >= jobs then b else go (b + 1) in
-        min (go 0) (List.length change_lits)
+        min (go 0) (Array.length change_lits)
       in
-      let cube_lits = Array.of_list (List.filteri (fun i _ -> i < bits) change_lits) in
-      let ncubes = 1 lsl bits in
-      let cube i =
-        List.init bits (fun b ->
-            if i land (1 lsl b) <> 0 then cube_lits.(b) else Sat.Lit.neg cube_lits.(b))
-      in
-      let next_cube = Atomic.make 0 in
+      (* Splits can refine well past the initial grid; bound the depth
+         so a degenerate space cannot split forever. *)
+      let max_depth = min (Array.length change_lits) (bits + 8) in
       let base = Sat.Cardinality.at_most sc.card dstar in
+      (* Shared cube queue. [active] counts workers inside a cube and
+         [starved] the ones parked waiting for one: the enumeration is
+         drained when the queue is empty and nobody is active, and a
+         positive [starved] is the signal that splitting pays. *)
+      let qmu = Mutex.create () in
+      let qcond = Condition.create () in
+      let pending = Queue.create () in
+      let active = ref 0 in
+      let starved = ref 0 in
+      for i = 0 to (1 lsl bits) - 1 do
+        Queue.add
+          (List.init bits (fun b ->
+               if i land (1 lsl b) <> 0 then change_lits.(b)
+               else Sat.Lit.neg change_lits.(b)))
+          pending
+      done;
       let enumerate_cubes tok =
         let clone = Relog.Finder.clone_solver sc.finder in
-        Parallel.Pool.on_cancel tok (fun () -> Sat.Solver.interrupt clone);
+        Parallel.Pool.on_cancel tok (fun () ->
+            Sat.Solver.interrupt clone;
+            (* also wake anyone parked on the queue so it can observe
+               the cancelled token *)
+            Mutex.lock qmu;
+            Condition.broadcast qcond;
+            Mutex.unlock qmu);
         let collected = ref [] in
-        let rec cubes () =
-          if Parallel.Pool.cancelled tok then raise Parallel.Pool.Cancelled;
-          let c = Atomic.fetch_and_add next_cube 1 in
-          if c >= ncubes then (!collected, Sat.Solver.stats clone)
-          else begin
-            let assumptions = base @ cube c in
-            let rec go n =
-              if n >= limit then ()
-              else begin
-                Atomic.incr sc.iterations;
-                Obs.Metrics.incr m_iterations;
-                match
-                  Obs.Trace.with_span ~name:"solve"
-                    ~args:
-                      (span_args ~backend:"enumerate" ~distance:dstar
-                         ~assumptions:(List.length assumptions))
-                    (fun () -> Sat.Solver.solve ~assumptions clone)
-                with
-                | exception Sat.Solver.Interrupted -> raise Parallel.Pool.Cancelled
-                | Sat.Solver.Unsat -> ()
-                | Sat.Solver.Sat -> (
-                  let inst =
-                    Relog.Finder.decode_with sc.finder (Sat.Solver.value clone)
-                  in
-                  block_clone trans clone;
-                  match Space.decode_targets space inst with
-                  | Error _ ->
-                    Atomic.incr sc.blocked;
-                    Obs.Metrics.incr m_blocked;
-                    go n
-                  | Ok repaired ->
-                    let r =
-                      {
-                        repaired;
-                        relational_distance =
-                          Space.relational_distance space inst;
-                        edit_distance = Space.edit_distance space repaired;
-                        iterations = 0;
-                        stats = telemetry sc;
-                      }
-                    in
-                    collected := r :: !collected;
-                    go (n + 1))
-              end
-            in
-            go 0;
-            cubes ()
-          end
+        (* Next cube, or None when the enumeration is drained; parks
+           while other workers are active (they may split and refill
+           the queue). *)
+        let take () =
+          Mutex.lock qmu;
+          let rec go () =
+            if Parallel.Pool.cancelled tok then begin
+              Mutex.unlock qmu;
+              raise Parallel.Pool.Cancelled
+            end
+            else
+              match Queue.take_opt pending with
+              | Some cube ->
+                incr active;
+                Mutex.unlock qmu;
+                Some cube
+              | None ->
+                if !active = 0 then begin
+                  Mutex.unlock qmu;
+                  None
+                end
+                else begin
+                  incr starved;
+                  Condition.wait qcond qmu;
+                  decr starved;
+                  go ()
+                end
+          in
+          go ()
         in
-        cubes ()
+        let finish () =
+          Mutex.lock qmu;
+          decr active;
+          if !active = 0 && Queue.is_empty pending then
+            Condition.broadcast qcond;
+          Mutex.unlock qmu
+        in
+        (* Enumerate one cube to exhaustion (or the local limit),
+           narrowing it by splits along the way. *)
+        let enum_cube cube0 =
+          let cube = ref cube0 in
+          let depth = ref (List.length cube0) in
+          let cube_started = Sat.Telemetry.now () in
+          let segment_started = ref cube_started in
+          let n = ref 0 in
+          let exhausted = ref false in
+          while (not !exhausted) && !n < limit do
+            (* Adaptive split: this cube has monopolised its worker
+               past the budget while another worker is starved — give
+               half away and renew the budget for the narrowed rest. *)
+            (if
+               !depth < max_depth
+               && Sat.Telemetry.now () -. !segment_started > split_after
+             then begin
+               let gave =
+                 Mutex.lock qmu;
+                 let g = !starved > 0 && Queue.is_empty pending in
+                 if g then begin
+                   Queue.add (Sat.Lit.neg change_lits.(!depth) :: !cube) pending;
+                   Condition.signal qcond
+                 end;
+                 Mutex.unlock qmu;
+                 g
+               in
+               if gave then begin
+                 Obs.Metrics.incr m_cube_splits;
+                 cube := change_lits.(!depth) :: !cube;
+                 incr depth
+               end;
+               segment_started := Sat.Telemetry.now ()
+             end);
+            let assumptions = base @ !cube in
+            Atomic.incr sc.iterations;
+            Obs.Metrics.incr m_iterations;
+            match
+              Obs.Trace.with_span ~name:"solve"
+                ~args:
+                  (span_args ~backend:"enumerate" ~distance:dstar
+                     ~assumptions:(List.length assumptions))
+                (fun () -> Sat.Solver.solve ~assumptions clone)
+            with
+            | exception Sat.Solver.Interrupted -> raise Parallel.Pool.Cancelled
+            | Sat.Solver.Unsat -> exhausted := true
+            | Sat.Solver.Sat -> (
+              let inst =
+                Relog.Finder.decode_with sc.finder (Sat.Solver.value clone)
+              in
+              block_clone trans clone;
+              match Space.decode_targets space inst with
+              | Error _ ->
+                Atomic.incr sc.blocked;
+                Obs.Metrics.incr m_blocked
+              | Ok repaired ->
+                let r =
+                  {
+                    repaired;
+                    relational_distance = Space.relational_distance space inst;
+                    edit_distance = Space.edit_distance space repaired;
+                    iterations = 0;
+                    stats = telemetry sc;
+                  }
+                in
+                collected := r :: !collected;
+                incr n)
+          done;
+          Obs.Metrics.observe h_cube_wall (Sat.Telemetry.now () -. cube_started)
+        in
+        let rec drain () =
+          match take () with
+          | None -> (!collected, Sat.Solver.stats clone)
+          | Some cube ->
+            Fun.protect ~finally:finish (fun () -> enum_cube cube);
+            drain ()
+        in
+        drain ()
       in
       let pool = Parallel.Pool.global ~jobs:nworkers in
       let futures =
@@ -649,8 +788,10 @@ let run_all_parallel ~jobs ~token ~cap ~limit sc space =
         Ok (take limit out)
       end)
 
-let run_all ?max_distance ?(limit = 16) ?(jobs = 1) ?token space =
+let run_all ?max_distance ?(limit = 16) ?(jobs = 1) ?(split_after = 0.025)
+    ?token space =
   if jobs < 1 then invalid_arg "Repair.run_all: jobs must be >= 1";
+  let jobs = effective_jobs jobs in
   try
     let sc = start ?cap:max_distance space in
     let cap = Option.value ~default:sc.total max_distance in
@@ -662,7 +803,7 @@ let run_all ?max_distance ?(limit = 16) ?(jobs = 1) ?token space =
       try run_all_serial sc ~cap ~limit space
       with Sat.Solver.Interrupted -> Error "interrupted"
     end
-    else run_all_parallel ~jobs ~token ~cap ~limit sc space
+    else run_all_parallel ~jobs ~split_after ~token ~cap ~limit sc space
   with
   | Relog.Translate.Unsupported msg -> Error msg
   | Invalid_argument msg -> Error msg

@@ -36,10 +36,13 @@ val run :
     space's change literals) — the cap also k-bounds the totalizer
     encoding. [Error] on internal decode failures.
 
-    [jobs] (default 1) parallelises the distance ladder: levels
-    [k .. k+jobs-1] are probed speculatively on worker domains (at
-    most the hardware core count; [jobs] always sets the speculation
-    window), each on a {!Sat.Solver.clone} of the shared encoding.
+    [jobs] (default 1) parallelises the distance ladder: a window of
+    levels above the proven floor is probed speculatively on worker
+    domains, each on a {!Sat.Solver.clone} of the shared encoding.
+    Both the worker count and the window width are [jobs] capped by
+    the hardware core count (override: [MDQVTR_WORKERS]) — a probe
+    that cannot overlap any other work in wall-clock is pure cost, it
+    skips the incremental warm-up consecutive levels share.
     The committed relational distance is the exact minimum for every
     [jobs] value — minimality is decided by level, not arrival order;
     an UNSAT probe at level [l] retires all levels [<= l] at once.
@@ -55,6 +58,7 @@ val run_all :
   ?max_distance:int ->
   ?limit:int ->
   ?jobs:int ->
+  ?split_after:float ->
   ?token:Parallel.Pool.token ->
   Space.t ->
   (success list, string) result
@@ -72,7 +76,19 @@ val run_all :
     ladder of {!run} and the enumeration is sharded across workers by
     disjoint sign-pattern cubes over the first change literals, with
     purely clone-local blocking clauses, merged through the hash-set
-    dedup. The returned set equals the serial one whenever the number
-    of distinct minimal repairs is at most [limit] (each shard applies
-    [limit] locally before the global cap, so an overfull result may
-    select a different — still canonical-least — subset). *)
+    dedup. The sharding is adaptive: the per-cube cost is measured as
+    cubes run, and a cube that has held its worker for more than
+    [split_after] wall seconds (default 25ms) while another worker is
+    starved is split in two — half goes back to the shared queue —
+    so skewed initial partitions rebalance instead of serialising the
+    tail. Splitting never changes the returned set (a split cube's
+    halves cover exactly the cube). The returned set equals the
+    serial one whenever the number of distinct minimal repairs is at
+    most [limit] (each shard applies [limit] locally before the
+    global cap, so an overfull result may select a different — still
+    canonical-least — subset).
+
+    Both [run] and [run_all] degrade [jobs] to 1 when called from
+    inside a pool worker (a nested parallel region — e.g. the
+    portfolio's iterative lane) rather than oversubscribe the cores
+    the enclosing region already owns. *)

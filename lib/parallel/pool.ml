@@ -94,6 +94,15 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.njobs
 
+(* Worker domains mark themselves so the layers above can detect a
+   nested parallel region: an enforcement call issued from inside a
+   pool task (a portfolio lane, a ladder probe) must not fan out again
+   — the extra domains would only oversubscribe the cores the outer
+   region already owns, and nested blocking waits on the same global
+   pool can stall behind their own parent. *)
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_flag
+
 let run_task (Task (fn, fut, ctx)) =
   if cancelled fut.ftok then resolve fut (Failed Cancelled)
   else
@@ -135,7 +144,11 @@ let create ~jobs =
     }
   in
   if jobs > 1 then
-    t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <-
+      List.init jobs (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_flag true;
+              worker t));
   t
 
 let submit t fn =

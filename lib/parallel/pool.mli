@@ -27,7 +27,17 @@ exception Cancelled
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism
-    available to a pool. *)
+    available to a pool. This is also the job count [--jobs 0]/auto
+    resolves to in the CLI. *)
+
+val in_worker : unit -> bool
+(** [true] iff the calling domain is a pool worker (any pool). Layers
+    that fan out ({!Echo.Repair}, {!Echo.Engine}) consult this to
+    degrade nested parallel regions to their serial path instead of
+    oversubscribing cores already owned by the enclosing region —
+    e.g. an [enforce ~jobs:4] issued from inside a portfolio lane
+    runs its ladder serially. Tasks run inline by a [jobs = 1] pool
+    execute on the submitting domain and are not marked. *)
 
 val create : jobs:int -> t
 (** A pool with exactly [jobs] worker domains ([jobs >= 1]).

@@ -3,14 +3,21 @@
    Conventions:
    - assignment per variable: -1 unassigned, 1 true, 0 false;
    - a literal l is true iff its variable is assigned to [sign l];
-   - clauses are int arrays of literals; the two watched literals are
-     kept at positions 0 and 1;
+   - clauses are int arrays of literals. The literal array is
+     IMMUTABLE once the clause is built: the two watched literals are
+     the [w0]/[w1] fields (literal values, not indices), so
+     propagation never writes into [lits]. This is what makes
+     {!clone} cheap — clones share the literal arrays and only carry
+     their own clause records (watch fields, activity);
    - watch lists are indexed by the literal that must become FALSE for
      the clause to need attention (i.e. clause c watches lit p via the
-     list of [Lit.neg p]). *)
+     list of [Lit.neg p]); clause [c] sits in [watches.(c.w0)] and
+     [watches.(c.w1)], exactly. *)
 
 type clause = {
-  lits : int array;
+  lits : int array;  (* immutable; shared between clones *)
+  mutable w0 : int;  (* watched literal values; w0 <> w1 *)
+  mutable w1 : int;
   mutable activity : float;
   mutable removed : bool;
 }
@@ -66,6 +73,12 @@ type t = {
   mutable seen : bool array;
   mutable nvars : int;
   mutable ok : bool;  (* false once the clause set is unsat at level 0 *)
+  (* learnt-database reduction threshold: once the learnt count
+     exceeds it, the low-activity half is dropped at the next restart
+     and the threshold grows geometrically (bounded growth, not
+     unbounded accumulation). <= 0 means "not sized yet": the first
+     solve derives it from the problem size. *)
+  mutable max_learnts : float;
   mutable conflict_core : int list;  (* assumption literals of the last final conflict *)
   (* assumptions of the last solve, for prefix trail reuse: a Sat
      answer leaves the trail in place, and the next solve resumes from
@@ -85,7 +98,7 @@ type t = {
   mutable solve_time : float;  (* wall seconds spent inside [solve] *)
 }
 
-let dummy_clause = { lits = [||]; activity = 0.0; removed = false }
+let dummy_clause = { lits = [||]; w0 = 0; w1 = 0; activity = 0.0; removed = false }
 
 let create () =
   {
@@ -108,6 +121,7 @@ let create () =
     seen = Array.make 1 false;
     nvars = 0;
     ok = true;
+    max_learnts = 0.0;
     conflict_core = [];
     last_assumps = [||];
     stop = Atomic.make false;
@@ -250,11 +264,22 @@ let cancel_until s lvl =
 (* Propagation                                                         *)
 
 exception Conflict of clause
+exception Interrupted
 
 (* Propagate all enqueued facts; raise [Conflict] on a falsified
-   clause. *)
+   clause.
+
+   The cooperative stop flag is polled here too, between propagation
+   waves (every 64 trail positions): a cube-enumeration or portfolio
+   loser whose solve is deep inside one long propagation run must
+   still stop within a bounded number of enqueues, not only at the
+   next decision boundary. The check sits before the wave's watch
+   lists are touched, so an [Interrupted] raised here leaves every
+   watch list consistent (the pending literal simply stays queued);
+   the flag itself is left set — [solve] owns consuming it. *)
 let propagate s =
   while s.qhead < Vec.size s.trail do
+    if s.qhead land 63 = 0 && Atomic.get s.stop then raise Interrupted;
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     (* p just became true: visit clauses watching ¬p. *)
@@ -265,27 +290,30 @@ let propagate s =
     (try
        for i = 0 to n - 1 do
          let c = Vec.get ws i in
-         let lits = c.lits in
-         (* Ensure the false literal is at position 1. *)
-         if lits.(0) = false_lit then begin
-           lits.(0) <- lits.(1);
-           lits.(1) <- false_lit
+         (* Normalize: the false literal in w1. *)
+         if c.w0 = false_lit then begin
+           c.w0 <- c.w1;
+           c.w1 <- false_lit
          end;
-         if lit_is_true s lits.(0) then begin
+         if lit_is_true s c.w0 then begin
            (* Clause already satisfied: keep the watch. *)
            Vec.set ws !kept c;
            incr kept
          end
          else begin
-           (* Look for a new literal to watch. *)
+           (* Look for a new literal to watch; [lits] is never written
+              (watch state lives in w0/w1), so the scan may cross the
+              current watches — skip w0 explicitly, and false_lit is
+              excluded by being false. *)
+           let lits = c.lits in
            let len = Array.length lits in
            let found = ref false in
-           let j = ref 2 in
+           let j = ref 0 in
            while (not !found) && !j < len do
-             if not (lit_is_false s lits.(!j)) then begin
-               lits.(1) <- lits.(!j);
-               lits.(!j) <- false_lit;
-               Vec.push s.watches.(lits.(1)) c;
+             let l = lits.(!j) in
+             if l <> c.w0 && not (lit_is_false s l) then begin
+               c.w1 <- l;
+               Vec.push s.watches.(l) c;
                found := true
              end;
              incr j
@@ -294,7 +322,7 @@ let propagate s =
              (* Unit or conflicting. *)
              Vec.set ws !kept c;
              incr kept;
-             if lit_is_false s lits.(0) then begin
+             if lit_is_false s c.w0 then begin
                (* Conflict: keep remaining watches before raising. *)
                for k = i + 1 to n - 1 do
                  Vec.set ws !kept (Vec.get ws k);
@@ -303,7 +331,7 @@ let propagate s =
                Vec.shrink ws !kept;
                raise (Conflict c)
              end
-             else enqueue s lits.(0) (Some c)
+             else enqueue s c.w0 (Some c)
            end
          end
        done;
@@ -339,8 +367,8 @@ let bump_clause s (c : clause) =
 (* Clause attachment                                                   *)
 
 let attach_clause s c =
-  Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.watches.(c.lits.(1)) c
+  Vec.push s.watches.(c.w0) c;
+  Vec.push s.watches.(c.w1) c
 
 let add_clause s lits =
   if s.ok then begin
@@ -373,11 +401,19 @@ let add_clause s lits =
         if lit_is_false s l then s.ok <- false
         else if lit_is_unassigned s l then begin
           enqueue s l None;
-          try propagate s with Conflict _ -> s.ok <- false
+          (* A stale interrupt flag may fire inside this propagation
+             (e.g. a blocking clause added right after a cancelled
+             solve): swallow it here — clause addition is not
+             interruptible work — and leave the flag set for the next
+             [solve] to consume. *)
+          try propagate s with
+          | Conflict _ -> s.ok <- false
+          | Interrupted -> ()
         end
       | lits ->
+        let arr = Array.of_list lits in
         let c =
-          { lits = Array.of_list lits; activity = 0.0; removed = false }
+          { lits = arr; w0 = arr.(0); w1 = arr.(1); activity = 0.0; removed = false }
         in
         Vec.push s.clauses c;
         attach_clause s c
@@ -399,11 +435,14 @@ let analyze s confl =
   while !continue do
     bump_clause s !confl;
     let lits = !confl.lits in
-    let start = if !p = -1 then 0 else 1 in
-    for j = start to Array.length lits - 1 do
+    (* Skip the pivot literal by variable (clauses never repeat a
+       variable): the asserting literal no longer sits at a known
+       index now that [lits] is immutable and watches live in w0/w1. *)
+    let skip = if !p = -1 then -1 else Lit.var !p in
+    for j = 0 to Array.length lits - 1 do
       let q = lits.(j) in
       let v = Lit.var q in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      if v <> skip && (not s.seen.(v)) && s.level.(v) > 0 then begin
         bump_var s v;
         s.seen.(v) <- true;
         if s.level.(v) >= decision_level s then incr path_count
@@ -505,7 +544,11 @@ let record_learnt s learnt btlevel =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!max_i);
     arr.(!max_i) <- tmp;
-    let c = { lits = arr; activity = 0.0; removed = false } in
+    (* [arr] is freshly built and never written again: watches start
+       on the asserting literal and the btlevel literal. *)
+    let c =
+      { lits = arr; w0 = arr.(0); w1 = arr.(1); activity = 0.0; removed = false }
+    in
     bump_clause s c;
     Vec.push s.learnts c;
     s.n_learnt_total <- s.n_learnt_total + 1;
@@ -589,12 +632,20 @@ let g_solves = Obs.Metrics.counter "sat.solves"
    many short ones tell very different performance stories). *)
 let g_solve_time = Obs.Metrics.histogram "sat.solve_time_s"
 
-exception Interrupted
-
 let interrupt s = Atomic.set s.stop true
+
+(* Tests (and embedders with tight memory budgets) can force early
+   reductions by shrinking the threshold; growth continues
+   geometrically from the forced value. *)
+let set_learnt_cap s n = s.max_learnts <- float_of_int (max 1 n)
 
 let solve_inner ~assumptions s =
   s.conflict_core <- [];
+  (* Size the learnt-DB threshold on first use: a third of the problem
+     clauses, floored so small instances never reduce. *)
+  if s.max_learnts <= 0.0 then
+    s.max_learnts <-
+      Float.max 1000.0 (float_of_int (Vec.size s.clauses) /. 3.0);
   if not s.ok then Unsat
   else begin
     let assumption_set = Hashtbl.create (List.length assumptions) in
@@ -632,13 +683,11 @@ let solve_inner ~assumptions s =
          first_episode := false;
          (try
             while true do
-              if Atomic.get s.stop then begin
-                (* Leave the solver reusable: clear the flag and return
-                   to the root level before unwinding. *)
-                Atomic.set s.stop false;
-                cancel_until s 0;
-                raise Interrupted
-              end;
+              (* Cleanup (flag consumption, backtrack to root) is
+                 centralized in the episode loop's handler below, which
+                 also covers an [Interrupted] raised from deep inside
+                 [propagate]. *)
+              if Atomic.get s.stop then raise Interrupted;
               (try
                  propagate s;
                  (* No conflict: decide. *)
@@ -704,16 +753,29 @@ let solve_inner ~assumptions s =
             done
           with Exit -> ());
          incr restart_count;
-         (* the restart left the trail at level 0: safe point to shrink
-            the learnt-clause database *)
-         if Vec.size s.learnts > 2000 + (Vec.size s.clauses * 2) then begin
+         (* Restarts are the safe points to shrink the learnt-clause
+            database: backtrack to the root, drop the low-activity
+            half once the DB outgrows the adaptive threshold, and grow
+            the threshold geometrically so learning still deepens over
+            a long run while propagation stops paying for dead
+            clauses. *)
+         if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
            cancel_until s 0;
            reduce_db s;
-           s.n_reduces <- s.n_reduces + 1
+           s.n_reduces <- s.n_reduces + 1;
+           s.max_learnts <- s.max_learnts *. 1.3
          end;
          max_conflicts := 100.0 *. luby 2.0 !restart_count
        done
-     with Found r -> outcome := Some r);
+     with
+    | Found r -> outcome := Some r
+    | Interrupted ->
+      (* Leave the solver reusable: consume the flag and return to the
+         root level before unwinding, wherever the raise came from
+         (decision boundary or mid-propagation). *)
+      Atomic.set s.stop false;
+      cancel_until s 0;
+      raise Interrupted);
     let r = match !outcome with Some r -> r | None -> assert false in
     (match r with
     | Sat ->
@@ -854,10 +916,17 @@ let pp_stats ppf st =
    deduced. Must be called between solves (the original at rest, not
    mid-search); the original is only read.
 
+   The literal arrays are NOT copied: [clause.lits] is immutable (see
+   the header comment), so original and clones share every problem
+   and learnt literal array — a clone allocates only the per-clause
+   records (watch fields, activity) plus the per-variable arrays.
+   That drops the per-clone cost from O(total literals) to O(clauses
+   + vars), which is what makes one-clone-per-worker schemes (ladder
+   probes, cube enumeration, portfolio lanes) affordable.
+
    Invariants restored on the copy:
-   - clause literal arrays are copied, so watch positions 0/1 — and
-     with them the two-watch invariant — carry over; watch lists are
-     rebuilt in database order;
+   - each clone gets fresh clause records, so its watch fields w0/w1
+     evolve independently; watch lists are rebuilt in database order;
    - reasons are dropped: after [cancel_until 0] only level-0
      assignments remain, and neither [analyze] nor [analyze_final]
      ever dereferences a level-0 reason;
@@ -869,7 +938,9 @@ let clone s =
     let out = Vec.create dummy_clause in
     for i = 0 to Vec.size v - 1 do
       let c = Vec.get v i in
-      Vec.push out { c with lits = Array.copy c.lits }
+      Vec.push out
+        { lits = c.lits; w0 = c.w0; w1 = c.w1; activity = c.activity;
+          removed = false }
     done;
     out
   in
@@ -894,6 +965,7 @@ let clone s =
       seen = Array.make (Array.length s.seen) false;
       nvars = s.nvars;
       ok = s.ok;
+      max_learnts = s.max_learnts;
       conflict_core = [];
       last_assumps = [||];
       stop = Atomic.make false;

@@ -46,18 +46,33 @@ val solve : ?assumptions:Lit.t list -> t -> result
 exception Interrupted
 
 val interrupt : t -> unit
-(** Ask a running [solve] to stop at its next CDCL iteration. Safe to
-    call from any domain; a flag set while no solve is running makes
-    the next solve raise immediately. Cheap (one atomic store). *)
+(** Ask a running [solve] to stop. Safe to call from any domain; a
+    flag set while no solve is running makes the next solve raise
+    immediately. Cheap (one atomic store). The flag is polled at
+    every CDCL decision boundary {e and} inside long propagation
+    waves (every 64 trail positions), so cancellation latency is
+    bounded by a few dozen clause visits — a portfolio loser or a
+    retired ladder probe stops promptly even mid-propagation. *)
 
 val clone : t -> t
 (** An independent snapshot of the solver: problem clauses, learnt
     clauses, level-0 assignments and VSIDS/phase heuristic state all
     carry over, so the clone resumes with everything the original
-    already deduced. The original is only read, so several clones may
-    be taken concurrently — but only while the original is at rest
-    (between solves, as for {!add_clause}). The clone starts with
-    fresh per-instance {!stats} and no pending {!interrupt}. *)
+    already deduced. Clause literal arrays are immutable and shared
+    between original and clones — a clone allocates only per-clause
+    watch records and per-variable arrays, so cloning costs
+    O(clauses + vars), not O(total literals). The original is only
+    read, so several clones may be taken concurrently — but only
+    while the original is at rest (between solves, as for
+    {!add_clause}). The clone starts with fresh per-instance {!stats}
+    and no pending {!interrupt}. *)
+
+val set_learnt_cap : t -> int -> unit
+(** Override the adaptive learnt-database reduction threshold (normally
+    sized from the problem at the first [solve] and grown
+    geometrically after each reduction). Mainly for tests that need to
+    force reductions on small instances, and for embedders with tight
+    memory budgets. *)
 
 val value : t -> Lit.var -> bool
 (** Value of a variable in the model found by the last [solve] that

@@ -147,6 +147,59 @@ let test_clone_equivalence () =
     done
   done
 
+(* duplicated from below to keep the clone tests self-contained *)
+let pigeonhole_cnf n m =
+  let s = S.create () in
+  let v = Array.init n (fun _ -> Array.init m (fun _ -> S.new_var s)) in
+  for i = 0 to n - 1 do
+    S.add_clause s (List.init m (fun j -> L.pos v.(i).(j)))
+  done;
+  for j = 0 to m - 1 do
+    for i = 0 to n - 1 do
+      for k = i + 1 to n - 1 do
+        S.add_clause s [ L.neg_of v.(i).(j); L.neg_of v.(k).(j) ]
+      done
+    done
+  done;
+  s
+
+let test_clone_after_reduce () =
+  (* Clones share the learnt clauses' literal arrays with the parent,
+     and reduce_db marks clauses removed in-place; a clone taken after
+     reductions must still be semantically equivalent. php(7,6)
+     generates thousands of conflicts, so a learnt cap of 5 guarantees
+     the reduce path actually runs (asserted — otherwise this test
+     silently degrades to test_clone_equivalence). *)
+  let s = pigeonhole_cnf 7 6 in
+  S.set_learnt_cap s 5;
+  Alcotest.(check bool) "php(7,6) unsat" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "reduce_db exercised" true ((S.stats s).S.reduces > 0);
+  let c = S.clone s in
+  Alcotest.(check bool) "clone verdict agrees" true (S.solve c = S.Unsat);
+  (* SAT-side coverage: random CNFs solved under the same tiny cap;
+     models and assumption answers must survive whatever reductions
+     (and clause sharing) happened along the way *)
+  let rng = Random.State.make [| 0x5EED |] in
+  for _ = 1 to 20 do
+    let nv = 12 + Random.State.int rng 6 in
+    let s, clauses = random_cnf rng nv (40 + Random.State.int rng 40) in
+    S.set_learnt_cap s 5;
+    let r0 = S.solve s in
+    let c = S.clone s in
+    Alcotest.(check bool) "clone verdict agrees" true (S.solve c = r0);
+    if r0 = S.Sat then
+      Alcotest.(check bool) "clone model satisfies the CNF" true
+        (satisfies (S.value c) clauses);
+    for v = 0 to min 3 (nv - 1) do
+      Alcotest.(check bool) "assumption verdict agrees" true
+        (S.solve ~assumptions:[ L.neg_of v ] c
+        = S.solve ~assumptions:[ L.neg_of v ] s)
+    done;
+    (* keep solving the original: its later reductions must not
+       corrupt the already-taken clone either way *)
+    Alcotest.(check bool) "original verdict stable" true (S.solve s = r0)
+  done
+
 let test_clone_independent () =
   let s = S.create () in
   let v = Array.init 2 (fun _ -> S.new_var s) in
@@ -205,8 +258,46 @@ let test_interrupt_running_solve () =
       | `Finished S.Unsat -> () (* solved before the interrupt landed *)
       | `Finished S.Sat -> Alcotest.fail "php(10,9) cannot be sat")
 
+let test_interrupt_latency () =
+  (* interrupt is polled every 64 trail positions inside propagate,
+     not just at decision boundaries, so a running solve must return
+     promptly. php(11,10) keeps one core busy for many seconds; the
+     bound below is ~1000x the poll interval — generous enough for a
+     loaded CI box, tight enough to catch a lost poll (which would run
+     to completion). *)
+  let s = pigeonhole 11 10 in
+  P.with_pool ~jobs:2 (fun pool ->
+      let f =
+        P.submit pool (fun _ ->
+            match S.solve s with
+            | r -> `Finished r
+            | exception S.Interrupted -> `Interrupted)
+      in
+      Unix.sleepf 0.05;
+      let t0 = Unix.gettimeofday () in
+      S.interrupt s;
+      let outcome = P.await f in
+      let latency = Unix.gettimeofday () -. t0 in
+      (match outcome with
+      | `Interrupted | `Finished S.Unsat -> ()
+      | `Finished S.Sat -> Alcotest.fail "php(11,10) cannot be sat");
+      Alcotest.(check bool)
+        (Printf.sprintf "interrupt latency %.3fs under bound" latency)
+        true (latency < 1.0))
+
 (* ------------------------------------------------------------------ *)
 (* jobs-invariance of enforcement                                      *)
+
+(* The repair layer sizes its speculation and sharding by the real
+   core count; pretend the box has [n] cores so the parallel schedules
+   under test are genuinely concurrent even on 1-core CI runners. *)
+let with_workers n f =
+  let prev = Sys.getenv_opt "MDQVTR_WORKERS" in
+  Unix.putenv "MDQVTR_WORKERS" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MDQVTR_WORKERS" (Option.value prev ~default:""))
+    f
 
 let enforce ?backend ~jobs trans (s : Sc.t) targets =
   Eng.enforce ?backend ~jobs trans ~metamodels:F.metamodels
@@ -220,6 +311,7 @@ let distance name = function
   | Error e -> Alcotest.failf "%s: %s" name e
 
 let test_enforce_jobs_invariant () =
+  with_workers 3 @@ fun () ->
   let trans = F.transformation ~k:2 in
   List.iter
     (fun (s : Sc.t) ->
@@ -244,6 +336,7 @@ let outcome_key = function
   | Eng.Cannot_restore -> "<cannot-restore>"
 
 let test_enforce_all_jobs_invariant () =
+  with_workers 3 @@ fun () ->
   let trans = F.transformation ~k:2 in
   List.iter
     (fun (s : Sc.t) ->
@@ -266,6 +359,69 @@ let test_enforce_all_jobs_invariant () =
           Alcotest.(check (list string)) name (run 1) (run parallel_jobs))
         s.Sc.restorable)
     Sc.all
+
+let test_enforce_all_adaptive_shards () =
+  (* Force the adaptive sharding machinery through its hot paths: a
+     zero time budget makes every cube split-eligible, and the
+     simulated 3-core box gives it real worker domains (and real
+     starvation signals) even on the 1-core CI runner. The repair
+     menu must still be canonical. *)
+  with_workers 3 @@ fun () ->
+  let trans = F.transformation ~k:2 in
+  List.iter
+    (fun (s : Sc.t) ->
+      List.iter
+        (fun targets ->
+          let name =
+            Printf.sprintf "%s -> {%s} (adaptive)" s.Sc.s_name
+              (String.concat "," targets)
+          in
+          let run jobs =
+            match
+              Eng.enforce_all ~jobs ~split_after:0.0 trans
+                ~metamodels:F.metamodels
+                ~models:(F.bind ~cfs:s.Sc.cfs ~fm:s.Sc.fm)
+                ~targets:(Echo.Target.of_list targets)
+            with
+            | Ok outcomes -> List.map outcome_key outcomes
+            | Error e -> Alcotest.failf "%s: %s" name e
+          in
+          Alcotest.(check (list string)) name (run 1) (run parallel_jobs))
+        s.Sc.restorable)
+    Sc.all
+
+let test_portfolio_wins_counted () =
+  (* The BENCH_2..4 mystery: both portfolio win counters were zero
+     because no caller ever raced (jobs defaulted to 1, which degrades
+     Portfolio to the ladder). Assert the accounting works when a race
+     does run: every race increments [portfolio_races], and a race
+     that repairs successfully credits exactly one lane. *)
+  let races = Obs.Metrics.counter "echo.engine.portfolio_races" in
+  let it_wins = Obs.Metrics.counter "echo.engine.portfolio_iterative_wins" in
+  let mx_wins = Obs.Metrics.counter "echo.engine.portfolio_maxsat_wins" in
+  let snap () =
+    ( Obs.Metrics.counter_value races,
+      Obs.Metrics.counter_value it_wins + Obs.Metrics.counter_value mx_wins )
+  in
+  let races0, wins0 = snap () in
+  let trans = F.transformation ~k:2 in
+  let repaired = ref 0 in
+  List.iter
+    (fun (s : Sc.t) ->
+      List.iter
+        (fun targets ->
+          match enforce ~backend:Eng.Portfolio ~jobs:2 trans s targets with
+          | Ok (Eng.Enforced _) -> incr repaired
+          | _ -> ())
+        s.Sc.restorable)
+    Sc.all;
+  let races1, wins1 = snap () in
+  Alcotest.(check bool) "some portfolio race actually repaired" true
+    (!repaired > 0);
+  Alcotest.(check bool) "every repair came from a counted race" true
+    (races1 - races0 >= !repaired);
+  Alcotest.(check int) "every successful race credited one winning lane"
+    !repaired (wins1 - wins0)
 
 let test_portfolio_agrees () =
   let trans = F.transformation ~k:2 in
@@ -293,14 +449,22 @@ let suite =
     Alcotest.test_case "on_cancel hook" `Quick test_on_cancel_hook;
     Alcotest.test_case "clone equivalence (random CNFs)" `Slow
       test_clone_equivalence;
+    Alcotest.test_case "clone equivalence after reduce_db" `Slow
+      test_clone_after_reduce;
     Alcotest.test_case "clone independence" `Quick test_clone_independent;
     Alcotest.test_case "interrupt then solve" `Quick test_interrupt_then_solve;
     Alcotest.test_case "interrupt a running solve" `Quick
       test_interrupt_running_solve;
+    Alcotest.test_case "interrupt latency is bounded" `Slow
+      test_interrupt_latency;
     Alcotest.test_case "enforce distance is jobs-invariant" `Slow
       test_enforce_jobs_invariant;
     Alcotest.test_case "enforce_all repair set is jobs-invariant" `Slow
       test_enforce_all_jobs_invariant;
+    Alcotest.test_case "enforce_all canonical under adaptive sharding" `Slow
+      test_enforce_all_adaptive_shards;
+    Alcotest.test_case "portfolio wins are counted" `Slow
+      test_portfolio_wins_counted;
     Alcotest.test_case "portfolio agrees with iterative" `Slow
       test_portfolio_agrees;
   ]
