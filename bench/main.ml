@@ -6,7 +6,7 @@
    microbenchmark suite (one Test.make per timed table).
 
    `--json` additionally writes a machine-readable benchmark record
-   file (default `BENCH_5.json`, override with `--out FILE`): one
+   file (default `BENCH_6.json`, override with `--out FILE`): one
    record per executed experiment *per jobs value* with its wall-clock
    time (min over `--reps` runs, with max and the rep count recorded
    alongside), the process-wide SAT-solver counter deltas
@@ -634,6 +634,7 @@ let step_stats_json (s : Sess.step_stats) =
       ("propagations", Echo.Telemetry.Int s.Sess.propagations);
       ("decisions", Echo.Telemetry.Int s.Sess.decisions);
       ("translated", Echo.Telemetry.Bool s.Sess.translated);
+      ("translate_s", Echo.Telemetry.Float s.Sess.translate_s);
     ]
 
 (* The E9/E10 base state: ten features, three mandatory, two
@@ -708,6 +709,58 @@ let e9 () =
         (r.Incr.Replay.sr_session.Sess.wall *. 1000.)
         (r.Incr.Replay.sr_scratch.Sess.wall *. 1000.))
     records;
+  (* State recurrence: with zero headroom every unknown object id
+     forces a re-encode, so cycling cf1 through base+#50, base+#51 and
+     back to base+#50 re-encodes three times — the third state
+     fingerprints exactly as the first rebuild's, so its generation is
+     revived from the translation cache instead of translated again
+     (`incr.translation_cache_hits` in the metrics snapshot; CI
+     asserts it stays nonzero). Metrics-only: no BENCH_3 records. *)
+  let () =
+    let cfs, fm = incr_base () in
+    let sess =
+      match
+        Sess.open_session ~headroom:0 ~transformation:(F.transformation ~k:2)
+          ~metamodels:F.metamodels ~models:(F.bind ~cfs ~fm)
+          ~targets:(Echo.Target.of_list [ "cf1"; "cf2" ])
+          ()
+      with
+      | Ok s -> s
+      | Error e -> failwith ("E9 recurrence: " ^ e)
+    in
+    let feature = I.make "Feature" in
+    let name_attr = I.make "name" in
+    let add_feature ~id name =
+      [
+        Mdl.Edit.Add_object { id; cls = feature };
+        Mdl.Edit.Set_attr
+          { id; attr = name_attr; before = []; after = [ Mdl.Value.Str name ] };
+      ]
+    in
+    let cf1 = I.make "cf1" in
+    let batches =
+      [
+        [ (cf1, add_feature ~id:50 "F9") ];
+        [ (cf1, Mdl.Edit.Delete_object { id = 50 } :: add_feature ~id:51 "F9") ];
+        [ (cf1, Mdl.Edit.Delete_object { id = 51 } :: add_feature ~id:50 "F9") ];
+      ]
+    in
+    let last =
+      List.fold_left
+        (fun _ batch ->
+          (match Sess.apply_edits sess batch with
+          | Ok () -> ()
+          | Error e -> failwith ("E9 recurrence: " ^ e));
+          match Sess.recheck sess with
+          | Ok r -> r.Sess.check_stats.Sess.translated
+          | Error e -> failwith ("E9 recurrence: " ^ e))
+        true batches
+    in
+    Format.printf
+      "  state recurrence: %d re-encodes over the id cycle, last %s@."
+      (Sess.rebuilds sess)
+      (if last then "RETRANSLATED (cache miss!)" else "served from cache")
+  in
   List.map
     (fun (r : Incr.Replay.step_record) ->
       Echo.Telemetry.Obj
@@ -946,7 +999,7 @@ let measure_sweep ~reps sweep exp =
   in
   go None [] sweep
 
-let write_json ?(schema = "mdqvtr-bench/5") ?(extra = []) path records =
+let write_json ?(schema = "mdqvtr-bench/6") ?(extra = []) path records =
   let body =
     Echo.Telemetry.json_to_string
       (Echo.Telemetry.Obj
@@ -986,7 +1039,7 @@ let () =
   let rec out_file = function
     | "--out" :: path :: _ -> path
     | _ :: rest -> out_file rest
-    | [] -> "BENCH_5.json"
+    | [] -> "BENCH_6.json"
   in
   let out = out_file args in
   let rec trace_file = function

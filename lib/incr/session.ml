@@ -15,6 +15,7 @@ type step_stats = {
   propagations : int;
   decisions : int;
   translated : bool;
+  translate_s : float;
 }
 
 type verdict = {
@@ -81,15 +82,22 @@ type repair_state = {
   card : Sat.Cardinality.t;
   chains : (Ident.t * Sat.Lit.t array) list;
       (* per target parameter: slack symmetry pair guards, ordinal order *)
+  struct_guards : Sat.Lit.t list;
+      (* conformance of the targets, guarded like everything else so
+         the one shared finder serves both check and repair *)
 }
 
 (* One encoding generation: everything keyed by the exact bounds (the
    bound models, the value universe, the slack pool). Generations are
    cached so a re-encode that returns to a previously seen state
-   revives its translations — solver state included. *)
+   revives its guard literals and primary pins without re-translation
+   — the shared finder's memoized lowering and the Tseitin cache make
+   the revival {!Relog.Finder.rebind} rebuild only matrices, not
+   clauses. *)
 type generation = {
   g_enc : Qvtr.Encode.t;
   g_sem : Qvtr.Semantics.t;
+  g_bounds : Relog.Bounds.t;
   mutable g_check : check_state option;
   mutable g_repair : repair_state option;
 }
@@ -112,6 +120,17 @@ type t = {
   headroom : int;
   mutable gen : generation;
   cache : (string, generation) Hashtbl.t;
+  (* The one finder (translation + solver) serving every generation:
+     re-encodes delta-rebind it instead of building a new one. *)
+  mutable fd : Relog.Finder.t option;
+  (* The longest universe ever encoded: the base of every re-encode,
+     so all session universes form one prefix-compatible chain and
+     index-keyed translation state survives every rebind. *)
+  mutable all_atoms : Ident.t list;
+  (* p_var -> (t_ref, t_diff): the XOR apparatus is per primary
+     variable, and primary variables persist across rebinds, so
+     generations share it. *)
+  xors : (Sat.Lit.var, Sat.Lit.var * Sat.Lit.var) Hashtbl.t;
   mutable cur : (Ident.t * Model.t) list;
   mutable values : Value.Set.t;
   mutable pstates : pstate Ident.Map.t;
@@ -164,34 +183,22 @@ let zero_stats =
     solve_time = 0.0;
   }
 
-let add_stats a b =
-  {
-    Sat.Solver.decisions = a.Sat.Solver.decisions + b.Sat.Solver.decisions;
-    propagations = a.Sat.Solver.propagations + b.Sat.Solver.propagations;
-    conflicts = a.Sat.Solver.conflicts + b.Sat.Solver.conflicts;
-    restarts = a.Sat.Solver.restarts + b.Sat.Solver.restarts;
-    learnt = a.Sat.Solver.learnt + b.Sat.Solver.learnt;
-    reduces = a.Sat.Solver.reduces + b.Sat.Solver.reduces;
-    solves = a.Sat.Solver.solves + b.Sat.Solver.solves;
-    solve_time = a.Sat.Solver.solve_time +. b.Sat.Solver.solve_time;
-  }
-
 let solver_totals t =
-  Hashtbl.fold
-    (fun _ g acc ->
-      let acc =
-        match g.g_check with
-        | Some c -> add_stats acc (Sat.Solver.stats (Relog.Finder.solver c.cf))
-        | None -> acc
-      in
-      match g.g_repair with
-      | Some r -> add_stats acc (Sat.Solver.stats (Relog.Finder.solver r.rf))
-      | None -> acc)
-    t.cache zero_stats
+  match t.fd with
+  | Some fd -> Sat.Solver.stats (Relog.Finder.solver fd)
+  | None -> zero_stats
 
-let snapshot t = (Sat.Telemetry.now (), solver_totals t, t.translations)
+let translate_seconds t =
+  match t.fd with
+  | Some fd ->
+    (Relog.Translate.stats (Relog.Finder.translation fd))
+      .Relog.Translate.translate_time
+  | None -> 0.0
 
-let finish t (t0, s0, tr0) =
+let snapshot t =
+  (Sat.Telemetry.now (), solver_totals t, t.translations, translate_seconds t)
+
+let finish t (t0, s0, tr0, ts0) =
   let s1 = solver_totals t in
   {
     wall = Sat.Telemetry.now () -. t0;
@@ -200,6 +207,7 @@ let finish t (t0, s0, tr0) =
     propagations = s1.Sat.Solver.propagations - s0.Sat.Solver.propagations;
     decisions = s1.Sat.Solver.decisions - s0.Sat.Solver.decisions;
     translated = t.translations > tr0;
+    translate_s = translate_seconds t -. ts0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -238,15 +246,26 @@ let fingerprint t =
     t.values;
   Buffer.contents b
 
-let build_generation ~trans ~metamodels ~models ~values ~slack ?mode ?unroll info
-    =
+let build_generation ~trans ~metamodels ~models ~values ~slack ?(base = [])
+    ?mode ?unroll info =
   let ( let* ) = Result.bind in
   let* enc =
     Qvtr.Encode.create ~transformation:trans ~metamodels ~models
-      ~extra_values:(Value.Set.elements values) ~slack_objects:slack ()
+      ~extra_values:(Value.Set.elements values) ~slack_objects:slack ~base ()
   in
   match Qvtr.Semantics.create ?mode ?unroll enc info with
-  | sem -> Ok { g_enc = enc; g_sem = sem; g_check = None; g_repair = None }
+  | sem ->
+    let bounds =
+      Qvtr.Encode.bounds enc ~targets:(Ident.Set.of_list (List.map fst models))
+    in
+    Ok
+      {
+        g_enc = enc;
+        g_sem = sem;
+        g_bounds = bounds;
+        g_check = None;
+        g_repair = None;
+      }
   | exception Qvtr.Semantics.Compile_error msg -> Error msg
 
 (* Flush a pending re-encode: key the current state, revive a cached
@@ -278,13 +297,23 @@ let ensure_generation t =
           Obs.Trace.with_span ~name:"session.rebuild" (fun () ->
               build_generation ~trans:t.trans ~metamodels:t.metamodels
                 ~models:t.cur ~values:t.values ~slack:(t.budget + t.headroom)
-                ?mode:t.mode ?unroll:t.unroll t.info)
+                ~base:t.all_atoms ?mode:t.mode ?unroll:t.unroll t.info)
         in
+        (* The new universe extends the longest-ever one (base), so it
+           is the new longest. *)
+        t.all_atoms <- Relog.Rel.Universe.atoms (Qvtr.Encode.universe g.g_enc);
         Hashtbl.add t.cache key g;
         Ok g
     in
     Obs.Metrics.incr m_rebuilds;
     t.gen <- g;
+    (* Delta-retranslate the shared finder: only relations whose
+       bounds the re-encode changed are re-lowered; everything else —
+       matrices, memoized circuits, guard literals, learnt clauses —
+       carries over. *)
+    (match t.fd with
+    | Some fd -> ignore (Relog.Finder.rebind fd g.g_bounds : int)
+    | None -> ());
     (* The encoding may have picked up values the accumulator missed
        (it never does today, but keep the invariant by construction). *)
     t.values <-
@@ -340,6 +369,10 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
         headroom;
         gen;
         cache = Hashtbl.create 4;
+        fd = None;
+        all_atoms =
+          Relog.Rel.Universe.atoms (Qvtr.Encode.universe gen.g_enc);
+        xors = Hashtbl.create 64;
         cur = models;
         values =
           List.fold_left
@@ -435,6 +468,17 @@ let finder_cache_event ~hit which =
     (if hit then "session.cache_hit" else "session.cache_miss")
     ~args:(fun () -> [ ("cache", Obs.Json.String which) ])
 
+(* The one long-lived finder. Created lazily over the current
+   generation's bounds; every later generation reaches it through
+   {!Relog.Finder.rebind} in [ensure_generation]. *)
+let ensure_finder t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Relog.Finder.create t.gen.g_bounds in
+    t.fd <- Some fd;
+    fd
+
 let ensure_check t =
   let g = t.gen in
   match g.g_check with
@@ -444,16 +488,12 @@ let ensure_check t =
   | None ->
     finder_cache_event ~hit:false "check_finder";
     t.translations <- t.translations + 1;
+    let cf = ensure_finder t in
     let dirs = Qvtr.Semantics.top_formulas g.g_sem in
-    let bounds =
-      Qvtr.Encode.bounds g.g_enc
-        ~targets:(Ident.Set.of_list (List.map fst t.cur))
-    in
-    let cf, guards =
-      Relog.Finder.prepare_guarded bounds (List.map (fun (_, _, f) -> f) dirs)
-    in
     let dirs =
-      List.map2 (fun (r, d, _) gd -> (r.Qvtr.Ast.r_name, d, gd)) dirs guards
+      List.map
+        (fun (r, d, f) -> (r.Qvtr.Ast.r_name, d, Relog.Finder.guard cf f))
+        dirs
     in
     let cprims = collect_prims (Relog.Finder.translation cf) in
     let cvar_fact = Hashtbl.create (Array.length cprims) in
@@ -535,15 +575,17 @@ let recheck ?(blame = false) t =
 (* ------------------------------------------------------------------ *)
 (* The repair finder                                                   *)
 
-let rec take_drop n = function
-  | rest when n = 0 -> ([], rest)
-  | [] -> invalid_arg "Session: guard slicing"
-  | x :: rest ->
-    let mine, rest = take_drop (n - 1) rest in
-    (x :: mine, rest)
-
+(* The repair apparatus rides on the same finder as the check: the
+   direction formulas (consistency) are already guarded there, the
+   target conformance and slack symmetry formulas are guarded here,
+   and every repair solve assumes all of them. Nothing is asserted
+   unconditionally, so check and repair coexist in one solver and the
+   whole translation is shared. *)
 let ensure_repair t =
   let g = t.gen in
+  (* The check state first: repair assumes its direction guards and
+     reuses its primary census. *)
+  let cs = ensure_check t in
   match g.g_repair with
   | Some r ->
     finder_cache_event ~hit:true "repair_finder";
@@ -551,39 +593,26 @@ let ensure_repair t =
   | None ->
     finder_cache_event ~hit:false "repair_finder";
     t.translations <- t.translations + 1;
+    let rf = cs.cf in
     let tgt_list = Ident.Set.elements t.tgts in
-    let chain_formulas =
+    let chains =
       List.map
-        (fun p -> (p, Qvtr.Encode.slack_symmetry_formulas g.g_enc ~param:p))
+        (fun p ->
+          ( p,
+            Array.of_list
+              (List.map (Relog.Finder.guard rf)
+                 (Qvtr.Encode.slack_symmetry_formulas g.g_enc ~param:p)) ))
         tgt_list
     in
-    let bounds =
-      Qvtr.Encode.bounds g.g_enc
-        ~targets:(Ident.Set.of_list (List.map fst t.cur))
+    let struct_guards =
+      List.concat_map
+        (fun p ->
+          List.map (Relog.Finder.guard rf)
+            (Qvtr.Encode.structural_formulas ~symmetry:false g.g_enc ~param:p))
+        tgt_list
     in
-    let rf, guards =
-      Relog.Finder.prepare_guarded bounds
-        (List.concat_map snd chain_formulas)
-    in
-    let trans = Relog.Finder.translation rf in
-    let asserted =
-      Qvtr.Semantics.consistency_formula g.g_sem
-      :: List.concat_map
-           (fun p ->
-             Qvtr.Encode.structural_formulas ~symmetry:false g.g_enc ~param:p)
-           tgt_list
-    in
-    List.iter (Relog.Translate.assert_formula trans) asserted;
-    let chains, rest =
-      List.fold_left
-        (fun (acc, gs) (p, fs) ->
-          let mine, rest = take_drop (List.length fs) gs in
-          ((p, Array.of_list mine) :: acc, rest))
-        ([], guards) chain_formulas
-    in
-    assert (rest = []);
     let solver = Relog.Finder.solver rf in
-    let prims = collect_prims trans in
+    let prims = cs.cprims in
     let ntprims =
       Array.of_list
         (List.filter
@@ -596,18 +625,25 @@ let ensure_repair t =
            (fun pr ->
              if not (Ident.Set.mem pr.p_param t.tgts) then None
              else begin
-               let r = Sat.Solver.new_var solver in
-               let d = Sat.Solver.new_var solver in
                let v = pr.p_var in
-               (* d <-> v XOR r *)
-               Sat.Solver.add_clause solver
-                 [ Sat.Lit.neg_of v; Sat.Lit.pos r; Sat.Lit.pos d ];
-               Sat.Solver.add_clause solver
-                 [ Sat.Lit.pos v; Sat.Lit.neg_of r; Sat.Lit.pos d ];
-               Sat.Solver.add_clause solver
-                 [ Sat.Lit.neg_of v; Sat.Lit.neg_of r; Sat.Lit.neg_of d ];
-               Sat.Solver.add_clause solver
-                 [ Sat.Lit.pos v; Sat.Lit.pos r; Sat.Lit.neg_of d ];
+               let r, d =
+                 match Hashtbl.find_opt t.xors v with
+                 | Some rd -> rd
+                 | None ->
+                   let r = Sat.Solver.new_var solver in
+                   let d = Sat.Solver.new_var solver in
+                   (* d <-> v XOR r *)
+                   Sat.Solver.add_clause solver
+                     [ Sat.Lit.neg_of v; Sat.Lit.pos r; Sat.Lit.pos d ];
+                   Sat.Solver.add_clause solver
+                     [ Sat.Lit.pos v; Sat.Lit.neg_of r; Sat.Lit.pos d ];
+                   Sat.Solver.add_clause solver
+                     [ Sat.Lit.neg_of v; Sat.Lit.neg_of r; Sat.Lit.neg_of d ];
+                   Sat.Solver.add_clause solver
+                     [ Sat.Lit.pos v; Sat.Lit.pos r; Sat.Lit.neg_of d ];
+                   Hashtbl.replace t.xors v (r, d);
+                   (r, d)
+               in
                Some { tp = pr; t_ref = r; t_diff = d }
              end)
            (Array.to_list prims))
@@ -616,7 +652,7 @@ let ensure_repair t =
       Sat.Cardinality.build solver
         (List.map (fun tp -> Sat.Lit.pos tp.t_diff) (Array.to_list tprims))
     in
-    let r = { rf; ntprims; tprims; card; chains = List.rev chains } in
+    let r = { rf; ntprims; tprims; card; chains; struct_guards } in
     g.g_repair <- Some r;
     r
 
@@ -771,7 +807,11 @@ let rerepair ?(limit = 16) t =
       Ok { outcome = Already_consistent; repair_stats = finish t snap }
     else begin
       let rs = ensure_repair t in
-      let base = repair_pins t rs in
+      (* Stable assumption order for trail reuse across the ladder:
+         fact/reference pins and chain guards, then the guarded
+         constraint set (conformance + all directions). *)
+      let dir_guards = List.map (fun (_, _, gd) -> gd) cs.dirs in
+      let base = repair_pins t rs @ rs.struct_guards @ dir_guards in
       let scope = Relog.Finder.new_scope rs.rf in
       let solver = Relog.Finder.solver rs.rf in
       let total = Sat.Cardinality.count rs.card in
@@ -916,4 +956,5 @@ let pp_step_stats ppf s =
   Format.fprintf ppf
     "@[<h>%.4fs; %d solves; %d conflicts; %d propagations; %d decisions%s@]"
     s.wall s.solver_calls s.conflicts s.propagations s.decisions
-    (if s.translated then "; translated" else "")
+    (if s.translated then Printf.sprintf "; translated (%.4fs)" s.translate_s
+     else "")

@@ -9,19 +9,29 @@
     edit re-uses everything the solver already learnt (clauses, VSIDS
     activity, saved phases).
 
-    Two finders serve a session. The {e check} finder translates each
-    top directional check to a guard literal; [recheck] solves once
-    per direction under the fact pins plus that guard, and on
-    violation the solver's unsat core — minimized with
-    {!Sat.Solver.minimize_core} — names the {e blame set} of model
-    facts. The {e repair} finder asserts consistency and the
-    structural constraints of the targets, defines one
-    reference/difference variable pair per target primary (the
-    difference variables feed a totalizer built once), and
-    [rerepair] runs the least-change distance ladder purely through
-    assumptions: fact pins for frozen models, reference pins for
-    targets, cardinality bounds, and a per-call scope literal that
-    retracts the call's blocking clauses afterwards.
+    One finder (translation + solver) serves the whole session.
+    Every formula — the top directional checks, the targets'
+    structural conformance, the slack symmetry chains — is translated
+    to a guard literal over one shared, memoized lowering
+    ({!Relog.Translate}); [recheck] solves once per direction under
+    the fact pins plus that direction's guard, and on violation the
+    solver's unsat core — minimized with {!Sat.Solver.minimize_core}
+    — names the {e blame set} of model facts. [rerepair] reuses the
+    very same translation: it defines one reference/difference
+    variable pair per target primary (the difference variables feed a
+    totalizer) and runs the least-change distance ladder purely
+    through assumptions: fact pins for frozen models, reference pins
+    for targets, the conformance and direction guards, cardinality
+    bounds, and a per-call scope literal that retracts the call's
+    blocking clauses afterwards.
+
+    A re-encode (new value, slack exhaustion) does {e delta
+    retranslation}: the new universe extends the old one
+    prefix-compatibly, the finder is {!Relog.Finder.rebind}-ed, and
+    only relations whose bounds actually changed are re-lowered —
+    matrices, memoized circuits, guard literals and learnt clauses
+    all carry over. Returning to a previously seen state revives that
+    generation's guards outright.
 
     Object creation is served from the encoding's slack atoms: each
     session keeps [slack_budget + headroom] fresh atoms per parameter,
@@ -50,9 +60,13 @@ type step_stats = {
   translated : bool;
       (** whether the operation had to (re)translate — [false] on the
           warm assumption-flip path *)
+  translate_s : float;
+      (** wall seconds the operation spent inside the translation
+          layer (lowering + CNF); 0 on the warm path, and small even
+          on re-encodes thanks to delta retranslation *)
 }
 (** Solver-effort delta attributed to one [recheck]/[rerepair] call
-    (summed over the session's finders, including translation-time
+    (read off the session's shared finder, including translation-time
     propagation when a build was needed). *)
 
 type verdict = {
@@ -124,7 +138,7 @@ val rebuilds : t -> int
 (** Number of re-encodes so far (0 right after [open_session]). *)
 
 val solver_totals : t -> Sat.Solver.stats
-(** Cumulative solver effort over every finder the session built. *)
+(** Cumulative solver effort of the session's shared solver. *)
 
 val apply_edits : t -> (Mdl.Ident.t * Mdl.Edit.t list) list -> (unit, string) result
 (** Apply one edit batch, each script against the named parameter's

@@ -34,6 +34,21 @@ let prepare_guarded bnds formulas =
   let guards = List.map (Translate.formula_lit trans) formulas in
   (make trans, guards)
 
+let create bnds =
+  let trans = Translate.create bnds in
+  List.iter (Translate.materialize trans) (Bounds.relations bnds);
+  make trans
+
+let guard t f = Translate.formula_lit t.trans f
+let assert_formula t f = Translate.assert_formula t.trans f
+
+let rebind t bnds =
+  let changed = Translate.rebind t.trans bnds in
+  List.iter (Translate.materialize t.trans) (Bounds.relations bnds);
+  t.last <- None;
+  t.last_assumed <- [];
+  changed
+
 let translation t = t.trans
 let solver t = Translate.solver t.trans
 let clone_solver t = Sat.Solver.clone (solver t)

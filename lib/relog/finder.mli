@@ -25,6 +25,33 @@ val prepare_guarded : Bounds.t -> Ast.formula list -> t * Sat.Lit.t list
     facts and checked formulas purely through assumptions so the same
     translation and solver serve every edit state. *)
 
+val create : Bounds.t -> t
+(** A finder over the bounds with nothing asserted yet: all bound
+    relations are materialized, formulas arrive later through
+    {!guard} / {!assert_formula}. The entry point for long-lived
+    delta-retranslating sessions. *)
+
+val guard : t -> Ast.formula -> Sat.Lit.t
+(** Translate one formula to its guard literal (see
+    {!prepare_guarded}) on the already-created finder. Thanks to the
+    memoized lowering, guarding a formula already seen — even across
+    {!rebind}s that did not touch its relations — costs a memo
+    lookup and returns the same literal. *)
+
+val assert_formula : t -> Ast.formula -> unit
+(** Translate and assert one formula on the already-created finder. *)
+
+val rebind : t -> Bounds.t -> int
+(** {!Translate.rebind} plus re-materialization of every relation
+    bound in the new bounds; forgets the last model (its primary
+    assignment may mix universes). Returns the number of relations
+    whose bounds actually changed. Previously returned guard literals
+    remain usable: a guard whose formula mentions no changed relation
+    is untouched, and re-guarding a formula that was invalidated
+    rebuilds the identical circuit over the persistent primary
+    variables, so the Tseitin cache resolves it to the same literal
+    without new clauses. *)
+
 val translation : t -> Translate.t
 val solver : t -> Sat.Solver.t
 

@@ -1,118 +1,161 @@
-(* Negation normal form with algebraic simplification. *)
+(* Negation normal form with algebraic simplification, memoized per
+   hash-consed node: the work runs once per distinct (node, polarity)
+   pair of a store, not once per occurrence. The Ast-level entry
+   points wrap a throwaway store; long-lived translation contexts
+   (Translate.t) call the hc-level entry points against their own
+   store so repeated lowerings of shared subtrees are free. *)
 
-let is_empty_expr (e : Ast.expr) = e = Ast.None_
+module H = Hc
 
-let rec expr (e : Ast.expr) : Ast.expr =
-  match e with
-  | Ast.Rel _ | Ast.Var _ | Ast.Atom _ | Ast.Univ | Ast.Iden | Ast.None_ -> e
-  | Ast.Union (a, b) -> (
-    match (expr a, expr b) with
-    | Ast.None_, b' -> b'
-    | a', Ast.None_ -> a'
-    | a', b' -> if a' = b' then a' else Ast.Union (a', b'))
-  | Ast.Inter (a, b) -> (
-    match (expr a, expr b) with
-    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
-    | a', b' -> if a' = b' then a' else Ast.Inter (a', b'))
-  | Ast.Diff (a, b) -> (
-    match (expr a, expr b) with
-    | Ast.None_, _ -> Ast.None_
-    | a', Ast.None_ -> a'
-    | a', b' -> if a' = b' then Ast.None_ else Ast.Diff (a', b'))
-  | Ast.Join (a, b) -> (
-    match (expr a, expr b) with
-    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
-    | a', b' -> Ast.Join (a', b'))
-  | Ast.Product (a, b) -> (
-    match (expr a, expr b) with
-    | Ast.None_, _ | _, Ast.None_ -> Ast.None_
-    | a', b' -> Ast.Product (a', b'))
-  | Ast.Transpose a -> (
-    match expr a with
-    | Ast.None_ -> Ast.None_
-    | Ast.Transpose a' -> a'
-    | Ast.Iden -> Ast.Iden
-    | a' -> Ast.Transpose a')
-  | Ast.Closure a -> (
-    match expr a with
-    | Ast.None_ -> Ast.None_
-    | a' -> Ast.Closure a')
-  | Ast.RClosure a -> Ast.RClosure (expr a)
+let is_empty (e : H.expr) = e.H.e_view = H.None_
+
+let rec hc_expr st (e : H.expr) : H.expr =
+  match Hashtbl.find_opt (H.simp_expr_memo st) e.H.e_id with
+  | Some r -> r
+  | None ->
+    let r = hc_expr_view st e in
+    Hashtbl.replace (H.simp_expr_memo st) e.H.e_id r;
+    r
+
+and hc_expr_view st (e : H.expr) : H.expr =
+  match e.H.e_view with
+  | H.Rel _ | H.Var _ | H.Atom _ | H.Univ | H.Iden | H.None_ -> e
+  | H.Union (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if is_empty a' then b'
+    else if is_empty b' then a'
+    else if a' == b' then a'
+    else H.union st a' b'
+  | H.Inter (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if is_empty a' || is_empty b' then H.none st
+    else if a' == b' then a'
+    else H.inter st a' b'
+  | H.Diff (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if is_empty a' then H.none st
+    else if is_empty b' then a'
+    else if a' == b' then H.none st
+    else H.diff st a' b'
+  | H.Join (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if is_empty a' || is_empty b' then H.none st else H.join st a' b'
+  | H.Product (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if is_empty a' || is_empty b' then H.none st else H.product st a' b'
+  | H.Transpose a -> (
+    let a' = hc_expr st a in
+    match a'.H.e_view with
+    | H.None_ -> H.none st
+    | H.Transpose a'' -> a''
+    | H.Iden -> H.iden st
+    | _ -> H.transpose st a')
+  | H.Closure a ->
+    let a' = hc_expr st a in
+    if is_empty a' then H.none st else H.closure st a'
+  | H.RClosure a -> H.rclosure st (hc_expr st a)
 
 (* [go pos f]: simplified NNF of [f] under polarity [pos]. *)
-let rec go pos (f : Ast.formula) : Ast.formula =
-  match f with
-  | Ast.True -> if pos then Ast.True else Ast.False
-  | Ast.False -> if pos then Ast.False else Ast.True
-  | Ast.Not g -> go (not pos) g
-  | Ast.And fs ->
-    let fs' = List.map (go pos) fs in
-    if pos then Ast.conj fs' else Ast.disj fs'
-  | Ast.Or fs ->
-    let fs' = List.map (go pos) fs in
-    if pos then Ast.disj fs' else Ast.conj fs'
-  | Ast.Implies (a, b) ->
-    if pos then Ast.disj [ go false a; go true b ]
-    else Ast.conj [ go true a; go false b ]
-  | Ast.Iff (a, b) ->
+let bool_f st b = if b then H.true_ st else H.false_ st
+let atom_f st pos a = if pos then a else H.not_ st a
+
+let rec go st pos (f : H.formula) : H.formula =
+  match Hashtbl.find_opt (H.simp_formula_memo st) (f.H.f_id, pos) with
+  | Some r -> r
+  | None ->
+    let r = go_view st pos f in
+    Hashtbl.replace (H.simp_formula_memo st) (f.H.f_id, pos) r;
+    r
+
+and go_view st pos (f : H.formula) : H.formula =
+  match f.H.f_view with
+  | H.True -> bool_f st pos
+  | H.False -> bool_f st (not pos)
+  | H.Not g -> go st (not pos) g
+  | H.And fs ->
+    let fs' = List.map (go st pos) fs in
+    if pos then H.conj st fs' else H.disj st fs'
+  | H.Or fs ->
+    let fs' = List.map (go st pos) fs in
+    if pos then H.disj st fs' else H.conj st fs'
+  | H.Implies (a, b) ->
+    if pos then H.disj st [ go st false a; go st true b ]
+    else H.conj st [ go st true a; go st false b ]
+  | H.Iff (a, b) ->
     (* (a ∧ b) ∨ (¬a ∧ ¬b), negated: (a ∧ ¬b) ∨ (¬a ∧ b) *)
     if pos then
-      Ast.disj
-        [ Ast.conj [ go true a; go true b ]; Ast.conj [ go false a; go false b ] ]
+      H.disj st
+        [
+          H.conj st [ go st true a; go st true b ];
+          H.conj st [ go st false a; go st false b ];
+        ]
     else
-      Ast.disj
-        [ Ast.conj [ go true a; go false b ]; Ast.conj [ go false a; go true b ] ]
-  | Ast.Forall (decls, body) -> quantifier ~universal:pos pos decls body
-  | Ast.Exists (decls, body) -> quantifier ~universal:(not pos) pos decls body
-  | Ast.Subset (a, b) -> atom pos (Ast.Subset (expr a, expr b))
-  | Ast.Equal (a, b) ->
-    let a' = expr a and b' = expr b in
-    if a' = b' then go pos Ast.True else atom pos (Ast.Equal (a', b'))
-  | Ast.Some_ a -> (
-    match expr a with
-    | Ast.None_ -> go pos Ast.False
-    | Ast.Univ | Ast.Iden | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
-    | a' -> atom pos (Ast.Some_ a'))
-  | Ast.No a -> (
-    match expr a with
-    | Ast.None_ -> go pos Ast.True
-    | Ast.Atom _ | Ast.Var _ -> go pos Ast.False
-    | a' -> atom pos (Ast.No a'))
-  | Ast.Lone a -> (
-    match expr a with
-    | Ast.None_ | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
-    | a' -> atom pos (Ast.Lone a'))
-  | Ast.One a -> (
-    match expr a with
-    | Ast.Atom _ | Ast.Var _ -> go pos Ast.True
-    | Ast.None_ -> go pos Ast.False
-    | a' -> atom pos (Ast.One a'))
+      H.disj st
+        [
+          H.conj st [ go st true a; go st false b ];
+          H.conj st [ go st false a; go st true b ];
+        ]
+  | H.Forall (decls, body) -> quantifier st ~universal:pos pos decls body
+  | H.Exists (decls, body) -> quantifier st ~universal:(not pos) pos decls body
+  | H.Subset (a, b) -> atom_f st pos (H.subset st (hc_expr st a) (hc_expr st b))
+  | H.Equal (a, b) ->
+    let a' = hc_expr st a and b' = hc_expr st b in
+    if a' == b' then bool_f st pos else atom_f st pos (H.equal st a' b')
+  | H.Some_ a -> (
+    let a' = hc_expr st a in
+    match a'.H.e_view with
+    | H.None_ -> bool_f st (not pos)
+    | H.Univ | H.Iden | H.Atom _ | H.Var _ -> bool_f st pos
+    | _ -> atom_f st pos (H.some st a'))
+  | H.No a -> (
+    let a' = hc_expr st a in
+    match a'.H.e_view with
+    | H.None_ -> bool_f st pos
+    | H.Atom _ | H.Var _ -> bool_f st (not pos)
+    | _ -> atom_f st pos (H.no st a'))
+  | H.Lone a -> (
+    let a' = hc_expr st a in
+    match a'.H.e_view with
+    | H.None_ | H.Atom _ | H.Var _ -> bool_f st pos
+    | _ -> atom_f st pos (H.lone st a'))
+  | H.One a -> (
+    let a' = hc_expr st a in
+    match a'.H.e_view with
+    | H.Atom _ | H.Var _ -> bool_f st pos
+    | H.None_ -> bool_f st (not pos)
+    | _ -> atom_f st pos (H.one st a'))
 
-and atom pos a = if pos then a else Ast.Not a
-
-and quantifier ~universal pos decls body =
+and quantifier st ~universal pos decls body =
   (* Simplify domains; a syntactically empty domain decides the
      quantifier. Note [pos] has already been folded into the
      constructor choice: [universal] tells which quantifier we are
      emitting, and [body] must be simplified under [pos]. *)
-  let decls' = List.map (fun (v, d) -> (v, expr d)) decls in
-  if List.exists (fun (_, d) -> is_empty_expr d) decls' then
-    if universal then Ast.True else Ast.False
+  let decls' = List.map (fun (v, d) -> (v, hc_expr st d)) decls in
+  if List.exists (fun (_, d) -> is_empty d) decls' then bool_f st universal
   else
-    let body' = go pos body in
-    match body' with
-    | Ast.True -> if universal then Ast.True else Ast.Exists (decls', nonempty_witness decls')
-    | Ast.False -> if universal then forall_vacuous decls' else Ast.False
-    | _ -> if universal then Ast.Forall (decls', body') else Ast.Exists (decls', body')
+    let body' = go st pos body in
+    match body'.H.f_view with
+    | H.True ->
+      (* ∃ xs | true is not trivially true — the domains must be
+         non-empty. Keep the quantifier with the trivial body. *)
+      if universal then H.true_ st else H.exists st decls' (H.true_ st)
+    | H.False ->
+      (* ∀ xs | false is "all domains empty"; keep the quantifier. *)
+      if universal then H.forall st decls' (H.false_ st) else H.false_ st
+    | _ -> if universal then H.forall st decls' body' else H.exists st decls' body'
 
-(* ∃ xs | true is not trivially true — the domains must be non-empty.
-   Keep the quantifier but with the trivial body. *)
-and nonempty_witness _decls = Ast.True
+let hc_formula st f = go st true f
 
-(* ∀ xs | false is "all domains empty"; keep the quantifier. *)
-and forall_vacuous decls = Ast.Forall (decls, Ast.False)
+(* Ast-level entry points: a throwaway store per call keeps the
+   historical interface (and output) while sharing work across
+   repeated subtrees within the one formula. *)
+let formula f =
+  let st = H.store () in
+  H.to_ast (hc_formula st (H.of_ast st f))
 
-let formula f = go true f
+let expr e =
+  let st = H.store () in
+  H.expr_to_ast (hc_expr st (H.expr_of_ast st e))
 
 let rec size (f : Ast.formula) =
   match f with

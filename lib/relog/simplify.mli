@@ -25,3 +25,14 @@ val expr : Ast.expr -> Ast.expr
 
 val size : Ast.formula -> int
 (** Node count (for tests and diagnostics). *)
+
+(** {2 Hash-consed entry points}
+
+    Same algorithm, memoized per (node, polarity) in the store's
+    tables ({!Hc.simp_formula_memo}): simplification runs once per
+    distinct hash-consed node, however many formulas share it.
+    {!Translate} simplifies every asserted formula through the
+    translation's own store. *)
+
+val hc_formula : Hc.store -> Hc.formula -> Hc.formula
+val hc_expr : Hc.store -> Hc.expr -> Hc.expr

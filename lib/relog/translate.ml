@@ -18,33 +18,57 @@ type matrix = {
   cells : C.t TupleMap.t;
 }
 
+(* The lowering is memoized per hash-consed node: [e_memo]/[f_memo]
+   key on (node id, environment projected onto the node's free
+   variables), so a subtree is lowered once per distinct binding of
+   the variables it actually mentions — ground subtrees exactly once —
+   instead of once per occurrence per quantifier grounding.
+   [e_nodes]/[f_nodes] keep the node of every memoized id so [rebind]
+   can invalidate exactly the entries whose relations (or universe
+   dependence) an edit touched. *)
 type t = {
   builder : C.builder;
   sat : Sat.Solver.t;
   tseitin : Sat.Tseitin.ctx;
-  bnds : Bounds.t;
-  (* (relation, tuple) -> primary variable *)
+  store : Hc.store;
+  mutable bnds : Bounds.t;
+  (* (relation, tuple) -> primary variable. Persistent across
+     [rebind]: re-bounding a relation reuses the variable of every
+     (relation, tuple) pair it has ever allocated, so re-lowered
+     formulas rebuild physically identical circuits and Tseitin adds
+     no clauses for unchanged parts. *)
   primaries : (Ident.t * Rel.Tuple.t, Sat.Lit.var) Hashtbl.t;
-  (* memoized relation matrices *)
+  (* memoized relation matrices, current bounds only *)
   rel_matrices : (Ident.t, matrix) Hashtbl.t;
+  e_memo : (int * int list, matrix) Hashtbl.t;
+  f_memo : (int * int list, C.t) Hashtbl.t;
+  e_nodes : (int, Hc.expr) Hashtbl.t;
+  f_nodes : (int, Hc.formula) Hashtbl.t;
   (* telemetry: wall time spent translating, formulas translated *)
   translate_span : Sat.Telemetry.span;
 }
 
-let create ?solver bnds =
+let create ?solver ?store bnds =
   let sat = match solver with Some s -> s | None -> Sat.Solver.create () in
+  let store = match store with Some st -> st | None -> Hc.store () in
   {
     builder = C.builder ();
     sat;
     tseitin = Sat.Tseitin.create sat;
+    store;
     bnds;
     primaries = Hashtbl.create 256;
     rel_matrices = Hashtbl.create 64;
+    e_memo = Hashtbl.create 1024;
+    f_memo = Hashtbl.create 1024;
+    e_nodes = Hashtbl.create 512;
+    f_nodes = Hashtbl.create 512;
     translate_span = Sat.Telemetry.span ();
   }
 
 let solver t = t.sat
 let bounds t = t.bnds
+let store t = t.store
 
 let matrix_of_rel t r =
   match Hashtbl.find_opt t.rel_matrices r with
@@ -62,8 +86,14 @@ let matrix_of_rel t r =
           let node =
             if TS.mem tuple lower then C.tru t.builder
             else begin
-              let v = Sat.Solver.new_var t.sat in
-              Hashtbl.replace t.primaries (r, tuple) v;
+              let v =
+                match Hashtbl.find_opt t.primaries (r, tuple) with
+                | Some v -> v
+                | None ->
+                  let v = Sat.Solver.new_var t.sat in
+                  Hashtbl.replace t.primaries (r, tuple) v;
+                  v
+              in
               C.input t.builder (Sat.Lit.pos v)
             end
           in
@@ -206,70 +236,124 @@ let mat_univ t universe =
 
 type env = int Ident.Map.t
 
-let rec expr t (env : env) (e : Ast.expr) : matrix =
+let m_memo_hits = Obs.Metrics.counter "relog.memo_hits"
+let m_memo_misses = Obs.Metrics.counter "relog.memo_misses"
+let m_delta = Obs.Metrics.counter "relog.delta_retranslations"
+
+(* Environment restricted to the node's free variables, as an id/value
+   alternation ([Ident.Set.fold] runs in increasing element order, so
+   the key is canonical). Unbound variables are skipped: lowering
+   raises on them before anything is memoized. *)
+let project (env : env) fvs =
+  Ident.Set.fold
+    (fun v acc ->
+      match Ident.Map.find_opt v env with
+      | Some i -> Ident.hash v :: i :: acc
+      | None -> acc)
+    fvs []
+
+let rec expr t (env : env) (e : Hc.expr) : matrix =
   let universe = Bounds.universe t.bnds in
-  match e with
-  | Ast.Rel r -> matrix_of_rel t r
-  | Ast.Var v -> (
+  match e.Hc.e_view with
+  (* Leaves are cheaper to rebuild than to memo. *)
+  | Hc.Rel r -> matrix_of_rel t r
+  | Hc.Var v -> (
     match Ident.Map.find_opt v env with
     | Some idx ->
       { m_arity = 1; cells = TupleMap.singleton [| idx |] (C.tru t.builder) }
     | None -> error "unbound variable %s" (Ident.name v))
-  | Ast.Atom a -> (
+  | Hc.Atom a -> (
     match Rel.Universe.index universe a with
     | idx -> { m_arity = 1; cells = TupleMap.singleton [| idx |] (C.tru t.builder) }
     | exception Not_found -> error "unknown atom %s" (Ident.name a))
-  | Ast.Univ -> mat_univ t universe
-  | Ast.Iden -> mat_iden t universe
-  | Ast.None_ -> { m_arity = 1; cells = TupleMap.empty }
-  | Ast.Union (a, b) -> mat_union t (expr t env a) (expr t env b)
-  | Ast.Inter (a, b) -> mat_inter t (expr t env a) (expr t env b)
-  | Ast.Diff (a, b) -> mat_diff t (expr t env a) (expr t env b)
-  | Ast.Join (a, b) -> mat_join t (expr t env a) (expr t env b)
-  | Ast.Product (a, b) -> mat_product t (expr t env a) (expr t env b)
-  | Ast.Transpose a -> mat_transpose (expr t env a)
-  | Ast.Closure a -> mat_closure t universe (expr t env a)
-  | Ast.RClosure a ->
-    mat_union t (mat_closure t universe (expr t env a)) (mat_iden t universe)
+  | Hc.None_ -> { m_arity = 1; cells = TupleMap.empty }
+  | _ -> (
+    let key = (e.Hc.e_id, project env e.Hc.e_free_vars) in
+    match Hashtbl.find_opt t.e_memo key with
+    | Some m ->
+      Obs.Metrics.incr m_memo_hits;
+      m
+    | None ->
+      Obs.Metrics.incr m_memo_misses;
+      let m =
+        match e.Hc.e_view with
+        | Hc.Rel _ | Hc.Var _ | Hc.Atom _ | Hc.None_ -> assert false
+        | Hc.Univ -> mat_univ t universe
+        | Hc.Iden -> mat_iden t universe
+        | Hc.Union (a, b) -> mat_union t (expr t env a) (expr t env b)
+        | Hc.Inter (a, b) -> mat_inter t (expr t env a) (expr t env b)
+        | Hc.Diff (a, b) -> mat_diff t (expr t env a) (expr t env b)
+        | Hc.Join (a, b) -> mat_join t (expr t env a) (expr t env b)
+        | Hc.Product (a, b) -> mat_product t (expr t env a) (expr t env b)
+        | Hc.Transpose a -> mat_transpose (expr t env a)
+        | Hc.Closure a -> mat_closure t universe (expr t env a)
+        | Hc.RClosure a ->
+          mat_union t (mat_closure t universe (expr t env a)) (mat_iden t universe)
+      in
+      Hashtbl.replace t.e_memo key m;
+      Hashtbl.replace t.e_nodes e.Hc.e_id e;
+      m)
 
-let rec formula t (env : env) (f : Ast.formula) : C.t =
+let subset_circuit t mx my =
   let b = t.builder in
-  match f with
-  | Ast.True -> C.tru b
-  | Ast.False -> C.fls b
-  | Ast.Subset (x, y) ->
-    let mx = expr t env x and my = expr t env y in
-    let conjuncts =
-      TupleMap.fold
-        (fun tuple ex acc ->
-          let ey = Option.value ~default:(C.fls b) (cell my tuple) in
-          C.implies b ex ey :: acc)
-        mx.cells []
-    in
-    C.and_ b conjuncts
-  | Ast.Equal (x, y) ->
-    C.and_ b [ formula t env (Ast.Subset (x, y)); formula t env (Ast.Subset (y, x)) ]
-  | Ast.Some_ x ->
-    let mx = expr t env x in
-    C.or_ b (TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [])
-  | Ast.No x -> C.not_ b (formula t env (Ast.Some_ x))
-  | Ast.Lone x ->
-    let mx = expr t env x in
-    let entries = TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [] in
-    let rec pairs = function
-      | [] -> []
-      | e :: rest ->
-        List.map (fun e' -> C.not_ b (C.and_ b [ e; e' ])) rest @ pairs rest
-    in
-    C.and_ b (pairs entries)
-  | Ast.One x -> C.and_ b [ formula t env (Ast.Some_ x); formula t env (Ast.Lone x) ]
-  | Ast.Not f -> C.not_ b (formula t env f)
-  | Ast.And fs -> C.and_ b (List.map (formula t env) fs)
-  | Ast.Or fs -> C.or_ b (List.map (formula t env) fs)
-  | Ast.Implies (x, y) -> C.implies b (formula t env x) (formula t env y)
-  | Ast.Iff (x, y) -> C.iff b (formula t env x) (formula t env y)
-  | Ast.Forall (decls, body) -> quantify t env decls body ~universal:true
-  | Ast.Exists (decls, body) -> quantify t env decls body ~universal:false
+  let conjuncts =
+    TupleMap.fold
+      (fun tuple ex acc ->
+        let ey = Option.value ~default:(C.fls b) (cell my tuple) in
+        C.implies b ex ey :: acc)
+      mx.cells []
+  in
+  C.and_ b conjuncts
+
+let some_circuit t mx =
+  C.or_ t.builder (TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [])
+
+let lone_circuit t mx =
+  let b = t.builder in
+  let entries = TupleMap.fold (fun _ e acc -> e :: acc) mx.cells [] in
+  let rec pairs = function
+    | [] -> []
+    | e :: rest -> List.map (fun e' -> C.not_ b (C.and_ b [ e; e' ])) rest @ pairs rest
+  in
+  C.and_ b (pairs entries)
+
+let rec formula t (env : env) (f : Hc.formula) : C.t =
+  let b = t.builder in
+  match f.Hc.f_view with
+  | Hc.True -> C.tru b
+  | Hc.False -> C.fls b
+  | _ -> (
+    let key = (f.Hc.f_id, project env f.Hc.f_free_vars) in
+    match Hashtbl.find_opt t.f_memo key with
+    | Some n ->
+      Obs.Metrics.incr m_memo_hits;
+      n
+    | None ->
+      Obs.Metrics.incr m_memo_misses;
+      let n =
+        match f.Hc.f_view with
+        | Hc.True | Hc.False -> assert false
+        | Hc.Subset (x, y) -> subset_circuit t (expr t env x) (expr t env y)
+        | Hc.Equal (x, y) ->
+          let mx = expr t env x and my = expr t env y in
+          C.and_ b [ subset_circuit t mx my; subset_circuit t my mx ]
+        | Hc.Some_ x -> some_circuit t (expr t env x)
+        | Hc.No x -> C.not_ b (some_circuit t (expr t env x))
+        | Hc.Lone x -> lone_circuit t (expr t env x)
+        | Hc.One x ->
+          let mx = expr t env x in
+          C.and_ b [ some_circuit t mx; lone_circuit t mx ]
+        | Hc.Not g -> C.not_ b (formula t env g)
+        | Hc.And fs -> C.and_ b (List.map (formula t env) fs)
+        | Hc.Or fs -> C.or_ b (List.map (formula t env) fs)
+        | Hc.Implies (x, y) -> C.implies b (formula t env x) (formula t env y)
+        | Hc.Iff (x, y) -> C.iff b (formula t env x) (formula t env y)
+        | Hc.Forall (decls, body) -> quantify t env decls body ~universal:true
+        | Hc.Exists (decls, body) -> quantify t env decls body ~universal:false
+      in
+      Hashtbl.replace t.f_memo key n;
+      Hashtbl.replace t.f_nodes f.Hc.f_id f;
+      n)
 
 and quantify t env decls body ~universal =
   let b = t.builder in
@@ -293,6 +377,68 @@ and quantify t env decls body ~universal =
     in
     if universal then C.and_ b branches else C.or_ b branches
 
+(* ------------------------------------------------------------------ *)
+(* Delta rebinding                                                     *)
+
+(* Re-bound the context. Matrices of changed relations are dropped
+   (rebuilt on demand against the new bounds, reusing the persistent
+   primary variables for unchanged tuples), and memo entries are
+   invalidated exactly when their node mentions a changed relation —
+   or depends on the universe, if that changed. Unchanged entries
+   survive: this is what makes session retranslation proportional to
+   the edit, not the problem.
+
+   Soundness: a memo entry's circuit depends only on (a) the matrices
+   of the relations below the node — invalidated when any of them
+   changed; (b) the universe indices of atoms below it — stable
+   because rebinding requires prefix-compatible universes (else
+   everything, including the index-keyed primary registry, is
+   cleared); (c) the universe size for Univ/Iden/(R)Closure nodes —
+   invalidated via the precomputed [e_univ]/[f_univ] flag. *)
+let rebind t bnds' =
+  let old = t.bnds in
+  if not (Bounds.universe_compatible old bnds') then begin
+    (* Unrelated universes: atom indices changed meaning; nothing
+       index-keyed survives. *)
+    Hashtbl.reset t.rel_matrices;
+    Hashtbl.reset t.e_memo;
+    Hashtbl.reset t.f_memo;
+    Hashtbl.reset t.e_nodes;
+    Hashtbl.reset t.f_nodes;
+    Hashtbl.reset t.primaries;
+    t.bnds <- bnds';
+    List.length (Bounds.relations bnds')
+  end
+  else begin
+    let changed = Bounds.diff old bnds' in
+    let changed_set = List.fold_left (fun s r -> Ident.Set.add r s) Ident.Set.empty changed in
+    let univ_changed = not (Bounds.same_universe old bnds') in
+    List.iter (Hashtbl.remove t.rel_matrices) changed;
+    let dead rels uses_univ =
+      (univ_changed && uses_univ)
+      || (not (Ident.Set.is_empty changed_set)
+         && Ident.Set.exists (fun r -> Ident.Set.mem r changed_set) rels)
+    in
+    Hashtbl.filter_map_inplace
+      (fun (id, _) m ->
+        match Hashtbl.find_opt t.e_nodes id with
+        | Some e -> if dead e.Hc.e_rels e.Hc.e_univ then None else Some m
+        | None -> None)
+      t.e_memo;
+    Hashtbl.filter_map_inplace
+      (fun (id, _) n ->
+        match Hashtbl.find_opt t.f_nodes id with
+        | Some f -> if dead f.Hc.f_rels f.Hc.f_univ then None else Some n
+        | None -> None)
+      t.f_memo;
+    t.bnds <- bnds';
+    Obs.Metrics.add m_delta (List.length changed);
+    List.length changed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
 (* Per-translation figures accumulate in [translate_span] (reported by
    [stats]); the registry histogram aggregates the same work
    process-wide for [Obs.Metrics.dump]. *)
@@ -309,19 +455,30 @@ let timed t f =
       Obs.Metrics.observe h_translate dt)
     f
 
+(* Import, simplify (both memoized in the store) and lower to a
+   circuit. The [translate.lower] span covers circuit construction;
+   CNF emission is separate ([translate.cnf]) so traces show where
+   the wall went. *)
+let lower t f =
+  Obs.Trace.with_span ~name:"translate.lower" (fun () ->
+      let hf = Simplify.hc_formula t.store (Hc.of_ast t.store f) in
+      formula t Ident.Map.empty hf)
+
 let assert_formula t f =
   Obs.Metrics.incr m_formulas;
   Obs.Trace.with_span ~name:"translate.formula" (fun () ->
       timed t (fun () ->
-          let node = formula t Ident.Map.empty f in
-          Sat.Tseitin.assert_true t.tseitin node))
+          let node = lower t f in
+          Obs.Trace.with_span ~name:"translate.cnf" (fun () ->
+              Sat.Tseitin.assert_true t.tseitin node)))
 
 let formula_lit t f =
   Obs.Metrics.incr m_formulas;
   Obs.Trace.with_span ~name:"translate.formula" (fun () ->
       timed t (fun () ->
-          let node = formula t Ident.Map.empty f in
-          Sat.Tseitin.lit_of t.tseitin node))
+          let node = lower t f in
+          Obs.Trace.with_span ~name:"translate.cnf" (fun () ->
+              Sat.Tseitin.lit_of t.tseitin node)))
 
 let primary_var t r tuple = Hashtbl.find_opt t.primaries (r, tuple)
 
@@ -331,8 +488,20 @@ let materialize t r =
     ~args:(fun () -> [ ("relation", Obs.Json.String (Ident.name r)) ])
     (fun () -> timed t (fun () -> ignore (matrix_of_rel t r)))
 
+(* Live primaries only: the registry persists across [rebind]s, so it
+   is filtered down to materialized relations and tuples optional
+   under the *current* bounds — the same set a fresh translation
+   would register. *)
 let fold_primaries t f acc =
-  Hashtbl.fold (fun (r, tuple) v acc -> f r tuple v acc) t.primaries acc
+  Hashtbl.fold
+    (fun (r, tuple) v acc ->
+      if not (Hashtbl.mem t.rel_matrices r) then acc
+      else
+        match Bounds.get t.bnds r with
+        | Some (lower, upper) when TS.mem tuple upper && not (TS.mem tuple lower)
+          -> f r tuple v acc
+        | _ -> acc)
+    t.primaries acc
 
 let decode_with t value_of =
   let inst = Instance.make (Bounds.universe t.bnds) in

@@ -1,5 +1,5 @@
 (** Kodkod-style translation of bounded relational problems into
-    boolean circuits.
+    boolean circuits, memoized over hash-consed formulas.
 
     Every free relation becomes a sparse boolean matrix over the
     universe: tuples in the lower bound map to the constant true,
@@ -7,18 +7,29 @@
     {e primary variables}), everything else is false. Relational
     operators become matrix algebra over circuits; quantifiers are
     grounded over the (symbolic) domain matrix; the resulting circuit
-    is CNF-encoded through {!Sat.Tseitin}. *)
+    is CNF-encoded through {!Sat.Tseitin}.
+
+    Formulas are first interned into a {!Hc.store} and simplified
+    there, then lowered with a per-node memo keyed on (node id,
+    environment restricted to the node's free variables). A ground
+    subtree shared by 10,000 quantifier groundings is lowered once;
+    the circuit layer and Tseitin cache already deduplicate
+    downstream, so the whole pipeline is incremental. *)
 
 type t
-(** A translation context: circuit builder, SAT solver and the
-    primary-variable registry. *)
+(** A translation context: circuit builder, SAT solver, hash-consing
+    store and the primary-variable registry. *)
 
-(** [create ?solver bounds]: a fresh context. [solver] lets callers
-    share a solver with other encodings (e.g. the MaxSAT-based repair
-    backend); by default a fresh one is created. *)
-val create : ?solver:Sat.Solver.t -> Bounds.t -> t
+(** [create ?solver ?store bounds]: a fresh context. [solver] lets
+    callers share a solver with other encodings (e.g. the
+    MaxSAT-based repair backend); [store] lets them share hash-consed
+    nodes (and simplification memos) across contexts. By default
+    fresh ones are created. *)
+val create : ?solver:Sat.Solver.t -> ?store:Hc.store -> Bounds.t -> t
+
 val solver : t -> Sat.Solver.t
 val bounds : t -> Bounds.t
+val store : t -> Hc.store
 
 exception Unsupported of string
 (** Raised on ill-formed input: unbound relation names, arity abuse,
@@ -32,6 +43,21 @@ val formula_lit : t -> Ast.formula -> Sat.Lit.t
 (** Translate the formula to a literal equivalent to it (for use in
     assumptions), without asserting it. *)
 
+val rebind : t -> Bounds.t -> int
+(** [rebind t bounds]: delta-retranslation. Point the context at new
+    bounds, invalidating only the relation matrices that actually
+    changed ({!Bounds.diff}) and the memo entries whose node mentions
+    a changed relation (or depends on the universe, when that grew or
+    shrank). Primary variables persist: a (relation, tuple) pair keeps
+    its variable across rebinds, so re-lowered formulas rebuild
+    physically identical circuits and the Tseitin cache emits no new
+    clauses for unchanged parts — previously translated guard
+    literals stay valid. Returns the number of relations invalidated.
+
+    Requires {!Bounds.universe_compatible} old/new universes (atom
+    indices keep their meaning); otherwise the context resets
+    wholesale, which is always sound. *)
+
 val primary_var : t -> Mdl.Ident.t -> Rel.Tuple.t -> Sat.Lit.var option
 (** The primary variable deciding this tuple's membership, when the
     tuple lies in [upper \ lower] of the given relation and the
@@ -44,7 +70,9 @@ val materialize : t -> Mdl.Ident.t -> unit
 
 val fold_primaries :
   t -> (Mdl.Ident.t -> Rel.Tuple.t -> Sat.Lit.var -> 'a -> 'a) -> 'a -> 'a
-(** Iterate the primary-variable registry. *)
+(** Iterate the primary variables live under the current bounds:
+    materialized relations, tuples in [upper \ lower]. (The registry
+    itself persists across {!rebind}s and may hold more.) *)
 
 val decode : t -> Instance.t
 (** Read the model of the last satisfiable [solve] off the solver:
@@ -56,10 +84,10 @@ val decode_with : t -> (Sat.Lit.var -> bool) -> Instance.t
     snapshot). *)
 
 type stats = {
-  primary_vars : int;  (** free tuples, i.e. the search space bits *)
+  primary_vars : int;  (** registry size: free tuples ever allocated *)
   vars : int;  (** total SAT variables (primaries + Tseitin + shared) *)
   clauses : int;  (** problem clauses in the underlying solver *)
-  relations : int;  (** relation matrices materialized *)
+  relations : int;  (** relation matrices currently materialized *)
   formulas : int;  (** translation entry points run (materialize/assert) *)
   translate_time : float;  (** wall seconds spent translating *)
 }

@@ -317,6 +317,12 @@ let test_translation_cache_hit () =
      state equals the first, revives the cached generation instead of
      translating again *)
   let cfs, fm = state ~cf1:[ "A" ] ~cf2:[ "A" ] ~fm:[ ("A", true); ("B", false) ] in
+  let hits0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "incr.translation_cache_hits")
+  in
+  let deltas0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "relog.delta_retranslations")
+  in
   let sess = open_exn ~headroom:0 ~cfs ~fm [ "fm" ] in
   let r0 = recheck_exn sess in
   Alcotest.(check bool) "initial recheck translates" true
@@ -343,7 +349,18 @@ let test_translation_cache_hit () =
   let r3 = check_agrees ~ctx:"cache back to +#1" sess in
   Alcotest.(check bool) "third re-encode hits the cache" false
     r3.S.check_stats.S.translated;
-  Alcotest.(check int) "re-encode count 3" 3 (S.rebuilds sess)
+  Alcotest.(check int) "re-encode count 3" 3 (S.rebuilds sess);
+  (* counter-level regression guard: the revival must register as a
+     translation-cache hit, and the two genuine re-encodes must have
+     gone through delta retranslation (not a from-scratch lowering) *)
+  Alcotest.(check bool) "incr.translation_cache_hits advanced" true
+    (Obs.Metrics.counter_value
+       (Obs.Metrics.counter "incr.translation_cache_hits")
+    > hits0);
+  Alcotest.(check bool) "relog.delta_retranslations advanced" true
+    (Obs.Metrics.counter_value
+       (Obs.Metrics.counter "relog.delta_retranslations")
+    > deltas0)
 
 (* ------------------------------------------------------------------ *)
 (* Warm vs from-scratch cost (the E9 property)                         *)
@@ -403,6 +420,11 @@ let test_warm_beats_scratch () =
       Alcotest.(check bool)
         (r.Rp.sr_label ^ ": scratch pays translation")
         true r.Rp.sr_scratch.S.translated;
+      Alcotest.(check bool)
+        (r.Rp.sr_label ^ ": warm path spends no translation wall")
+        true
+        (r.Rp.sr_session.S.translate_s = 0.
+        && r.Rp.sr_scratch.S.translate_s > 0.);
       let warm =
         r.Rp.sr_session.S.conflicts + r.Rp.sr_session.S.propagations
       in

@@ -21,6 +21,7 @@ let () =
       ("relog.rel", Test_rel.suite);
       ("relog.eval", Test_eval.suite);
       ("relog.simplify", Test_simplify.suite);
+      ("relog.hc", Test_hc.suite);
       ("relog.finder", Test_finder.suite);
       ("qvtr.dependency", Test_dependency.suite);
       ("qvtr.parser", Test_parser.suite);
