@@ -908,6 +908,285 @@ let e10 ~jobs =
     steps
 
 (* ------------------------------------------------------------------ *)
+(* E11: the transformation server under concurrent load.
+
+   An in-process load generator drives Server.Engine — the exact core
+   `qvtr serve` exposes over a socket — with N clients, each a
+   reply-callback state machine chaining its own request stream
+   (open, M x [apply_edits; recheck], rerepair, close) against its
+   own session. The engine runs its pool at >= 2 workers so replies
+   arrive off the submitting thread, and max_live is set below N so
+   the run continuously evicts and revives sessions while serving.
+   Latency percentiles are read off the server's own
+   `server.latency.<verb>_s` histograms (reset at the start of the
+   run so they cover this load only). A separate deterministic phase
+   checks the revival contract end-to-end: an evicted-then-revived
+   session must answer recheck and rerepair exactly like a
+   never-evicted control. The records land in BENCH_7.json (schema
+   mdqvtr-bench/7). *)
+
+module SrvE = Server.Engine
+module SrvP = Server.Protocol
+
+let e11_clients = 8
+let e11_steps = 6
+
+let e11_spec models_text =
+  {
+    SrvP.o_transformation = F.source ~k:2;
+    o_metamodels =
+      Mdl.Serialize.metamodel_to_string F.fm_metamodel
+      ^ "\n"
+      ^ Mdl.Serialize.metamodel_to_string F.cf_metamodel;
+    o_models = models_text;
+    o_targets = [ "cf1"; "cf2" ];
+    o_standard = false;
+    o_slack = 2;
+    o_headroom = 6;
+  }
+
+let e11_base_text () =
+  let cfs, fm = incr_base () in
+  String.concat "\n" (List.map Mdl.Serialize.model_to_string (fm :: cfs))
+
+(* the step's fm snapshot: base flags with [flips] toggled (same
+   convention as E9, so each step diffs to one Set_attr edit) *)
+let e11_fm_text flips =
+  Mdl.Serialize.model_to_string
+    (F.feature_model ~name:"fm"
+       (List.map
+          (fun n ->
+            let m = List.mem n incr_mandatory in
+            (n, if List.mem n flips then not m else m))
+          incr_pool))
+
+let e11 ~jobs =
+  section "E11" "transformation server: concurrent clients, LRU eviction";
+  let engine_jobs = max 2 jobs in
+  let max_live = max 2 (e11_clients / 2) in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mdqvtr-e11-%d" (Unix.getpid ()))
+  in
+  let verbs =
+    [ "open"; "apply_edits"; "recheck"; "rerepair"; "commit"; "snapshot";
+      "close"; "stats" ]
+  in
+  List.iter
+    (fun v ->
+      Obs.Metrics.reset_histogram
+        (Obs.Metrics.histogram ("server.latency." ^ v ^ "_s")))
+    verbs;
+  Obs.Metrics.reset_histogram (Obs.Metrics.histogram "server.recheck.warm_s");
+  Obs.Metrics.reset_histogram (Obs.Metrics.histogram "server.recheck.scratch_s");
+  let counter0 n = Obs.Metrics.counter_value (Obs.Metrics.counter n) in
+  let evicted0 = counter0 "server.sessions_evicted" in
+  let revived0 = counter0 "server.sessions_revived" in
+  let coalesced0 = counter0 "server.edits_coalesced" in
+  let engine = SrvE.create ~jobs:engine_jobs ~max_live ~snapshot_dir:dir () in
+  let base_text = e11_base_text () in
+  let next_id = Atomic.make 1 in
+  let rechecks = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  (* Each client chains its burst through reply callbacks ("send the
+     next request when the previous one answers"); the replies never
+     influence the edits, so the streams are precomputed. The load
+     runs in rounds with a drain between them: inside a round all
+     clients hammer the engine concurrently, and at the boundary the
+     sessions go idle, which is when the LRU sweep can evict — so a
+     cap below the client count forces continuous eviction/revival
+     churn under load, the behaviour a long-lived daemon sees. *)
+  let burst k reqs =
+    let sname = Printf.sprintf "c%d" k in
+    let rec send = function
+      | [] -> ()
+      | q_req :: rest ->
+        SrvE.submit engine
+          {
+            SrvP.q_id = Atomic.fetch_and_add next_id 1;
+            q_session = sname;
+            q_req;
+          }
+          (fun resp ->
+            (match resp.SrvP.s_result with
+            | Ok (SrvP.Checked _) -> Atomic.incr rechecks
+            | Ok _ -> ()
+            | Error _ -> Atomic.incr failures);
+            send rest)
+    in
+    send reqs
+  in
+  (* an editor firing saves: the frames go out back-to-back with no
+     wait, so they queue on the session and the engine coalesces the
+     consecutive apply_edits into one re-pin *)
+  let pipeline k reqs =
+    let sname = Printf.sprintf "c%d" k in
+    List.iter
+      (fun q_req ->
+        SrvE.submit engine
+          {
+            SrvP.q_id = Atomic.fetch_and_add next_id 1;
+            q_session = sname;
+            q_req;
+          }
+          (fun resp ->
+            match resp.SrvP.s_result with
+            | Ok (SrvP.Checked _) -> Atomic.incr rechecks
+            | Ok _ -> ()
+            | Error _ -> Atomic.incr failures))
+      reqs
+  in
+  let clients = List.init e11_clients (fun k -> k) in
+  let round i k =
+    let f j = List.nth incr_pool ((k + i + j) mod List.length incr_pool) in
+    let final = if i mod 2 = 1 then [ f 0 ] else [] in
+    [
+      SrvP.Apply_edits { models = e11_fm_text [ f 0 ] };
+      SrvP.Apply_edits { models = e11_fm_text [ f 0; f 1 ] };
+      SrvP.Apply_edits { models = e11_fm_text final };
+      SrvP.Recheck { blame = false };
+    ]
+  in
+  let (), wall =
+    time_it (fun () ->
+        List.iter (fun k -> burst k [ SrvP.Open (e11_spec base_text) ]) clients;
+        SrvE.drain engine;
+        for i = 1 to e11_steps do
+          List.iter (fun k -> pipeline k (round i k)) clients;
+          SrvE.drain engine
+        done;
+        List.iter
+          (fun k -> burst k [ SrvP.Rerepair { limit = 4 }; SrvP.Close ])
+          clients;
+        SrvE.drain engine)
+  in
+  (* exercise the stats verb once, on the drained engine *)
+  let stats_ok =
+    match (SrvE.call engine { SrvP.q_id = 0; q_session = ""; q_req = SrvP.Stats }).SrvP.s_result with
+    | Ok (SrvP.Stats_snapshot _) -> true
+    | _ -> false
+  in
+  SrvE.shutdown engine;
+  let evicted = counter0 "server.sessions_evicted" - evicted0 in
+  let revived = counter0 "server.sessions_revived" - revived0 in
+  let coalesced = counter0 "server.edits_coalesced" - coalesced0 in
+  (* ---- deterministic revival-contract check ---------------------- *)
+  (* Engine A (no eviction pressure) is the control; engine B runs at
+     max_live 1, so opening a bystander session forcibly evicts the
+     victim, whose next requests revive it from the snapshot. Both
+     must produce identical recheck verdicts and repair menus. *)
+  let run_sequence ~evict =
+    let eng =
+      SrvE.create ~jobs:1
+        ~max_live:(if evict then 1 else 8)
+        ~snapshot_dir:dir ()
+    in
+    let rid = ref 0 in
+    let call session q_req =
+      incr rid;
+      (SrvE.call eng { SrvP.q_id = !rid; q_session = session; q_req }).SrvP.s_result
+    in
+    let expect label = function
+      | Ok p -> p
+      | Error e -> failwith ("E11 revival check, " ^ label ^ ": " ^ e)
+    in
+    let _ = expect "open" (call "victim" (SrvP.Open (e11_spec base_text))) in
+    let _ =
+      expect "edit"
+        (call "victim" (SrvP.Apply_edits { models = e11_fm_text [ "F4" ] }))
+    in
+    let first = expect "recheck" (call "victim" (SrvP.Recheck { blame = false })) in
+    if evict then begin
+      (* the bystander pushes the victim over the cap *)
+      let _ =
+        expect "bystander" (call "bystander" (SrvP.Open (e11_spec base_text)))
+      in
+      ()
+    end;
+    let menu = expect "rerepair" (call "victim" (SrvP.Rerepair { limit = 4 })) in
+    let again = expect "recheck2" (call "victim" (SrvP.Recheck { blame = false })) in
+    SrvE.shutdown eng;
+    (first, menu, again)
+  in
+  let revived_before_check = counter0 "server.sessions_revived" in
+  let control = run_sequence ~evict:false in
+  let victim = run_sequence ~evict:true in
+  let revival_revived = counter0 "server.sessions_revived" > revived_before_check in
+  let strip = function
+    | SrvP.Checked { consistent; verdicts; _ } -> `Check (consistent, verdicts)
+    | SrvP.Repaired { outcome; menu; _ } -> `Repair (outcome, menu)
+    | _ -> `Other
+  in
+  let triple (a, b, c) = (strip a, strip b, strip c) in
+  let revival_equivalent = triple control = triple victim && revival_revived in
+  (* ---- report ---------------------------------------------------- *)
+  let h name = Obs.Metrics.histogram name in
+  let p50 name = Obs.Metrics.percentile (h name) 0.5 in
+  let p99 name = Obs.Metrics.percentile (h name) 0.99 in
+  let count name = Obs.Metrics.histogram_count (h name) in
+  Format.printf "%-14s %8s %12s %12s@." "verb" "count" "p50 ms" "p99 ms";
+  List.iter
+    (fun v ->
+      let name = "server.latency." ^ v ^ "_s" in
+      if count name > 0 then
+        Format.printf "%-14s %8d %12.3f %12.3f@." v (count name)
+          (p50 name *. 1000.) (p99 name *. 1000.))
+    verbs;
+  Format.printf
+    "clients %d, steps %d, engine jobs %d, max_live %d: %.2fs wall, %.1f \
+     rechecks/s, %d evicted, %d revived, %d coalesced, failures %d@."
+    e11_clients e11_steps engine_jobs max_live wall
+    (float_of_int (Atomic.get rechecks) /. wall)
+    evicted revived coalesced (Atomic.get failures);
+  Format.printf "warm recheck p50 %.3f ms / scratch p50 %.3f ms; revival %s@."
+    (p50 "server.recheck.warm_s" *. 1000.)
+    (p50 "server.recheck.scratch_s" *. 1000.)
+    (if revival_equivalent then "equivalent" else "DIVERGED");
+  let verb_records =
+    List.filter_map
+      (fun v ->
+        let name = "server.latency." ^ v ^ "_s" in
+        if count name = 0 then None
+        else
+          Some
+            (Echo.Telemetry.Obj
+               [
+                 ("experiment", Echo.Telemetry.String "E11");
+                 ("verb", Echo.Telemetry.String v);
+                 ("count", Echo.Telemetry.Int (count name));
+                 ("p50_s", Echo.Telemetry.Float (p50 name));
+                 ("p99_s", Echo.Telemetry.Float (p99 name));
+               ]))
+      verbs
+  in
+  let summary =
+    Echo.Telemetry.Obj
+      [
+        ("experiment", Echo.Telemetry.String "E11");
+        ("clients", Echo.Telemetry.Int e11_clients);
+        ("steps_per_client", Echo.Telemetry.Int e11_steps);
+        ("engine_jobs", Echo.Telemetry.Int engine_jobs);
+        ("max_live", Echo.Telemetry.Int max_live);
+        ("wall_time_s", Echo.Telemetry.Float wall);
+        ( "rechecks_per_s",
+          Echo.Telemetry.Float (float_of_int (Atomic.get rechecks) /. wall) );
+        ("rechecks", Echo.Telemetry.Int (Atomic.get rechecks));
+        ("sessions_evicted", Echo.Telemetry.Int evicted);
+        ("sessions_revived", Echo.Telemetry.Int revived);
+        ("edits_coalesced", Echo.Telemetry.Int coalesced);
+        ("failures", Echo.Telemetry.Int (Atomic.get failures));
+        ("stats_verb_ok", Echo.Telemetry.Bool stats_ok);
+        ( "recheck_warm_p50_s",
+          Echo.Telemetry.Float (p50 "server.recheck.warm_s") );
+        ( "recheck_scratch_p50_s",
+          Echo.Telemetry.Float (p50 "server.recheck.scratch_s") );
+        ("revival_equivalent", Echo.Telemetry.Bool revival_equivalent);
+      ]
+  in
+  summary :: verb_records
+
+(* ------------------------------------------------------------------ *)
 (* JSON records (the BENCH_*.json perf trajectory)                     *)
 
 let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
@@ -1032,7 +1311,8 @@ let () =
       ("e7", "least change and backend agreement (3)", fun ~jobs -> e7 ~jobs);
       ("e8", "scaling", fun ~jobs -> e8 ~jobs);
       ("e9", "incremental recheck vs from-scratch", fun ~jobs:_ -> ignore (e9 ()));
-      ("e10", "incremental rerepair vs enforce_all", fun ~jobs -> ignore (e10 ~jobs)) ]
+      ("e10", "incremental rerepair vs enforce_all", fun ~jobs -> ignore (e10 ~jobs));
+      ("e11", "transformation server under concurrent load", fun ~jobs -> ignore (e11 ~jobs)) ]
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
@@ -1104,6 +1384,11 @@ let () =
     let path = Filename.concat (Filename.dirname out) "BENCH_3.json" in
     write_json ~schema:"mdqvtr-bench/3" path (e9 () @ e10 ~jobs:run_jobs)
   in
+  (* the server load records likewise: BENCH_7.json (mdqvtr-bench/7) *)
+  let write_bench7 () =
+    let path = Filename.concat (Filename.dirname out) "BENCH_7.json" in
+    write_json ~schema:"mdqvtr-bench/7" path (e11 ~jobs:run_jobs)
+  in
   (* the metrics snapshot is cumulative over the whole run, so it is
      attached once per file, after every record has executed *)
   let metrics () = [ ("metrics", Obs.Metrics.to_json ()) ] in
@@ -1119,7 +1404,8 @@ let () =
         let records = List.concat_map (measure_sweep ~reps sweep) experiments in
         maybe_portfolio experiments;
         write_json ~extra:(metrics ()) out records;
-        write_bench3 ()
+        write_bench3 ();
+        write_bench7 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
@@ -1147,7 +1433,9 @@ let () =
         maybe_portfolio selected;
         write_json ~extra:(metrics ()) out records;
         if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
-        then write_bench3 ()
+        then write_bench3 ();
+        if List.exists (fun (eid, _, _) -> eid = "e11") selected then
+          write_bench7 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected;

@@ -206,68 +206,208 @@ let run_enforce trans_file mm_file models_file targets standard backend
     2
 
 (* ------------------------------------------------------------------ *)
-(* session: replay an edit script on a long-lived incremental session *)
+(* session: replay an edit script on a long-lived incremental session.
+
+   The replay is driven through Server.Engine — the same
+   request-handling core `qvtr serve` exposes over a socket — so the
+   CLI and the wire protocol cannot drift: every step is an
+   apply_edits + recheck request against a persistent "main" session,
+   compared with an open + recheck + close of a from-scratch session
+   over the same post-edit models. *)
+
+module SP = Server.Protocol
+
+type session_step_record = {
+  ss_label : string;
+  ss_edits : int;
+  ss_rebuilt : bool;
+  ss_consistent : bool;
+  ss_match : bool;
+  ss_warm : Incr.Session.step_stats;
+  ss_scratch : Incr.Session.step_stats;
+}
 
 let run_session trans_file mm_file models_file edits_file targets standard
     slack headroom stats trace =
   with_trace trace @@ fun () ->
-  match
-    let* trans = Qvtr.Parser.parse (read_file trans_file) in
-    let* mms = Mdl.Serialize.parse_metamodels (read_file mm_file) in
-    let* models = Mdl.Serialize.parse_models mms (read_file models_file) in
-    let metamodels = List.map (fun mm -> (Mdl.Metamodel.name mm, mm)) mms in
-    let bound = List.map (fun m -> (Mdl.Model.name m, m)) models in
-    let targets =
-      match targets with
-      | [] ->
-        (* default: the fully multidirectional shape — every parameter
-           may change *)
-        Echo.Target.of_list
-          (List.map
-             (fun (p : Qvtr.Ast.param) -> Mdl.Ident.name p.Qvtr.Ast.par_name)
-             trans.Qvtr.Ast.t_params)
-      | ts -> Echo.Target.of_list ts
+  let mm_text = read_file mm_file in
+  let models_text = read_file models_file in
+  let prep =
+    let* mms = Mdl.Serialize.parse_metamodels mm_text in
+    let* models = Mdl.Serialize.parse_models mms models_text in
+    let* bs = Incr.Replay.blocks (read_file edits_file) in
+    (* validate every block up front so malformed scripts fail with
+       their replay-file line numbers before any solver work *)
+    let* snapshots =
+      List.fold_left
+        (fun acc (label, line, body) ->
+          let* acc = acc in
+          match Mdl.Serialize.parse_models mms body with
+          | Ok ms -> Ok ((label, body, ms) :: acc)
+          | Error e ->
+            Error
+              (Printf.sprintf "replay script: step %S (marker at line %d): %s"
+                 label line e))
+        (Ok []) bs
     in
-    let* steps =
-      Incr.Replay.parse ~metamodels:mms ~base:bound (read_file edits_file)
-    in
-    Incr.Replay.run ~mode:(mode_of_standard standard) ~slack_budget:slack
-      ~headroom ~transformation:trans ~metamodels ~models:bound ~targets steps
-  with
+    Ok (models, List.rev snapshots)
+  in
+  match prep with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     2
-  | Ok records ->
-    Format.printf "%-28s %5s %6s %6s %5s  %-26s %-26s@." "step" "edits"
-      "re-enc" "consis" "match" "session (ms/confl/props)"
-      "scratch (ms/confl/props)";
-    let pp_side (s : Incr.Session.step_stats) =
-      Printf.sprintf "%8.2f %6d %9d" (s.Incr.Session.wall *. 1000.)
-        s.Incr.Session.conflicts s.Incr.Session.propagations
+  | Ok (models, snapshots) -> (
+    let engine = Server.Engine.create ~jobs:1 () in
+    let spec =
+      {
+        SP.o_transformation = read_file trans_file;
+        o_metamodels = mm_text;
+        o_models = models_text;
+        o_targets = targets;
+        o_standard = standard;
+        o_slack = slack;
+        o_headroom = headroom;
+      }
     in
-    List.iter
-      (fun (r : Incr.Replay.step_record) ->
-        Format.printf "%-28s %5d %6s %6s %5s  %-26s %-26s@."
-          r.Incr.Replay.sr_label r.Incr.Replay.sr_edits
-          (if r.Incr.Replay.sr_rebuilt then "yes" else "-")
-          (if r.Incr.Replay.sr_session_consistent then "yes" else "no")
-          (if r.Incr.Replay.sr_verdicts_match then "yes" else "NO")
-          (pp_side r.Incr.Replay.sr_session)
-          (pp_side r.Incr.Replay.sr_scratch))
-      records;
-    if stats then begin
-      let sum f =
-        List.fold_left (fun (a, b) r -> (a + f r.Incr.Replay.sr_session, b + f r.Incr.Replay.sr_scratch)) (0, 0) records
+    let next_id = ref 0 in
+    let call session q_req =
+      incr next_id;
+      let resp =
+        Server.Engine.call engine
+          { SP.q_id = !next_id; q_session = session; q_req }
       in
-      let c_s, c_c = sum (fun s -> s.Incr.Session.conflicts) in
-      let p_s, p_c = sum (fun s -> s.Incr.Session.propagations) in
-      Format.printf
-        "totals: session %d conflicts / %d propagations; from-scratch %d / %d@."
-        c_s p_s c_c p_c;
-      pp_metrics stats
-    end;
-    if List.for_all (fun r -> r.Incr.Replay.sr_verdicts_match) records then 0
-    else 1
+      resp.SP.s_result
+    in
+    let checked = function
+      | SP.Checked { consistent; verdicts; stats } ->
+        Ok (consistent, verdicts, stats)
+      | _ -> Error "unexpected reply to recheck"
+    in
+    let replay =
+      let* _ = call "main" (SP.Open spec) in
+      (* warm-up: pay the session's translation before step 1, as
+         Incr.Replay.run does *)
+      let* _ = call "main" (SP.Recheck { blame = false }) in
+      let projected =
+        ref (List.map (fun m -> (Mdl.Model.name m, m)) models)
+      in
+      let step (label, body, ms) =
+        List.iter
+          (fun m ->
+            let p = Mdl.Model.name m in
+            projected :=
+              List.map
+                (fun (q, old) ->
+                  if Mdl.Ident.equal q p then (q, m) else (q, old))
+                !projected)
+          ms;
+        let* applied = call "main" (SP.Apply_edits { models = body }) in
+        let* edits =
+          match applied with
+          | SP.Applied { edits } -> Ok edits
+          | _ -> Error "unexpected reply to apply_edits"
+        in
+        let* consistent, warm_vs, warm_stats =
+          Result.bind (call "main" (SP.Recheck { blame = false })) checked
+        in
+        let scratch_models =
+          String.concat "\n"
+            (List.map
+               (fun (_, m) -> Mdl.Serialize.model_to_string m)
+               !projected)
+        in
+        let* _ =
+          call "scratch" (SP.Open { spec with SP.o_models = scratch_models })
+        in
+        let* _, scratch_vs, scratch_stats =
+          Result.bind (call "scratch" (SP.Recheck { blame = false })) checked
+        in
+        let* _ = call "scratch" SP.Close in
+        Ok
+          {
+            ss_label = label;
+            ss_edits = edits;
+            ss_rebuilt = warm_stats.Incr.Session.translated;
+            ss_consistent = consistent;
+            ss_match = warm_vs = scratch_vs;
+            ss_warm = warm_stats;
+            ss_scratch = scratch_stats;
+          }
+      in
+      List.fold_left
+        (fun acc snap ->
+          let* acc = acc in
+          let* r = step snap in
+          Ok (r :: acc))
+        (Ok []) snapshots
+      |> Result.map List.rev
+    in
+    let result = replay in
+    Server.Engine.shutdown engine;
+    match result with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      2
+    | Ok records ->
+      Format.printf "%-28s %5s %6s %6s %5s  %-26s %-26s@." "step" "edits"
+        "re-enc" "consis" "match" "session (ms/confl/props)"
+        "scratch (ms/confl/props)";
+      let pp_side (s : Incr.Session.step_stats) =
+        Printf.sprintf "%8.2f %6d %9d" (s.Incr.Session.wall *. 1000.)
+          s.Incr.Session.conflicts s.Incr.Session.propagations
+      in
+      List.iter
+        (fun r ->
+          Format.printf "%-28s %5d %6s %6s %5s  %-26s %-26s@." r.ss_label
+            r.ss_edits
+            (if r.ss_rebuilt then "yes" else "-")
+            (if r.ss_consistent then "yes" else "no")
+            (if r.ss_match then "yes" else "NO")
+            (pp_side r.ss_warm) (pp_side r.ss_scratch))
+        records;
+      if stats then begin
+        let sum f =
+          List.fold_left
+            (fun (a, b) r -> (a + f r.ss_warm, b + f r.ss_scratch))
+            (0, 0) records
+        in
+        let c_s, c_c = sum (fun s -> s.Incr.Session.conflicts) in
+        let p_s, p_c = sum (fun s -> s.Incr.Session.propagations) in
+        Format.printf
+          "totals: session %d conflicts / %d propagations; from-scratch %d / \
+           %d@."
+          c_s p_s c_c p_c;
+        pp_metrics stats
+      end;
+      if List.for_all (fun r -> r.ss_match) records then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* serve: long-lived multi-session daemon                              *)
+
+let run_serve socket tcp jobs max_live snapshot_dir =
+  match (socket, tcp) with
+  | None, None ->
+    Format.eprintf "error: one of --socket PATH or --tcp PORT is required@.";
+    2
+  | Some _, Some _ ->
+    Format.eprintf "error: --socket and --tcp are mutually exclusive@.";
+    2
+  | _ ->
+    let addr, pretty =
+      match (socket, tcp) with
+      | Some path, None -> (Server.Net.Unix_sock path, "unix:" ^ path)
+      | None, Some port -> (Server.Net.Tcp port, Printf.sprintf "tcp:127.0.0.1:%d" port)
+      | _ -> assert false
+    in
+    let engine =
+      Server.Engine.create ~jobs:(resolve_jobs jobs) ~max_live ~snapshot_dir ()
+    in
+    let ready () = Format.eprintf "qvtr serve: listening on %s@." pretty in
+    (match Server.Net.serve ~ready ~engine addr with
+    | Ok () -> 0
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      2)
 
 (* ------------------------------------------------------------------ *)
 (* traces                                                              *)
@@ -551,6 +691,55 @@ let session_cmd =
       $ session_targets_arg $ standard_arg $ slack_arg $ headroom_arg
       $ stats_arg $ trace_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix domain socket at PATH.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on loopback TCP at PORT.")
+
+let max_live_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-live" ] ~docv:"N"
+        ~doc:
+          "Keep at most N sessions (and their solver state) in memory; the \
+           least-recently-used idle session beyond that is evicted to a \
+           durable snapshot and transparently revived on its next request.")
+
+let snapshot_dir_arg =
+  Arg.(
+    value & opt string "./qvtr-sessions"
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:"Directory for eviction/snapshot files (created on demand).")
+
+let serve_cmd =
+  let doc = "run the long-lived multi-session transformation server" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Hosts many concurrent incremental sessions, one per editor or \
+         client, and answers newline-framed JSON requests (verbs: open, \
+         apply_edits, recheck, rerepair, commit, snapshot, close, stats) \
+         over a Unix or loopback TCP socket. Work is scheduled on a worker \
+         pool, one in-flight request per session and fair across sessions; \
+         bursts of apply_edits coalesce into one re-pin. $(b,qvtr session) \
+         drives the same engine in-process.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ jobs_arg $ max_live_arg
+      $ snapshot_dir_arg)
+
 let lint_models_arg =
   Arg.(
     value
@@ -621,6 +810,15 @@ let main =
   let doc = "multidirectional QVT-R transformations (EDBT'14 reproduction)" in
   Cmd.group
     (Cmd.info "qvtr" ~version:"1.0.0" ~doc)
-    [ check_cmd; enforce_cmd; session_cmd; traces_cmd; lint_cmd; fmt_cmd; demo_cmd ]
+    [
+      check_cmd;
+      enforce_cmd;
+      session_cmd;
+      serve_cmd;
+      traces_cmd;
+      lint_cmd;
+      fmt_cmd;
+      demo_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

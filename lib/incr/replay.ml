@@ -41,46 +41,70 @@ let steps_of_snapshots ~base snapshots =
   let _, steps = List.fold_left_map step_of base snapshots in
   steps
 
-let parse_exn ~metamodels ~base text =
+(* Blocks are delimited by lines starting with "=="; the marker line's
+   remainder is the label. Each body is padded with newlines up to its
+   position in the file, so line/col coordinates in any parse error
+   raised inside a block are absolute script-file positions — the
+   serializer's lexer counts from line 1 of whatever string it gets. *)
+let blocks text =
   let lines = String.split_on_char '\n' text in
-  (* blocks delimited by lines starting with "=="; the marker line's
-     remainder is the label *)
-  let blocks =
+  let _, rev_blocks, err =
     List.fold_left
-      (fun blocks line ->
-        if String.length line >= 2 && String.sub line 0 2 = "==" then begin
+      (fun (lineno, blocks, err) line ->
+        if err <> None then (lineno + 1, blocks, err)
+        else if String.length line >= 2 && String.sub line 0 2 = "==" then begin
           let label =
             String.trim (String.sub line 2 (String.length line - 2))
           in
-          (label, Buffer.create 256) :: blocks
+          let buf = Buffer.create 256 in
+          for _ = 1 to lineno do
+            Buffer.add_char buf '\n'
+          done;
+          (lineno + 1, (label, lineno, buf) :: blocks, err)
         end
         else begin
-          (match blocks with
-          | (_, buf) :: _ ->
+          match blocks with
+          | (_, _, buf) :: _ ->
             Buffer.add_string buf line;
-            Buffer.add_char buf '\n'
+            Buffer.add_char buf '\n';
+            (lineno + 1, blocks, err)
           | [] ->
-            if String.trim line <> "" then
-              failwith "replay script: text before the first == marker");
-          blocks
+            if String.trim line = "" then (lineno + 1, blocks, err)
+            else
+              ( lineno + 1,
+                blocks,
+                Some
+                  (Printf.sprintf
+                     "replay script: line %d: text before the first == step \
+                      marker"
+                     lineno) )
         end)
-      [] lines
-    |> List.rev
+      (1, [], None) lines
   in
-  let snapshots =
-    List.map
-      (fun (label, buf) ->
-        match Mdl.Serialize.parse_models metamodels (Buffer.contents buf) with
-        | Ok ms -> (label, List.map (fun m -> (Model.name m, m)) ms)
-        | Error e -> failwith (Printf.sprintf "step %S: %s" label e))
-      blocks
-  in
-  steps_of_snapshots ~base snapshots
+  match err with
+  | Some e -> Error e
+  | None ->
+    Ok
+      (List.rev_map
+         (fun (label, line, buf) -> (label, line, Buffer.contents buf))
+         rev_blocks)
 
 let parse ~metamodels ~base text =
-  match parse_exn ~metamodels ~base text with
-  | steps -> Ok steps
-  | exception Failure msg -> Error msg
+  let ( let* ) = Result.bind in
+  let* bs = blocks text in
+  let* rev_snapshots =
+    List.fold_left
+      (fun acc (label, line, body) ->
+        let* acc = acc in
+        match Mdl.Serialize.parse_models metamodels body with
+        | Ok ms -> Ok ((label, List.map (fun m -> (Model.name m, m)) ms) :: acc)
+        | Error e ->
+          Error
+            (Printf.sprintf "replay script: step %S (marker at line %d): %s"
+               label line e))
+      (Ok []) bs
+  in
+  Ok (steps_of_snapshots ~base (List.rev rev_snapshots))
 
 let verdicts_match (a : Session.check_report) (b : Session.check_report) =
   List.length a.Session.verdicts = List.length b.Session.verdicts

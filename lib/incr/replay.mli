@@ -50,6 +50,16 @@ val steps_of_snapshots :
     [base]. Parameters absent from a snapshot are unchanged; an empty
     diff yields an empty batch (the step is kept, with no edits). *)
 
+val blocks : string -> ((string * int * string) list, string) result
+(** Split a replay script into [(label, marker_line, body)] blocks:
+    lines starting with [==] open a block, the rest of the marker line
+    is the label, and [marker_line] is the marker's 1-based line in
+    the script. Each body is newline-padded to its file position, so
+    parse errors raised on it report absolute script-file lines. The
+    transformation server's [apply_edits] verb and the [qvtr session]
+    CLI both feed these bodies through the same snapshot-diff path.
+    Errors (e.g. text before the first marker) carry line numbers. *)
+
 val parse :
   metamodels:Mdl.Metamodel.t list ->
   base:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -57,7 +67,10 @@ val parse :
   (step list, string) result
 (** Parse a replay script (see above): blocks separated by lines
     starting with [==], the rest of the marker line being the step
-    label. *)
+    label. Every error — stray text before the first marker, a
+    malformed model block, an unknown declaration keyword — is
+    reported with its 1-based line (and, for model-syntax errors,
+    column) in the script file. *)
 
 val run :
   ?mode:Qvtr.Semantics.mode ->

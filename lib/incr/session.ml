@@ -330,7 +330,7 @@ let ensure_generation t =
 (* Opening                                                             *)
 
 let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
-    ~transformation ~metamodels ~models ~targets () =
+    ?(extra_values = []) ~transformation ~metamodels ~models ~targets () =
   let ( let* ) = Result.bind in
   if slack_budget < 0 || headroom < 0 then
     Error "Session.open_session: slack_budget and headroom must be >= 0"
@@ -351,10 +351,15 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
                 (fun e -> Format.asprintf "%a" Qvtr.Typecheck.pp_error e)
                 errs))
     in
+    let seed =
+      List.fold_left
+        (fun acc v -> Value.Set.add v acc)
+        Value.Set.empty extra_values
+    in
     let* gen =
       Obs.Trace.with_span ~name:"session.build" (fun () ->
           build_generation ~trans:transformation ~metamodels ~models
-            ~values:Value.Set.empty ~slack:(slack_budget + headroom) ?mode
+            ~values:seed ~slack:(slack_budget + headroom) ?mode
             ?unroll info)
     in
     let t =
@@ -377,7 +382,7 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
         values =
           List.fold_left
             (fun acc v -> Value.Set.add v acc)
-            Value.Set.empty
+            seed
             (Qvtr.Encode.values gen.g_enc);
         pstates = fresh_pstates params;
         fact_cache = Ident.Map.empty;

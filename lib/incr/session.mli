@@ -110,6 +110,7 @@ val open_session :
   ?unroll:int ->
   ?slack_budget:int ->
   ?headroom:int ->
+  ?extra_values:Mdl.Value.t list ->
   transformation:Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -119,8 +120,13 @@ val open_session :
 (** [slack_budget] (default 2) is the number of fresh objects a single
     repair may create — {!Echo.Engine}'s [slack_objects]. [headroom]
     (default 6) is how many object creations the session absorbs by
-    edits before the universe must be re-encoded. Solvers are built
-    lazily: the first [recheck]/[rerepair] pays the translation. *)
+    edits before the universe must be re-encoded. [extra_values]
+    (default none) seeds the value accumulator beyond what the models
+    mention — the revival path of a durable session snapshot passes
+    the evicted session's {!value_universe} here, so a resurrected
+    session searches exactly the space the evicted one did. Solvers
+    are built lazily: the first [recheck]/[rerepair] pays the
+    translation. *)
 
 val models : t -> (Mdl.Ident.t * Mdl.Model.t) list
 (** The current (post-edit) models. *)

@@ -3,14 +3,27 @@ type t = { tag : int; str : string }
 let table : (string, t) Hashtbl.t = Hashtbl.create 512
 let counter = ref 0
 
+(* Interning must be domain-safe: the transformation server parses
+   metamodels and decodes repaired models on pool worker domains, and
+   a racy double-insert would mint two tags for one string — breaking
+   [equal], which compares tags only. The table is touched exclusively
+   under this lock; uncontended Mutex ops are tens of nanoseconds,
+   invisible next to the parsing that surrounds every [make]. *)
+let mu = Mutex.create ()
+
 let make str =
-  match Hashtbl.find_opt table str with
-  | Some id -> id
-  | None ->
-    let id = { tag = !counter; str } in
-    incr counter;
-    Hashtbl.add table str id;
-    id
+  Mutex.lock mu;
+  let id =
+    match Hashtbl.find_opt table str with
+    | Some id -> id
+    | None ->
+      let id = { tag = !counter; str } in
+      incr counter;
+      Hashtbl.add table str id;
+      id
+  in
+  Mutex.unlock mu;
+  id
 
 let name id = id.str
 let equal a b = a.tag = b.tag

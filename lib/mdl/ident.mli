@@ -10,7 +10,10 @@ type t
     physically equal. *)
 
 val make : string -> t
-(** [make s] interns [s] and returns its identifier. *)
+(** [make s] interns [s] and returns its identifier. Domain-safe: the
+    interning table is lock-protected, so parsing and model decoding
+    may run concurrently on pool worker domains (the transformation
+    server does both). *)
 
 val name : t -> string
 (** [name id] is the string [id] was built from. *)

@@ -489,3 +489,35 @@ let parse_models metamodels src =
         | _ -> go (parse_model_decl lx metamodels :: acc)
       in
       go [])
+
+(* Primitive values round-trip through Value.to_string: strings as
+   OCaml literals (%S), ints and bools bare, enum literals as bare
+   identifiers. The inverse is what the session-snapshot format uses
+   to persist a session's accumulated value universe. *)
+let value_to_string = Value.to_string
+
+let value_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "empty value"
+  else if s.[0] = '"' then
+    match Scanf.sscanf s "%S%n" (fun str n -> (str, n)) with
+    | str, n when n = String.length s -> Ok (Value.Str str)
+    | _ -> Error (Printf.sprintf "trailing input after string literal: %s" s)
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      Error (Printf.sprintf "malformed string literal: %s" s)
+  else if s = "true" then Ok (Value.Bool true)
+  else if s = "false" then Ok (Value.Bool false)
+  else
+    match int_of_string_opt s with
+    | Some n -> Ok (Value.Int n)
+    | None ->
+      let ident_char i c =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || c = '_'
+        || (i > 0 && ((c >= '0' && c <= '9') || c = '$'))
+      in
+      let ok = ref (s.[0] < '0' || s.[0] > '9') in
+      String.iteri (fun i c -> if not (ident_char i c) then ok := false) s;
+      if !ok then Ok (Value.Enum (Ident.make s))
+      else Error (Printf.sprintf "malformed value: %s" s)

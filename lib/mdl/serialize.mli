@@ -46,3 +46,13 @@ val parse_model : Metamodel.t -> string -> (Model.t, string) result
 val parse_models : Metamodel.t list -> string -> (Model.t list, string) result
 (** Parse a file containing several model declarations, resolving each
     against the metamodel with the matching name. *)
+
+val value_to_string : Value.t -> string
+(** {!Value.to_string}: strings as quoted literals, ints/bools bare,
+    enum literals as bare identifiers. *)
+
+val value_of_string : string -> (Value.t, string) result
+(** Inverse of {!value_to_string} — the codec the durable session
+    snapshots use to persist a session's accumulated value universe.
+    A bare identifier that is not [true]/[false] parses as an enum
+    literal. *)

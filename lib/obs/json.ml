@@ -256,3 +256,10 @@ let member k = function
 let to_list = function
   | List xs -> xs
   | _ -> []
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_bool_opt = function
+  | Bool b -> Some b
+  | _ -> None

@@ -42,3 +42,11 @@ val member : string -> t -> t
 
 val to_list : t -> t list
 (** The elements of a [List], or [[]] for any other value. *)
+
+(** Typed accessors, [None] on a value of any other shape — the
+    pattern every JSON-protocol consumer (the transformation server's
+    request decoder, the test clients) otherwise re-rolls. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option

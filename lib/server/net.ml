@@ -1,0 +1,132 @@
+module Json = Obs.Json
+module P = Protocol
+
+type addr =
+  | Unix_sock of string
+  | Tcp of int
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read, not yet framed into lines *)
+  wmu : Mutex.t;  (** serializes reply writes from pool workers *)
+  mutable alive : bool;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Replies race with connection teardown (client gone, worker still
+   finishing); a failed write just marks the connection dead. *)
+let send conn line =
+  Mutex.lock conn.wmu;
+  (try if conn.alive then write_all conn.fd (line ^ "\n")
+   with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wmu
+
+(* Best-effort id recovery from an unparseable frame, so the error
+   reply can still be correlated. *)
+let recover_id line =
+  match Json.of_string line with
+  | Ok j -> Option.value ~default:(-1) (Json.to_int_opt (Json.member "id" j))
+  | Error _ -> -1
+
+let m_errors = Obs.Metrics.counter "server.errors"
+
+let handle_line ~engine conn line =
+  if String.trim line <> "" then
+    match P.parse_request line with
+    | Error err ->
+      Obs.Metrics.incr m_errors;
+      send conn
+        (P.response_to_string ~verb:"error"
+           { P.s_id = recover_id line; s_result = Error err })
+    | Ok req ->
+      let verb = P.verb_of_request req.P.q_req in
+      Engine.submit engine req (fun resp ->
+          send conn (P.response_to_string ~verb resp))
+
+(* Split off every complete line in the connection buffer. *)
+let drain_lines ~engine conn =
+  let data = Buffer.contents conn.buf in
+  match String.rindex_opt data '\n' with
+  | None -> ()
+  | Some last ->
+    Buffer.clear conn.buf;
+    Buffer.add_string conn.buf
+      (String.sub data (last + 1) (String.length data - last - 1));
+    String.sub data 0 last |> String.split_on_char '\n'
+    |> List.iter (handle_line ~engine conn)
+
+let serve ?(ready = fun () -> ()) ~engine addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match
+    match addr with
+    | Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      sock
+    | Tcp port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      sock
+  with
+  | exception Unix.Unix_error (e, _, arg) ->
+    Error (Printf.sprintf "serve: %s: %s" arg (Unix.error_message e))
+  | sock ->
+    Unix.listen sock 64;
+    ready ();
+    let conns = ref [] in
+    let chunk = Bytes.create 65536 in
+    let rec loop () =
+      conns := List.filter (fun c -> c.alive) !conns;
+      let fds = sock :: List.map (fun c -> c.fd) !conns in
+      let readable, _, _ =
+        try
+          let r, w, x = Unix.select fds [] [] (-1.0) in
+          (r, w, x)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if fd = sock then begin
+            match Unix.accept sock with
+            | client, _ ->
+              conns :=
+                {
+                  fd = client;
+                  buf = Buffer.create 4096;
+                  wmu = Mutex.create ();
+                  alive = true;
+                }
+                :: !conns
+            | exception Unix.Unix_error _ -> ()
+          end
+          else
+            match List.find_opt (fun c -> c.fd = fd) !conns with
+            | None -> ()
+            | Some conn -> (
+              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                Mutex.lock conn.wmu;
+                conn.alive <- false;
+                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+                Mutex.unlock conn.wmu
+              | n ->
+                Buffer.add_subbytes conn.buf chunk 0 n;
+                drain_lines ~engine conn
+              | exception Unix.Unix_error _ ->
+                Mutex.lock conn.wmu;
+                conn.alive <- false;
+                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+                Mutex.unlock conn.wmu))
+        readable;
+      loop ()
+    in
+    loop ()

@@ -1,0 +1,27 @@
+(** Socket front end for {!Engine}: newline-framed JSONL over a Unix
+    domain socket or loopback TCP.
+
+    One connection carries any number of interleaved sessions; frames
+    are {!Protocol} requests, one per line, answered with one response
+    line each. Responses to a single session come back in request
+    order; responses across sessions (and to [stats]) may interleave,
+    which is why every frame carries the client's [id]. A frame that
+    fails strict parsing is answered immediately with
+    [{"id":<recovered id or -1>,"ok":false,"error":...}] — the
+    connection stays up.
+
+    Replies are written by whichever pool worker finished the request,
+    serialized per connection with a write lock; the accept/read loop
+    itself never blocks on engine work. *)
+
+type addr =
+  | Unix_sock of string  (** path; unlinked and re-bound on start *)
+  | Tcp of int  (** loopback only — the server is not authenticated *)
+
+val serve :
+  ?ready:(unit -> unit) -> engine:Engine.t -> addr -> (unit, string) result
+(** Bind, listen and run the accept/read loop forever (the [qvtr
+    serve] process exits by signal). [ready] fires once the socket is
+    listening — the bench and the CI smoke test use it to know when
+    to connect. [Error] covers bind/listen failures; per-connection
+    I/O errors just drop that connection. *)

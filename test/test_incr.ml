@@ -436,16 +436,50 @@ let test_warm_beats_scratch () =
           r.Rp.sr_label warm cold)
     records
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_error_mentions ctx ~sub = function
+  | Error e ->
+    if not (contains ~sub e) then
+      Alcotest.failf "%s: expected %S in error %S" ctx sub e
+  | Ok _ -> Alcotest.failf "%s: malformed script must be rejected" ctx
+
 let test_replay_parse_errors () =
   let mms = [ F.cf_metamodel; F.fm_metamodel ] in
   let cfs, fm = state ~cf1:[ "A" ] ~cf2:[ "A" ] ~fm:[ ("A", true) ] in
   let base = F.bind ~cfs ~fm in
-  (match Rp.parse ~metamodels:mms ~base "model x {}\n== late marker\n" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "text before the first marker must be rejected");
-  (match Rp.parse ~metamodels:mms ~base "== bad block\nnot a model\n" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "unparsable block must be rejected");
+  (* every rejection must name the script line it comes from *)
+  check_error_mentions "text before the first marker" ~sub:"line 1"
+    (Rp.parse ~metamodels:mms ~base "model x {}\n== late marker\n");
+  check_error_mentions "stray text after blank lines" ~sub:"line 3"
+    (Rp.parse ~metamodels:mms ~base "\n\nstray text\n== step\n");
+  (* a model-syntax error inside a block reports the step, its marker
+     line, and the absolute line of the offending token — bodies are
+     newline-padded to their file position *)
+  let bad = Rp.parse ~metamodels:mms ~base "== s1 bad block\nnot a model\n" in
+  check_error_mentions "malformed block names its step" ~sub:{|step "s1 bad block"|} bad;
+  check_error_mentions "malformed block names its marker" ~sub:"marker at line 1" bad;
+  check_error_mentions "model error keeps absolute lines" ~sub:"line 2" bad;
+  let prefix = "== ok\n" ^ Mdl.Serialize.model_to_string fm ^ "\n" in
+  let marker_line =
+    1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 prefix
+  in
+  check_error_mentions "later block, later marker line"
+    ~sub:(Printf.sprintf "marker at line %d" marker_line)
+    (Rp.parse ~metamodels:mms ~base (prefix ^ "== broken\nmodel cf1 : CF {\n"));
+  (* unknown declaration keywords are model-syntax errors too *)
+  check_error_mentions "unknown keyword" ~sub:"marker at line 1"
+    (Rp.parse ~metamodels:mms ~base "== kw\nwidget w : W {}\n");
+  (* blocks: labels, marker lines, and bodies in file coordinates *)
+  (match Rp.blocks "== a\nbody\n\n== b\nmore\n" with
+  | Ok [ ("a", 1, ba); ("b", 4, bb) ] ->
+    Alcotest.(check string) "body a" "body" (String.trim ba);
+    Alcotest.(check string) "body b" "more" (String.trim bb)
+  | Ok bs -> Alcotest.failf "unexpected blocks (%d)" (List.length bs)
+  | Error e -> Alcotest.fail e);
   (* a block restating the current state yields a step with no edits *)
   match
     Rp.parse ~metamodels:mms ~base

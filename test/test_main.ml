@@ -33,6 +33,7 @@ let () =
       ("echo.engine", Test_echo.suite);
       ("echo.telemetry", Test_telemetry.suite);
       ("incr.session", Test_incr.suite);
+      ("server", Test_server.suite);
       ("featuremodel", Test_featuremodel.suite);
       ("extensions", Test_extensions.suite);
       ("internals", Test_internals.suite);

@@ -1,0 +1,663 @@
+(* Tests for lib/server: the wire codec, durable snapshots, and the
+   multi-session engine behind `qvtr serve`.
+
+   The load-bearing properties:
+   - protocol frames round-trip through the codec, and malformed
+     frames are rejected naming the offending field;
+   - an evicted-then-revived session answers with verdicts, menus and
+     distances identical to one that never left memory (the snapshot
+     round-trip guarantee), and corrupted/mis-versioned snapshot files
+     are rejected with explicit errors;
+   - request handling is jobs-invariant (a pool of workers computes
+     exactly what the inline jobs=1 path does), requests to one
+     session serialize in arrival order, and an LRU cap far below the
+     client count never loses edits. *)
+
+module P = Server.Protocol
+module E = Server.Engine
+module Snap = Server.Snapshot
+module S = Incr.Session
+module F = Featuremodel.Fm
+module Ident = Mdl.Ident
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains ctx ~sub s =
+  if not (contains ~sub s) then
+    Alcotest.failf "%s: expected %S inside %S" ctx sub s
+
+let replace ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found" sub
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let tmpdir tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mdqvtr-test-%s-%d" tag (Unix.getpid ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: the paper's feature-model/configuration transformation    *)
+
+let base_fm = [ ("A", true); ("B", false) ]
+
+let models_text ~cf1 ~cf2 ~fm =
+  String.concat "\n"
+    (List.map Mdl.Serialize.model_to_string
+       [
+         F.feature_model ~name:"fm" fm;
+         F.configuration ~name:"cf1" cf1;
+         F.configuration ~name:"cf2" cf2;
+       ])
+
+let spec models =
+  {
+    P.o_transformation = F.source ~k:2;
+    o_metamodels =
+      Mdl.Serialize.metamodel_to_string F.fm_metamodel
+      ^ "\n"
+      ^ Mdl.Serialize.metamodel_to_string F.cf_metamodel;
+    o_models = models;
+    o_targets = [ "cf1"; "cf2" ];
+    o_standard = false;
+    o_slack = 2;
+    o_headroom = 6;
+  }
+
+let base_spec () = spec (models_text ~cf1:[ "A" ] ~cf2:[ "A" ] ~fm:base_fm)
+
+let next_id = Atomic.make 1
+
+let call eng ?(session = "s") req =
+  E.call eng
+    { P.q_id = Atomic.fetch_and_add next_id 1; q_session = session; q_req = req }
+
+let ok ctx (resp : P.resp) =
+  match resp.P.s_result with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" ctx e
+
+let err ctx (resp : P.resp) =
+  match resp.P.s_result with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "%s: expected an error reply" ctx
+
+let checked ctx resp =
+  match ok ctx resp with
+  | P.Checked { consistent; verdicts; _ } -> (consistent, verdicts)
+  | _ -> Alcotest.failf "%s: expected a Checked payload" ctx
+
+let repaired ctx resp =
+  match ok ctx resp with
+  | P.Repaired { outcome; menu; _ } ->
+    ( outcome,
+      List.sort compare
+        (List.map
+           (fun (m : P.menu_entry) ->
+             ( m.P.m_relational_distance,
+               m.P.m_edit_distance,
+               List.sort compare m.P.m_models ))
+           menu) )
+  | _ -> Alcotest.failf "%s: expected a Repaired payload" ctx
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+
+let test_codec_round_trip () =
+  let reqs =
+    [
+      { P.q_id = 1; q_session = "s1"; q_req = P.Open (base_spec ()) };
+      {
+        P.q_id = 2;
+        q_session = "s1";
+        q_req = P.Apply_edits { models = "model cf1 : CF {\n}" };
+      };
+      { P.q_id = 3; q_session = "s1"; q_req = P.Recheck { blame = true } };
+      { P.q_id = 4; q_session = "s1"; q_req = P.Rerepair { limit = 8 } };
+      { P.q_id = 5; q_session = "s1"; q_req = P.Commit { choice = 2 } };
+      { P.q_id = 6; q_session = "s1"; q_req = P.Snapshot };
+      { P.q_id = 7; q_session = "s1"; q_req = P.Close };
+      { P.q_id = 8; q_session = ""; q_req = P.Stats };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.parse_request (P.request_to_string r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (P.verb_of_request r.P.q_req ^ " round-trips")
+          true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  let stats =
+    {
+      S.wall = 0.5;
+      solver_calls = 3;
+      conflicts = 7;
+      propagations = 41;
+      decisions = 11;
+      translated = true;
+      translate_s = 0.25;
+    }
+  in
+  let resps =
+    [
+      ("open", { P.s_id = 1; s_result = Ok (P.Opened { revived = true }) });
+      ("apply_edits", { P.s_id = 2; s_result = Ok (P.Applied { edits = 4 }) });
+      ( "recheck",
+        {
+          P.s_id = 3;
+          s_result =
+            Ok
+              (P.Checked
+                 {
+                   consistent = false;
+                   verdicts =
+                     [
+                       {
+                         P.w_relation = "MandatoryFeatures";
+                         w_sources = [ "fm" ];
+                         w_target = "cf1";
+                         w_holds = false;
+                         w_blame = [ ("Feature", [ "fm"; "A" ]) ];
+                       };
+                     ];
+                   stats;
+                 });
+        } );
+      ( "rerepair",
+        {
+          P.s_id = 4;
+          s_result =
+            Ok
+              (P.Repaired
+                 {
+                   outcome = "repaired";
+                   menu =
+                     [
+                       {
+                         P.m_relational_distance = 1;
+                         m_edit_distance = 2;
+                         m_models = [ ("cf1", "model cf1 : CF {\n}") ];
+                       };
+                     ];
+                   stats;
+                 });
+        } );
+      ("commit", { P.s_id = 5; s_result = Ok P.Committed });
+      ( "snapshot",
+        {
+          P.s_id = 6;
+          s_result = Ok (P.Snapshotted { path = "/tmp/s1.snap"; fingerprint = "abcd" });
+        } );
+      ("close", { P.s_id = 7; s_result = Ok P.Closed });
+      ("recheck", { P.s_id = 9; s_result = Error "unknown session \"x\"" });
+    ]
+  in
+  List.iter
+    (fun (verb, r) ->
+      match P.parse_response (P.response_to_string ~verb r) with
+      | Ok r' ->
+        Alcotest.(check bool) (verb ^ " response round-trips") true (r = r')
+      | Error e -> Alcotest.fail e)
+    resps
+
+let test_codec_rejects_malformed () =
+  let bad =
+    [
+      ("not json", "{");
+      ("not an object", "[1,2]");
+      ("missing verb", {|{"id":1,"session":"s"}|});
+      ("unknown verb", {|{"id":1,"verb":"zap","session":"s"}|});
+      ("missing session", {|{"id":1,"verb":"recheck"}|});
+      ("missing models", {|{"id":1,"verb":"apply_edits","session":"s"}|});
+      ( "mistyped field",
+        {|{"id":1,"verb":"recheck","session":"s","blame":"yes"}|} );
+      ( "mistyped id",
+        {|{"id":"one","verb":"recheck","session":"s"}|} );
+    ]
+  in
+  List.iter
+    (fun (ctx, line) ->
+      match P.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: frame %S must be rejected" ctx line)
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot round-trip                                                 *)
+
+let hydrate_exn ?extra_values sp =
+  match Snap.hydrate ?extra_values sp with
+  | Ok (sess, _) -> sess
+  | Error e -> Alcotest.fail e
+
+let recheck_exn sess =
+  match S.recheck sess with Ok r -> r | Error e -> Alcotest.fail e
+
+let rerepair_exn sess =
+  match S.rerepair ~limit:16 sess with Ok r -> r | Error e -> Alcotest.fail e
+
+let edit_to sess ~cf1 ~cf2 ~fm =
+  let desired =
+    F.bind
+      ~cfs:[ F.configuration ~name:"cf1" cf1; F.configuration ~name:"cf2" cf2 ]
+      ~fm:(F.feature_model ~name:"fm" fm)
+  in
+  let batch =
+    List.filter_map
+      (fun (p, after) ->
+        match List.assoc_opt p (S.models sess) with
+        | None -> None
+        | Some before -> (
+          match Mdl.Diff.script before after with
+          | [] -> None
+          | edits -> Some (p, edits)))
+      desired
+  in
+  match S.apply_edits sess batch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let verdict_keys (r : S.check_report) =
+  List.map
+    (fun (v : S.verdict) ->
+      (Ident.name v.S.v_relation, v.S.v_direction, v.S.v_holds))
+    r.S.verdicts
+
+let repair_key tgts models =
+  models
+  |> List.filter (fun (p, _) -> Ident.Set.mem p tgts)
+  |> List.map (fun (p, m) -> (Ident.name p, Mdl.Serialize.model_to_string m))
+  |> List.sort compare
+
+let menu_keys tgts (r : S.repair_report) =
+  match r.S.outcome with
+  | S.Already_consistent -> `Consistent
+  | S.Cannot_restore -> `Cannot
+  | S.Repaired reps ->
+    `Menu
+      (List.sort compare
+         (List.map
+            (fun (rp : S.repair) ->
+              ( rp.S.r_relational_distance,
+                rp.S.r_edit_distance,
+                repair_key tgts rp.S.r_models ))
+            reps))
+
+let test_snapshot_round_trip () =
+  let sp = base_spec () in
+  let sess = hydrate_exn sp in
+  (* grow the value universe past the spec's own text: a brand-new
+     feature name arrives through an edit, not through o_models *)
+  edit_to sess ~cf1:[ "A"; "C" ] ~cf2:[] ~fm:base_fm;
+  let live_check = recheck_exn sess in
+  let live_rep = rerepair_exn sess in
+  let snap = Snap.of_session ~spec:sp sess in
+  Alcotest.(check bool) "fingerprint non-empty" true (snap.Snap.fingerprint <> "");
+  let text = Snap.to_string snap in
+  let snap' =
+    match Snap.of_string text with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string)
+    "fingerprint survives to_string/of_string" snap.Snap.fingerprint
+    snap'.Snap.fingerprint;
+  Alcotest.(check bool) "spec survives" true (snap.Snap.spec = snap'.Snap.spec);
+  (* file round-trip too: save + load *)
+  let dir = tmpdir "snap" in
+  let path =
+    match Snap.save ~dir ~name:"victim" snap with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let snap'' =
+    match Snap.load path with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string)
+    "fingerprint survives save/load" snap.Snap.fingerprint
+    snap''.Snap.fingerprint;
+  let sess' =
+    match Snap.revive snap'' with
+    | Ok (s, _) -> s
+    | Error e -> Alcotest.fail e
+  in
+  let rev_check = recheck_exn sess' in
+  Alcotest.(check bool)
+    "revived consistency verdict" live_check.S.consistent
+    rev_check.S.consistent;
+  Alcotest.(check bool)
+    "revived per-direction verdicts" true
+    (verdict_keys live_check = verdict_keys rev_check);
+  let rev_rep = rerepair_exn sess' in
+  Alcotest.(check bool)
+    "revived repair menu, distances included" true
+    (menu_keys (S.targets sess) live_rep = menu_keys (S.targets sess') rev_rep)
+
+let test_snapshot_rejects_corruption () =
+  let sess = hydrate_exn (base_spec ()) in
+  let snap = Snap.of_session ~spec:(base_spec ()) sess in
+  let text = Snap.to_string snap in
+  (match Snap.of_string (replace ~sub:Snap.format_version ~by:"mdqvtr-snapshot/9" text) with
+  | Error e ->
+    check_contains "version mismatch names the format" ~sub:"not supported" e
+  | Ok _ -> Alcotest.fail "unknown format version must be rejected");
+  let flipped =
+    let f = snap.Snap.fingerprint in
+    let c = if f.[0] = '0' then "1" else "0" in
+    c ^ String.sub f 1 (String.length f - 1)
+  in
+  (match Snap.of_string (replace ~sub:snap.Snap.fingerprint ~by:flipped text) with
+  | Error e ->
+    check_contains "bad digest names the mismatch" ~sub:"fingerprint mismatch" e
+  | Ok _ -> Alcotest.fail "a wrong fingerprint must be rejected");
+  match Snap.of_string "not a snapshot" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Engine: eviction transparency                                       *)
+
+(* The same request sequence with and without LRU pressure: a cap of 1
+   forces the victim to be evicted by the bystander and revived by its
+   own next request; the payloads must not change. *)
+let eviction_sequence ~evict =
+  let evicted0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_evicted")
+  in
+  let eng =
+    E.create ~jobs:1
+      ~max_live:(if evict then 1 else 8)
+      ~snapshot_dir:(tmpdir (if evict then "ev1" else "ev8"))
+      ()
+  in
+  let r = ref [] in
+  let push x = r := x :: !r in
+  ignore (ok "open victim" (call eng ~session:"victim" (P.Open (base_spec ()))));
+  (match
+     ok "apply"
+       (call eng ~session:"victim"
+          (P.Apply_edits
+             { models = models_text ~cf1:[ "A" ] ~cf2:[] ~fm:base_fm }))
+   with
+  | P.Applied { edits } -> push (`Edits edits)
+  | _ -> Alcotest.fail "expected Applied");
+  push (`Check (checked "recheck 1" (call eng ~session:"victim" (P.Recheck { blame = false }))));
+  if evict then
+    ignore
+      (ok "open bystander"
+         (call eng ~session:"bystander" (P.Open (base_spec ()))));
+  push (`Repair (repaired "rerepair" (call eng ~session:"victim" (P.Rerepair { limit = 8 }))));
+  (match ok "commit" (call eng ~session:"victim" (P.Commit { choice = 0 })) with
+  | P.Committed -> ()
+  | _ -> Alcotest.fail "expected Committed");
+  push (`Check (checked "recheck 2" (call eng ~session:"victim" (P.Recheck { blame = false }))));
+  E.shutdown eng;
+  let evicted =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_evicted")
+    - evicted0
+  in
+  if evict then
+    Alcotest.(check bool) "LRU pressure actually evicted" true (evicted > 0)
+  else Alcotest.(check int) "no eviction without pressure" 0 evicted;
+  List.rev !r
+
+let test_eviction_is_transparent () =
+  let plain = eviction_sequence ~evict:false in
+  let churned = eviction_sequence ~evict:true in
+  Alcotest.(check bool)
+    "evicted-then-revived payloads identical to never-evicted" true
+    (plain = churned)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: jobs invariance                                             *)
+
+(* Four clients, each with its own session and target state; replies
+   gathered through async submit. Payloads must not depend on the
+   worker-pool size. *)
+let client_states =
+  [
+    ("c0", ([ "A" ], ([] : string list), base_fm));
+    ("c1", ([ "A" ], [ "A" ], [ ("A", true); ("B", true) ]));
+    ("c2", ([ "A"; "B" ], [ "A"; "B" ], base_fm));
+    ("c3", ([ "A" ], [ "A" ], base_fm));
+  ]
+
+let run_clients ~jobs =
+  let eng =
+    E.create ~jobs ~max_live:8
+      ~snapshot_dir:(tmpdir (Printf.sprintf "inv%d" jobs))
+      ()
+  in
+  let mu = Mutex.create () in
+  let replies = Hashtbl.create 16 in
+  let submit session req =
+    let id = Atomic.fetch_and_add next_id 1 in
+    E.submit eng
+      { P.q_id = id; q_session = session; q_req = req }
+      (fun resp ->
+        Mutex.lock mu;
+        Hashtbl.replace replies (session, P.verb_of_request req) resp;
+        Mutex.unlock mu);
+  in
+  List.iter (fun (c, _) -> submit c (P.Open (base_spec ()))) client_states;
+  E.drain eng;
+  List.iter
+    (fun (c, (cf1, cf2, fm)) ->
+      submit c (P.Apply_edits { models = models_text ~cf1 ~cf2 ~fm });
+      submit c (P.Recheck { blame = true });
+      submit c (P.Rerepair { limit = 4 }))
+    client_states;
+  E.drain eng;
+  let out =
+    List.map
+      (fun (c, _) ->
+        let get verb = Hashtbl.find replies (c, verb) in
+        ( c,
+          checked (c ^ " recheck") (get "recheck"),
+          repaired (c ^ " rerepair") (get "rerepair") ))
+      client_states
+  in
+  E.shutdown eng;
+  out
+
+let test_parallel_clients_jobs_invariant () =
+  let serial = run_clients ~jobs:1 in
+  let pooled = run_clients ~jobs:4 in
+  List.iter2
+    (fun (c, chk1, rep1) (_, chk2, rep2) ->
+      Alcotest.(check bool) (c ^ ": recheck jobs-invariant") true (chk1 = chk2);
+      Alcotest.(check bool) (c ^ ": rerepair jobs-invariant") true (rep1 = rep2))
+    serial pooled
+
+(* ------------------------------------------------------------------ *)
+(* Engine: per-session serialization                                   *)
+
+let test_interleaved_requests_serialize () =
+  let eng = E.create ~jobs:4 ~max_live:4 ~snapshot_dir:(tmpdir "ser") () in
+  ignore (ok "open" (call eng ~session:"s" (P.Open (base_spec ()))));
+  let mu = Mutex.create () in
+  let arrivals = ref [] in
+  let submit req =
+    let id = Atomic.fetch_and_add next_id 1 in
+    E.submit eng
+      { P.q_id = id; q_session = "s"; q_req = req }
+      (fun resp ->
+        Mutex.lock mu;
+        arrivals := resp :: !arrivals;
+        Mutex.unlock mu);
+    id
+  in
+  (* a burst the engine is free to coalesce: edit -> recheck -> edit ->
+     recheck, all in flight at once; the first recheck must see the
+     inconsistent state, the second the repaired-by-hand state *)
+  let i1 = submit (P.Apply_edits { models = models_text ~cf1:[ "A" ] ~cf2:[] ~fm:base_fm }) in
+  let i2 = submit (P.Recheck { blame = false }) in
+  let i3 = submit (P.Apply_edits { models = models_text ~cf1:[ "A" ] ~cf2:[ "A" ] ~fm:base_fm }) in
+  let i4 = submit (P.Recheck { blame = false }) in
+  E.drain eng;
+  let replies = List.rev !arrivals in
+  Alcotest.(check (list int))
+    "replies arrive in request order" [ i1; i2; i3; i4 ]
+    (List.map (fun (r : P.resp) -> r.P.s_id) replies);
+  let find id = List.find (fun (r : P.resp) -> r.P.s_id = id) replies in
+  let c1, _ = checked "first recheck" (find i2) in
+  let c2, _ = checked "second recheck" (find i4) in
+  Alcotest.(check bool) "first recheck sees its own edit" false c1;
+  Alcotest.(check bool) "second recheck sees the restore" true c2;
+  E.shutdown eng
+
+(* ------------------------------------------------------------------ *)
+(* Engine: LRU cap far below the client count                          *)
+
+let test_lru_never_loses_edits () =
+  let evicted0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_evicted")
+  in
+  let revived0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_revived")
+  in
+  let eng = E.create ~jobs:1 ~max_live:2 ~snapshot_dir:(tmpdir "lru") () in
+  let clients = List.init 5 (fun i -> Printf.sprintf "c%d" i) in
+  (* every client walks through three distinct states; interleaving the
+     clients round-robin keeps evicting whoever went idle last *)
+  let state i r =
+    let cf1 = if r >= 2 then [ "A"; "B" ] else [ "A" ] in
+    let cf2 = if r >= 1 && i < 3 then [] else [ "A" ] in
+    let fm = if r >= 3 && i mod 2 = 0 then [ ("A", true); ("B", true) ] else base_fm in
+    (cf1, cf2, fm)
+  in
+  List.iter
+    (fun c -> ignore (ok ("open " ^ c) (call eng ~session:c (P.Open (base_spec ())))))
+    clients;
+  for r = 1 to 3 do
+    List.iteri
+      (fun i c ->
+        let cf1, cf2, fm = state i r in
+        match
+          ok
+            (Printf.sprintf "%s round %d" c r)
+            (call eng ~session:c
+               (P.Apply_edits { models = models_text ~cf1 ~cf2 ~fm }))
+        with
+        | P.Applied _ -> ()
+        | _ -> Alcotest.fail "expected Applied")
+      clients
+  done;
+  (* no edit was lost: each session's durable snapshot restates exactly
+     the client's final models, and its verdicts equal a fresh
+     session's over that state *)
+  List.iteri
+    (fun i c ->
+      let cf1, cf2, fm = state i 3 in
+      let expected =
+        List.sort compare
+          (List.map
+             (fun m -> (Ident.name (Mdl.Model.name m), Mdl.Serialize.model_to_string m))
+             [
+               F.feature_model ~name:"fm" fm;
+               F.configuration ~name:"cf1" cf1;
+               F.configuration ~name:"cf2" cf2;
+             ])
+      in
+      let path =
+        match ok (c ^ " snapshot") (call eng ~session:c P.Snapshot) with
+        | P.Snapshotted { path; _ } -> path
+        | _ -> Alcotest.fail "expected Snapshotted"
+      in
+      let snap =
+        match Snap.load path with Ok s -> s | Error e -> Alcotest.fail e
+      in
+      let stored =
+        match
+          Mdl.Serialize.parse_models [ F.fm_metamodel; F.cf_metamodel ]
+            snap.Snap.spec.P.o_models
+        with
+        | Ok ms ->
+          List.sort compare
+            (List.map
+               (fun m ->
+                 (Ident.name (Mdl.Model.name m), Mdl.Serialize.model_to_string m))
+               ms)
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) (c ^ ": snapshot restates every edit") true
+        (stored = expected);
+      let consistent, verdicts =
+        checked (c ^ " final recheck") (call eng ~session:c (P.Recheck { blame = false }))
+      in
+      let control = hydrate_exn (spec (models_text ~cf1 ~cf2 ~fm)) in
+      let control_rep = recheck_exn control in
+      Alcotest.(check bool) (c ^ ": consistency equals fresh control")
+        control_rep.S.consistent consistent;
+      Alcotest.(check bool) (c ^ ": verdicts equal fresh control") true
+        (List.map
+           (fun (v : S.verdict) -> (Ident.name v.S.v_relation, v.S.v_holds))
+           control_rep.S.verdicts
+        = List.map (fun (w : P.verdict) -> (w.P.w_relation, w.P.w_holds)) verdicts))
+    clients;
+  E.shutdown eng;
+  let evicted =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_evicted")
+    - evicted0
+  in
+  let revived =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.sessions_revived")
+    - revived0
+  in
+  Alcotest.(check bool) "cap 2 with 5 clients churned" true
+    (evicted > 0 && revived > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: addressing errors and stats                                 *)
+
+let test_engine_addressing () =
+  let eng = E.create ~jobs:1 ~max_live:4 ~snapshot_dir:(tmpdir "addr") () in
+  check_contains "unknown session" ~sub:"unknown session"
+    (err "recheck nowhere" (call eng ~session:"nope" (P.Recheck { blame = false })));
+  ignore (ok "open s" (call eng ~session:"s" (P.Open (base_spec ()))));
+  check_contains "double open" ~sub:"already open"
+    (err "reopen s" (call eng ~session:"s" (P.Open (base_spec ()))));
+  check_contains "commit without menu" ~sub:"rerepair first"
+    (err "stale commit" (call eng ~session:"s" (P.Commit { choice = 0 })));
+  (match ok "close" (call eng ~session:"s" P.Close) with
+  | P.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed");
+  check_contains "closed sessions are forgotten" ~sub:"unknown session"
+    (err "recheck closed" (call eng ~session:"s" (P.Recheck { blame = false })));
+  (match ok "stats" (call eng ~session:"" P.Stats) with
+  | P.Stats_snapshot j ->
+    (match Obs.Json.to_int_opt (Obs.Json.member "sessions_live" j) with
+    | Some n -> Alcotest.(check int) "no sessions left live" 0 n
+    | None -> Alcotest.fail "stats payload must carry sessions_live")
+  | _ -> Alcotest.fail "expected Stats_snapshot");
+  E.shutdown eng
+
+let suite =
+  [
+    Alcotest.test_case "protocol frames round-trip" `Quick test_codec_round_trip;
+    Alcotest.test_case "protocol rejects malformed frames" `Quick
+      test_codec_rejects_malformed;
+    Alcotest.test_case "snapshot round-trip revives verdicts and menus" `Quick
+      test_snapshot_round_trip;
+    Alcotest.test_case "snapshot rejects corruption" `Quick
+      test_snapshot_rejects_corruption;
+    Alcotest.test_case "eviction is transparent" `Quick
+      test_eviction_is_transparent;
+    Alcotest.test_case "parallel clients are jobs-invariant" `Slow
+      test_parallel_clients_jobs_invariant;
+    Alcotest.test_case "interleaved requests serialize" `Quick
+      test_interleaved_requests_serialize;
+    Alcotest.test_case "LRU cap 2, 5 clients: no edit lost" `Slow
+      test_lru_never_loses_edits;
+    Alcotest.test_case "addressing errors and stats" `Quick
+      test_engine_addressing;
+  ]
