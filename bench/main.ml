@@ -918,12 +918,15 @@ let e10 ~jobs =
    arrive off the submitting thread, and max_live is set below N so
    the run continuously evicts and revives sessions while serving.
    Latency percentiles are read off the server's own
-   `server.latency.<verb>_s` histograms (reset at the start of the
-   run so they cover this load only). A separate deterministic phase
-   checks the revival contract end-to-end: an evicted-then-revived
-   session must answer recheck and rerepair exactly like a
-   never-evicted control. The records land in BENCH_7.json (schema
-   mdqvtr-bench/7). *)
+   `server.latency.<verb>_s` histograms plus the queue-wait/service
+   split (`server.queue_wait.<verb>_s` / `server.service.<verb>_s`),
+   all reset at the start of the run so they cover this load only;
+   the engine runs with a counting Reqlog and a 50ms slow threshold
+   so the run can assert frames submitted == served == logged. A
+   separate deterministic phase checks the revival contract
+   end-to-end: an evicted-then-revived session must answer recheck
+   and rerepair exactly like a never-evicted control. The records
+   land in BENCH_8.json (schema mdqvtr-bench/8). *)
 
 module SrvE = Server.Engine
 module SrvP = Server.Protocol
@@ -975,8 +978,11 @@ let e11 ~jobs =
   in
   List.iter
     (fun v ->
-      Obs.Metrics.reset_histogram
-        (Obs.Metrics.histogram ("server.latency." ^ v ^ "_s")))
+      List.iter
+        (fun family ->
+          Obs.Metrics.reset_histogram
+            (Obs.Metrics.histogram ("server." ^ family ^ "." ^ v ^ "_s")))
+        [ "latency"; "queue_wait"; "service" ])
     verbs;
   Obs.Metrics.reset_histogram (Obs.Metrics.histogram "server.recheck.warm_s");
   Obs.Metrics.reset_histogram (Obs.Metrics.histogram "server.recheck.scratch_s");
@@ -984,7 +990,14 @@ let e11 ~jobs =
   let evicted0 = counter0 "server.sessions_evicted" in
   let revived0 = counter0 "server.sessions_revived" in
   let coalesced0 = counter0 "server.edits_coalesced" in
-  let engine = SrvE.create ~jobs:engine_jobs ~max_live ~snapshot_dir:dir () in
+  let slow0 = counter0 "server.slow_requests" in
+  (* counting request log + a 50ms slow threshold: the acceptance
+     contract is reqlog records == frames served, 0 lost or doubled *)
+  let reqlog = Server.Reqlog.create () in
+  let engine =
+    SrvE.create ~jobs:engine_jobs ~max_live ~snapshot_dir:dir ~slow_ms:50.0
+      ~reqlog ()
+  in
   let base_text = e11_base_text () in
   let next_id = Atomic.make 1 in
   let rechecks = Atomic.make 0 in
@@ -1071,6 +1084,15 @@ let e11 ~jobs =
   let evicted = counter0 "server.sessions_evicted" - evicted0 in
   let revived = counter0 "server.sessions_revived" - revived0 in
   let coalesced = counter0 "server.edits_coalesced" - coalesced0 in
+  let slow = counter0 "server.slow_requests" - slow0 in
+  (* accounting must close exactly: every submitted frame was answered
+     once, and every answer produced one request-log record *)
+  let frames_submitted = Atomic.get next_id - 1 + 1 (* + the stats call *) in
+  let frames_served = SrvE.frames_served engine in
+  let reqlog_records = Server.Reqlog.count reqlog in
+  let reqlog_complete =
+    frames_served = reqlog_records && frames_served = frames_submitted
+  in
   (* ---- deterministic revival-contract check ---------------------- *)
   (* Engine A (no eviction pressure) is the control; engine B runs at
      max_live 1, so opening a bystander session forcibly evicts the
@@ -1125,13 +1147,17 @@ let e11 ~jobs =
   let p50 name = Obs.Metrics.percentile (h name) 0.5 in
   let p99 name = Obs.Metrics.percentile (h name) 0.99 in
   let count name = Obs.Metrics.histogram_count (h name) in
-  Format.printf "%-14s %8s %12s %12s@." "verb" "count" "p50 ms" "p99 ms";
+  Format.printf "%-14s %8s %10s %10s %10s %10s %10s %10s@." "verb" "count"
+    "wait p50" "wait p99" "serve p50" "serve p99" "total p50" "total p99";
   List.iter
     (fun v ->
       let name = "server.latency." ^ v ^ "_s" in
+      let qw = "server.queue_wait." ^ v ^ "_s" in
+      let sv = "server.service." ^ v ^ "_s" in
       if count name > 0 then
-        Format.printf "%-14s %8d %12.3f %12.3f@." v (count name)
-          (p50 name *. 1000.) (p99 name *. 1000.))
+        Format.printf "%-14s %8d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f@." v
+          (count name) (p50 qw *. 1000.) (p99 qw *. 1000.) (p50 sv *. 1000.)
+          (p99 sv *. 1000.) (p50 name *. 1000.) (p99 name *. 1000.))
     verbs;
   Format.printf
     "clients %d, steps %d, engine jobs %d, max_live %d: %.2fs wall, %.1f \
@@ -1143,10 +1169,18 @@ let e11 ~jobs =
     (p50 "server.recheck.warm_s" *. 1000.)
     (p50 "server.recheck.scratch_s" *. 1000.)
     (if revival_equivalent then "equivalent" else "DIVERGED");
+  Format.printf
+    "request accounting: %d submitted, %d served, %d logged (%s), %d slow \
+     (>50ms)@."
+    frames_submitted frames_served reqlog_records
+    (if reqlog_complete then "complete" else "INCOMPLETE")
+    slow;
   let verb_records =
     List.filter_map
       (fun v ->
         let name = "server.latency." ^ v ^ "_s" in
+        let qw = "server.queue_wait." ^ v ^ "_s" in
+        let sv = "server.service." ^ v ^ "_s" in
         if count name = 0 then None
         else
           Some
@@ -1157,6 +1191,10 @@ let e11 ~jobs =
                  ("count", Echo.Telemetry.Int (count name));
                  ("p50_s", Echo.Telemetry.Float (p50 name));
                  ("p99_s", Echo.Telemetry.Float (p99 name));
+                 ("queue_wait_p50_s", Echo.Telemetry.Float (p50 qw));
+                 ("queue_wait_p99_s", Echo.Telemetry.Float (p99 qw));
+                 ("service_p50_s", Echo.Telemetry.Float (p50 sv));
+                 ("service_p99_s", Echo.Telemetry.Float (p99 sv));
                ]))
       verbs
   in
@@ -1176,6 +1214,12 @@ let e11 ~jobs =
         ("sessions_revived", Echo.Telemetry.Int revived);
         ("edits_coalesced", Echo.Telemetry.Int coalesced);
         ("failures", Echo.Telemetry.Int (Atomic.get failures));
+        ("frames_submitted", Echo.Telemetry.Int frames_submitted);
+        ("frames_served", Echo.Telemetry.Int frames_served);
+        ("reqlog_records", Echo.Telemetry.Int reqlog_records);
+        ("reqlog_complete", Echo.Telemetry.Bool reqlog_complete);
+        ("slow_requests", Echo.Telemetry.Int slow);
+        ("slow_ms_threshold", Echo.Telemetry.Float 50.0);
         ("stats_verb_ok", Echo.Telemetry.Bool stats_ok);
         ( "recheck_warm_p50_s",
           Echo.Telemetry.Float (p50 "server.recheck.warm_s") );
@@ -1384,10 +1428,11 @@ let () =
     let path = Filename.concat (Filename.dirname out) "BENCH_3.json" in
     write_json ~schema:"mdqvtr-bench/3" path (e9 () @ e10 ~jobs:run_jobs)
   in
-  (* the server load records likewise: BENCH_7.json (mdqvtr-bench/7) *)
-  let write_bench7 () =
-    let path = Filename.concat (Filename.dirname out) "BENCH_7.json" in
-    write_json ~schema:"mdqvtr-bench/7" path (e11 ~jobs:run_jobs)
+  (* the server load records likewise: BENCH_8.json (mdqvtr-bench/8 —
+     bench/7 plus the queue-wait/service split and reqlog accounting) *)
+  let write_bench8 () =
+    let path = Filename.concat (Filename.dirname out) "BENCH_8.json" in
+    write_json ~schema:"mdqvtr-bench/8" path (e11 ~jobs:run_jobs)
   in
   (* the metrics snapshot is cumulative over the whole run, so it is
      attached once per file, after every record has executed *)
@@ -1405,7 +1450,7 @@ let () =
         maybe_portfolio experiments;
         write_json ~extra:(metrics ()) out records;
         write_bench3 ();
-        write_bench7 ()
+        write_bench8 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
@@ -1435,7 +1480,7 @@ let () =
         if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
         then write_bench3 ();
         if List.exists (fun (eid, _, _) -> eid = "e11") selected then
-          write_bench7 ()
+          write_bench8 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected;

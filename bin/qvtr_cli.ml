@@ -384,7 +384,8 @@ let run_session trans_file mm_file models_file edits_file targets standard
 (* ------------------------------------------------------------------ *)
 (* serve: long-lived multi-session daemon                              *)
 
-let run_serve socket tcp jobs max_live snapshot_dir =
+let run_serve socket tcp admin_tcp jobs max_live snapshot_dir slow_ms
+    reqlog_path sample_interval =
   match (socket, tcp) with
   | None, None ->
     Format.eprintf "error: one of --socket PATH or --tcp PORT is required@.";
@@ -399,15 +400,193 @@ let run_serve socket tcp jobs max_live snapshot_dir =
       | None, Some port -> (Server.Net.Tcp port, Printf.sprintf "tcp:127.0.0.1:%d" port)
       | _ -> assert false
     in
-    let engine =
-      Server.Engine.create ~jobs:(resolve_jobs jobs) ~max_live ~snapshot_dir ()
+    let reqlog =
+      Option.map (fun p -> Server.Reqlog.create ~path:p ()) reqlog_path
     in
-    let ready () = Format.eprintf "qvtr serve: listening on %s@." pretty in
-    (match Server.Net.serve ~ready ~engine addr with
+    let engine =
+      Server.Engine.create ~jobs:(resolve_jobs jobs) ~max_live ~snapshot_dir
+        ?slow_ms ?reqlog ()
+    in
+    (* the sampler keeps scrape-visible gauges fresh between requests:
+       GC stats from Obs.Runtime itself, engine queue/session gauges
+       and the domain count from these hooks *)
+    Obs.Runtime.on_sample "server.gauges" (fun () ->
+        ignore (Server.Engine.stats_json engine));
+    let g_domains = Obs.Metrics.gauge "runtime.domains" in
+    Obs.Runtime.on_sample "server.domains" (fun () ->
+        Obs.Metrics.set_gauge g_domains
+          (float_of_int (Server.Engine.jobs engine + 1)));
+    Obs.Runtime.start ~interval_s:sample_interval ();
+    let ready () =
+      Format.eprintf "qvtr serve: listening on %s%s@." pretty
+        (match admin_tcp with
+        | Some p -> Printf.sprintf " (admin http on 127.0.0.1:%d)" p
+        | None -> "")
+    in
+    (match Server.Net.serve ~ready ?admin:admin_tcp ~engine addr with
     | Ok () -> 0
     | Error msg ->
       Format.eprintf "error: %s@." msg;
       2)
+
+(* ------------------------------------------------------------------ *)
+(* top: live terminal view over the admin plane's /metrics             *)
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let http_get ~port path =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally @@ fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let b = Bytes.of_string req in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec rd () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          rd ()
+      in
+      rd ();
+      Buffer.contents buf
+    with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | raw -> (
+      match find_substring raw "\r\n\r\n" with
+      | None -> Error "malformed HTTP response (no header/body separator)"
+      | Some i ->
+        let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+        let status_line =
+          match find_substring raw "\r\n" with
+          | Some e -> String.sub raw 0 e
+          | None -> raw
+        in
+        if find_substring status_line "200" = None then
+          Error (Printf.sprintf "admin plane answered %S" status_line)
+        else Ok body))
+
+(* Verbs present in the scrape: every histogram named
+   server_queue_wait_<verb>_s contributes one row. *)
+let top_verbs (m : Obs.Prom.t) =
+  List.filter_map
+    (fun (name, kind) ->
+      let prefix = "server_queue_wait_" and suffix = "_s" in
+      let np = String.length prefix and ns = String.length suffix in
+      let n = String.length name in
+      if
+        kind = "histogram"
+        && n > np + ns
+        && String.sub name 0 np = prefix
+        && String.sub name (n - ns) ns = suffix
+      then Some (String.sub name np (n - np - ns))
+      else None)
+    m.Obs.Prom.types
+
+let render_top (m : Obs.Prom.t) =
+  let buf = Buffer.create 2048 in
+  let gauge name = Option.value ~default:0. (Obs.Prom.gauge_value m name) in
+  let cnt name = Option.value ~default:0 (Obs.Prom.counter_value m name) in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "qvtr top — uptime %.0fs  sessions %g live / %g cold  conns %g  \
+      domains %g\n"
+    (gauge "runtime_uptime_s")
+    (gauge "server_sessions_live")
+    (gauge "server_sessions_cold")
+    (gauge "server_connections")
+    (gauge "runtime_domains");
+  pf "queues: depth %g (worst session %g, oldest head %.3fs)   requests %d  \
+      errors %d (protocol %d)  slow %d\n"
+    (gauge "server_queue_depth")
+    (gauge "server_queue_depth_max")
+    (gauge "server_queue_age_max_s")
+    (cnt "server_requests") (cnt "server_errors")
+    (cnt "server_protocol_errors")
+    (cnt "server_slow_requests");
+  let warm =
+    Option.value ~default:0 (Obs.Prom.histogram_count m "server_recheck_warm_s")
+  in
+  let scratch =
+    Option.value ~default:0
+      (Obs.Prom.histogram_count m "server_recheck_scratch_s")
+  in
+  let total_recheck = warm + scratch in
+  pf "rechecks: %d warm / %d scratch (%.0f%% warm)   churn: %d opened  %d \
+      evicted  %d revived  %d closed  %d edits coalesced\n"
+    warm scratch
+    (if total_recheck = 0 then 0.
+     else 100. *. float_of_int warm /. float_of_int total_recheck)
+    (cnt "server_sessions_opened")
+    (cnt "server_sessions_evicted")
+    (cnt "server_sessions_revived")
+    (cnt "server_sessions_closed")
+    (cnt "server_edits_coalesced");
+  pf "gc: heap %.1f MB  minor %g  major %g  compactions %g\n"
+    (gauge "runtime_gc_heap_words" *. 8. /. 1048576.)
+    (gauge "runtime_gc_minor_collections")
+    (gauge "runtime_gc_major_collections")
+    (gauge "runtime_gc_compactions");
+  pf "\n%-12s %8s  %9s %9s  %9s %9s  %9s %9s\n" "verb" "count" "wait p50"
+    "wait p99" "serve p50" "serve p99" "total p50" "total p99";
+  let ms name q =
+    match Obs.Prom.percentile m name q with
+    | Some v -> Printf.sprintf "%.2f" (v *. 1000.)
+    | None -> "-"
+  in
+  List.iter
+    (fun verb ->
+      let count =
+        Option.value ~default:0
+          (Obs.Prom.histogram_count m ("server_queue_wait_" ^ verb ^ "_s"))
+      in
+      let qw = "server_queue_wait_" ^ verb ^ "_s" in
+      let sv = "server_service_" ^ verb ^ "_s" in
+      let lt = "server_latency_" ^ verb ^ "_s" in
+      pf "%-12s %8d  %9s %9s  %9s %9s  %9s %9s\n" verb count (ms qw 0.5)
+        (ms qw 0.99) (ms sv 0.5) (ms sv 0.99) (ms lt 0.5) (ms lt 0.99))
+    (List.sort compare (top_verbs m));
+  Buffer.contents buf
+
+let run_top admin_tcp iterations interval no_clear =
+  let rec loop remaining code =
+    if remaining = 0 then code
+    else begin
+      let code =
+        match http_get ~port:admin_tcp "/metrics" with
+        | Error msg ->
+          Format.printf "qvtr top: %s@." msg;
+          1
+        | Ok body -> (
+          match Obs.Prom.parse body with
+          | Error msg ->
+            Format.printf "qvtr top: bad /metrics payload: %s@." msg;
+            1
+          | Ok m ->
+            if not no_clear then print_string "\027[2J\027[H";
+            print_string (render_top m);
+            flush stdout;
+            0)
+      in
+      let remaining = if remaining > 0 then remaining - 1 else remaining in
+      if remaining <> 0 then Unix.sleepf interval;
+      loop remaining code
+    end
+  in
+  (* iterations <= 0 means run until interrupted *)
+  loop (if iterations <= 0 then -1 else iterations) 0
 
 (* ------------------------------------------------------------------ *)
 (* traces                                                              *)
@@ -719,6 +898,43 @@ let snapshot_dir_arg =
     & info [ "snapshot-dir" ] ~docv:"DIR"
         ~doc:"Directory for eviction/snapshot files (created on demand).")
 
+let admin_tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "admin-tcp" ] ~docv:"PORT"
+        ~doc:
+          "Also serve a read-only HTTP admin plane on loopback TCP at PORT: \
+           GET /metrics (Prometheus text format), /healthz, /sessions.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Flag replies slower than MS milliseconds end-to-end: bump the \
+           server.slow_requests counter and mark the request-log record \
+           slow:true.")
+
+let reqlog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reqlog" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON record per answered protocol frame to FILE \
+           (request id, session, verb, queue-wait and service seconds, \
+           outcome, slow flag).")
+
+let sample_interval_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "sample-interval" ] ~docv:"SECS"
+        ~doc:
+          "Cadence of the runtime sampler thread that refreshes GC, \
+           session and queue gauges for scrapes (default 5s).")
+
 let serve_cmd =
   let doc = "run the long-lived multi-session transformation server" in
   let man =
@@ -737,8 +953,55 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc ~man)
     Term.(
-      const run_serve $ socket_arg $ tcp_arg $ jobs_arg $ max_live_arg
-      $ snapshot_dir_arg)
+      const run_serve $ socket_arg $ tcp_arg $ admin_tcp_arg $ jobs_arg
+      $ max_live_arg $ snapshot_dir_arg $ slow_ms_arg $ reqlog_arg
+      $ sample_interval_arg)
+
+let top_admin_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "admin-tcp" ] ~docv:"PORT"
+        ~doc:"Admin-plane port of the qvtr serve to watch (its --admin-tcp).")
+
+let top_iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "n"; "iterations" ] ~docv:"N"
+        ~doc:"Render N frames then exit (0 = run until interrupted).")
+
+let top_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval (default 2s).")
+
+let no_clear_arg =
+  Arg.(
+    value & flag
+    & info [ "no-clear" ]
+        ~doc:
+          "Do not clear the terminal between frames (append them instead — \
+           for logs and CI).")
+
+let top_cmd =
+  let doc = "live terminal view of a running qvtr serve" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls GET /metrics on the server's admin plane and renders a \
+         refreshing dashboard: per-verb request counts with queue-wait, \
+         service and end-to-end p50/p99 latencies, total and worst-session \
+         queue depth and age, warm/scratch recheck split, session churn \
+         (opened/evicted/revived/closed), connection count and GC headline \
+         numbers. The server must be started with $(b,--admin-tcp PORT).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc ~man)
+    Term.(
+      const run_top $ top_admin_arg $ top_iterations_arg $ top_interval_arg
+      $ no_clear_arg)
 
 let lint_models_arg =
   Arg.(
@@ -815,6 +1078,7 @@ let main =
       enforce_cmd;
       session_cmd;
       serve_cmd;
+      top_cmd;
       traces_cmd;
       lint_cmd;
       fmt_cmd;

@@ -48,7 +48,14 @@ let counter name =
 let incr c = ignore (Atomic.fetch_and_add c.c 1)
 let add c n = ignore (Atomic.fetch_and_add c.c n)
 let counter_value c = Atomic.get c.c
+
+(* A single atomic store, so the counter is never torn — but it is
+   still a destructive write: an [incr] that lands between the
+   caller's read and this store is overwritten. That is inherent to
+   "set" semantics; callers that need lose-nothing draining use
+   [exchange_counter] and reason about the returned value instead. *)
 let set_counter c n = Atomic.set c.c n
+let exchange_counter c n = Atomic.exchange c.c n
 
 let gauge name =
   match
@@ -106,11 +113,15 @@ let observe h v =
   atomic_add_float h.h_sum v
 
 let histogram_count h = Atomic.get h.h_count
+
+let histogram_bucket_total h =
+  Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.h_buckets
+
 let histogram_sum h = Atomic.get h.h_sum
 
 let percentile h q =
   let count = histogram_count h in
-  if count = 0 then 0.
+  if count <= 0 then 0.
   else begin
     let q = if q < 0. then 0. else if q > 1. then 1. else q in
     let rank =
@@ -126,10 +137,26 @@ let percentile h q =
     go 0 0
   end
 
+(* Reset by draining, not by storing zeros. The old implementation
+   ([Atomic.set b 0] on every cell, then [h_count := 0]) had a
+   read-modify-write window: an [observe] racing the reset could bump
+   a bucket that had already been zeroed and then have its count
+   increment wiped — leaving the bucket total permanently above the
+   count, which skews every later percentile. Exchanging each bucket
+   to zero and subtracting exactly the drained total from the count
+   closes that window: a racing observe either lands before the
+   exchange (drained, and its count increment cancels against the
+   subtraction) or after it (survives the reset whole). The count may
+   read transiently negative mid-race — [percentile] treats that as
+   empty — but once the racing observes retire,
+   [histogram_count h = histogram_bucket_total h] again. The sum is a
+   single exchange: exact when quiescent, weakly consistent (off by
+   at most the racing observations) under concurrency. *)
 let reset_histogram h =
-  Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
-  Atomic.set h.h_count 0;
-  Atomic.set h.h_sum 0.
+  let removed = ref 0 in
+  Array.iter (fun b -> removed := !removed + Atomic.exchange b 0) h.h_buckets;
+  ignore (Atomic.fetch_and_add h.h_count (- !removed));
+  ignore (Atomic.exchange h.h_sum 0.)
 
 let snapshot () =
   Mutex.lock registry_mutex;
@@ -191,6 +218,78 @@ let to_json () =
       ("gauges", Json.Obj (List.rev gauges));
       ("histograms", Json.Obj (List.rev histograms));
     ]
+
+(* ---- Prometheus text exposition (format 0.0.4) ---------------------- *)
+
+(* Metric names in this registry are dotted ("server.latency.check_s");
+   Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Map every
+   invalid character to '_' and prefix an underscore when the first
+   character is a digit. The mapping is not injective in general, but
+   the registry's dotted names collide only if they already differed
+   solely by separator, which we do not do. *)
+let prometheus_name name =
+  let n = String.length name in
+  let b = Buffer.create (n + 1) in
+  String.iteri
+    (fun i ch ->
+      let ok =
+        (ch >= 'a' && ch <= 'z')
+        || (ch >= 'A' && ch <= 'Z')
+        || ch = '_' || ch = ':'
+        || (ch >= '0' && ch <= '9')
+      in
+      if i = 0 && ch >= '0' && ch <= '9' then Buffer.add_char b '_';
+      Buffer.add_char b (if ok then ch else '_'))
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+        let name = prometheus_name c.c_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" name (counter_value c))
+      | Gauge g ->
+        let name = prometheus_name g.g_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string b
+          (Printf.sprintf "%s %s\n" name (prom_float (gauge_value g)))
+      | Histogram h ->
+        let name = prometheus_name h.h_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+        (* Read the buckets once and derive every series from that one
+           snapshot, so the exposition is internally consistent even if
+           observes race the scrape: the +Inf bucket, [_count], and the
+           per-bucket cumulative sums all agree. *)
+        let counts = Array.map Atomic.get h.h_buckets in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i n ->
+            if n > 0 then begin
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                   (prom_float (representative i))
+                   !cum)
+            end)
+          counts;
+        let total = Array.fold_left ( + ) 0 counts in
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name total);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" name (prom_float (histogram_sum h)));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name total))
+    (snapshot ());
+  Buffer.contents b
 
 let reset_all () =
   List.iter

@@ -28,7 +28,15 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
 val set_counter : counter -> int -> unit
-(** For targeted resets ([Sat.Solver.reset_global_stats]). *)
+(** For targeted resets ([Sat.Solver.reset_global_stats]). A single
+    atomic store — never torn — but destructive: a concurrent {!incr}
+    landing between the caller's read and this store is overwritten.
+    Use {!exchange_counter} when no increment may be lost. *)
+
+val exchange_counter : counter -> int -> int
+(** [exchange_counter c n] atomically stores [n] and returns the
+    previous value; the lose-nothing variant of {!set_counter} for
+    drain-style resets. *)
 
 (** {2 Gauges} *)
 
@@ -43,12 +51,24 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_bucket_total : histogram -> int
+(** Sum over all buckets. Equals {!histogram_count} when the histogram
+    is quiescent; may differ transiently while observes or a
+    {!reset_histogram} are in flight (the invariant is restored once
+    they retire — the concurrent-reset test relies on this). *)
+
 val percentile : histogram -> float -> float
 (** [percentile h q] with [q] in [\[0, 1\]]: the representative value
     of the bucket containing the [ceil (q * count)]-th smallest
     observation; [0.] on an empty histogram. *)
 
 val reset_histogram : histogram -> unit
+(** Drain-based reset, safe against concurrent {!observe}: each bucket
+    is atomically exchanged to zero and exactly the drained total is
+    subtracted from the count, so no racing observation is half-wiped.
+    The count may read negative for an instant mid-race; once racing
+    observes retire, [histogram_count h = histogram_bucket_total h]
+    again. *)
 
 (** {2 Snapshot} *)
 
@@ -58,6 +78,20 @@ val dump : Format.formatter -> unit -> unit
     count/sum/p50/p90/p99. *)
 
 val to_json : unit -> Json.t
+
+val prometheus_name : string -> string
+(** Sanitize a dotted registry name into a valid Prometheus metric
+    name: characters outside [[a-zA-Z0-9_:]] become ['_'], and a
+    leading digit gains an ['_'] prefix. *)
+
+val to_prometheus : unit -> string
+(** Render the whole registry in Prometheus text exposition format
+    0.0.4: one [# TYPE] line per metric, counters and gauges as single
+    samples, histograms as cumulative [_bucket{le="..."}] series
+    (bucket representatives as [le] bounds, empty buckets elided) plus
+    [_bucket{le="+Inf"}], [_sum] and [_count]. The [+Inf] bucket and
+    [_count] are derived from one bucket snapshot, so they always
+    agree even when a scrape races live observations. *)
 
 val reset_all : unit -> unit
 (** Zero every metric (bench isolation between experiments). *)

@@ -1,0 +1,174 @@
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type t = {
+  types : (string * string) list;
+  samples : sample list;
+}
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = ':'
+
+let parse_value s =
+  match String.trim s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | v -> float_of_string_opt v
+
+(* label body: key="value",... — values may contain escaped quotes. *)
+let parse_labels body =
+  let n = String.length body in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      let start = i in
+      let i = ref i in
+      while !i < n && is_name_char body.[!i] do incr i done;
+      if !i = start || !i >= n || body.[!i] <> '=' then
+        Error (Printf.sprintf "bad label at %d in %S" start body)
+      else begin
+        let key = String.sub body start (!i - start) in
+        incr i;
+        if !i >= n || body.[!i] <> '"' then
+          Error (Printf.sprintf "unquoted label value in %S" body)
+        else begin
+          incr i;
+          let b = Buffer.create 16 in
+          let err = ref None in
+          let fin = ref false in
+          while (not !fin) && !err = None do
+            if !i >= n then err := Some "unterminated label value"
+            else
+              match body.[!i] with
+              | '"' ->
+                fin := true;
+                incr i
+              | '\\' when !i + 1 < n ->
+                Buffer.add_char b
+                  (match body.[!i + 1] with
+                  | 'n' -> '\n'
+                  | c -> c);
+                i := !i + 2
+              | c ->
+                Buffer.add_char b c;
+                incr i
+          done;
+          match !err with
+          | Some e -> Error e
+          | None ->
+            let acc = (key, Buffer.contents b) :: acc in
+            if !i < n && body.[!i] = ',' then go (!i + 1) acc
+            else if !i >= n then Ok (List.rev acc)
+            else Error (Printf.sprintf "junk after label at %d in %S" !i body)
+        end
+      end
+    end
+  in
+  go 0 []
+
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then Error (Printf.sprintf "no metric name in %S" line)
+  else begin
+    let name = String.sub line 0 !i in
+    let labels, rest_start =
+      if !i < n && line.[!i] = '{' then begin
+        match String.index_from_opt line !i '}' with
+        | None -> (Error "unterminated label set", n)
+        | Some close ->
+          (parse_labels (String.sub line (!i + 1) (close - !i - 1)), close + 1)
+      end
+      else (Ok [], !i)
+    in
+    match labels with
+    | Error e -> Error e
+    | Ok labels -> (
+      let rest = String.sub line rest_start (n - rest_start) in
+      if rest = "" || rest.[0] <> ' ' then
+        Error (Printf.sprintf "missing value in %S" line)
+      else
+        match parse_value rest with
+        | None -> Error (Printf.sprintf "bad value %S in %S" rest line)
+        | Some v -> Ok { s_name = name; s_labels = labels; s_value = v })
+  end
+
+let parse body =
+  let lines = String.split_on_char '\n' body in
+  let rec go lines types samples =
+    match lines with
+    | [] -> Ok { types = List.rev types; samples = List.rev samples }
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" then go rest types samples
+      else if String.length line >= 6 && String.sub line 0 6 = "# HELP" then
+        go rest types samples
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ]
+          when List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+          ->
+          if List.mem_assoc name types then
+            Error (Printf.sprintf "duplicate # TYPE for %s" name)
+          else go rest ((name, kind) :: types) samples
+        | _ -> Error (Printf.sprintf "malformed TYPE line %S" line)
+      end
+      else if String.length line >= 1 && line.[0] = '#' then
+        Error (Printf.sprintf "unknown comment line %S" line)
+      else
+        match parse_sample line with
+        | Error e -> Error e
+        | Ok s -> go rest types (s :: samples))
+  in
+  go lines [] []
+
+let labels_equal a b =
+  List.length a = List.length b
+  && List.for_all (fun (k, v) -> List.assoc_opt k b = Some v) a
+
+let value t ?(labels = []) name =
+  List.find_opt
+    (fun s -> s.s_name = name && labels_equal s.s_labels labels)
+    t.samples
+  |> Option.map (fun s -> s.s_value)
+
+let counter_value t name = Option.map int_of_float (value t name)
+let gauge_value t name = value t name
+
+let buckets t name =
+  let bucket_name = name ^ "_bucket" in
+  List.filter_map
+    (fun s ->
+      if s.s_name <> bucket_name then None
+      else
+        match List.assoc_opt "le" s.s_labels with
+        | None -> None
+        | Some le ->
+          parse_value le |> Option.map (fun ub -> (ub, int_of_float s.s_value)))
+    t.samples
+
+let histogram_count t name = Option.map int_of_float (value t (name ^ "_count"))
+let histogram_sum t name = value t (name ^ "_sum")
+
+let percentile t name q =
+  match histogram_count t name with
+  | None | Some 0 -> None
+  | Some count ->
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float ((float_of_int count *. q) +. 0.999999) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    let rec go = function
+      | [] -> None
+      | (ub, cum) :: rest -> if cum >= rank then Some ub else go rest
+    in
+    go (buckets t name)

@@ -1,0 +1,44 @@
+(** Strict parser for the Prometheus text exposition format 0.0.4, as
+    produced by {!Metrics.to_prometheus}.
+
+    Used by [qvtr top] to digest a scraped [/metrics] body and by the
+    tests to validate the exposition: every sample line must be
+    [name\{labels\} value] with a parseable float value, every [# TYPE]
+    line must name a known kind, and unknown line shapes are errors
+    rather than being skipped. *)
+
+type sample = {
+  s_name : string;  (** full sample name, e.g. [server_latency_check_s_bucket] *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type t = {
+  types : (string * string) list;  (** metric name -> "counter" | "gauge" | "histogram" *)
+  samples : sample list;  (** in exposition order *)
+}
+
+val parse : string -> (t, string) result
+(** Strict parse of a full exposition body. Fails on malformed sample
+    lines, malformed or unknown [# TYPE] lines, or unparseable values;
+    [# HELP] and blank lines are permitted and ignored. *)
+
+val value : t -> ?labels:(string * string) list -> string -> float option
+(** First sample with this exact name and (order-insensitive) label
+    set. [labels] defaults to []. *)
+
+val counter_value : t -> string -> int option
+val gauge_value : t -> string -> float option
+
+val buckets : t -> string -> (float * int) list
+(** Cumulative [le] buckets of histogram [name] (samples named
+    [name_bucket]), as [(upper_bound, cumulative_count)] in exposition
+    order; [+Inf] is [infinity]. *)
+
+val histogram_count : t -> string -> int option
+val histogram_sum : t -> string -> float option
+
+val percentile : t -> string -> float -> float option
+(** Client-side percentile over the cumulative buckets: the upper
+    bound of the first bucket whose cumulative count reaches
+    [ceil (q * count)]. [None] if the histogram is absent or empty. *)

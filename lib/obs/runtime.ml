@@ -1,0 +1,80 @@
+let g_heap_words = Metrics.gauge "runtime.gc.heap_words"
+let g_live_words = Metrics.gauge "runtime.gc.live_words"
+let g_minor = Metrics.gauge "runtime.gc.minor_collections"
+let g_major = Metrics.gauge "runtime.gc.major_collections"
+let g_compactions = Metrics.gauge "runtime.gc.compactions"
+let g_minor_words = Metrics.gauge "runtime.gc.minor_words_total"
+let g_uptime = Metrics.gauge "runtime.uptime_s"
+let c_samples = Metrics.counter "runtime.samples"
+
+(* Hook table and thread state share one mutex; hooks are few and
+   cheap, ticks are seconds apart, so contention is irrelevant. *)
+let mu = Mutex.create ()
+let hooks : (string * (unit -> unit)) list ref = ref []
+let interval = ref 5.0
+let want_stop = ref false
+let thread : Thread.t option ref = ref None
+let started_at = ref None
+
+let with_mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let on_sample name f =
+  with_mu (fun () -> hooks := (name, f) :: List.remove_assoc name !hooks)
+
+let remove_sample name =
+  with_mu (fun () -> hooks := List.remove_assoc name !hooks)
+
+let sample_now () =
+  let st = Gc.quick_stat () in
+  Metrics.set_gauge g_heap_words (float_of_int st.Gc.heap_words);
+  Metrics.set_gauge g_live_words (float_of_int st.Gc.live_words);
+  Metrics.set_gauge g_minor (float_of_int st.Gc.minor_collections);
+  Metrics.set_gauge g_major (float_of_int st.Gc.major_collections);
+  Metrics.set_gauge g_compactions (float_of_int st.Gc.compactions);
+  Metrics.set_gauge g_minor_words st.Gc.minor_words;
+  (match !started_at with
+  | Some t0 -> Metrics.set_gauge g_uptime (Clock.since t0)
+  | None -> ());
+  let hs = with_mu (fun () -> !hooks) in
+  List.iter (fun (_, f) -> try f () with _ -> ()) hs;
+  Metrics.incr c_samples
+
+(* Sleep in <= 50ms slices so [stop] is honoured promptly even with
+   multi-second intervals. *)
+let rec nap remaining =
+  if remaining > 0. && not !want_stop then begin
+    Thread.delay (Float.min remaining 0.05);
+    nap (remaining -. 0.05)
+  end
+
+let rec run () =
+  if not !want_stop then begin
+    sample_now ();
+    nap !interval;
+    run ()
+  end
+
+let start ?(interval_s = 5.0) () =
+  with_mu (fun () ->
+      interval := Float.max 0.001 interval_s;
+      if !started_at = None then started_at := Some (Clock.now ());
+      match !thread with
+      | Some _ -> ()
+      | None ->
+        want_stop := false;
+        thread := Some (Thread.create run ()))
+
+let stop () =
+  let t = with_mu (fun () -> !thread) in
+  match t with
+  | None -> ()
+  | Some t ->
+    want_stop := true;
+    Thread.join t;
+    with_mu (fun () ->
+        thread := None;
+        want_stop := false)
+
+let running () = with_mu (fun () -> !thread <> None)

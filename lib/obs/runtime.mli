@@ -1,0 +1,46 @@
+(** Periodic runtime sampler: a background thread that refreshes
+    process-level gauges on a fixed cadence so a scrape of the metrics
+    registry always carries fresh GC and liveness data without any
+    cooperation from the serving path.
+
+    Each tick records GC statistics (via [Gc.quick_stat], which does
+    not force a major cycle): [runtime.gc.heap_words],
+    [runtime.gc.live_words] (as of the last major slice),
+    [runtime.gc.minor_collections], [runtime.gc.major_collections],
+    [runtime.gc.compactions], [runtime.gc.minor_words_total]; plus
+    [runtime.uptime_s] (seconds since {!start}) and the
+    [runtime.samples] counter, bumped once per tick. Stock OCaml has
+    no census of live domains, so [runtime.domains] is set by the
+    caller (the server registers a hook publishing its worker-pool
+    size plus the main domain).
+
+    Server-specific gauges (open connections, live sessions, queue
+    depths) are attached by the caller with {!on_sample}; the sampler
+    runs every registered hook each tick, so gauge freshness is bounded
+    by the interval regardless of request traffic. *)
+
+val on_sample : string -> (unit -> unit) -> unit
+(** [on_sample name f] registers (or replaces, keyed by [name]) a hook
+    run on every tick, after the built-in GC gauges. Hooks must not
+    raise; exceptions are swallowed so one bad hook cannot kill the
+    sampler thread. *)
+
+val remove_sample : string -> unit
+
+val sample_now : unit -> unit
+(** Run one tick synchronously on the calling thread: refresh the
+    built-in gauges, run every hook, bump [runtime.samples]. Used by
+    tests and by one-shot scrapes that want fresh data without a
+    background thread. *)
+
+val start : ?interval_s:float -> unit -> unit
+(** Start the background sampler thread (idempotent — a second call
+    only updates the interval). Default interval 5s. The thread sleeps
+    in small slices so {!stop} takes effect promptly even with long
+    intervals. *)
+
+val stop : unit -> unit
+(** Signal the sampler thread to exit and join it. No-op if not
+    running. *)
+
+val running : unit -> bool

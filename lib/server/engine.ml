@@ -14,12 +14,22 @@ let m_evicted = Metrics.counter "server.sessions_evicted"
 let m_revived = Metrics.counter "server.sessions_revived"
 let m_closed = Metrics.counter "server.sessions_closed"
 let m_coalesced = Metrics.counter "server.edits_coalesced"
+let m_slow = Metrics.counter "server.slow_requests"
 let g_live = Metrics.gauge "server.sessions_live"
 let g_cold = Metrics.gauge "server.sessions_cold"
 let g_depth = Metrics.gauge "server.queue_depth"
+let g_depth_max = Metrics.gauge "server.queue_depth_max"
+let g_age_max = Metrics.gauge "server.queue_age_max_s"
 let h_warm = Metrics.histogram "server.recheck.warm_s"
 let h_scratch = Metrics.histogram "server.recheck.scratch_s"
 let h_latency verb = Metrics.histogram ("server.latency." ^ verb ^ "_s")
+
+(* The end-to-end latency above splits into two per-verb halves:
+   enqueue -> dequeue (how long the frame sat behind its session's
+   earlier work — the congestion signal ROADMAP 1c needs) and
+   dequeue -> reply (the work itself). *)
+let h_queue_wait verb = Metrics.histogram ("server.queue_wait." ^ verb ^ "_s")
+let h_service verb = Metrics.histogram ("server.service." ^ verb ^ "_s")
 
 (* ------------------------------------------------------------------ *)
 (* State                                                               *)
@@ -39,6 +49,7 @@ type entry_state =
 type pending_req = {
   p_req : P.req;
   p_enq : float;  (** enqueue wall time, for the latency histograms *)
+  mutable p_deq : float;  (** dequeue wall time; [p_enq] until popped *)
   p_reply : P.resp -> unit;
 }
 
@@ -59,9 +70,13 @@ type t = {
   mutable tick : int;
   mutable pending : int;  (** submitted, not yet replied *)
   done_cv : Condition.t;
+  slow_s : float;  (** replies slower than this bump [server.slow_requests] *)
+  reqlog : Reqlog.t;  (** every reply funnels through here, counted *)
+  served : int Atomic.t;  (** frames answered (== reqlog count) *)
 }
 
-let create ?(jobs = 1) ?(max_live = 64) ?(snapshot_dir = "./qvtr-sessions") () =
+let create ?(jobs = 1) ?(max_live = 64) ?(snapshot_dir = "./qvtr-sessions")
+    ?slow_ms ?reqlog () =
   {
     pool = Parallel.Pool.create ~jobs;
     mu = Mutex.create ();
@@ -71,24 +86,41 @@ let create ?(jobs = 1) ?(max_live = 64) ?(snapshot_dir = "./qvtr-sessions") () =
     tick = 0;
     pending = 0;
     done_cv = Condition.create ();
+    slow_s =
+      (match slow_ms with Some ms -> ms /. 1000. | None -> infinity);
+    reqlog = (match reqlog with Some r -> r | None -> Reqlog.create ());
+    served = Atomic.make 0;
   }
 
 let jobs t = Parallel.Pool.jobs t.pool
 
-(* mu held *)
+(* mu held. Besides the totals, track the worst single session: the
+   deepest queue and the oldest still-queued head frame. A runaway
+   client shows up here long before it dominates the totals. *)
 let refresh_gauges t =
   let live = ref 0 and cold = ref 0 and depth = ref 0 in
+  let depth_max = ref 0 and age_max = ref 0. in
+  let now = Unix.gettimeofday () in
   Hashtbl.iter
     (fun _ e ->
       (match e.e_state with
       | Live _ -> incr live
       | Cold _ -> incr cold
       | Empty -> ());
-      depth := !depth + Queue.length e.e_queue)
+      let d = Queue.length e.e_queue in
+      depth := !depth + d;
+      if d > !depth_max then depth_max := d;
+      match Queue.peek_opt e.e_queue with
+      | Some head ->
+        let age = now -. head.p_enq in
+        if age > !age_max then age_max := age
+      | None -> ())
     t.tbl;
   Metrics.set_gauge g_live (float_of_int !live);
   Metrics.set_gauge g_cold (float_of_int !cold);
-  Metrics.set_gauge g_depth (float_of_int !depth)
+  Metrics.set_gauge g_depth (float_of_int !depth);
+  Metrics.set_gauge g_depth_max (float_of_int !depth_max);
+  Metrics.set_gauge g_age_max !age_max
 
 (* mu held *)
 let touch t e =
@@ -144,20 +176,89 @@ let stats_json t =
       ("metrics", Metrics.to_json ());
     ]
 
+(* Per-session view for the admin plane's [/sessions]: who is live,
+   who is evicted, and whose queue is backing up — the runaway-client
+   lens that aggregate gauges can't provide. *)
+let sessions_json t =
+  Mutex.lock t.mu;
+  refresh_gauges t;
+  let now = Unix.gettimeofday () in
+  let rows =
+    Hashtbl.fold
+      (fun name e acc ->
+        let state =
+          match e.e_state with
+          | Live _ -> "live"
+          | Cold _ -> "cold"
+          | Empty -> "opening"
+        in
+        let age =
+          match Queue.peek_opt e.e_queue with
+          | Some head -> now -. head.p_enq
+          | None -> 0.
+        in
+        Json.Obj
+          [
+            ("session", Json.String name);
+            ("state", Json.String state);
+            ("queue_depth", Json.Int (Queue.length e.e_queue));
+            ("queue_age_s", Json.Float age);
+            ("busy", Json.Bool e.e_busy);
+            ("lru_stamp", Json.Int e.e_stamp);
+          ]
+        :: acc)
+      t.tbl []
+  in
+  Mutex.unlock t.mu;
+  let rows =
+    List.sort
+      (fun a b ->
+        compare
+          (Json.to_string_opt (Json.member "session" a))
+          (Json.to_string_opt (Json.member "session" b)))
+      rows
+  in
+  Json.Obj [ ("sessions", Json.List rows) ]
+
+let frames_served t = Atomic.get t.served
+let request_log t = t.reqlog
+
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
 
-(* A reply answered synchronously at submit time (stats, addressing
-   errors): latency + error accounting, no [pending] involvement. *)
-let reply_inline pr_reply (req : P.req) enq result =
+(* Every reply — queued or answered inline at submit time — funnels
+   through here exactly once, so [served] and the request log agree
+   with the frame count by construction (E11 asserts reqlog records ==
+   frames served). Timing split: [enq -> deq] is queue wait, [deq ->
+   reply] is service; inline replies never queued, so their [deq] is
+   their [enq] and the wait is zero. *)
+let finish t ~(req : P.req) ~enq ~deq reply result =
   let verb = P.verb_of_request req.q_req in
-  Metrics.observe (h_latency verb) (Unix.gettimeofday () -. enq);
+  let now = Unix.gettimeofday () in
+  let queue_wait = Float.max 0. (deq -. enq) in
+  let service = Float.max 0. (now -. deq) in
+  let total = Float.max 0. (now -. enq) in
+  Metrics.observe (h_latency verb) total;
+  Metrics.observe (h_queue_wait verb) queue_wait;
+  Metrics.observe (h_service verb) service;
+  let slow = total >= t.slow_s in
+  if slow then Metrics.incr m_slow;
   (match result with Error _ -> Metrics.incr m_errors | Ok _ -> ());
-  pr_reply { P.s_id = req.q_id; s_result = result }
+  Reqlog.log t.reqlog ~ts:(Unix.gettimeofday ()) ~id:req.q_id
+    ~session:req.q_session ~verb ~queue_wait_s:queue_wait ~service_s:service
+    ~outcome:(match result with Ok _ -> "ok" | Error _ -> "error")
+    ~slow;
+  ignore (Atomic.fetch_and_add t.served 1);
+  reply { P.s_id = req.q_id; s_result = result }
+
+(* A reply answered synchronously at submit time (stats, addressing
+   errors): no queue, no [pending] involvement. *)
+let reply_inline t reply (req : P.req) enq result =
+  finish t ~req ~enq ~deq:enq reply result
 
 (* A reply for a queued request: same accounting plus [pending]. *)
 let answer t pr result =
-  reply_inline pr.p_reply pr.p_req pr.p_enq result;
+  finish t ~req:pr.p_req ~enq:pr.p_enq ~deq:pr.p_deq pr.p_reply result;
   Mutex.lock t.mu;
   t.pending <- t.pending - 1;
   if t.pending = 0 then Condition.broadcast t.done_cv;
@@ -423,17 +524,22 @@ let handle_edits t e prs =
 (* mu held: pop this turn's work — one request, or every consecutive
    leading apply_edits frame (the coalescing window). *)
 let pop_batch e =
-  match Queue.peek_opt e.e_queue with
-  | None -> []
-  | Some { p_req = { P.q_req = P.Apply_edits _; _ }; _ } ->
-    let rec take acc =
-      match Queue.peek_opt e.e_queue with
-      | Some { p_req = { P.q_req = P.Apply_edits _; _ }; _ } ->
-        take (Queue.pop e.e_queue :: acc)
-      | _ -> List.rev acc
-    in
-    take []
-  | Some _ -> [ Queue.pop e.e_queue ]
+  let deq = Unix.gettimeofday () in
+  let popped =
+    match Queue.peek_opt e.e_queue with
+    | None -> []
+    | Some { p_req = { P.q_req = P.Apply_edits _; _ }; _ } ->
+      let rec take acc =
+        match Queue.peek_opt e.e_queue with
+        | Some { p_req = { P.q_req = P.Apply_edits _; _ }; _ } ->
+          take (Queue.pop e.e_queue :: acc)
+        | _ -> List.rev acc
+      in
+      take []
+    | Some _ -> [ Queue.pop e.e_queue ]
+  in
+  List.iter (fun pr -> pr.p_deq <- deq) popped;
+  popped
 
 let run_turn t e =
   Mutex.lock t.mu;
@@ -486,7 +592,7 @@ let submit t (req : P.req) reply =
   let enq = Unix.gettimeofday () in
   match req.q_req with
   | P.Stats ->
-    reply_inline reply req enq (Ok (P.Stats_snapshot (stats_json t)))
+    reply_inline t reply req enq (Ok (P.Stats_snapshot (stats_json t)))
   | _ -> (
     Mutex.lock t.mu;
     let resolved =
@@ -511,11 +617,13 @@ let submit t (req : P.req) reply =
     match resolved with
     | Error msg ->
       Mutex.unlock t.mu;
-      reply_inline reply req enq (Error msg)
+      reply_inline t reply req enq (Error msg)
     | Ok e ->
       t.pending <- t.pending + 1;
       touch t e;
-      Queue.push { p_req = req; p_enq = enq; p_reply = reply } e.e_queue;
+      Queue.push
+        { p_req = req; p_enq = enq; p_deq = enq; p_reply = reply }
+        e.e_queue;
       refresh_gauges t;
       let start = not e.e_busy in
       if start then e.e_busy <- true;

@@ -24,25 +24,43 @@
       distances — {!Snapshot}'s round-trip guarantee).
 
     Instrumentation: per-verb latency histograms
-    ([server.latency.<verb>_s], enqueue to reply),
+    ([server.latency.<verb>_s], enqueue to reply), split into
+    [server.queue_wait.<verb>_s] (enqueue to dequeue — how long the
+    frame sat behind its session's earlier work) and
+    [server.service.<verb>_s] (dequeue to reply — the work itself);
     [server.recheck.warm_s]/[server.recheck.scratch_s] (split on
     whether the recheck had to translate), counters
-    [server.requests], [server.errors], [server.sessions_opened],
-    [server.sessions_evicted], [server.sessions_revived],
-    [server.sessions_closed], [server.edits_coalesced], and gauges
-    [server.sessions_live], [server.sessions_cold],
-    [server.queue_depth]. Every verb runs under an
-    [server.<verb>] {!Obs.Trace} span. *)
+    [server.requests], [server.errors], [server.slow_requests]
+    (replies whose end-to-end latency crossed [slow_ms]),
+    [server.sessions_opened], [server.sessions_evicted],
+    [server.sessions_revived], [server.sessions_closed],
+    [server.edits_coalesced], and gauges [server.sessions_live],
+    [server.sessions_cold], [server.queue_depth],
+    [server.queue_depth_max] / [server.queue_age_max_s] (the worst
+    single session's backlog — the runaway-client signal). Every verb
+    runs under an [server.<verb>] {!Obs.Trace} span, and every reply
+    is appended to a {!Reqlog} (counting even when no file is
+    attached), so reqlog records == frames served always holds. *)
 
 type t
 
 val create :
-  ?jobs:int -> ?max_live:int -> ?snapshot_dir:string -> unit -> t
+  ?jobs:int ->
+  ?max_live:int ->
+  ?snapshot_dir:string ->
+  ?slow_ms:float ->
+  ?reqlog:Reqlog.t ->
+  unit ->
+  t
 (** [jobs] (default 1) sizes the worker pool — with 1, requests run
     inline at {!submit} time (deterministic; what the [qvtr session]
     CLI uses). [max_live] (default 64) caps in-memory sessions.
     [snapshot_dir] (default ["./qvtr-sessions"]) receives eviction
-    snapshots; it is created on first use. *)
+    snapshots; it is created on first use. [slow_ms] (default: never)
+    sets the end-to-end latency above which a reply bumps
+    [server.slow_requests] and is flagged [slow] in the request log.
+    [reqlog] (default: a counter-only log) receives one record per
+    reply. *)
 
 val jobs : t -> int
 
@@ -65,6 +83,21 @@ val drain : t -> unit
 val stats_json : t -> Obs.Json.t
 (** The [stats] verb's payload: live/cold session counts, queue
     depth, and the full {!Obs.Metrics} snapshot. *)
+
+val sessions_json : t -> Obs.Json.t
+(** The admin plane's [/sessions] payload:
+    [{"sessions": [{"session", "state", "queue_depth", "queue_age_s",
+    "busy", "lru_stamp"}, ...]}], sorted by session name. [state] is
+    ["live"], ["cold"] (evicted to snapshot) or ["opening"] (open
+    accepted, not yet hydrated). *)
+
+val frames_served : t -> int
+(** Total protocol frames answered (every reply path counts exactly
+    once — equals {!Reqlog.count} of the engine's request log). *)
+
+val request_log : t -> Reqlog.t
+(** The engine's request log (the one passed to {!create}, or the
+    internal counter-only log). *)
 
 val shutdown : t -> unit
 (** {!drain}, then stop the pool. Live sessions are {e not}

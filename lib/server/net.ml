@@ -5,10 +5,18 @@ type addr =
   | Unix_sock of string
   | Tcp of int
 
+(* The JSONL plane mutates sessions; the admin plane is read-only
+   HTTP/1.0 (one request, one response, close) for scrapers. *)
+type kind =
+  | Jsonl
+  | Admin
+
 type conn = {
   fd : Unix.file_descr;
+  kind : kind;
   buf : Buffer.t;  (** bytes read, not yet framed into lines *)
   wmu : Mutex.t;  (** serializes reply writes from pool workers *)
+  proto_errors : int ref;  (** malformed frames on this connection *)
   mutable alive : bool;
 }
 
@@ -36,19 +44,36 @@ let recover_id line =
   | Error _ -> -1
 
 let m_errors = Obs.Metrics.counter "server.errors"
+let m_proto = Obs.Metrics.counter "server.protocol_errors"
+let g_conns = Obs.Metrics.gauge "server.connections"
 
-let handle_line ~engine conn line =
+(* One JSONL frame. Split out (and exported) so tests can drive the
+   framing/error path without a socket. Frames that fail strict
+   parsing never reach the engine: they are counted globally
+   ([server.protocol_errors]), tallied per connection, and answered
+   with an error that carries the tally — a client that keeps sending
+   garbage can see its own error budget grow. *)
+let feed ~engine ~proto_errors ~send line =
   if String.trim line <> "" then
     match P.parse_request line with
     | Error err ->
       Obs.Metrics.incr m_errors;
-      send conn
+      Obs.Metrics.incr m_proto;
+      incr proto_errors;
+      let err =
+        Printf.sprintf "%s (protocol error %d on this connection)" err
+          !proto_errors
+      in
+      send
         (P.response_to_string ~verb:"error"
            { P.s_id = recover_id line; s_result = Error err })
     | Ok req ->
       let verb = P.verb_of_request req.P.q_req in
       Engine.submit engine req (fun resp ->
-          send conn (P.response_to_string ~verb resp))
+          send (P.response_to_string ~verb resp))
+
+let handle_line ~engine conn line =
+  feed ~engine ~proto_errors:conn.proto_errors ~send:(send conn) line
 
 (* Split off every complete line in the connection buffer. *)
 let drain_lines ~engine conn =
@@ -62,31 +87,117 @@ let drain_lines ~engine conn =
     String.sub data 0 last |> String.split_on_char '\n'
     |> List.iter (handle_line ~engine conn)
 
-let serve ?(ready = fun () -> ()) ~engine addr =
+(* ------------------------------------------------------------------ *)
+(* Admin plane: minimal HTTP/1.0, GET only, one response then close.  *)
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* [request_line] is the first line of the HTTP request, e.g.
+   "GET /metrics HTTP/1.0". Exported for tests. *)
+let admin_response ~engine request_line =
+  match String.split_on_char ' ' (String.trim request_line) with
+  | meth :: _ when meth <> "GET" ->
+    http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+      "admin plane is read-only: GET /metrics, /healthz, /sessions\n"
+  | [ "GET"; target ] | [ "GET"; target; _ ] -> (
+    match target with
+    | "/metrics" ->
+      (* refresh engine gauges so a scrape between requests still sees
+         current depths; the registry render itself is lock-free *)
+      ignore (Engine.stats_json engine);
+      http_response ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4"
+        (Obs.Metrics.to_prometheus ())
+    | "/healthz" ->
+      http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+    | "/sessions" ->
+      http_response ~status:"200 OK" ~content_type:"application/json"
+        (Json.to_string (Engine.sessions_json engine) ^ "\n")
+    | _ ->
+      http_response ~status:"404 Not Found" ~content_type:"text/plain"
+        "unknown admin path: try /metrics, /healthz, /sessions\n")
+  | _ ->
+    http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+      "malformed request line\n"
+
+(* An admin connection is done as soon as we have the request line;
+   HTTP/1.0 clients send headers after it but we never need them. *)
+let admin_step ~engine conn =
+  let data = Buffer.contents conn.buf in
+  match String.index_opt data '\n' with
+  | None -> ()
+  | Some eol ->
+    let line = String.sub data 0 eol in
+    Mutex.lock conn.wmu;
+    (try if conn.alive then write_all conn.fd (admin_response ~engine line)
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Mutex.unlock conn.wmu
+
+(* ------------------------------------------------------------------ *)
+
+let bind_tcp port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  sock
+
+let serve ?(ready = fun () -> ()) ?admin ~engine addr =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match
-    match addr with
-    | Unix_sock path ->
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
-      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      sock
-    | Tcp port ->
-      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      sock
+    let main =
+      match addr with
+      | Unix_sock path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        sock
+      | Tcp port -> bind_tcp port
+    in
+    let admin_sock = Option.map bind_tcp admin in
+    (main, admin_sock)
   with
   | exception Unix.Unix_error (e, _, arg) ->
     Error (Printf.sprintf "serve: %s: %s" arg (Unix.error_message e))
-  | sock ->
+  | sock, admin_sock ->
     Unix.listen sock 64;
+    Option.iter (fun s -> Unix.listen s 64) admin_sock;
     ready ();
     let conns = ref [] in
     let chunk = Bytes.create 65536 in
+    let accept_into kind lsock =
+      match Unix.accept lsock with
+      | client, _ ->
+        conns :=
+          {
+            fd = client;
+            kind;
+            buf = Buffer.create 4096;
+            wmu = Mutex.create ();
+            proto_errors = ref 0;
+            alive = true;
+          }
+          :: !conns
+      | exception Unix.Unix_error _ -> ()
+    in
+    let close_conn conn =
+      Mutex.lock conn.wmu;
+      conn.alive <- false;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      Mutex.unlock conn.wmu
+    in
     let rec loop () =
       conns := List.filter (fun c -> c.alive) !conns;
-      let fds = sock :: List.map (fun c -> c.fd) !conns in
+      Obs.Metrics.set_gauge g_conns (float_of_int (List.length !conns));
+      let listeners =
+        sock :: (match admin_sock with Some s -> [ s ] | None -> [])
+      in
+      let fds = listeners @ List.map (fun c -> c.fd) !conns in
       let readable, _, _ =
         try
           let r, w, x = Unix.select fds [] [] (-1.0) in
@@ -95,37 +206,20 @@ let serve ?(ready = fun () -> ()) ~engine addr =
       in
       List.iter
         (fun fd ->
-          if fd = sock then begin
-            match Unix.accept sock with
-            | client, _ ->
-              conns :=
-                {
-                  fd = client;
-                  buf = Buffer.create 4096;
-                  wmu = Mutex.create ();
-                  alive = true;
-                }
-                :: !conns
-            | exception Unix.Unix_error _ -> ()
-          end
+          if fd = sock then accept_into Jsonl sock
+          else if admin_sock = Some fd then accept_into Admin fd
           else
             match List.find_opt (fun c -> c.fd = fd) !conns with
             | None -> ()
             | Some conn -> (
               match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-              | 0 ->
-                Mutex.lock conn.wmu;
-                conn.alive <- false;
-                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-                Mutex.unlock conn.wmu
-              | n ->
+              | 0 -> close_conn conn
+              | n -> (
                 Buffer.add_subbytes conn.buf chunk 0 n;
-                drain_lines ~engine conn
-              | exception Unix.Unix_error _ ->
-                Mutex.lock conn.wmu;
-                conn.alive <- false;
-                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-                Mutex.unlock conn.wmu))
+                match conn.kind with
+                | Jsonl -> drain_lines ~engine conn
+                | Admin -> admin_step ~engine conn)
+              | exception Unix.Unix_error _ -> close_conn conn))
         readable;
       loop ()
     in

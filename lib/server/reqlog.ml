@@ -1,0 +1,60 @@
+module Json = Obs.Json
+
+type t = {
+  mu : Mutex.t;
+  r_path : string option;
+  mutable oc : out_channel option;
+  mutable n : int;
+}
+
+let create ?path () =
+  let oc =
+    Option.map
+      (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+      path
+  in
+  { mu = Mutex.create (); r_path = path; oc; n = 0 }
+
+let log t ~ts ~id ~session ~verb ~queue_wait_s ~service_s ~outcome ~slow =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("ts", Json.Float ts);
+           ("id", Json.Int id);
+           ("session", Json.String session);
+           ("verb", Json.String verb);
+           ("queue_wait_s", Json.Float queue_wait_s);
+           ("service_s", Json.Float service_s);
+           ("outcome", Json.String outcome);
+           ("slow", Json.Bool slow);
+         ])
+  in
+  Mutex.lock t.mu;
+  t.n <- t.n + 1;
+  (match t.oc with
+  | Some oc -> (
+    try
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> ())
+  | None -> ());
+  Mutex.unlock t.mu
+
+let count t =
+  Mutex.lock t.mu;
+  let n = t.n in
+  Mutex.unlock t.mu;
+  n
+
+let path t = t.r_path
+
+let close t =
+  Mutex.lock t.mu;
+  (match t.oc with
+  | Some oc ->
+    (try close_out oc with Sys_error _ -> ());
+    t.oc <- None
+  | None -> ());
+  Mutex.unlock t.mu

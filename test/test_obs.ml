@@ -100,6 +100,206 @@ let test_metrics_registry () =
   Alcotest.(check (float 1e-9)) "gauge" 3.5 (M.gauge_value g)
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+
+let test_prometheus_name () =
+  Alcotest.(check string)
+    "dots to underscores" "server_latency_check_s"
+    (M.prometheus_name "server.latency.check_s");
+  Alcotest.(check string)
+    "leading digit prefixed" "_9lives" (M.prometheus_name "9lives");
+  Alcotest.(check string)
+    "colons survive" "a:b_c" (M.prometheus_name "a:b-c");
+  Alcotest.(check string) "empty name" "_" (M.prometheus_name "")
+
+let test_prometheus_exposition () =
+  (* dotted names of all three kinds, so sanitization and every series
+     shape are exercised *)
+  let c = M.counter "test.prom.counter" in
+  M.set_counter c 7;
+  let g = M.gauge "test.prom.gauge" in
+  M.set_gauge g 2.5;
+  let h = M.histogram "test.prom.hist" in
+  M.reset_histogram h;
+  for _ = 1 to 5 do
+    M.observe h 1.0
+  done;
+  for _ = 1 to 3 do
+    M.observe h 4.0
+  done;
+  M.observe h (-1.0);
+  let body = M.to_prometheus () in
+  let p =
+    match Obs.Prom.parse body with
+    | Ok p -> p
+    | Error e -> Alcotest.fail ("exposition does not strict-parse: " ^ e)
+  in
+  (* every registry entry appears exactly once as a # TYPE line, under
+     its sanitized name with the declared kind *)
+  let expect_kind name kind =
+    Alcotest.(check int)
+      (name ^ " appears exactly once")
+      1
+      (List.length (List.filter (fun (n, _) -> n = name) p.Obs.Prom.types));
+    Alcotest.(check (option string))
+      (name ^ " kind") (Some kind)
+      (List.assoc_opt name p.Obs.Prom.types)
+  in
+  expect_kind "test_prom_counter" "counter";
+  expect_kind "test_prom_gauge" "gauge";
+  expect_kind "test_prom_hist" "histogram";
+  Alcotest.(check int)
+    "registry and exposition agree on entry count"
+    (List.length (String.split_on_char '\n' body
+                 |> List.filter (fun l ->
+                        String.length l > 7 && String.sub l 0 7 = "# TYPE ")))
+    (List.length p.Obs.Prom.types);
+  Alcotest.(check (option int))
+    "counter value" (Some 7)
+    (Obs.Prom.counter_value p "test_prom_counter");
+  Alcotest.(check (option (float 1e-9)))
+    "gauge value" (Some 2.5)
+    (Obs.Prom.gauge_value p "test_prom_gauge");
+  (* histogram series: cumulative buckets are monotone, +Inf equals
+     _count, _sum matches, percentile recovers the representatives *)
+  let bs = Obs.Prom.buckets p "test_prom_hist" in
+  Alcotest.(check bool) "has buckets" true (List.length bs >= 3);
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      Alcotest.(check bool) "cumulative counts non-decreasing" true (a <= b);
+      monotone rest
+    | _ -> ()
+  in
+  monotone bs;
+  let rec ubs_sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      Alcotest.(check bool) "upper bounds increase" true (a < b);
+      ubs_sorted rest
+    | _ -> ()
+  in
+  ubs_sorted bs;
+  (match List.rev bs with
+  | (ub, last) :: _ ->
+    Alcotest.(check bool) "last bucket is +Inf" true (ub = infinity);
+    Alcotest.(check (option int))
+      "+Inf bucket equals _count" (Some last)
+      (Obs.Prom.histogram_count p "test_prom_hist")
+  | [] -> Alcotest.fail "no buckets parsed");
+  Alcotest.(check (option int))
+    "count covers all observations incl. underflow" (Some 9)
+    (Obs.Prom.histogram_count p "test_prom_hist");
+  Alcotest.(check (option (float 1e-6)))
+    "sum" (Some 16.0)
+    (Obs.Prom.histogram_sum p "test_prom_hist");
+  Alcotest.(check (option (float 1e-9)))
+    "p50 from the scrape" (Some 1.0)
+    (Obs.Prom.percentile p "test_prom_hist" 0.5);
+  Alcotest.(check (option (float 1e-9)))
+    "p99 from the scrape" (Some 4.0)
+    (Obs.Prom.percentile p "test_prom_hist" 0.99)
+
+let test_prom_parse_rejects () =
+  let bad body =
+    match Obs.Prom.parse body with
+    | Ok _ -> Alcotest.failf "accepted %S" body
+    | Error _ -> ()
+  in
+  bad "metric_without_value\n";
+  bad "name value_is_not_a_number\n";
+  bad "# TYPE only_two\n";
+  bad "# TYPE m sideways\n";
+  bad "# COMMENT unknown\n";
+  bad "m{unterminated=\"v} 1\n";
+  bad "{no_name} 1\n";
+  (* the shapes we emit all parse *)
+  match
+    Obs.Prom.parse
+      "# HELP free text is fine\n\
+       # TYPE m histogram\n\
+       m_bucket{le=\"0.5\"} 1\n\
+       m_bucket{le=\"+Inf\"} 2\n\
+       m_sum 1.5\n\
+       m_count 2\n"
+  with
+  | Ok p -> Alcotest.(check int) "samples" 4 (List.length p.Obs.Prom.samples)
+  | Error e -> Alcotest.fail e
+
+(* Satellite: the drain-based reset must keep count == bucket totals
+   with observers racing it at jobs = 4 (3 observers + 1 resetter). *)
+let test_histogram_concurrent_reset () =
+  let h = M.histogram "test.prom.reset_race" in
+  M.reset_histogram h;
+  let per_domain = 20_000 in
+  let observers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              M.observe h 4.0
+            done))
+  in
+  let resetter =
+    Domain.spawn (fun () ->
+        for _ = 1 to 200 do
+          M.reset_histogram h;
+          Domain.cpu_relax ()
+        done)
+  in
+  List.iter Domain.join observers;
+  Domain.join resetter;
+  (* quiescent now: whatever survived the resets, the invariant holds *)
+  Alcotest.(check int)
+    "count equals bucket total after racing resets"
+    (M.histogram_bucket_total h) (M.histogram_count h);
+  Alcotest.(check bool)
+    "count within bounds" true
+    (M.histogram_count h >= 0 && M.histogram_count h <= 3 * per_domain);
+  M.reset_histogram h;
+  Alcotest.(check int) "final reset zeroes count" 0 (M.histogram_count h);
+  Alcotest.(check int)
+    "final reset zeroes buckets" 0
+    (M.histogram_bucket_total h)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime sampler                                                     *)
+
+let test_runtime_sampler () =
+  let samples0 =
+    M.counter_value (M.counter "runtime.samples")
+  in
+  let hook_hits = Atomic.make 0 in
+  Obs.Runtime.on_sample "test.hook" (fun () ->
+      Atomic.incr hook_hits);
+  Obs.Runtime.on_sample "test.bad_hook" (fun () -> failwith "must not kill");
+  Obs.Runtime.start ~interval_s:0.01 ();
+  Alcotest.(check bool) "running" true (Obs.Runtime.running ());
+  Unix.sleepf 0.15;
+  Obs.Runtime.stop ();
+  Alcotest.(check bool) "stopped" false (Obs.Runtime.running ());
+  let ticks =
+    M.counter_value (M.counter "runtime.samples") - samples0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled repeatedly (%d ticks)" ticks)
+    true (ticks >= 2);
+  Alcotest.(check bool)
+    "hooks ran every tick, raising hook tolerated" true
+    (Atomic.get hook_hits >= ticks);
+  Alcotest.(check bool)
+    "gc gauges are fresh" true
+    (M.gauge_value (M.gauge "runtime.gc.heap_words") > 0.);
+  Alcotest.(check bool)
+    "uptime advanced" true
+    (M.gauge_value (M.gauge "runtime.uptime_s") > 0.);
+  Obs.Runtime.remove_sample "test.hook";
+  Obs.Runtime.remove_sample "test.bad_hook";
+  (* one synchronous tick still works without the thread *)
+  let before = M.counter_value (M.counter "runtime.samples") in
+  Obs.Runtime.sample_now ();
+  Alcotest.(check int)
+    "sample_now ticks once" (before + 1)
+    (M.counter_value (M.counter "runtime.samples"))
+
+(* ------------------------------------------------------------------ *)
 (* Trace recording                                                     *)
 
 let begins evs = List.filter (fun (e : T.event) -> e.ph = `Begin) evs
@@ -303,6 +503,16 @@ let suite =
     Alcotest.test_case "histogram percentiles exact" `Quick
       test_histogram_percentiles;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "prometheus name sanitization" `Quick
+      test_prometheus_name;
+    Alcotest.test_case "prometheus exposition strict-parses" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "prometheus parser rejects malformed" `Quick
+      test_prom_parse_rejects;
+    Alcotest.test_case "histogram reset races observers (jobs=4)" `Quick
+      test_histogram_concurrent_reset;
+    Alcotest.test_case "runtime sampler ticks and survives bad hooks" `Quick
+      test_runtime_sampler;
     Alcotest.test_case "span nesting and args" `Quick test_span_nesting;
     Alcotest.test_case "span end survives raise" `Quick
       test_span_survives_raise;

@@ -641,6 +641,151 @@ let test_engine_addressing () =
   | _ -> Alcotest.fail "expected Stats_snapshot");
   E.shutdown eng
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry plane: queue-wait accounting, request log, slow counter   *)
+
+let test_queue_accounting_and_reqlog () =
+  let m = Obs.Metrics.counter in
+  let slow0 = Obs.Metrics.counter_value (m "server.slow_requests") in
+  let qw_recheck = Obs.Metrics.histogram "server.queue_wait.recheck_s" in
+  let sv_recheck = Obs.Metrics.histogram "server.service.recheck_s" in
+  let qw0 = Obs.Metrics.histogram_count qw_recheck in
+  let sv0 = Obs.Metrics.histogram_count sv_recheck in
+  let dir = tmpdir "reqlog" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let log_path = Filename.concat dir "req.jsonl" in
+  (try Sys.remove log_path with Sys_error _ -> ());
+  let reqlog = Server.Reqlog.create ~path:log_path () in
+  (* slow_ms 0: every reply crosses the threshold, so the slow counter
+     must advance once per frame — exactly like the record count *)
+  let eng = E.create ~jobs:1 ~max_live:4 ~snapshot_dir:dir ~slow_ms:0.0 ~reqlog () in
+  ignore (ok "open" (call eng ~session:"q" (P.Open (base_spec ()))));
+  (match
+     ok "apply"
+       (call eng ~session:"q"
+          (P.Apply_edits { models = models_text ~cf1:[ "A" ] ~cf2:[] ~fm:base_fm }))
+   with
+  | P.Applied _ -> ()
+  | _ -> Alcotest.fail "expected Applied");
+  ignore (checked "recheck 1" (call eng ~session:"q" (P.Recheck { blame = false })));
+  ignore (checked "recheck 2" (call eng ~session:"q" (P.Recheck { blame = false })));
+  ignore (err "unknown session" (call eng ~session:"ghost" (P.Recheck { blame = false })));
+  (match ok "stats" (call eng ~session:"" P.Stats) with
+  | P.Stats_snapshot _ -> ()
+  | _ -> Alcotest.fail "expected Stats_snapshot");
+  E.shutdown eng;
+  Server.Reqlog.close reqlog;
+  (* zero lost, zero double-counted: engine counter == reqlog count ==
+     frames submitted *)
+  Alcotest.(check int) "frames served" 6 (E.frames_served eng);
+  Alcotest.(check int) "reqlog counted every reply" 6 (Server.Reqlog.count reqlog);
+  Alcotest.(check int) "every frame was slow at slow_ms=0" 6
+    (Obs.Metrics.counter_value (m "server.slow_requests") - slow0);
+  (* the two queued rechecks split into queue-wait + service samples;
+     the unknown-session recheck was answered inline and contributes to
+     the same verb histograms, so +3 each *)
+  Alcotest.(check int) "queue-wait samples per verb" 3
+    (Obs.Metrics.histogram_count qw_recheck - qw0);
+  Alcotest.(check int) "service samples per verb" 3
+    (Obs.Metrics.histogram_count sv_recheck - sv0);
+  (* the JSONL file strict-parses, one record per frame, schema intact *)
+  let ic = open_in log_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one JSONL record per frame" 6 (List.length lines);
+  let verbs =
+    List.map
+      (fun line ->
+        match Obs.Json.of_string line with
+        | Error e -> Alcotest.failf "record is not strict JSON: %s" e
+        | Ok j ->
+          List.iter
+            (fun field ->
+              if Obs.Json.member field j = Obs.Json.Null then
+                Alcotest.failf "record %s lacks %s" line field)
+            [ "ts"; "id"; "session"; "verb"; "queue_wait_s"; "service_s";
+              "outcome"; "slow" ];
+          (match Obs.Json.to_bool_opt (Obs.Json.member "slow" j) with
+          | Some true -> ()
+          | _ -> Alcotest.fail "slow_ms=0 must flag every record slow");
+          Option.get (Obs.Json.to_string_opt (Obs.Json.member "verb" j)))
+      lines
+  in
+  Alcotest.(check (list string))
+    "verbs in reply order"
+    [ "open"; "apply_edits"; "recheck"; "recheck"; "recheck"; "stats" ]
+    verbs
+
+let test_sessions_json () =
+  let eng = E.create ~jobs:1 ~max_live:4 ~snapshot_dir:(tmpdir "sess") () in
+  ignore (ok "open a" (call eng ~session:"alpha" (P.Open (base_spec ()))));
+  ignore (ok "open b" (call eng ~session:"beta" (P.Open (base_spec ()))));
+  let j = E.sessions_json eng in
+  let rows = Obs.Json.to_list (Obs.Json.member "sessions" j) in
+  Alcotest.(check int) "two sessions listed" 2 (List.length rows);
+  Alcotest.(check (list (option string)))
+    "sorted by name"
+    [ Some "alpha"; Some "beta" ]
+    (List.map (fun r -> Obs.Json.to_string_opt (Obs.Json.member "session" r)) rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        "state is live" (Some "live")
+        (Obs.Json.to_string_opt (Obs.Json.member "state" r));
+      Alcotest.(check (option int))
+        "idle queue" (Some 0)
+        (Obs.Json.to_int_opt (Obs.Json.member "queue_depth" r));
+      Alcotest.(check (option bool))
+        "not busy" (Some false)
+        (Obs.Json.to_bool_opt (Obs.Json.member "busy" r)))
+    rows;
+  E.shutdown eng
+
+(* Satellite: malformed frames are counted globally and per connection,
+   and never reach the engine. Driven through Net.feed — the exact
+   code path a live connection's drain loop runs. *)
+let test_net_feed_protocol_errors () =
+  let proto0 =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.protocol_errors")
+  in
+  let eng = E.create ~jobs:1 ~max_live:4 ~snapshot_dir:(tmpdir "feed") () in
+  let served0 = E.frames_served eng in
+  let replies = ref [] in
+  let send line = replies := line :: !replies in
+  let proto_errors = ref 0 in
+  let feed = Server.Net.feed ~engine:eng ~proto_errors ~send in
+  feed "this is not json";
+  feed "";
+  feed "   ";
+  feed {|{"id":41,"verb":"recheck"}|};
+  feed {|{"id":42,"session":"","verb":"stats"}|};
+  E.drain eng;
+  E.shutdown eng;
+  let replies = List.rev !replies in
+  Alcotest.(check int) "per-connection tally" 2 !proto_errors;
+  Alcotest.(check int) "global protocol_errors counter" 2
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "server.protocol_errors")
+    - proto0);
+  (* blank lines are ignored; malformed frames never reach the engine *)
+  Alcotest.(check int) "only the valid frame reached the engine" 1
+    (E.frames_served eng - served0);
+  Alcotest.(check int) "every non-blank frame got a reply" 3
+    (List.length replies);
+  (match replies with
+  | [ r1; r2; r3 ] ->
+    check_contains "first error reply carries the tally"
+      ~sub:"protocol error 1 on this connection" r1;
+    check_contains "second error reply carries the tally"
+      ~sub:"protocol error 2 on this connection" r2;
+    check_contains "the valid stats frame is answered" ~sub:"\"ok\":true" r3
+  | _ -> Alcotest.fail "expected exactly three replies")
+
 let suite =
   [
     Alcotest.test_case "protocol frames round-trip" `Quick test_codec_round_trip;
@@ -660,4 +805,10 @@ let suite =
       test_lru_never_loses_edits;
     Alcotest.test_case "addressing errors and stats" `Quick
       test_engine_addressing;
+    Alcotest.test_case "queue-wait accounting and request log" `Quick
+      test_queue_accounting_and_reqlog;
+    Alcotest.test_case "sessions_json lists every session" `Quick
+      test_sessions_json;
+    Alcotest.test_case "net feed counts protocol errors" `Quick
+      test_net_feed_protocol_errors;
   ]
