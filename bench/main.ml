@@ -1245,6 +1245,136 @@ let stats_delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
     solve_time = b.Sat.Solver.solve_time -. a.Sat.Solver.solve_time;
   }
 
+(* ------------------------------------------------------------------ *)
+(* E12: bounds-level symmetry breaking on enumeration workloads        *)
+
+(* A maximally symmetric menu enumeration: an empty configuration
+   against n interchangeable mandatory features. Every repair creates
+   one object per feature out of the slack pool, so without SBPs the
+   menu carries one variant per slack-to-feature content assignment
+   (n! once slack >= n — the legacy slack chain only orders slack
+   *usage*, not which feature lands on which atom); the orbit
+   lex-leader SBPs keep one canonical representative per isomorphism
+   class. The fingerprint — the sorted distinct (relational, edit)
+   distance pairs — is the modulo-isomorphism content of the menu and
+   must not move when SBPs toggle. *)
+let e12_with_workers n f =
+  let old = Sys.getenv_opt "MDQVTR_WORKERS" in
+  Unix.putenv "MDQVTR_WORKERS" (string_of_int n);
+  Fun.protect f
+    ~finally:(fun () ->
+      Unix.putenv "MDQVTR_WORKERS" (Option.value old ~default:""))
+
+let e12_arm ~features ~slack ~jobs ~split_after ~sbp =
+  let trans = F.transformation ~k:1 in
+  let cfs = [ F.configuration ~name:"cf1" [] ] in
+  let fm =
+    F.feature_model ~name:"fm"
+      (List.init features (fun i -> (Printf.sprintf "F%d" i, true)))
+  in
+  let cval n = Obs.Metrics.counter_value (Obs.Metrics.counter n) in
+  let discards0 = cval "echo.repair.dedup_discards" in
+  let clauses0 = cval "relog.symmetry.sbp_clauses" in
+  let orbits0 = cval "relog.symmetry.orbits" in
+  let before = Sat.Solver.global_stats () in
+  let r, wall =
+    time_it (fun () ->
+        Echo.Engine.enforce_all ~sbp ~jobs ?split_after ~limit:32
+          ~slack_objects:slack trans ~metamodels:F.metamodels
+          ~models:(F.bind ~cfs ~fm)
+          ~targets:(Echo.Target.single "cf1"))
+  in
+  let after = Sat.Solver.global_stats () in
+  match r with
+  | Error e -> failwith ("E12: " ^ e)
+  | Ok outcomes ->
+    let menu =
+      List.filter_map
+        (function Echo.Engine.Enforced r -> Some r | _ -> None)
+        outcomes
+    in
+    let fingerprint =
+      List.sort_uniq compare
+        (List.map
+           (fun r ->
+             (r.Echo.Engine.relational_distance, r.Echo.Engine.edit_distance))
+           menu)
+      |> List.map (fun (rd, ed) -> Printf.sprintf "%d:%d" rd ed)
+      |> String.concat ","
+    in
+    ( List.length menu,
+      fingerprint,
+      stats_delta before after,
+      cval "echo.repair.dedup_discards" - discards0,
+      cval "relog.symmetry.sbp_clauses" - clauses0,
+      cval "relog.symmetry.orbits" - orbits0,
+      wall )
+
+let e12 ~jobs:_ =
+  section "E12" "symmetry breaking: menu enumeration with SBPs off/on";
+  Format.printf "  %-22s | %-3s | %18s | %18s | %-5s@." "case" "sbp"
+    "menu / fingerprint" "solves / discards" "sbp clauses";
+  (* jobs = 1 exercises the serial dedup path; the cube case forces a
+     genuinely concurrent sharded enumeration (split_after 0 splits
+     eagerly) even on a single-core box via MDQVTR_WORKERS. *)
+  let cases =
+    [
+      ("sym3 (3 features)", 3, 4, 1, None);
+      ("sym4 (4 features)", 4, 5, 1, None);
+      ("cube4 (4 features, jobs=4)", 4, 5, 4, Some 0.0);
+    ]
+  in
+  List.map
+    (fun (name, features, slack, jobs, split_after) ->
+      let arm sbp () = e12_arm ~features ~slack ~jobs ~split_after ~sbp in
+      let run sbp =
+        if jobs > 1 then e12_with_workers jobs (arm sbp) else arm sbp ()
+      in
+      let m_off, fp_off, st_off, disc_off, _, _, w_off = run false in
+      let m_on, fp_on, st_on, disc_on, clauses_on, orbits_on, w_on = run true in
+      let row sbp m fp (st : Sat.Solver.stats) disc clauses =
+        Format.printf "  %-22s | %-3s | %4d  %-12s | %6d / %8d | %d@." name
+          (if sbp then "on" else "off")
+          m fp st.Sat.Solver.solves disc clauses
+      in
+      row false m_off fp_off st_off disc_off 0;
+      row true m_on fp_on st_on disc_on clauses_on;
+      Format.printf
+        "  %-22s   fingerprints %s, menu %dx smaller, %d fewer solves, wall \
+         %.0f -> %.0f ms@."
+        ""
+        (if fp_off = fp_on then "EQUAL" else "DIVERGED")
+        (if m_on = 0 then 0 else m_off / m_on)
+        (st_off.Sat.Solver.solves - st_on.Sat.Solver.solves)
+        (w_off *. 1000.) (w_on *. 1000.);
+      let arm_json m fp (st : Sat.Solver.stats) disc clauses orbits w =
+        Echo.Telemetry.Obj
+          [
+            ("menu_size", Echo.Telemetry.Int m);
+            ("fingerprint", Echo.Telemetry.String fp);
+            ("dedup_discards", Echo.Telemetry.Int disc);
+            ("sbp_clauses", Echo.Telemetry.Int clauses);
+            ("orbits", Echo.Telemetry.Int orbits);
+            ("wall_time_s", Echo.Telemetry.Float w);
+            ("solver", Echo.Telemetry.solver_json st);
+          ]
+      in
+      Echo.Telemetry.Obj
+        [
+          ("experiment", Echo.Telemetry.String "E12");
+          ("case", Echo.Telemetry.String name);
+          ("features", Echo.Telemetry.Int features);
+          ("slack", Echo.Telemetry.Int slack);
+          ("jobs", Echo.Telemetry.Int jobs);
+          ("off", arm_json m_off fp_off st_off disc_off 0 0 w_off);
+          ("on", arm_json m_on fp_on st_on disc_on clauses_on orbits_on w_on);
+          ("fingerprints_equal", Echo.Telemetry.Bool (fp_off = fp_on));
+          ( "solves_saved",
+            Echo.Telemetry.Int
+              (st_off.Sat.Solver.solves - st_on.Sat.Solver.solves) );
+        ])
+    cases
+
 (* Below this wall time a speedup ratio is timer noise, not signal:
    on this class of box two back-to-back runs of the same sub-10ms
    experiment routinely differ by 2-3x (scheduler quantum, cache
@@ -1356,7 +1486,8 @@ let () =
       ("e8", "scaling", fun ~jobs -> e8 ~jobs);
       ("e9", "incremental recheck vs from-scratch", fun ~jobs:_ -> ignore (e9 ()));
       ("e10", "incremental rerepair vs enforce_all", fun ~jobs -> ignore (e10 ~jobs));
-      ("e11", "transformation server under concurrent load", fun ~jobs -> ignore (e11 ~jobs)) ]
+      ("e11", "transformation server under concurrent load", fun ~jobs -> ignore (e11 ~jobs));
+      ("e12", "symmetry breaking: SBPs off/on", fun ~jobs -> ignore (e12 ~jobs)) ]
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
@@ -1375,7 +1506,7 @@ let () =
   Option.iter (fun _ -> Obs.Trace.set_enabled true) trace;
   let usage () =
     Format.eprintf
-      "usage: main.exe [e1..e8|bench] [--json] [--out FILE] [--jobs SPEC] \
+      "usage: main.exe [e1..e12|bench] [--json] [--out FILE] [--jobs SPEC] \
        [--reps N] [--trace FILE]@.";
     exit 2
   in
@@ -1434,6 +1565,15 @@ let () =
     let path = Filename.concat (Filename.dirname out) "BENCH_8.json" in
     write_json ~schema:"mdqvtr-bench/8" path (e11 ~jobs:run_jobs)
   in
+  (* the symmetry-breaking off/on comparison: BENCH_9.json
+     (mdqvtr-bench/9), with its own cumulative metrics snapshot so the
+     relog.symmetry.* and sat.* counters land in the committed file *)
+  let write_bench9 () =
+    let path = Filename.concat (Filename.dirname out) "BENCH_9.json" in
+    write_json ~schema:"mdqvtr-bench/9" path
+      ~extra:[ ("metrics", Obs.Metrics.to_json ()) ]
+      (e12 ~jobs:run_jobs)
+  in
   (* the metrics snapshot is cumulative over the whole run, so it is
      attached once per file, after every record has executed *)
   let metrics () = [ ("metrics", Obs.Metrics.to_json ()) ] in
@@ -1450,7 +1590,8 @@ let () =
         maybe_portfolio experiments;
         write_json ~extra:(metrics ()) out records;
         write_bench3 ();
-        write_bench8 ()
+        write_bench8 ();
+        write_bench9 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) experiments;
@@ -1469,7 +1610,7 @@ let () =
             with
             | Some exp -> exp
             | None ->
-              Format.eprintf "unknown experiment %s (e1..e8 or bench)@." id;
+              Format.eprintf "unknown experiment %s (e1..e12 or bench)@." id;
               exit 2)
           ids
       in
@@ -1480,7 +1621,9 @@ let () =
         if List.exists (fun (eid, _, _) -> eid = "e9" || eid = "e10") selected
         then write_bench3 ();
         if List.exists (fun (eid, _, _) -> eid = "e11") selected then
-          write_bench8 ()
+          write_bench8 ();
+        if List.exists (fun (eid, _, _) -> eid = "e12") selected then
+          write_bench9 ()
       end
       else begin
         List.iter (fun (_, _, f) -> f ~jobs:run_jobs) selected;

@@ -98,13 +98,13 @@ let pp_stats_block stats r =
 let resolve_jobs n = if n <= 0 then Parallel.Pool.default_jobs () else n
 
 let run_enforce_all trans_file mm_file models_file targets standard slack jobs
-    stats =
+    sbp stats =
   match
     let* trans, metamodels, models =
       load_inputs ~trans_file ~mm_file ~models_file
     in
     Echo.Engine.enforce_all ~mode:(mode_of_standard standard)
-      ~slack_objects:slack ~jobs trans ~metamodels ~models
+      ~slack_objects:slack ~jobs ~sbp trans ~metamodels ~models
       ~targets:(Echo.Target.of_list targets)
   with
   | Error msg ->
@@ -139,12 +139,13 @@ let run_enforce_all trans_file mm_file models_file targets standard slack jobs
     end
 
 let run_enforce trans_file mm_file models_file targets standard backend
-    slack jobs all no_lint stats out_file trace =
+    slack jobs all no_lint no_sbp stats out_file trace =
   with_trace trace @@ fun () ->
   let jobs = resolve_jobs jobs in
+  let sbp = not no_sbp in
   if all then
     run_enforce_all trans_file mm_file models_file targets standard slack jobs
-      stats
+      sbp stats
   else
   match
     let* trans, metamodels, models =
@@ -159,7 +160,7 @@ let run_enforce trans_file mm_file models_file targets standard backend
     in
     let* outcome =
       Echo.Engine.enforce ~backend ~mode:(mode_of_standard standard)
-        ~slack_objects:slack ~jobs trans ~metamodels ~models
+        ~slack_objects:slack ~jobs ~sbp trans ~metamodels ~models
         ~targets:(Echo.Target.of_list targets)
     in
     Ok outcome
@@ -385,7 +386,7 @@ let run_session trans_file mm_file models_file edits_file targets standard
 (* serve: long-lived multi-session daemon                              *)
 
 let run_serve socket tcp admin_tcp jobs max_live snapshot_dir slow_ms
-    reqlog_path sample_interval =
+    reqlog_path sample_interval no_sbp =
   match (socket, tcp) with
   | None, None ->
     Format.eprintf "error: one of --socket PATH or --tcp PORT is required@.";
@@ -405,7 +406,7 @@ let run_serve socket tcp admin_tcp jobs max_live snapshot_dir slow_ms
     in
     let engine =
       Server.Engine.create ~jobs:(resolve_jobs jobs) ~max_live ~snapshot_dir
-        ?slow_ms ?reqlog ()
+        ?slow_ms ?reqlog ~symmetry:(not no_sbp) ()
     in
     (* the sampler keeps scrape-visible gauges fresh between requests:
        GC stats from Obs.Runtime itself, engine queue/session gauges
@@ -539,6 +540,13 @@ let render_top (m : Obs.Prom.t) =
     (gauge "runtime_gc_minor_collections")
     (gauge "runtime_gc_major_collections")
     (gauge "runtime_gc_compactions");
+  pf "symmetry: %d orbits  %d sbp clauses  %d dedup discards   sat: %d phase \
+      flips  %d minimized lits\n"
+    (cnt "relog_symmetry_orbits")
+    (cnt "relog_symmetry_sbp_clauses")
+    (cnt "echo_repair_dedup_discards")
+    (cnt "sat_phase_flips")
+    (cnt "sat_minimized_lits");
   pf "\n%-12s %8s  %9s %9s  %9s %9s  %9s %9s\n" "verb" "count" "wait p50"
     "wait p99" "serve p50" "serve p99" "total p50" "total p99";
   let ms name q =
@@ -765,6 +773,18 @@ let no_lint_arg =
     & info [ "no-lint" ]
         ~doc:"Skip the advisory lint warnings printed before the run.")
 
+let no_sbp_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sbp" ]
+        ~doc:
+          "Disable symmetry breaking. For $(b,enforce): skip the bounds-level \
+           orbit analysis and its lex-leader predicates, enumerating every \
+           symmetric variant of each repair (answers and distances are \
+           unchanged; searches are larger and --all menus may contain \
+           isomorphic duplicates). For $(b,serve): drop the guarded \
+           slack-symmetry chains from session repairs.")
+
 let check_cmd =
   let doc = "check consistency of models under a QVT-R transformation" in
   Cmd.v
@@ -830,7 +850,7 @@ let enforce_cmd =
     Term.(
       const run_enforce $ trans_arg $ mm_arg $ models_arg $ targets_arg
       $ standard_arg $ backend_arg $ slack_arg $ jobs_arg $ all_arg
-      $ no_lint_arg $ stats_arg $ out_arg $ trace_arg)
+      $ no_lint_arg $ no_sbp_arg $ stats_arg $ out_arg $ trace_arg)
 
 let edits_arg =
   Arg.(
@@ -955,7 +975,7 @@ let serve_cmd =
     Term.(
       const run_serve $ socket_arg $ tcp_arg $ admin_tcp_arg $ jobs_arg
       $ max_live_arg $ snapshot_dir_arg $ slow_ms_arg $ reqlog_arg
-      $ sample_interval_arg)
+      $ sample_interval_arg $ no_sbp_arg)
 
 let top_admin_arg =
   Arg.(

@@ -102,8 +102,8 @@ let race_portfolio ?max_distance space =
   | _, Error e -> Error e)
 
 let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
-    ?model_weights ?max_distance ?(jobs = 1) transformation ~metamodels ~models
-    ~targets =
+    ?model_weights ?max_distance ?(jobs = 1) ?sbp transformation ~metamodels
+    ~models ~targets =
   if jobs < 1 then invalid_arg "Engine.enforce: jobs must be >= 1";
   Obs.Metrics.incr m_enforcements;
   Obs.Trace.with_span ~name:"enforce"
@@ -122,7 +122,7 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
   else
     let* space =
       Obs.Trace.with_span ~name:"space.build" (fun () ->
-          Space.build ?mode ?slack_objects ?extra_values ?model_weights
+          Space.build ?mode ?slack_objects ?extra_values ?model_weights ?sbp
             ~transformation ~metamodels ~models ~targets ())
     in
     let* outcome, winner =
@@ -154,8 +154,8 @@ let enforce ?(backend = Iterative) ?mode ?slack_objects ?extra_values
            })
 
 let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
-    ?max_distance ?(jobs = 1) ?split_after transformation ~metamodels ~models
-    ~targets =
+    ?max_distance ?(jobs = 1) ?split_after ?sbp transformation ~metamodels
+    ~models ~targets =
   if jobs < 1 then invalid_arg "Engine.enforce_all: jobs must be >= 1";
   Obs.Metrics.incr m_enforcements;
   Obs.Trace.with_span ~name:"enforce_all"
@@ -170,7 +170,7 @@ let enforce_all ?(limit = 16) ?mode ?slack_objects ?extra_values ?model_weights
   else
     let* space =
       Obs.Trace.with_span ~name:"space.build" (fun () ->
-          Space.build ?mode ?slack_objects ?extra_values ?model_weights
+          Space.build ?mode ?slack_objects ?extra_values ?model_weights ?sbp
             ~transformation ~metamodels ~models ~targets ())
     in
     let* repairs = Repair.run_all ?max_distance ~limit ~jobs ?split_after space in
@@ -200,9 +200,12 @@ type diagnosis = {
 let diagnose ?mode ?slack_objects ?extra_values transformation ~metamodels
     ~models ~targets =
   let ( let* ) = Result.bind in
+  (* Diagnosis runs one satisfiability probe per directional formula
+     and never enumerates, so SBPs buy nothing; keep the legacy slack
+     chain so the probes see the same structural formulas as before. *)
   let* space =
-    Space.build ?mode ?slack_objects ?extra_values ~transformation ~metamodels
-      ~models ~targets ()
+    Space.build ?mode ?slack_objects ?extra_values ~sbp:false ~transformation
+      ~metamodels ~models ~targets ()
   in
   let structural = Space.structural space in
   Ok

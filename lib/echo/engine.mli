@@ -49,6 +49,7 @@ val enforce :
   ?model_weights:(Mdl.Ident.t * int) list ->
   ?max_distance:int ->
   ?jobs:int ->
+  ?sbp:bool ->
   Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -63,7 +64,12 @@ val enforce :
     backend probes that many distance levels speculatively
     ({!Repair.run}); the portfolio uses it to race lanes. The
     relational distance of the result is identical for every [jobs]
-    value. *)
+    value.
+
+    [sbp] (default [true]) enables the bounds-level symmetry analysis
+    and lex-leader symmetry-breaking predicates ({!Space.build});
+    [~sbp:false] falls back to the legacy slack chain (the CLI's
+    [--no-sbp]). Either way the minimal distance is unchanged. *)
 
 val enforce_all :
   ?limit:int ->
@@ -74,6 +80,7 @@ val enforce_all :
   ?max_distance:int ->
   ?jobs:int ->
   ?split_after:float ->
+  ?sbp:bool ->
   Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->

@@ -17,6 +17,24 @@ let run ?(jobs = 1) ?token space =
       (Relog.Translate.materialize trans)
       (Relog.Bounds.relations (Space.bounds space));
     List.iter (Relog.Translate.assert_formula trans) (Space.formulas space);
+    (* Lex-leader SBPs as plain hard clauses: this translation lives
+       for one optimization run, so no guard/retirement is needed. The
+       fixed set also pins every atom the formulas name, mirroring what
+       Finder accumulates on the iterative path. *)
+    if Space.use_sbp space then begin
+      let fixed =
+        List.fold_left
+          (fun acc f -> Mdl.Ident.Set.union acc (Relog.Ast.free_atoms f))
+          (Space.symmetry_fixed space)
+          (Space.formulas space)
+      in
+      let orbits =
+        Relog.Symmetry.orbits ~fixed
+          ~respect:(Space.symmetry_respect space)
+          (Space.bounds space)
+      in
+      ignore (Relog.Symmetry.break trans orbits)
+    end;
     (* Soft clauses: keep every optional tuple at its original value. *)
     let changes = Space.change_literals space trans in
     List.iter

@@ -12,6 +12,11 @@ let h_run_wall = Obs.Metrics.histogram "echo.repair.wall_s"
 let m_cube_splits = Obs.Metrics.counter "echo.repair.cube_splits"
 let h_cube_wall = Obs.Metrics.histogram "echo.repair.cube_wall_s"
 
+(* Canonical-dedup discards: distinct SAT assignments that decoded to
+   an already-seen model. The figure the symmetry SBPs exist to
+   shrink — E12 tracks it on/off. *)
+let m_dedup_discards = Obs.Metrics.counter "echo.repair.dedup_discards"
+
 let span_args ~backend ~distance ~assumptions () =
   [
     ("backend", Obs.Json.String backend);
@@ -51,6 +56,13 @@ let start ?cap space =
     Obs.Trace.with_span ~name:"repair.prepare" (fun () ->
         Relog.Finder.prepare (Space.bounds space) (Space.formulas space))
   in
+  if Space.use_sbp space then
+    ignore
+      (Obs.Trace.with_span ~name:"repair.symmetry" (fun () ->
+           Relog.Finder.add_symmetry
+             ~fixed:(Space.symmetry_fixed space)
+             ~respect:(Space.symmetry_respect space)
+             finder));
   let trans = Relog.Finder.translation finder in
   let changes = Space.change_literals space trans in
   let inputs = List.concat_map (fun (l, w) -> List.init w (fun _ -> l)) changes in
@@ -300,7 +312,11 @@ let ladder ~window ~cap sc space board wi =
     Hashtbl.replace board.level_counts l
       (1 + Option.value ~default:0 (Hashtbl.find_opt board.level_counts l));
     Mutex.unlock board.bmu;
-    let assumptions = Sat.Cardinality.at_most sc.card l in
+    (* Clone solves bypass [Finder.solve]; the SBP guard must ride
+       along explicitly (and first, for assumption-prefix reuse). *)
+    let assumptions =
+      Relog.Finder.sbp_assumptions sc.finder @ Sat.Cardinality.at_most sc.card l
+    in
     match
       Obs.Trace.with_span ~name:"solve"
         ~args:
@@ -485,7 +501,10 @@ let dedup repairs =
   List.filter
     (fun (r : success) ->
       let key = repair_key r.repaired in
-      if Hashtbl.mem seen key then false
+      if Hashtbl.mem seen key then begin
+        Obs.Metrics.incr m_dedup_discards;
+        false
+      end
       else begin
         Hashtbl.add seen key ();
         true
@@ -590,7 +609,10 @@ let run_all_parallel ~jobs ~split_after ~token ~cap ~limit sc space =
       (* Splits can refine well past the initial grid; bound the depth
          so a degenerate space cannot split forever. *)
       let max_depth = min (Array.length change_lits) (bits + 8) in
-      let base = Sat.Cardinality.at_most sc.card dstar in
+      let base =
+        Relog.Finder.sbp_assumptions sc.finder
+        @ Sat.Cardinality.at_most sc.card dstar
+      in
       (* Shared cube queue. [active] counts workers inside a cube and
          [starved] the ones parked waiting for one: the enumeration is
          drained when the queue is empty and nobody is active, and a

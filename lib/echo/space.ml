@@ -10,6 +10,7 @@ type t = {
   fmls : Relog.Ast.formula list;
   weights : int Ident.Map.t;  (* param -> weight *)
   originals : (Ident.t * Mdl.Model.t) list;
+  sbp : bool;  (* general lex-leader SBPs instead of the slack chain *)
 }
 
 (* Relation names are namespaced "<param>$..."; recover the parameter. *)
@@ -19,7 +20,8 @@ let param_of_rel r =
   | Some i -> Some (Ident.make (String.sub (Ident.name r) 0 i))
 
 let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
-    ?(model_weights = []) ~transformation ~metamodels ~models ~targets () =
+    ?(model_weights = []) ?(sbp = true) ~transformation ~metamodels ~models
+    ~targets () =
   let ( let* ) = Result.bind in
   let params =
     List.map
@@ -42,9 +44,13 @@ let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
   try
     let sem = Qvtr.Semantics.create ?mode ?unroll enc info in
     let consistency = Qvtr.Semantics.consistency_formula sem in
+    (* With the general symmetry pass on, the hand-rolled slack chain
+       is dropped: its formulas name the slack atoms, which would pin
+       them and leave the analysis no orbits. The lex-leader SBPs the
+       repair layer asserts subsume it. *)
     let structural =
       List.concat_map
-        (fun p -> Qvtr.Encode.structural_formulas enc ~param:p)
+        (fun p -> Qvtr.Encode.structural_formulas ~symmetry:(not sbp) enc ~param:p)
         (Ident.Set.elements targets)
     in
     let weights =
@@ -69,6 +75,7 @@ let build ?mode ?unroll ?(slack_objects = 2) ?(extra_values = [])
         fmls = consistency :: structural;
         weights;
         originals = models;
+        sbp;
       }
   with
   | Qvtr.Semantics.Compile_error msg -> Error msg
@@ -83,9 +90,52 @@ let directional_formulas s =
 
 let structural s =
   List.concat_map
-    (fun p -> Qvtr.Encode.structural_formulas s.enc ~param:p)
+    (fun p -> Qvtr.Encode.structural_formulas ~symmetry:(not s.sbp) s.enc ~param:p)
     (Ident.Set.elements s.tgts)
 let targets s = s.tgts
+let use_sbp s = s.sbp
+
+(* Atoms the symmetry analysis may permute: the target models' object
+   atoms (existing and slack). Everything else — value atoms, whose
+   identity is observable in a repair menu ("attr = 5" and "attr = 7"
+   are different repairs, not isomorphic ones), and frozen models'
+   objects — stays fixed. *)
+let symmetry_fixed s =
+  let candidates =
+    List.fold_left
+      (fun acc p ->
+        let acc =
+          List.fold_left
+            (fun acc a -> Ident.Set.add a acc)
+            acc
+            (Qvtr.Encode.slack_atom_names s.enc p)
+        in
+        Mdl.Model.fold_objects
+          (fun id _ acc -> Ident.Set.add (Qvtr.Encode.obj_atom_name p id) acc)
+          (Qvtr.Encode.model_of_param s.enc p)
+          acc)
+      Ident.Set.empty
+      (Ident.Set.elements s.tgts)
+  in
+  List.fold_left
+    (fun acc a -> if Ident.Set.mem a candidates then acc else Ident.Set.add a acc)
+    Ident.Set.empty
+    (Relog.Rel.Universe.atoms (Qvtr.Encode.universe s.enc))
+
+(* Tuplesets every permutation must additionally preserve: the target
+   relations' original values. Without them, a permutation could move
+   an instance to one at a different relational distance from the
+   original, and the ladder's "UNSAT at level l" would no longer prove
+   there is no repair at distance l. Frozen relations are exactly
+   bound, so preserving their bounds already preserves them. *)
+let symmetry_respect s =
+  List.filter_map
+    (fun r ->
+      match param_of_rel r with
+      | Some p when Ident.Set.mem p s.tgts ->
+        Some (Relog.Instance.get s.original r)
+      | _ -> None)
+    (Relog.Bounds.relations s.bnds)
 let formulas s = s.fmls
 let bounds s = s.bnds
 let params s =

@@ -18,6 +18,7 @@ val build :
   ?slack_objects:int ->
   ?extra_values:Mdl.Value.t list ->
   ?model_weights:(Mdl.Ident.t * int) list ->
+  ?sbp:bool ->
   transformation:Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -26,7 +27,14 @@ val build :
   (t, string) result
 (** [model_weights] prioritises models in the aggregated distance
     (default 1 each — the paper's summed aggregation; other weights
-    realise the prioritisation it leaves as future work). *)
+    realise the prioritisation it leaves as future work).
+
+    [sbp] (default [true]) selects the general bounds-level symmetry
+    analysis ({!Relog.Symmetry}): the structural formulas omit the
+    hand-rolled slack-symmetry chain (which would pin the slack atoms)
+    and the repair backends instead assert lex-leader predicates for
+    the orbits of {!symmetry_fixed}/{!symmetry_respect}. With [sbp]
+    false the legacy slack chain is kept and no SBPs are emitted. *)
 
 val encoding : t -> Qvtr.Encode.t
 
@@ -41,6 +49,20 @@ val structural : t -> Relog.Ast.formula list
     models. *)
 
 val targets : t -> Target.t
+
+val use_sbp : t -> bool
+(** Whether this space was built for the general symmetry pass. *)
+
+val symmetry_fixed : t -> Mdl.Ident.Set.t
+(** Atoms the symmetry analysis must not permute: everything except
+    the target models' object and slack atoms. Value atoms in
+    particular are fixed — their identity is observable in the repair
+    menu. *)
+
+val symmetry_respect : t -> Relog.Rel.Tupleset.t list
+(** The original instance's target-relation tuplesets. Permutations
+    respecting them leave the relational distance of every instance
+    unchanged, which keeps the distance ladder sound under SBPs. *)
 
 val formulas : t -> Relog.Ast.formula list
 (** Consistency plus structural constraints. *)

@@ -118,6 +118,13 @@ type t = {
   tgts : Echo.Target.t;
   budget : int;
   headroom : int;
+  symmetry : bool;
+      (* assume the guarded slack-symmetry chains on repair solves.
+         The session path pins repairs by assumption, so the general
+         lex-leader SBPs of {!Relog.Symmetry} are unsound here; the
+         per-parameter slack chains are the symmetry breaking sessions
+         get, and [symmetry = false] (the server's --no-sbp) drops
+         even those. *)
   mutable gen : generation;
   cache : (string, generation) Hashtbl.t;
   (* The one finder (translation + solver) serving every generation:
@@ -330,7 +337,8 @@ let ensure_generation t =
 (* Opening                                                             *)
 
 let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
-    ?(extra_values = []) ~transformation ~metamodels ~models ~targets () =
+    ?(extra_values = []) ?(symmetry = true) ~transformation ~metamodels
+    ~models ~targets () =
   let ( let* ) = Result.bind in
   if slack_budget < 0 || headroom < 0 then
     Error "Session.open_session: slack_budget and headroom must be >= 0"
@@ -372,6 +380,7 @@ let open_session ?mode ?unroll ?(slack_budget = 2) ?(headroom = 6)
         tgts = targets;
         budget = slack_budget;
         headroom;
+        symmetry;
         gen;
         cache = Hashtbl.create 4;
         fd = None;
@@ -604,9 +613,11 @@ let ensure_repair t =
       List.map
         (fun p ->
           ( p,
-            Array.of_list
-              (List.map (Relog.Finder.guard rf)
-                 (Qvtr.Encode.slack_symmetry_formulas g.g_enc ~param:p)) ))
+            if not t.symmetry then [||]
+            else
+              Array.of_list
+                (List.map (Relog.Finder.guard rf)
+                   (Qvtr.Encode.slack_symmetry_formulas g.g_enc ~param:p)) ))
         tgt_list
     in
     let struct_guards =

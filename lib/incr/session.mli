@@ -111,6 +111,7 @@ val open_session :
   ?slack_budget:int ->
   ?headroom:int ->
   ?extra_values:Mdl.Value.t list ->
+  ?symmetry:bool ->
   transformation:Qvtr.Ast.transformation ->
   metamodels:(Mdl.Ident.t * Mdl.Metamodel.t) list ->
   models:(Mdl.Ident.t * Mdl.Model.t) list ->
@@ -124,7 +125,13 @@ val open_session :
     (default none) seeds the value accumulator beyond what the models
     mention — the revival path of a durable session snapshot passes
     the evicted session's {!value_universe} here, so a resurrected
-    session searches exactly the space the evicted one did. Solvers
+    session searches exactly the space the evicted one did.
+    [symmetry] (default true) assumes the guarded slack-symmetry
+    chains on repair solves; sessions pin repairs by assumption, so
+    the general lex-leader SBPs of {!Relog.Symmetry} are unsound here
+    and the chains are the symmetry breaking sessions get —
+    [~symmetry:false] (the server's [--no-sbp]) drops even those,
+    enumerating every slack-permutation variant. Solvers
     are built lazily: the first [recheck]/[rerepair] pays the
     translation. *)
 

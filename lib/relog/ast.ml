@@ -130,6 +130,31 @@ let rec free_rels_formula f acc =
 
 let free_rels f = free_rels_formula f Ident.Set.empty
 
+let rec free_atoms_expr e acc =
+  match e with
+  | Atom a -> Ident.Set.add a acc
+  | Rel _ | Var _ | Univ | Iden | None_ -> acc
+  | Union (a, b) | Inter (a, b) | Diff (a, b) | Join (a, b) | Product (a, b) ->
+    free_atoms_expr a (free_atoms_expr b acc)
+  | Transpose a | Closure a | RClosure a -> free_atoms_expr a acc
+
+let rec free_atoms_formula f acc =
+  match f with
+  | True | False -> acc
+  | Subset (a, b) | Equal (a, b) -> free_atoms_expr a (free_atoms_expr b acc)
+  | Some_ a | No a | Lone a | One a -> free_atoms_expr a acc
+  | Not f -> free_atoms_formula f acc
+  | And fs | Or fs ->
+    List.fold_left (fun acc f -> free_atoms_formula f acc) acc fs
+  | Implies (a, b) | Iff (a, b) -> free_atoms_formula a (free_atoms_formula b acc)
+  | Forall (decls, f) | Exists (decls, f) ->
+    let acc =
+      List.fold_left (fun acc (_, d) -> free_atoms_expr d acc) acc decls
+    in
+    free_atoms_formula f acc
+
+let free_atoms f = free_atoms_formula f Ident.Set.empty
+
 let rec fv_expr e acc =
   match e with
   | Var v -> Ident.Set.add v acc

@@ -72,6 +72,11 @@ val expr_arity : (Mdl.Ident.t -> int option) -> expr -> (int, string) result
 val free_rels : formula -> Mdl.Ident.Set.t
 (** Free relation names of a formula. *)
 
+val free_atoms : formula -> Mdl.Ident.Set.t
+(** Atom constants mentioned by a formula. The symmetry pass must fix
+    these: a formula naming an atom distinguishes it from the rest of
+    its orbit, so permuting it is not a model automorphism. *)
+
 val free_vars_expr : expr -> Mdl.Ident.Set.t
 val free_vars : formula -> Mdl.Ident.Set.t
 (** Variables not bound by a quantifier. *)

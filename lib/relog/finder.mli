@@ -41,6 +41,26 @@ val guard : t -> Ast.formula -> Sat.Lit.t
 val assert_formula : t -> Ast.formula -> unit
 (** Translate and assert one formula on the already-created finder. *)
 
+val add_symmetry :
+  ?fixed:Mdl.Ident.Set.t -> ?respect:Rel.Tupleset.t list -> t -> int
+(** Run the {!Symmetry} analysis on the current bounds and assert
+    lex-leader symmetry-breaking predicates under a guard literal that
+    {!solve} thereafter assumes automatically. The fixed set is the
+    union of [fixed] with every atom named by a formula previously
+    routed through this finder (and the guard is refreshed if a later
+    formula names a previously-permutable atom, or if {!rebind}
+    changes any bounds — stale predicates are retired by abandoning
+    their guard). [respect] tuplesets constrain the analysis exactly
+    as in {!Symmetry.orbits}; the repair engine passes the original
+    instance's target relations so the least-change distance is
+    orbit-invariant. Returns the number of SBP clauses asserted. *)
+
+val sbp_assumptions : t -> Sat.Lit.t list
+(** The active SBP guard, as an assumption list ([[]] when
+    {!add_symmetry} was never called). {!solve} prepends it
+    automatically; callers solving a {!clone_solver} directly must
+    pass it themselves. *)
+
 val rebind : t -> Bounds.t -> int
 (** {!Translate.rebind} plus re-materialization of every relation
     bound in the new bounds; forgets the last model (its primary

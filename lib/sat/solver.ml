@@ -96,6 +96,10 @@ type t = {
   mutable n_learnt_total : int;  (* learnt clauses ever recorded *)
   mutable n_solves : int;
   mutable solve_time : float;  (* wall seconds spent inside [solve] *)
+  (* phase saving: assignments overwriting the saved polarity *)
+  mutable n_phase_flips : int;
+  (* literals removed from learnt clauses by recursive minimization *)
+  mutable n_minimized : int;
 }
 
 let dummy_clause = { lits = [||]; w0 = 0; w1 = 0; activity = 0.0; removed = false }
@@ -133,6 +137,8 @@ let create () =
     n_learnt_total = 0;
     n_solves = 0;
     solve_time = 0.0;
+    n_phase_flips = 0;
+    n_minimized = 0;
   }
 
 let nb_vars s = s.nvars
@@ -240,6 +246,7 @@ let enqueue s l reason =
   s.assign.(v) <- (if Lit.sign l then 1 else 0);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
+  if s.phase.(v) <> Lit.sign l then s.n_phase_flips <- s.n_phase_flips + 1;
   s.phase.(v) <- Lit.sign l;
   Vec.push s.trail l;
   s.n_propagations <- s.n_propagations + 1
@@ -423,6 +430,49 @@ let add_clause s lits =
 (* ----------------------------------------------------------------- *)
 (* Conflict analysis (first UIP)                                       *)
 
+(* Recursive learnt-clause minimization (self-subsumption over the
+   implication graph): a tail literal is redundant when it has a
+   reason and every reason literal is at level 0, already in the
+   clause ([seen]), or itself redundant. Precondition: [seen] is true
+   exactly on the tail literals of the learnt clause. A successful
+   check leaves its marks in [seen] (memoizing the established
+   redundancies for later checks) and records them in [to_clear]; a
+   failed check undoes only the marks it added. Tail literals live
+   strictly below the current decision level, so the walk never
+   reaches the UIP or any current-level variable. *)
+let lit_redundant s to_clear p =
+  if s.reason.(Lit.var p) = None then false
+  else begin
+    let added = ref [] in
+    let stack = ref [ p ] in
+    let ok = ref true in
+    (try
+       while !stack <> [] do
+         let l = List.hd !stack in
+         stack := List.tl !stack;
+         let c =
+           match s.reason.(Lit.var l) with
+           | Some c -> c
+           | None -> assert false
+         in
+         Array.iter
+           (fun q ->
+             let v = Lit.var q in
+             if v <> Lit.var l && (not s.seen.(v)) && s.level.(v) > 0 then begin
+               if s.reason.(v) = None then raise Exit;
+               s.seen.(v) <- true;
+               added := v :: !added;
+               stack := q :: !stack
+             end)
+           c.lits
+       done
+     with Exit ->
+       ok := false;
+       List.iter (fun v -> s.seen.(v) <- false) !added);
+    if !ok then to_clear := List.rev_append !added !to_clear;
+    !ok
+  end
+
 let analyze s confl =
   let learnt = ref [] in
   let path_count = ref 0 in
@@ -472,10 +522,31 @@ let analyze s confl =
       p := l
     end
   done;
-  let learnt = Lit.neg !p :: !learnt in
-  (* Clear seen flags for reuse. *)
-  List.iter (fun l -> s.seen.(Lit.var l) <- false) learnt;
-  (learnt, !btlevel)
+  (* Minimize the tail: drop redundant literals (the learnt clause
+     can only shrink, never grow). Dropped literals keep their [seen]
+     mark for the duration — later redundancy checks may lean on them,
+     which is sound because they are themselves implied by the rest. *)
+  let tail = !learnt in
+  let to_clear = ref [] in
+  let kept =
+    List.filter
+      (fun q ->
+        if lit_redundant s to_clear q then begin
+          s.n_minimized <- s.n_minimized + 1;
+          false
+        end
+        else true)
+      tail
+  in
+  (* The backtrack level is the highest level among surviving tail
+     literals (0 when the minimized clause is asserting at the root). *)
+  let btlevel = List.fold_left (fun acc q -> max acc s.level.(Lit.var q)) 0 kept in
+  let learnt = Lit.neg !p :: kept in
+  (* Clear seen flags for reuse — over the original tail (dropped
+     literals included) and everything the redundancy checks marked. *)
+  List.iter (fun l -> s.seen.(Lit.var l) <- false) tail;
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (learnt, btlevel)
 
 (* After a conflict directly caused by assumptions: collect the subset
    of assumptions implying the conflict, starting from literal [p]
@@ -626,6 +697,8 @@ let g_restarts = Obs.Metrics.counter "sat.restarts"
 let g_reduces = Obs.Metrics.counter "sat.reduces"
 let g_learnt = Obs.Metrics.counter "sat.learnt"
 let g_solves = Obs.Metrics.counter "sat.solves"
+let g_phase_flips = Obs.Metrics.counter "sat.phase_flips"
+let g_minimized = Obs.Metrics.counter "sat.minimized_lits"
 
 (* Per-call solve durations: the histogram's sum is the old [g_time]
    total, and the p50/p90/p99 spread is new signal (one long solve vs
@@ -792,7 +865,9 @@ let solve ?(assumptions = []) s =
   and c0 = s.n_conflicts
   and r0 = s.n_restarts
   and rd0 = s.n_reduces
-  and l0 = s.n_learnt_total in
+  and l0 = s.n_learnt_total
+  and pf0 = s.n_phase_flips
+  and m0 = s.n_minimized in
   (* The finally block also runs when the solve is interrupted: the
      effort spent before the interrupt still counts. *)
   Fun.protect
@@ -806,6 +881,8 @@ let solve ?(assumptions = []) s =
       Obs.Metrics.add g_restarts (s.n_restarts - r0);
       Obs.Metrics.add g_reduces (s.n_reduces - rd0);
       Obs.Metrics.add g_learnt (s.n_learnt_total - l0);
+      Obs.Metrics.add g_phase_flips (s.n_phase_flips - pf0);
+      Obs.Metrics.add g_minimized (s.n_minimized - m0);
       Obs.Metrics.incr g_solves;
       Obs.Metrics.observe g_solve_time dt)
     (fun () -> solve_inner ~assumptions s)
@@ -866,6 +943,14 @@ type stats = {
   solve_time : float;
 }
 
+(* Modernization counters live outside the [stats] record (which many
+   aggregators duplicate field by field): per-instance accessors here,
+   process-wide totals in the sat.phase_flips / sat.minimized_lits
+   registry counters. *)
+let phase_flips s = s.n_phase_flips
+let minimized_lits s = s.n_minimized
+let saved_phase s v = if v < s.nvars then s.phase.(v) else false
+
 let stats s =
   {
     decisions = s.n_decisions;
@@ -898,6 +983,8 @@ let reset_global_stats () =
   Obs.Metrics.set_counter g_reduces 0;
   Obs.Metrics.set_counter g_learnt 0;
   Obs.Metrics.set_counter g_solves 0;
+  Obs.Metrics.set_counter g_phase_flips 0;
+  Obs.Metrics.set_counter g_minimized 0;
   Obs.Metrics.reset_histogram g_solve_time
 
 let pp_stats ppf st =
@@ -977,6 +1064,8 @@ let clone s =
       n_learnt_total = 0;
       n_solves = 0;
       solve_time = 0.0;
+      n_phase_flips = 0;
+      n_minimized = 0;
     }
   in
   for i = 0 to Vec.size t.clauses - 1 do

@@ -100,6 +100,26 @@ val minimize_core : ?core:Lit.t list -> t -> Lit.t list
     solves on this solver (counted in {!stats}); the solver remains
     usable, and {!unsat_core} afterwards returns the minimized core. *)
 
+val phase_flips : t -> int
+(** Number of assignments (propagations and decisions) that overwrote
+    a variable's saved phase with the opposite polarity. Decisions
+    always reuse the saved phase, so every flip is forced by the
+    clauses: a low flip rate means phase saving is preserving partial
+    assignments across restarts and backjumps as intended.
+    Process-wide total: the [sat.phase_flips] metrics counter. *)
+
+val minimized_lits : t -> int
+(** Literals removed from learnt clauses by recursive minimization
+    (self-subsumption over the implication graph) during conflict
+    analysis. Minimization only ever shrinks a learnt clause.
+    Process-wide total: the [sat.minimized_lits] metrics counter. *)
+
+val saved_phase : t -> Lit.var -> bool
+(** The saved phase of a variable — the polarity the next decision on
+    it would pick. Variables never assigned default to [false].
+    {!clone} preserves saved phases; {!interrupt} leaves them intact
+    (the backtrack to root does not erase phases). *)
+
 type stats = {
   decisions : int;
   propagations : int;

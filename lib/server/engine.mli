@@ -50,6 +50,7 @@ val create :
   ?snapshot_dir:string ->
   ?slow_ms:float ->
   ?reqlog:Reqlog.t ->
+  ?symmetry:bool ->
   unit ->
   t
 (** [jobs] (default 1) sizes the worker pool — with 1, requests run
@@ -60,7 +61,9 @@ val create :
     sets the end-to-end latency above which a reply bumps
     [server.slow_requests] and is flagged [slow] in the request log.
     [reqlog] (default: a counter-only log) receives one record per
-    reply. *)
+    reply. [symmetry] (default true) is forwarded to every session
+    open and revival — the [qvtr serve --no-sbp] escape hatch that
+    drops the guarded slack-symmetry chains from repair solves. *)
 
 val jobs : t -> int
 

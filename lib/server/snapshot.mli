@@ -51,12 +51,16 @@ val load : string -> (t, string) result
 
 val hydrate :
   ?extra_values:Mdl.Value.t list ->
+  ?symmetry:bool ->
   Protocol.open_spec ->
   (Incr.Session.t * Mdl.Metamodel.t list, string) result
 (** Parse an open spec's texts and open an {!Incr.Session} over them
     — the one code path behind both the [open] verb and snapshot
     revival (which passes the snapshot's [values] as
-    [extra_values]). Empty [o_targets] selects every parameter. *)
+    [extra_values]). [symmetry] is forwarded to
+    {!Incr.Session.open_session} — the server's [--no-sbp] sets it
+    false. Empty [o_targets] selects every parameter. *)
 
-val revive : t -> (Incr.Session.t * Mdl.Metamodel.t list, string) result
-(** [hydrate ~extra_values:t.values t.spec]. *)
+val revive :
+  ?symmetry:bool -> t -> (Incr.Session.t * Mdl.Metamodel.t list, string) result
+(** [hydrate ~extra_values:t.values ?symmetry t.spec]. *)

@@ -23,6 +23,7 @@ let () =
       ("relog.simplify", Test_simplify.suite);
       ("relog.hc", Test_hc.suite);
       ("relog.finder", Test_finder.suite);
+      ("relog.symmetry", Test_symmetry.suite);
       ("qvtr.dependency", Test_dependency.suite);
       ("qvtr.parser", Test_parser.suite);
       ("qvtr.parser_random", Test_parser_random.suite);

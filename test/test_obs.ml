@@ -224,6 +224,46 @@ let test_prom_parse_rejects () =
   | Ok p -> Alcotest.(check int) "samples" 4 (List.length p.Obs.Prom.samples)
   | Error e -> Alcotest.fail e
 
+(* The symmetry/solver-modernization counters scrape under stable
+   Prometheus names: the registry lookup below is idempotent (the
+   library modules already created them), and the strict parser must
+   see each exactly once with kind counter. [qvtr top] keys its
+   symmetry line off these exact names. *)
+let test_symmetry_counter_prom_names () =
+  List.iter
+    (fun dotted -> ignore (M.counter dotted))
+    [
+      "relog.symmetry.orbits";
+      "relog.symmetry.sbp_clauses";
+      "sat.phase_flips";
+      "sat.minimized_lits";
+      "echo.repair.dedup_discards";
+    ];
+  let p =
+    match Obs.Prom.parse (M.to_prometheus ()) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail ("exposition does not strict-parse: " ^ e)
+  in
+  List.iter
+    (fun prom ->
+      Alcotest.(check int)
+        (prom ^ " appears exactly once")
+        1
+        (List.length (List.filter (fun (n, _) -> n = prom) p.Obs.Prom.types));
+      Alcotest.(check (option string))
+        (prom ^ " kind") (Some "counter")
+        (List.assoc_opt prom p.Obs.Prom.types);
+      Alcotest.(check bool)
+        (prom ^ " has a sample") true
+        (Obs.Prom.counter_value p prom <> None))
+    [
+      "relog_symmetry_orbits";
+      "relog_symmetry_sbp_clauses";
+      "sat_phase_flips";
+      "sat_minimized_lits";
+      "echo_repair_dedup_discards";
+    ]
+
 (* Satellite: the drain-based reset must keep count == bucket totals
    with observers racing it at jobs = 4 (3 observers + 1 resetter). *)
 let test_histogram_concurrent_reset () =
@@ -509,6 +549,8 @@ let suite =
       test_prometheus_exposition;
     Alcotest.test_case "prometheus parser rejects malformed" `Quick
       test_prom_parse_rejects;
+    Alcotest.test_case "symmetry/solver counter prometheus names" `Quick
+      test_symmetry_counter_prom_names;
     Alcotest.test_case "histogram reset races observers (jobs=4)" `Quick
       test_histogram_concurrent_reset;
     Alcotest.test_case "runtime sampler ticks and survives bad hooks" `Quick

@@ -281,10 +281,85 @@ let test_reduce_db_preserves_models () =
     Alcotest.(check bool) "model satisfies all clauses" true
       (List.for_all (fun c -> List.exists (S.lit_value s) c) clauses)
 
+let test_modernization_counters () =
+  (* a conflict-heavy instance exercises both phase saving and
+     learnt-clause minimization; the counters prove the paths ran *)
+  let s = pigeonhole 6 5 in
+  Alcotest.(check bool) "php(6,5) unsat" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "phases flipped during search" true (S.phase_flips s > 0);
+  Alcotest.(check bool) "learnt clauses were minimized" true
+    (S.minimized_lits s > 0)
+
+let test_minimization_preserves_answers =
+  (* denser random CNFs than the base corpus (more conflicts, so the
+     minimizer actually fires) still agree with the brute-force
+     oracle — minimization only ever shrinks learnt clauses and must
+     not change any answer *)
+  QCheck.Test.make ~name:"answers unchanged under learnt-clause minimization"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| 1000 + seed |] in
+      let nv = 8 + Random.State.int rng 5 in
+      let nc = (4 * nv) + Random.State.int rng (2 * nv) in
+      let clauses = random_clauses rng nv nc 3 in
+      let s = S.create () in
+      let _ = new_vars s nv in
+      List.iter (S.add_clause s) clauses;
+      let got = S.solve s = S.Sat in
+      let want = brute_force nv clauses in
+      got = want
+      && ((not got) || List.for_all (fun c -> List.exists (S.lit_value s) c) clauses))
+
+let test_phase_saving_preserved () =
+  (* a Sat answer saves the model's polarities; clone and interrupt
+     must both preserve them *)
+  let s = S.create () in
+  let n = 12 in
+  let v = new_vars s n in
+  (* force a specific model: odd vars true, even vars false *)
+  Array.iteri
+    (fun i vi ->
+      S.add_clause s [ (if i mod 2 = 1 then L.pos vi else L.neg_of vi) ])
+    v;
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Array.iteri
+    (fun i vi ->
+      Alcotest.(check bool)
+        (Printf.sprintf "saved phase of v%d follows the model" i)
+        (i mod 2 = 1) (S.saved_phase s vi))
+    v;
+  let before = Array.map (S.saved_phase s) v in
+  (* clone: phases carry over *)
+  let c = S.clone s in
+  Array.iteri
+    (fun i vi ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clone preserves phase of v%d" i)
+        before.(i) (S.saved_phase c vi))
+    v;
+  (* interrupt: the flag makes the next solve raise; the backtrack to
+     root must not erase the saved phases *)
+  S.interrupt s;
+  (match S.solve s with
+  | exception S.Interrupted -> ()
+  | _ -> Alcotest.fail "pending interrupt must raise");
+  Array.iteri
+    (fun i vi ->
+      Alcotest.(check bool)
+        (Printf.sprintf "interrupt preserves phase of v%d" i)
+        before.(i) (S.saved_phase s vi))
+    v;
+  (* and the solver is still usable with the same answer *)
+  Alcotest.(check bool) "still sat after interrupt" true (S.solve s = S.Sat)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "reduce_db stress" `Slow test_reduce_db_stress;
       Alcotest.test_case "reduce_db preserves models" `Quick
         test_reduce_db_preserves_models;
+      Alcotest.test_case "modernization counters" `Quick
+        test_modernization_counters;
+      Alcotest.test_case "phase saving preserved by clone/interrupt" `Quick
+        test_phase_saving_preserved;
+      QCheck_alcotest.to_alcotest test_minimization_preserves_answers;
     ]
